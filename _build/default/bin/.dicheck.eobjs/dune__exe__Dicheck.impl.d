@@ -1,0 +1,1 @@
+bin/dicheck.ml: Arg Cif Cmd Cmdliner Dic Flatdrc Format Geom In_channel List Netlist Out_channel Printf Tech Term

@@ -1,0 +1,1 @@
+bin/layoutgen_cli.ml: Arg Cif Cmd Cmdliner Format Layoutgen List Out_channel Printf String Term

@@ -1,0 +1,1 @@
+bin/layoutgen_cli.mli:

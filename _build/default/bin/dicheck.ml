@@ -1,0 +1,136 @@
+(* dicheck: the Design Integrity and Immunity Checker, as a command.
+
+   Reads extended CIF, runs either the hierarchical checker or the
+   classical flat baseline, and prints the report. *)
+
+open Cmdliner
+
+let read_file path =
+  if path = "-" then In_channel.input_all In_channel.stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers rules src =
+  match Cif.Parse.file src with
+  | Error e ->
+    Printf.eprintf "parse error: %s\n" (Cif.Parse.string_of_error e);
+    2
+  | Ok file -> (
+    let expected_netlist =
+      match expect with
+      | None -> None
+      | Some path -> (
+        match Dic.Netcompare.parse (read_file path) with
+        | Ok e -> Some e
+        | Error msg ->
+          Printf.eprintf "expected net list: %s\n" msg;
+          exit 2)
+    in
+    let config =
+      { Dic.Checker.default_config with
+        Dic.Checker.expected_netlist;
+        Dic.Checker.interactions =
+          { Dic.Interactions.default_config with
+            Dic.Interactions.check_same_net } }
+    in
+    match Dic.Checker.run ~config rules file with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      2
+    | Ok result ->
+      Format.printf "%a@." Dic.Report.pp result.Dic.Checker.report;
+      Format.printf "%a@." Dic.Checker.pp_summary result;
+      if show_netlist then
+        Format.printf "@.--- net list ---@.%a@." Netlist.Net.pp result.Dic.Checker.netlist;
+      if show_stats then
+        Format.printf "@.--- interaction coverage ---@.%a@." Dic.Interactions.pp_stats
+          result.Dic.Checker.interaction_stats;
+      if show_structure then
+        Format.printf "@.--- design structure ---@.%a@." Dic.Structure.pp
+          (Dic.Structure.compute result.Dic.Checker.nets);
+      (match markers with
+      | None -> ()
+      | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Dic.Markers.to_cif result.Dic.Checker.report)));
+      if Dic.Report.count ~severity:Dic.Report.Error result.Dic.Checker.report > 0 then 1
+      else 0)
+
+let run_flat ~metric ~poly_diff ~width_algorithm rules src =
+  match Cif.Parse.file src with
+  | Error e ->
+    Printf.eprintf "parse error: %s\n" (Cif.Parse.string_of_error e);
+    2
+  | Ok file ->
+    let mode = { Flatdrc.Classic.metric; poly_diff; width_algorithm } in
+    let errors = Flatdrc.Classic.check mode rules file in
+    List.iter (fun e -> Format.printf "%a@." Flatdrc.Classic.pp_error e) errors;
+    Printf.printf "%d error(s)\n" (List.length errors);
+    if errors = [] then 0 else 1
+
+let main file flat metric polydiff figure_based lambda rules_file show_netlist
+    show_stats show_structure check_same_net expect markers =
+  let rules =
+    match rules_file with
+    | None -> Tech.Rules.nmos ~lambda ()
+    | Some path -> (
+      match Tech.Rules.of_string (read_file path) with
+      | Ok r -> r
+      | Error msg ->
+        Printf.eprintf "rule file: %s\n" msg;
+        exit 2)
+  in
+  let src = read_file file in
+  if flat then
+    run_flat ~metric
+      ~poly_diff:(if polydiff then `Flag_all else `Ignore)
+      ~width_algorithm:(if figure_based then `Figure_based else `Shrink_expand_compare)
+      rules src
+  else
+    run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
+      rules src
+
+let metric_conv =
+  Arg.enum [ ("orthogonal", Geom.Measure.Orthogonal); ("euclidean", Geom.Measure.Euclidean) ]
+
+let cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"CIF file (- for stdin)")
+  in
+  let flat = Arg.(value & flag & info [ "flat" ] ~doc:"Run the classical flat baseline instead.") in
+  let metric =
+    Arg.(value & opt metric_conv Geom.Measure.Orthogonal & info [ "metric" ] ~doc:"Spacing metric for the flat baseline.")
+  in
+  let polydiff =
+    Arg.(value & flag & info [ "flag-crossings" ] ~doc:"Flat baseline: flag every poly-diffusion crossing.")
+  in
+  let figure_based =
+    Arg.(value & flag & info [ "figure-based" ] ~doc:"Flat baseline: figure-based width checks instead of shrink-expand-compare.")
+  in
+  let lambda = Arg.(value & opt int 100 & info [ "lambda" ] ~doc:"Lambda in layout units.") in
+  let netlist = Arg.(value & flag & info [ "netlist" ] ~doc:"Print the extracted net list.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print interaction-matrix coverage.") in
+  let structure =
+    Arg.(value & flag & info [ "structure" ] ~doc:"Print design-structure statistics.")
+  in
+  let same_net =
+    Arg.(value & flag & info [ "check-same-net" ] ~doc:"Check spacing even between same-net elements (net-blind ablation).")
+  in
+  let expect =
+    Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"FILE" ~doc:"Verify the extracted net list against this expected net list.")
+  in
+  let rules_file =
+    Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"FILE" ~doc:"Load the rule set from a rule file instead of the built-in NMOS rules.")
+  in
+  let markers =
+    Arg.(value & opt (some string) None & info [ "markers" ] ~docv:"FILE" ~doc:"Write violation markers as CIF (layer XE) to FILE.")
+  in
+  let term =
+    Term.(
+      const main $ file $ flat $ metric $ polydiff $ figure_based $ lambda $ rules_file
+      $ netlist $ stats $ structure $ same_net $ expect $ markers)
+  in
+  Cmd.v
+    (Cmd.info "dicheck" ~doc:"Design integrity and immunity checking (McGrath & Whitney, DAC 1980)")
+    term
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,75 @@
+(* dic-layoutgen: emit synthetic extended-CIF workloads. *)
+
+open Cmdliner
+
+let emit out file =
+  let text = Cif.Print.to_string file in
+  match out with
+  | None -> print_string text
+  | Some path -> Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text)
+
+let main workload nx ny lambda salt out =
+  let base =
+    match workload with
+    | `Chain -> Layoutgen.Cells.chain ~lambda nx
+    | `Grid -> Layoutgen.Cells.grid ~lambda ~nx ~ny
+    | `Grid_blocks -> Layoutgen.Cells.grid_blocks ~lambda ~nx ~ny
+    | `Pathology name -> (
+      match
+        List.find_opt
+          (fun (k : Layoutgen.Pathology.kit) -> k.Layoutgen.Pathology.kit_name = name)
+          (Layoutgen.Pathology.all ~lambda)
+      with
+      | Some kit -> kit.Layoutgen.Pathology.file
+      | None ->
+        Printf.eprintf "unknown pathology kit %s (try fig2a fig2b fig5a fig5b fig6 fig7 fig8 fig15)\n" name;
+        exit 2)
+  in
+  let file =
+    if salt then begin
+      let margin = (nx * Layoutgen.Cells.pitch_x * lambda) + (6 * lambda) in
+      let salted, truths =
+        Layoutgen.Inject.apply base
+          (Layoutgen.Inject.standard_batch ~lambda ~at:(margin, 0) ~step:(10 * lambda)
+          @ [ Layoutgen.Inject.supply_short ~lambda ~cell_origin:(0, 0) ])
+      in
+      Printf.eprintf "injected %d defect(s)\n" (List.length truths);
+      salted
+    end
+    else base
+  in
+  emit out file;
+  0
+
+let workload_conv =
+  let parse s =
+    match s with
+    | "chain" -> Ok `Chain
+    | "grid" -> Ok `Grid
+    | "grid-blocks" -> Ok `Grid_blocks
+    | s when String.length s > 4 && String.sub s 0 4 = "fig:" ->
+      Ok (`Pathology (String.sub s 4 (String.length s - 4)))
+    | _ -> Error (`Msg "expected chain | grid | grid-blocks | fig:<kit>")
+  in
+  let print ppf = function
+    | `Chain -> Format.pp_print_string ppf "chain"
+    | `Grid -> Format.pp_print_string ppf "grid"
+    | `Grid_blocks -> Format.pp_print_string ppf "grid-blocks"
+    | `Pathology n -> Format.fprintf ppf "fig:%s" n
+  in
+  Arg.conv (parse, print)
+
+let cmd =
+  let workload =
+    Arg.(value & opt workload_conv `Chain & info [ "w"; "workload" ] ~doc:"chain | grid | grid-blocks | fig:<kit>")
+  in
+  let nx = Arg.(value & opt int 4 & info [ "nx" ] ~doc:"Cells per row.") in
+  let ny = Arg.(value & opt int 4 & info [ "ny" ] ~doc:"Rows.") in
+  let lambda = Arg.(value & opt int 100 & info [ "lambda" ] ~doc:"Lambda in layout units.") in
+  let salt = Arg.(value & flag & info [ "salt" ] ~doc:"Inject the standard defect batch.") in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output file.") in
+  Cmd.v
+    (Cmd.info "dic-layoutgen" ~doc:"Synthetic extended-CIF workload generator")
+    Term.(const main $ workload $ nx $ ny $ lambda $ salt $ out)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/chip.ml: Cif Dic Format Geom Layoutgen List Netlist String Tech

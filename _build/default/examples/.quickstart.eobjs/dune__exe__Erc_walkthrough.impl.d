@@ -1,0 +1,1 @@
+examples/erc_walkthrough.ml: Cif Dic Format Layoutgen List Printf Tech

@@ -1,0 +1,1 @@
+examples/erc_walkthrough.mli:

@@ -1,0 +1,1 @@
+examples/inverter_array.ml: Dic Flatdrc Format Geom Layoutgen List Printf Tech

@@ -1,0 +1,1 @@
+examples/inverter_array.mli:

@@ -1,0 +1,1 @@
+examples/pathologies.ml: Dic Flatdrc Layoutgen List Printf Tech

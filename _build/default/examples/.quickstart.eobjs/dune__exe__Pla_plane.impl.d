@@ -1,0 +1,1 @@
+examples/pla_plane.ml: Array Dic Format Layoutgen List Netlist Printf String Tech

@@ -1,0 +1,1 @@
+examples/pla_plane.mli:

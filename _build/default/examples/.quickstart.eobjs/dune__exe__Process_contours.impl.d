@@ -1,0 +1,1 @@
+examples/process_contours.ml: Buffer Format Geom List Printf Process_model

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cif Dic Format Layoutgen List Netlist Printf String Tech

@@ -1,0 +1,1 @@
+examples/shift_register.ml: Dic Format Layoutgen List Netlist Tech

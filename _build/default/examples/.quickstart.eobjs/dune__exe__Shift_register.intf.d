@@ -1,0 +1,1 @@
+examples/shift_register.mli:

@@ -1,0 +1,70 @@
+(* Non-geometric construction rules (the paper's four): build a design
+   violating each one and watch the electrical stage catch it.
+
+   1. A net must have at least two devices on it.
+   2. Power and ground must not be shorted.
+   3. A bus may not connect to power or ground.
+   4. A depletion device may not connect to ground.
+
+   Run with: dune exec examples/erc_walkthrough.exe *)
+
+let rules = Tech.Rules.nmos ()
+let lambda = rules.Tech.Rules.lambda
+
+let show title file =
+  Printf.printf "--- %s ---\n" title;
+  match Dic.Checker.run rules file with
+  | Error e -> Printf.printf "checker failed: %s\n\n" e
+  | Ok result ->
+    let electrical =
+      Dic.Report.by_stage result.Dic.Checker.report Dic.Report.Electrical
+    in
+    if electrical = [] then print_endline "(electrically clean)"
+    else List.iter (fun v -> Format.printf "%a@." Dic.Report.pp_violation v) electrical;
+    print_newline ()
+
+(* Swap a net label on every element of a symbol. *)
+let relabel_symbol from_net to_net (s : Cif.Ast.symbol) =
+  { s with
+    Cif.Ast.elements =
+      List.map
+        (fun e ->
+          if Cif.Ast.element_net e = Some from_net then Cif.Ast.with_net e (Some to_net)
+          else e)
+        s.Cif.Ast.elements }
+
+let () =
+  (* Rule 1: a lone inverter's input has a single device terminal. *)
+  show "rule 1: floating net (single inverter input)" (Layoutgen.Cells.chain ~lambda 1);
+
+  (* Rule 2: strap VDD to GND in metal. *)
+  let chain = Layoutgen.Cells.chain ~lambda 2 in
+  let shorted, _ =
+    Layoutgen.Inject.apply chain
+      [ Layoutgen.Inject.supply_short ~lambda ~cell_origin:(0, 0) ]
+  in
+  show "rule 2: power and ground shorted" shorted;
+
+  (* Rule 3: label a wire BUS0! and land it on the VDD rail. *)
+  let bus_on_vdd =
+    { chain with
+      Cif.Ast.top_elements =
+        chain.Cif.Ast.top_elements
+        @ [ Layoutgen.Builder.wire ~layer:"NM" ~net:"BUS0!" ~width:(3 * lambda)
+              [ (2 * lambda, 53 * lambda / 2); (2 * lambda, 40 * lambda) ] ] }
+  in
+  show "rule 3: bus connected to a supply" bus_on_vdd;
+
+  (* Rule 4: an inverter whose VDD rail is mislabelled GND! puts the
+     depletion load's drain on ground. *)
+  let bad =
+    { Cif.Ast.symbols =
+        List.map
+          (fun (s : Cif.Ast.symbol) ->
+            if s.Cif.Ast.id = Layoutgen.Cells.id_inv then relabel_symbol "VDD!" "GND!" s
+            else s)
+          chain.Cif.Ast.symbols;
+      top_elements = [];
+      top_calls = [ Layoutgen.Builder.call ~at:(0, 0) Layoutgen.Cells.id_inv ] }
+  in
+  show "rule 4: depletion device connected to ground" bad

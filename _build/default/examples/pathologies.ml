@@ -1,0 +1,40 @@
+(* Walk the paper's pathology figures: run each kit through the
+   hierarchical checker (DIC) and the classical flat baseline, and
+   report real-flagged / real-missed / false counts for each.
+
+   Run with: dune exec examples/pathologies.exe *)
+
+let run_dic rules file =
+  match Dic.Checker.run rules file with
+  | Ok result -> Dic.Classify.of_report result.Dic.Checker.report
+  | Error msg -> failwith msg
+
+let run_flat mode rules file = Dic.Classify.of_classic (Flatdrc.Classic.check mode rules file)
+
+let () =
+  let rules = Tech.Rules.nmos () in
+  let lambda = rules.Tech.Rules.lambda in
+  let tolerance = 2 * lambda in
+  Printf.printf "%-8s %-8s %26s %26s\n" "kit" "figure"
+    "DIC (flag/miss/false)" "flat (flag/miss/false)";
+  List.iter
+    (fun (kit : Layoutgen.Pathology.kit) ->
+      let dic =
+        Dic.Classify.classify ~tolerance kit.Layoutgen.Pathology.truths
+          (run_dic rules kit.Layoutgen.Pathology.file)
+      and flat =
+        Dic.Classify.classify ~tolerance kit.Layoutgen.Pathology.truths
+          (run_flat
+             { Flatdrc.Classic.default_mode with Flatdrc.Classic.poly_diff = `Flag_all }
+             rules kit.Layoutgen.Pathology.file)
+      in
+      let show (o : Dic.Classify.outcome) =
+        Printf.sprintf "%d / %d / %d"
+          (List.length o.Dic.Classify.flagged)
+          (List.length o.Dic.Classify.missed)
+          (List.length o.Dic.Classify.false_findings)
+      in
+      Printf.printf "%-8s %-8s %26s %26s\n" kit.Layoutgen.Pathology.kit_name
+        kit.Layoutgen.Pathology.figure (show dic) (show flat);
+      Printf.printf "         %s\n\n" kit.Layoutgen.Pathology.description)
+    (Layoutgen.Pathology.all ~lambda)

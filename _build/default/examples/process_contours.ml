@@ -1,0 +1,120 @@
+(* 2-D process modelling (paper Eq 1, Figs 13 and 14): print the
+   printed-contour of a drawn square under orthogonal, Euclidean, and
+   proximity-effect expansion; show exposure bridging across a narrow
+   gap; and sweep the end-cap retreat against wire width (the
+   relational rule).
+
+   Run with: dune exec examples/process_contours.exe *)
+
+let ascii_region ~x0 ~y0 ~x1 ~y1 ~step tag regions =
+  Printf.printf "%s\n" tag;
+  let y = ref (y1 - step) in
+  while !y >= y0 do
+    let x = ref x0 in
+    let buf = Buffer.create 64 in
+    while !x < x1 do
+      let c =
+        let rec pick = function
+          | [] -> '.'
+          | (ch, r) :: rest -> if Geom.Region.contains_pt r !x !y then ch else pick rest
+        in
+        pick regions
+      in
+      Buffer.add_char buf c;
+      x := !x + step
+    done;
+    print_endline (Buffer.contents buf);
+    y := !y - step
+  done;
+  print_newline ()
+
+let () =
+  let lambda = 100 in
+  let sigma = 60. in
+  let model = Process_model.Exposure.make ~sigma () in
+
+  (* --- Fig 13: three expansions of a 2x2-lambda square ---
+
+     A "proximity expand" by d is printing with the develop threshold
+     set to the exposure found d outside a long straight edge: straight
+     edges then move out by exactly d, while corners and neighbouring
+     geometry deviate -- the effect neither orthogonal nor Euclidean
+     expansion models. *)
+  let square = Geom.Region.of_rect (Geom.Rect.make 0 0 (2 * lambda) (2 * lambda)) in
+  let d = lambda in
+  let orth = Geom.Region.expand_orth square d in
+  let eucl = Geom.Region.expand_euclid square d in
+  let expand_threshold = Process_model.Erf.gauss_cdf (-.float_of_int d /. sigma) in
+  let expand_model = Process_model.Exposure.make ~sigma ~threshold:expand_threshold () in
+  let prox =
+    Process_model.Exposure.printed expand_model square ~step:20 ~margin:(2 * lambda)
+  in
+  Printf.printf "--- Fig 13: expansions of a 2-lambda square by d = lambda ---\n";
+  Printf.printf "areas: drawn=%d orth=%d euclid=%d proximity=%d\n\n"
+    (Geom.Region.area square) (Geom.Region.area orth) (Geom.Region.area eucl)
+    (Geom.Region.area prox);
+  ascii_region ~x0:(-2 * lambda) ~y0:(-2 * lambda) ~x1:(4 * lambda) ~y1:(4 * lambda)
+    ~step:20 "legend: # drawn, o orthogonal expand, e euclidean expand, . outside"
+    [ ('#', square); ('o', Geom.Region.diff orth eucl); ('e', eucl) ];
+  ascii_region ~x0:(-2 * lambda) ~y0:(-2 * lambda) ~x1:(4 * lambda) ~y1:(4 * lambda)
+    ~step:20 "legend: # drawn, p proximity expand, . outside"
+    [ ('#', square); ('p', prox) ];
+
+  (* The proximity effect proper: the same two boxes, expanded alone
+     and together.  The combined exposure bulges into the gap -- "a
+     piece of geometry expands or shrinks differently if there is
+     another piece nearby". *)
+  let boxa = Geom.Rect.make 0 0 (3 * lambda) (2 * lambda) in
+  let boxb = Geom.Rect.make ((3 * lambda) + 230) 0 ((6 * lambda) + 230) (2 * lambda) in
+  let alone r =
+    Process_model.Exposure.printed expand_model (Geom.Region.of_rect r) ~step:10
+      ~margin:(2 * lambda)
+  in
+  let together =
+    Process_model.Exposure.printed expand_model
+      (Geom.Region.of_rects [ boxa; boxb ])
+      ~step:10 ~margin:(2 * lambda)
+  in
+  Printf.printf "--- proximity effect: two boxes 2.3 lambda apart, expand d = lambda ---\n";
+  Printf.printf "printed alone:    %d components\n"
+    (List.length (Geom.Region.components (Geom.Region.union (alone boxa) (alone boxb))));
+  Printf.printf "printed together: %d component(s) -- the gap bridges\n\n"
+    (List.length (Geom.Region.components together));
+
+  (* --- exposure bridging: the line of closest approach --- *)
+  Printf.printf "--- spacing by line of closest approach ---\n";
+  List.iter
+    (fun gap ->
+      let a = Geom.Region.of_rect (Geom.Rect.make 0 0 (4 * lambda) (2 * lambda)) in
+      let b =
+        Geom.Region.of_rect
+          (Geom.Rect.make ((4 * lambda) + gap) 0 ((8 * lambda) + gap) (2 * lambda))
+      in
+      let v = Process_model.Closest.check model ~misalign:0 a b in
+      Format.printf "gap %3d: %a@." gap Process_model.Closest.pp_verdict v)
+    [ 50; 100; 150; 200; 300 ];
+  Printf.printf "\nwith 50 units of mask misalignment (different layers):\n";
+  List.iter
+    (fun gap ->
+      let a = Geom.Region.of_rect (Geom.Rect.make 0 0 (4 * lambda) (2 * lambda)) in
+      let b =
+        Geom.Region.of_rect
+          (Geom.Rect.make ((4 * lambda) + gap) 0 ((8 * lambda) + gap) (2 * lambda))
+      in
+      let v = Process_model.Closest.check model ~misalign:50 a b in
+      Format.printf "gap %3d: %a@." gap Process_model.Closest.pp_verdict v)
+    [ 100; 150; 200; 300 ];
+
+  (* --- Fig 14: end-cap retreat vs wire width (relational rule) --- *)
+  Printf.printf "\n--- Fig 14: end-cap retreat vs poly width ---\n";
+  Printf.printf "%8s %10s %12s %10s  %s\n" "width" "retreat" "effective" "required" "verdict";
+  List.iter
+    (fun w ->
+      let v =
+        Process_model.Relational.check_gate_overhang model ~width:w
+          ~drawn:(2 * lambda) ~required:(3 * lambda / 2)
+      in
+      Printf.printf "%8d %10.1f %12.1f %10d  %s\n" w v.Process_model.Relational.retreat
+        v.Process_model.Relational.effective v.Process_model.Relational.required
+        (if v.Process_model.Relational.ok then "ok" else "VIOLATION"))
+    [ 400; 300; 250; 200; 150; 120; 100 ]

@@ -1,0 +1,42 @@
+(* Quickstart: generate a small NMOS inverter chain, run the full
+   Design Integrity and Immunity Checker on it, and inspect the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let rules = Tech.Rules.nmos () in
+  let lambda = rules.Tech.Rules.lambda in
+
+  (* A four-inverter chain built from the cell library.  [chain]
+     returns an extended-CIF syntax tree; print it to see the actual
+     CIF text with net (4N) and device (4D) annotations. *)
+  let design = Layoutgen.Cells.chain ~lambda 4 in
+  print_endline "--- extended CIF (first 25 lines) ---";
+  let cif_text = Cif.Print.to_string design in
+  String.split_on_char '\n' cif_text
+  |> List.filteri (fun i _ -> i < 25)
+  |> List.iter print_endline;
+  Printf.printf "... (%d bytes total)\n\n" (String.length cif_text);
+
+  (* A line-printer check plot of one inverter cell
+     (= metal, # poly, + diffusion, X contact, : implant, o buried). *)
+  print_endline "--- the inverter cell ---";
+  print_string (Layoutgen.Render.file rules (Layoutgen.Cells.chain ~lambda 1));
+  print_newline ();
+
+  (* Run the checker: parse -> elements -> devices -> connections ->
+     net list -> interactions -> electrical rules. *)
+  match Dic.Checker.run rules design with
+  | Error msg ->
+    Printf.eprintf "checker failed: %s\n" msg;
+    exit 1
+  | Ok result ->
+    Format.printf "--- report ---@.%a@.@." Dic.Report.pp result.Dic.Checker.report;
+    Format.printf "--- summary ---@.%a@.@." Dic.Checker.pp_summary result;
+    Format.printf "--- nets ---@.%a@.@." Netlist.Net.pp result.Dic.Checker.netlist;
+    Format.printf "--- stage timings ---@.";
+    List.iter
+      (fun (name, s) -> Format.printf "%-22s %.4fs@." name s)
+      result.Dic.Checker.stage_seconds;
+    Format.printf "@.--- interaction matrix coverage ---@.%a@."
+      Dic.Interactions.pp_stats result.Dic.Checker.interaction_stats

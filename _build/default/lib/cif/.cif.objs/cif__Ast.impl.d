@@ -1,0 +1,1 @@
+lib/cif/ast.ml: Geom Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/cif/parse.ml: Ast Buffer Char Format Geom List Printf String

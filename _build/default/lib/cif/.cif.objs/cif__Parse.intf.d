@@ -1,0 +1,1 @@
+lib/cif/parse.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/cif/print.ml: Ast Format Geom List

@@ -1,0 +1,1 @@
+lib/cif/print.mli: Ast Format

@@ -1,0 +1,88 @@
+type element =
+  | Box of { layer : string; rect : Geom.Rect.t; net : string option }
+  | Wire of {
+      layer : string;
+      width : int;
+      path : Geom.Pt.t list;
+      net : string option;
+    }
+  | Polygon of { layer : string; pts : Geom.Pt.t list; net : string option }
+
+type call = { callee : int; transform : Geom.Transform.t }
+
+type symbol = {
+  id : int;
+  name : string option;
+  device : string option;
+  elements : element list;
+  calls : call list;
+}
+
+type file = {
+  symbols : symbol list;
+  top_elements : element list;
+  top_calls : call list;
+}
+
+let element_layer = function
+  | Box { layer; _ } | Wire { layer; _ } | Polygon { layer; _ } -> layer
+
+let element_net = function
+  | Box { net; _ } | Wire { net; _ } | Polygon { net; _ } -> net
+
+let with_net e net =
+  match e with
+  | Box b -> Box { b with net }
+  | Wire w -> Wire { w with net }
+  | Polygon p -> Polygon { p with net }
+
+let element_bbox = function
+  | Box { rect; _ } -> rect
+  | Wire { width; path; _ } -> Geom.Wire.bbox (Geom.Wire.make ~width path)
+  | Polygon { pts; _ } -> Geom.Poly.bbox (Geom.Poly.make pts)
+
+let find_symbol file id = List.find_opt (fun s -> s.id = id) file.symbols
+
+let roots file =
+  let called = Hashtbl.create 16 in
+  let note c = Hashtbl.replace called c.callee () in
+  List.iter (fun s -> List.iter note s.calls) file.symbols;
+  List.iter note file.top_calls;
+  List.filter (fun s -> not (Hashtbl.mem called s.id)) file.symbols
+
+let check_acyclic file =
+  let state = Hashtbl.create 16 in
+  (* 0 = visiting, 1 = done *)
+  let rec visit id =
+    match Hashtbl.find_opt state id with
+    | Some 1 -> Ok ()
+    | Some _ -> Error (Printf.sprintf "call cycle through symbol %d" id)
+    | None -> (
+      match find_symbol file id with
+      | None -> Error (Printf.sprintf "call to undefined symbol %d" id)
+      | Some s ->
+        Hashtbl.replace state id 0;
+        let rec all = function
+          | [] ->
+            Hashtbl.replace state id 1;
+            Ok ()
+          | c :: rest -> (
+            match visit c.callee with Ok () -> all rest | Error _ as e -> e)
+        in
+        all s.calls)
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | c :: rest -> (
+      match visit c.callee with Ok () -> all rest | Error _ as e -> e)
+  in
+  match all file.top_calls with
+  | Error _ as e -> e
+  | Ok () ->
+    (* Also validate symbols not reachable from the top. *)
+    let rec check_syms = function
+      | [] -> Ok ()
+      | s :: rest -> (
+        match visit s.id with Ok () -> check_syms rest | Error _ as e -> e)
+    in
+    check_syms file.symbols

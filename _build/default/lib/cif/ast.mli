@@ -1,0 +1,59 @@
+(** Abstract syntax of extended CIF.
+
+    This is the Caltech Intermediate Form (Sproull, Lyon & Trimberger
+    1979) with the paper's extension: "a net identifier attached to each
+    primitive element and a device 'type' identifier to each primitive
+    symbol."  The extension is carried in standard CIF user commands:
+
+    - [9 name;] — symbol name (standard usage),
+    - [4N net;] — net identifier for the most recent element,
+    - [4D tag;] — device type of the enclosing symbol definition.
+
+    Layers and device tags are plain strings at this level; binding to
+    {!Tech.Layer} and {!Tech.Device} happens during elaboration in the
+    checker. *)
+
+type element =
+  | Box of { layer : string; rect : Geom.Rect.t; net : string option }
+  | Wire of {
+      layer : string;
+      width : int;
+      path : Geom.Pt.t list;
+      net : string option;
+    }
+  | Polygon of { layer : string; pts : Geom.Pt.t list; net : string option }
+
+type call = { callee : int; transform : Geom.Transform.t }
+
+type symbol = {
+  id : int;
+  name : string option;
+  device : string option;
+  elements : element list;  (** in source order *)
+  calls : call list;  (** in source order *)
+}
+
+type file = {
+  symbols : symbol list;  (** in definition order *)
+  top_elements : element list;
+  top_calls : call list;
+}
+
+val element_layer : element -> string
+val element_net : element -> string option
+
+(** [with_net e net] replaces the element's net identifier. *)
+val with_net : element -> string option -> element
+
+(** Bounding box of a single element (wires swept square-capped). *)
+val element_bbox : element -> Geom.Rect.t
+
+(** [find_symbol file id] *)
+val find_symbol : file -> int -> symbol option
+
+(** Symbols with no callers (design roots), in definition order. *)
+val roots : file -> symbol list
+
+(** [check_acyclic file] returns [Error cycle_member_id] if the call
+    graph has a cycle or a call targets an undefined symbol. *)
+val check_acyclic : file -> (unit, string) result

@@ -1,0 +1,68 @@
+open Format
+
+let pt ppf (p : Geom.Pt.t) = fprintf ppf "%d %d" p.Geom.Pt.x p.Geom.Pt.y
+
+let net_suffix ppf = function
+  | None -> ()
+  | Some n -> fprintf ppf "@,4N %s;" n
+
+let element ppf e =
+  fprintf ppf "@[<v>";
+  (match e with
+  | Ast.Box { layer; rect; net = _ } ->
+    let w = Geom.Rect.width rect and h = Geom.Rect.height rect in
+    if w mod 2 = 0 && h mod 2 = 0 then
+      let c = Geom.Rect.center rect in
+      fprintf ppf "L %s; B %d %d %d %d;" layer w h c.Geom.Pt.x c.Geom.Pt.y
+    else
+      fprintf ppf "L %s; P %d %d %d %d %d %d %d %d;" layer (Geom.Rect.x0 rect)
+        (Geom.Rect.y0 rect) (Geom.Rect.x1 rect) (Geom.Rect.y0 rect)
+        (Geom.Rect.x1 rect) (Geom.Rect.y1 rect) (Geom.Rect.x0 rect)
+        (Geom.Rect.y1 rect)
+  | Ast.Wire { layer; width; path; net = _ } ->
+    fprintf ppf "L %s; W %d" layer width;
+    List.iter (fun p -> fprintf ppf " %a" pt p) path;
+    fprintf ppf ";"
+  | Ast.Polygon { layer; pts; net = _ } ->
+    fprintf ppf "L %s; P" layer;
+    List.iter (fun p -> fprintf ppf " %a" pt p) pts;
+    fprintf ppf ";");
+  net_suffix ppf (Ast.element_net e);
+  fprintf ppf "@]"
+
+let call ppf (c : Ast.call) =
+  (* Decompose the transform by probing: emit as translation of the
+     rotated/mirrored frame.  Probe images of origin and unit vectors. *)
+  let t = c.Ast.transform in
+  let o = Geom.Transform.apply_pt t Geom.Pt.zero in
+  let ex = Geom.Pt.sub (Geom.Transform.apply_pt t (Geom.Pt.make 1 0)) o in
+  let ey = Geom.Pt.sub (Geom.Transform.apply_pt t (Geom.Pt.make 0 1)) o in
+  let mirrored = (ex.Geom.Pt.x * ey.Geom.Pt.y) - (ex.Geom.Pt.y * ey.Geom.Pt.x) < 0 in
+  fprintf ppf "C %d" c.Ast.callee;
+  (* If mirrored, emit M X first, then rotation of the mirrored x axis. *)
+  let rx = if mirrored then Geom.Pt.make (-ex.Geom.Pt.x) (-ex.Geom.Pt.y) else ex in
+  if mirrored then fprintf ppf " M X";
+  (match (rx.Geom.Pt.x, rx.Geom.Pt.y) with
+  | 1, 0 -> ()
+  | 0, 1 -> fprintf ppf " R 0 1"
+  | -1, 0 -> fprintf ppf " R -1 0"
+  | 0, -1 -> fprintf ppf " R 0 -1"
+  | _ -> assert false);
+  fprintf ppf " T %d %d;" o.Geom.Pt.x o.Geom.Pt.y
+
+let symbol ppf (s : Ast.symbol) =
+  fprintf ppf "@[<v>DS %d 1 1;" s.id;
+  (match s.name with None -> () | Some n -> fprintf ppf "@,9 %s;" n);
+  (match s.device with None -> () | Some d -> fprintf ppf "@,4D %s;" d);
+  List.iter (fun e -> fprintf ppf "@,%a" element e) s.elements;
+  List.iter (fun c -> fprintf ppf "@,%a" call c) s.calls;
+  fprintf ppf "@,DF;@]"
+
+let file ppf (f : Ast.file) =
+  fprintf ppf "@[<v>";
+  List.iter (fun s -> fprintf ppf "%a@," symbol s) f.symbols;
+  List.iter (fun e -> fprintf ppf "%a@," element e) f.top_elements;
+  List.iter (fun c -> fprintf ppf "%a@," call c) f.top_calls;
+  fprintf ppf "E@]@."
+
+let to_string f = Format.asprintf "%a" file f

@@ -1,0 +1,11 @@
+(** Extended-CIF printer.
+
+    Emits the subset {!Parse} reads; [Parse.file (to_string f)] is the
+    identity on well-formed files up to box representation (boxes with
+    odd side lengths are emitted as polygons, because CIF boxes are
+    centre-specified). *)
+
+val element : Format.formatter -> Ast.element -> unit
+val symbol : Format.formatter -> Ast.symbol -> unit
+val file : Format.formatter -> Ast.file -> unit
+val to_string : Ast.file -> string

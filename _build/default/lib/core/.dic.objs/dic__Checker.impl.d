@@ -1,0 +1,1 @@
+lib/core/checker.ml: Cif Devices Element_checks Format Interactions List Model Netcompare Netgen Netlist Printf Process_model Report Sys

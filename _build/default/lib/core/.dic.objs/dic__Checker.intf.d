@@ -1,0 +1,1 @@
+lib/core/checker.mli: Cif Format Interactions Model Netcompare Netgen Netlist Process_model Report Stdlib Tech

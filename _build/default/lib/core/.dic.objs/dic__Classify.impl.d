@@ -1,0 +1,1 @@
+lib/core/classify.ml: Either Flatdrc Format Geom List Report String

@@ -1,0 +1,1 @@
+lib/core/devices.ml: Format Geom List Model Printf Process_model Report String Tech

@@ -1,0 +1,1 @@
+lib/core/devices.mli: Geom Model Process_model Report Tech

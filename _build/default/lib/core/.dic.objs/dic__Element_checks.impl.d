@@ -1,0 +1,1 @@
+lib/core/element_checks.ml: Geom List Model Printf Report Tech

@@ -1,0 +1,1 @@
+lib/core/element_checks.mli: Model Report Tech

@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Checker Devices Digest Element_checks Geom Hashtbl Interactions List Marshal Model Netcompare Netgen Option Printf Report String Tech

@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Checker Cif Model Tech

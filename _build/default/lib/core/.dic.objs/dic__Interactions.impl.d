@@ -1,0 +1,1 @@
+lib/core/interactions.ml: Array Format Geom Hashtbl List Model Netgen Option Printf Process_model Report Tech

@@ -1,0 +1,1 @@
+lib/core/interactions.mli: Format Geom Hashtbl Netgen Process_model Report Tech

@@ -1,0 +1,1 @@
+lib/core/markers.ml: Cif Geom List Option Report

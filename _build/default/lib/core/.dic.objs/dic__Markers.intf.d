@@ -1,0 +1,1 @@
+lib/core/markers.mli: Cif Geom Report

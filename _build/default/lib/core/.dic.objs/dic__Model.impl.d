@@ -1,0 +1,1 @@
+lib/core/model.ml: Cif Geom Hashtbl List Option Printf Report Tech

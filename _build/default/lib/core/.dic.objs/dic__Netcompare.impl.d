@@ -1,0 +1,1 @@
+lib/core/netcompare.ml: Format Hashtbl List Netlist Printf Report String Tech

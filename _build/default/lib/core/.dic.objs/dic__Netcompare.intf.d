@@ -1,0 +1,1 @@
+lib/core/netcompare.mli: Format Netlist Report

@@ -1,0 +1,1 @@
+lib/core/netgen.ml: Array Devices Geom Hashtbl List Model Netlist Option Printf Report Stdlib String Tech

@@ -1,0 +1,1 @@
+lib/core/netgen.mli: Geom Hashtbl Model Netlist Report Tech

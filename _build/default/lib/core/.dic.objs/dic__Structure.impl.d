@@ -1,0 +1,1 @@
+lib/core/structure.ml: Format Hashtbl List Model Netgen Tech

@@ -1,0 +1,105 @@
+type config = {
+  interactions : Interactions.config;
+  run_erc : bool;
+  expected_netlist : Netcompare.expected option;
+  relational : Process_model.Exposure.t option;
+}
+
+let default_config =
+  { interactions = Interactions.default_config; run_erc = true; expected_netlist = None;
+    relational = None }
+
+type result = {
+  report : Report.t;
+  netlist : Netlist.Net.t;
+  interaction_stats : Interactions.stats;
+  stage_seconds : (string * float) list;
+  model : Model.t;
+  nets : Netgen.t;
+}
+
+let timed name f times =
+  let t0 = Sys.time () in
+  let v = f () in
+  times := (name, Sys.time () -. t0) :: !times;
+  v
+
+let erc_violations netlist =
+  List.map
+    (fun v ->
+      let rule =
+        match v with
+        | Netlist.Erc.Floating_net _ -> "erc.floating-net"
+        | Netlist.Erc.Supply_short _ -> "erc.supply-short"
+        | Netlist.Erc.Bus_on_supply _ -> "erc.bus-on-supply"
+        | Netlist.Erc.Depletion_on_ground _ -> "erc.depletion-on-ground"
+      in
+      let severity =
+        (* A floating net is suspicious, not provably fatal. *)
+        match v with Netlist.Erc.Floating_net _ -> `W | _ -> `E
+      in
+      let msg = Format.asprintf "%a" Netlist.Erc.pp_violation v in
+      match severity with
+      | `E -> Report.error ~stage:Report.Electrical ~rule ~context:"netlist" msg
+      | `W -> Report.warning ~stage:Report.Electrical ~rule ~context:"netlist" msg)
+    (Netlist.Erc.check netlist)
+
+let run ?(config = default_config) rules file =
+  let times = ref [] in
+  match timed "elaborate" (fun () -> Model.elaborate rules file) times with
+  | Error e -> Error e
+  | Ok (model, parse_issues) ->
+    let element_issues = timed "elements" (fun () -> Element_checks.check model) times in
+    let device_issues = timed "devices" (fun () -> Devices.check model) times in
+    let relational_issues =
+      match config.relational with
+      | None -> []
+      | Some exposure ->
+        timed "devices-relational" (fun () -> Devices.check_relational_all exposure model)
+          times
+    in
+    let nets, connection_issues = timed "connections+netlist" (fun () -> Netgen.build model) times in
+    let netlist = timed "netlist-export" (fun () -> Netgen.netlist nets) times in
+    let interaction_issues, interaction_stats =
+      timed "interactions" (fun () -> Interactions.check ~config:config.interactions nets) times
+    in
+    let electrical_issues =
+      if config.run_erc then timed "electrical" (fun () -> erc_violations netlist) times
+      else []
+    in
+    let consistency_issues =
+      match config.expected_netlist with
+      | None -> []
+      | Some expected ->
+        timed "netlist-compare" (fun () -> Netcompare.check expected netlist) times
+    in
+    let local, crossing = Netgen.locality nets in
+    let locality_info =
+      Report.info ~stage:Report.Netlist_gen ~rule:"netlist.locality" ~context:"TOP"
+        (Printf.sprintf "%d net(s) local to one definition, %d crossing boundaries" local
+           crossing)
+    in
+    let report =
+      { Report.violations =
+          parse_issues @ element_issues @ device_issues @ relational_issues
+          @ connection_issues @ interaction_issues @ electrical_issues
+          @ consistency_issues @ [ locality_info ] }
+    in
+    Ok
+      { report;
+        netlist;
+        interaction_stats;
+        stage_seconds = List.rev !times;
+        model;
+        nets }
+
+let run_string ?config rules src =
+  match Cif.Parse.file src with
+  | Error e -> Error (Cif.Parse.string_of_error e)
+  | Ok file -> run ?config rules file
+
+let pp_summary ppf r =
+  let by sev = Report.count ~severity:sev r.report in
+  Format.fprintf ppf "%d error(s), %d warning(s), %d net(s)" (by Report.Error)
+    (by Report.Warning)
+    (List.length r.netlist.Netlist.Net.nets)

@@ -1,0 +1,46 @@
+(** The Design Integrity and Immunity Checker — the paper's Fig 10
+    pipeline as one driver:
+
+    {v
+    PARSE CIF
+      -> CHECK ELEMENTS
+      -> CHECK PRIMITIVE SYMBOLS
+      -> CHECK LEGAL CONNECTIONS
+      -> GENERATE HIERARCHICAL NET LIST
+      -> CHECK INTERACTIONS
+      (+ non-geometric construction rules over the net list)
+    v} *)
+
+type config = {
+  interactions : Interactions.config;
+  run_erc : bool;  (** run the non-geometric construction rules *)
+  expected_netlist : Netcompare.expected option;
+      (** verify the extracted net list against an intended one *)
+  relational : Process_model.Exposure.t option;
+      (** also run the relational gate-overhang check against this
+          exposure model (paper Fig 14) *)
+}
+
+val default_config : config
+
+type result = {
+  report : Report.t;
+  netlist : Netlist.Net.t;
+  interaction_stats : Interactions.stats;
+  stage_seconds : (string * float) list;  (** per pipeline stage, CPU time *)
+  model : Model.t;
+  nets : Netgen.t;
+}
+
+(** Run on an already-parsed file. *)
+val run : ?config:config -> Tech.Rules.t -> Cif.Ast.file -> (result, string) Stdlib.result
+
+(** Parse CIF text and run. *)
+val run_string : ?config:config -> Tech.Rules.t -> string -> (result, string) Stdlib.result
+
+(** One-line summary: error/warning counts by stage. *)
+val pp_summary : Format.formatter -> result -> unit
+
+(** The non-geometric construction rules as report violations (shared
+    with {!Incremental}). *)
+val erc_violations : Netlist.Net.t -> Report.violation list

@@ -1,0 +1,84 @@
+type truth = {
+  t_families : string list;
+  t_where : Geom.Rect.t option;
+  t_note : string;
+}
+
+type finding = {
+  f_family : string;
+  f_where : Geom.Rect.t option;
+  f_note : string;
+}
+
+let family_of_rule rule =
+  match String.index_opt rule '.' with
+  | Some i -> String.sub rule 0 i
+  | None -> rule
+
+let of_report (r : Report.t) =
+  List.filter_map
+    (fun (v : Report.violation) ->
+      if v.Report.severity = Report.Error then
+        Some
+          { f_family = family_of_rule v.Report.rule;
+            f_where = v.Report.where;
+            f_note = v.Report.rule ^ ": " ^ v.Report.message }
+      else None)
+    r.Report.violations
+
+let classic_family rule =
+  match family_of_rule rule with
+  | "polydiff" -> "integrity"
+  | f -> f
+
+let of_classic errors =
+  List.map
+    (fun (e : Flatdrc.Classic.error) ->
+      { f_family = classic_family e.Flatdrc.Classic.rule;
+        f_where = Some e.Flatdrc.Classic.where;
+        f_note = e.Flatdrc.Classic.rule ^ ": " ^ e.Flatdrc.Classic.note })
+    errors
+
+type outcome = {
+  flagged : (truth * finding) list;
+  missed : truth list;
+  false_findings : finding list;
+  findings_total : int;
+}
+
+let matches ~tolerance truth finding =
+  List.mem finding.f_family truth.t_families
+  &&
+  match (truth.t_where, finding.f_where) with
+  | Some tw, Some fw -> (
+    match Geom.Rect.inflate tw tolerance with
+    | Some grown -> Geom.Rect.touches ~a:grown ~b:fw
+    | None -> false)
+  | None, _ | _, None -> true
+
+let classify ~tolerance truths findings =
+  let flagged, missed =
+    List.partition_map
+      (fun t ->
+        match List.find_opt (fun f -> matches ~tolerance t f) findings with
+        | Some f -> Either.Left (t, f)
+        | None -> Either.Right t)
+      truths
+  in
+  let false_findings =
+    List.filter
+      (fun f -> not (List.exists (fun t -> matches ~tolerance t f) truths))
+      findings
+  in
+  { flagged; missed; false_findings; findings_total = List.length findings }
+
+let false_ratio o =
+  let falses = float_of_int (List.length o.false_findings) in
+  match List.length o.flagged with
+  | 0 -> if falses > 0. then infinity else 0.
+  | n -> falses /. float_of_int n
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "real flagged: %d, real missed: %d, false: %d (of %d findings)"
+    (List.length o.flagged) (List.length o.missed) (List.length o.false_findings)
+    o.findings_total

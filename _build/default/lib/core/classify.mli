@@ -1,0 +1,53 @@
+(** Fig 1 classification: real errors flagged, real errors missed, and
+    false errors.
+
+    Synthetic workloads from [layoutgen] inject known defects and
+    record them in a ground-truth journal.  Reported findings (from
+    either checker) are matched against the journal by rule family and
+    location; unmatched findings are false errors, unmatched journal
+    entries are unchecked (missed) errors.  This makes the paper's
+    headline claim — flat checkers produce 10 or more false errors per
+    real one, the topology-aware checker removes almost all of them —
+    measurable. *)
+
+type truth = {
+  t_families : string list;
+      (** acceptable finding families, e.g. [\["width"\]] *)
+  t_where : Geom.Rect.t option;  (** chip coordinates; [None] = global *)
+  t_note : string;
+}
+
+type finding = {
+  f_family : string;  (** first dotted component of the rule id *)
+  f_where : Geom.Rect.t option;
+  f_note : string;
+}
+
+(** Family of a report rule id ("width.NP" -> "width"). *)
+val family_of_rule : string -> string
+
+(** Findings from a DIC report (errors only). *)
+val of_report : Report.t -> finding list
+
+(** Findings from the flat baseline, with its rule names normalised to
+    the same families ("polydiff" -> "integrity"). *)
+val of_classic : Flatdrc.Classic.error list -> finding list
+
+type outcome = {
+  flagged : (truth * finding) list;  (** each truth with one matching finding *)
+  missed : truth list;
+  false_findings : finding list;
+  findings_total : int;
+}
+
+(** [classify ~tolerance truths findings] — a finding matches a truth
+    when the family is acceptable and the locations come within
+    [tolerance] (Chebyshev), treating a missing location as matching
+    anywhere. *)
+val classify : tolerance:int -> truth list -> finding list -> outcome
+
+(** The false-to-real ratio (false findings per flagged real error);
+    [infinity] when nothing real was flagged but false errors exist. *)
+val false_ratio : outcome -> float
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,43 @@
+let width_rule_name layer = "width." ^ Tech.Layer.to_cif layer
+
+let check_element rules ~context (e : Model.element) =
+  let w = Tech.Rules.min_width rules e.Model.layer in
+  let rule = width_rule_name e.Model.layer in
+  match e.Model.shape with
+  | Model.S_box r ->
+    let m = min (Geom.Rect.width r) (Geom.Rect.height r) in
+    if m < w then
+      [ Report.error ~stage:Report.Elements ~rule ~where:r ~context
+          (Printf.sprintf "box is %d wide; %d required" m w) ]
+    else []
+  | Model.S_wire wire ->
+    if wire.Geom.Wire.width < w then
+      [ Report.error ~stage:Report.Elements ~rule ~where:e.Model.bbox ~context
+          (Printf.sprintf "wire is %d wide; %d required" wire.Geom.Wire.width w) ]
+    else []
+  | Model.S_poly _ ->
+    (* The "more general purpose polygon width routine". *)
+    let region = Geom.Region.of_rects e.Model.rects in
+    Geom.Measure.min_width ~metric:Geom.Measure.Orthogonal ~width:w region
+    |> List.map (fun (v : Geom.Measure.violation) ->
+           Report.error ~stage:Report.Elements ~rule ~where:v.Geom.Measure.where ~context
+             (Printf.sprintf "polygon narrows to %.0f; %d required" (Geom.Measure.actual v)
+                w))
+
+let check_symbol rules (s : Model.symbol) =
+  if Model.is_device s then []
+  else
+    let context = s.Model.sname in
+    List.concat_map
+      (fun (e : Model.element) ->
+        if Tech.Layer.is_interconnect e.Model.layer then check_element rules ~context e
+        else
+          [ Report.error ~stage:Report.Integrity
+              ~rule:("placement." ^ Tech.Layer.to_cif e.Model.layer)
+              ~where:e.Model.bbox ~context
+              (Printf.sprintf "%s geometry belongs inside a device symbol"
+                 (Tech.Layer.to_cif e.Model.layer)) ])
+      s.Model.elements
+
+let check (m : Model.t) =
+  List.concat_map (check_symbol m.Model.rules) m.Model.symbols

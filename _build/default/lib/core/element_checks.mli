@@ -1,0 +1,18 @@
+(** Pipeline stage 2 — "check elements".
+
+    "The primitive elements of the chip are checked for legal width.
+    This is done in the symbol definition, not in each instance of a
+    symbol.  Boxes and wires are trivial to check, polygons require a
+    more general purpose polygon width routine.  The only elements
+    which are checked at this stage are interconnect."
+
+    Additionally, the structured-design style restricts where
+    non-interconnect layers may appear: contact, implant, buried and
+    glass geometry belongs inside device symbols only. *)
+
+(** Check one symbol definition (device symbols are skipped here; their
+    geometry belongs to stage 3). *)
+val check_symbol : Tech.Rules.t -> Model.symbol -> Report.violation list
+
+(** Check every definition once. *)
+val check : Model.t -> Report.violation list

@@ -1,0 +1,33 @@
+(** Incremental rechecking.
+
+    Because the checker's per-definition stages (element checks, device
+    checks) depend only on a symbol's own content, their results can be
+    cached across runs and reused for definitions that did not change —
+    the edit-check-edit loop then pays only for what moved.  Composite
+    stages (connectivity, net list, interactions) still rerun, but they
+    are hierarchical and cheap, and the instance-pair interaction memo
+    is reusable too because it is keyed by (symbol, symbol, relative
+    placement), not by instance.
+
+    Symbols are fingerprinted structurally (device type, elements with
+    layers/geometry/nets, calls with transforms), so renaming a net or
+    nudging a box invalidates exactly that definition. *)
+
+type t
+
+val create : unit -> t
+
+type stats = {
+  symbols_total : int;
+  symbols_reused : int;  (** per-definition results served from cache *)
+}
+
+(** [run t rules file] — same result as {!Checker.run} with the same
+    config, plus reuse statistics.  The cache lives in [t]; pass the
+    same [t] across edits of the same design. *)
+val run :
+  ?config:Checker.config -> t -> Tech.Rules.t -> Cif.Ast.file ->
+  (Checker.result * stats, string) result
+
+(** Structural fingerprint of a symbol (exposed for tests). *)
+val fingerprint : Model.symbol -> string

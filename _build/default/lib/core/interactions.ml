@@ -1,0 +1,492 @@
+type spacing_model =
+  | Geometric
+  | Exposure of { model : Process_model.Exposure.t; misalign : int }
+
+type config = {
+  metric : Geom.Measure.metric;
+  check_same_net : bool;
+  spacing_model : spacing_model;
+}
+
+let default_config =
+  { metric = Geom.Measure.Orthogonal; check_same_net = false;
+    spacing_model = Geometric }
+
+type cell_stats = {
+  mutable pairs : int;
+  mutable checked : int;
+  mutable skipped_same_net : int;
+  mutable skipped_no_rule : int;
+  mutable skipped_device : int;
+}
+
+type stats = {
+  cells : (Tech.Layer.t * Tech.Layer.t, cell_stats) Hashtbl.t;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+}
+
+let new_stats () = { cells = Hashtbl.create 16; memo_hits = 0; memo_misses = 0 }
+
+let cell stats la lb =
+  let key = if Tech.Layer.index la <= Tech.Layer.index lb then (la, lb) else (lb, la) in
+  match Hashtbl.find_opt stats.cells key with
+  | Some c -> c
+  | None ->
+    let c =
+      { pairs = 0; checked = 0; skipped_same_net = 0; skipped_no_rule = 0;
+        skipped_device = 0 }
+    in
+    Hashtbl.add stats.cells key c;
+    c
+
+let pp_stats ppf stats =
+  Format.fprintf ppf "@[<v>";
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats.cells []
+  |> List.sort (fun ((a1, a2), _) ((b1, b2), _) ->
+         match Tech.Layer.compare a1 b1 with
+         | 0 -> Tech.Layer.compare a2 b2
+         | c -> c)
+  |> List.iter (fun ((la, lb), c) ->
+         Format.fprintf ppf "%s-%s: pairs=%d checked=%d same-net-skip=%d no-rule=%d device=%d@,"
+           (Tech.Layer.to_cif la) (Tech.Layer.to_cif lb) c.pairs c.checked
+           c.skipped_same_net c.skipped_no_rule c.skipped_device);
+  Format.fprintf ppf "memo: %d hits / %d misses@]" stats.memo_hits stats.memo_misses
+
+(* ------------------------------------------------------------------ *)
+
+(* A geometry site participating in an interaction: an element reached
+   through [path] (call indices from the symbol being checked), with
+   its geometry already mapped into that symbol's coordinates. *)
+type site = {
+  s_path : int list;
+  s_eid : int;
+  s_layer : Tech.Layer.t;
+  s_rects : Geom.Rect.t list;
+  s_bbox : Geom.Rect.t;
+  s_device : Tech.Device.kind option;  (** of the owning symbol *)
+}
+
+let max_dist rules =
+  List.fold_left max 0
+    [ rules.Tech.Rules.space_diffusion; rules.Tech.Rules.space_poly;
+      rules.Tech.Rules.space_metal; rules.Tech.Rules.space_contact;
+      rules.Tech.Rules.space_poly_diffusion ]
+
+(* Minimum gap between two rect lists under the metric, with the
+   closest rect pair for error localisation, and whether the sets
+   overlap with positive area (touching alone is not overlap). *)
+let gap2_of cfg (a : Geom.Rect.t list) (b : Geom.Rect.t list) =
+  let best = ref (max_int, None) in
+  let overlap = ref false in
+  List.iter
+    (fun ra ->
+      List.iter
+        (fun rb ->
+          let g2 =
+            match cfg.metric with
+            | Geom.Measure.Orthogonal ->
+              let g = Geom.Rect.chebyshev_gap ra rb in
+              g * g
+            | Geom.Measure.Euclidean -> Geom.Rect.euclidean_gap2 ra rb
+          in
+          if Geom.Rect.overlaps ~a:ra ~b:rb then overlap := true;
+          if g2 < fst !best then best := (g2, Some (ra, rb)))
+        b)
+    a;
+  (fst !best, snd !best, !overlap)
+
+(* ------------------------------------------------------------------ *)
+(* Frontier collection                                                 *)
+
+let rec frontier model window tr path (sym : Model.symbol) acc =
+  let acc =
+    List.fold_left
+      (fun acc (e : Model.element) ->
+        let bbox = Geom.Transform.apply_rect tr e.Model.bbox in
+        if Geom.Rect.touches ~a:bbox ~b:window then
+          { s_path = List.rev path;
+            s_eid = e.Model.eid;
+            s_layer = e.Model.layer;
+            s_rects = List.map (Geom.Transform.apply_rect tr) e.Model.rects;
+            s_bbox = bbox;
+            s_device = sym.Model.device }
+          :: acc
+        else acc)
+      acc sym.Model.elements
+  in
+  List.fold_left
+    (fun acc (c : Model.call) ->
+      let callee = Model.find model c.Model.callee in
+      match callee.Model.sbbox with
+      | None -> acc
+      | Some bb ->
+        let tr' = Geom.Transform.compose tr c.Model.transform in
+        let bbox = Geom.Transform.apply_rect tr' bb in
+        if Geom.Rect.touches ~a:bbox ~b:window then
+          frontier model window tr' (c.Model.cidx :: path) callee acc
+        else acc)
+    acc sym.Model.calls
+
+(* ------------------------------------------------------------------ *)
+(* Fast net resolution                                                 *)
+
+type env = {
+  model : Model.t;
+  nets : Netgen.t;
+  calls_arr : (int, Model.call array) Hashtbl.t;
+}
+
+let make_env nets =
+  let model = nets.Netgen.model in
+  let calls_arr = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Model.symbol) ->
+      Hashtbl.replace calls_arr s.Model.sid (Array.of_list s.Model.calls))
+    model.Model.symbols;
+  { model; nets; calls_arr }
+
+let rec resolve env sid path eid =
+  let sn = Netgen.nets_of env.nets sid in
+  match path with
+  | [] -> sn.Netgen.elt_group.(eid)
+  | c :: rest -> (
+    let calls = Hashtbl.find env.calls_arr sid in
+    match resolve env calls.(c).Model.callee rest eid with
+    | None -> None
+    | Some child_gid -> Hashtbl.find_opt sn.Netgen.sub_group (c, child_gid))
+
+(* Lift a net group of the symbol at the end of [path] up to [sid]'s
+   net numbering. *)
+let rec resolve_group env sid path gid =
+  match path with
+  | [] -> Some gid
+  | c :: rest -> (
+    let sn = Netgen.nets_of env.nets sid in
+    let calls = Hashtbl.find env.calls_arr sid in
+    match resolve_group env calls.(c).Model.callee rest gid with
+    | None -> None
+    | Some child_gid -> Hashtbl.find_opt sn.Netgen.sub_group (c, child_gid))
+
+(* All port nets of the (device) instance a site lives in, in [sid]'s
+   net numbering. *)
+let instance_port_nets env sid path =
+  let rec owner sid' = function
+    | [] -> sid'
+    | c :: rest ->
+      let calls = Hashtbl.find env.calls_arr sid' in
+      owner calls.(c).Model.callee rest
+  in
+  let dev_sid = owner sid path in
+  let sn = Netgen.nets_of env.nets dev_sid in
+  Array.to_list sn.Netgen.groups
+  |> List.filter_map (fun (g : Netgen.group) -> resolve_group env sid path g.Netgen.gid)
+
+(* ------------------------------------------------------------------ *)
+(* The pair check                                                      *)
+
+type outcome =
+  | Skip
+  | Short of Geom.Rect.t
+  | Accidental of Geom.Rect.t  (** poly-diffusion crossing outside a device *)
+  | Violation of Geom.Rect.t * int * int  (** where, required, gap2 *)
+
+(* [head_equal] pairs live inside one instance and are that
+   definition's business; never re-check them in the parent. *)
+let head_equal a b =
+  match (a.s_path, b.s_path) with
+  | ha :: _, hb :: _ -> ha = hb
+  | _ -> false
+
+let poly_diff_pair la lb =
+  Tech.Layer.(
+    (equal la Poly && equal lb Diffusion) || (equal la Diffusion && equal lb Poly))
+
+let judge cfg rules stats ~same_net ~related a b =
+  if head_equal a b then Skip
+  else begin
+    let c = cell stats a.s_layer b.s_layer in
+    c.pairs <- c.pairs + 1;
+    match Tech.Interaction.entry rules a.s_layer b.s_layer with
+    | Tech.Interaction.No_rule ->
+      c.skipped_no_rule <- c.skipped_no_rule + 1;
+      Skip
+    | Tech.Interaction.Device_checked ->
+      c.skipped_device <- c.skipped_device + 1;
+      Skip
+    | Tech.Interaction.Space { same_net = sreq; diff_net = dreq } -> (
+      (* "If the element is part of a transistor, the subcases depend on
+         whether or not the elements are related."  A transistor's own
+         diffusion spans both source and drain nets and its gate poly is
+         device geometry, so any check against an element on one of the
+         transistor's port nets is waived.  For non-transistor devices
+         (contacts), whose elements have well-defined nets, the waiver
+         applies only to the poly/diffusion cross-layer rule (the wires
+         feeding a butting or buried contact overlap its other layer). *)
+      let transistor_pair =
+        (match a.s_device with Some k -> Tech.Device.is_transistor k | None -> false)
+        || (match b.s_device with Some k -> Tech.Device.is_transistor k | None -> false)
+      in
+      if related && (transistor_pair || poly_diff_pair a.s_layer b.s_layer) then begin
+        c.skipped_same_net <- c.skipped_same_net + 1;
+        Skip
+      end
+      else begin
+        let resistor =
+          a.s_device = Some Tech.Device.Resistor || b.s_device = Some Tech.Device.Resistor
+        in
+        let use_same_net_rule = same_net && (not resistor) && not cfg.check_same_net in
+        let required = if use_same_net_rule then sreq else Some dreq in
+        match required with
+        | None ->
+          c.skipped_same_net <- c.skipped_same_net + 1;
+          Skip
+        | Some req -> (
+          c.checked <- c.checked + 1;
+          let gap2, pair, overlap = gap2_of cfg a.s_rects b.s_rects in
+          let where =
+            match pair with
+            | Some (ra, rb) -> Geom.Rect.hull ra rb
+            | None -> Geom.Rect.hull a.s_bbox b.s_bbox
+          in
+          if gap2 = 0 then
+            if same_net then Skip
+            else if Tech.Layer.equal a.s_layer b.s_layer then Short where
+            else if poly_diff_pair a.s_layer b.s_layer && overlap then Accidental where
+            else Violation (where, req, 0)
+          else begin
+            match cfg.spacing_model with
+            | Geometric -> if gap2 < req * req then Violation (where, req, gap2) else Skip
+            | Exposure { model; misalign } ->
+              (* The line-of-closest-approach test: same-layer pairs see
+                 bias only; cross-layer pairs add misalignment. *)
+              let mis =
+                if Tech.Layer.equal a.s_layer b.s_layer then 0 else misalign
+              in
+              let verdict =
+                Process_model.Closest.check model ~misalign:mis
+                  (Geom.Region.of_rects a.s_rects)
+                  (Geom.Region.of_rects b.s_rects)
+              in
+              if verdict.Process_model.Closest.bridges then Violation (where, req, gap2)
+              else Skip
+          end)
+      end)
+  end
+
+let report_outcome ~context la lb outcome =
+  let pair_name =
+    if Tech.Layer.equal la lb then Tech.Layer.to_cif la
+    else if Tech.Layer.index la <= Tech.Layer.index lb then
+      Tech.Layer.to_cif la ^ "-" ^ Tech.Layer.to_cif lb
+    else Tech.Layer.to_cif lb ^ "-" ^ Tech.Layer.to_cif la
+  in
+  match outcome with
+  | Skip -> []
+  | Short where ->
+    [ Report.error ~stage:Report.Interactions ~rule:("short." ^ pair_name) ~where
+        ~context
+        (Printf.sprintf "%s geometry on different nets touches (short)" pair_name) ]
+  | Accidental where ->
+    [ Report.error ~stage:Report.Integrity ~rule:"integrity.accidental-transistor" ~where
+        ~context "poly crosses diffusion outside a transistor symbol" ]
+  | Violation (where, req, gap2) ->
+    [ Report.error ~stage:Report.Interactions ~rule:("spacing." ^ pair_name) ~where
+        ~context
+        (Printf.sprintf "%s spacing %.2f < %d" pair_name
+           (sqrt (float_of_int gap2)) req) ]
+
+(* ------------------------------------------------------------------ *)
+(* Instance-pair memoisation                                           *)
+
+type cand = {
+  k_a : int list * int;  (** path within A, eid *)
+  k_b : int list * int;
+  k_la : Tech.Layer.t;
+  k_lb : Tech.Layer.t;
+  k_site_a : site;  (** in A's frame *)
+  k_site_b : site;
+}
+
+type memo_key = int * int * Geom.Transform.t
+
+let candidates cfg env dmax (memo : (memo_key, cand list) Hashtbl.t) stats sa sb rel =
+  let key = (sa, sb, rel) in
+  match Hashtbl.find_opt memo key with
+  | Some cs ->
+    stats.memo_hits <- stats.memo_hits + 1;
+    cs
+  | None ->
+    stats.memo_misses <- stats.memo_misses + 1;
+    let syma = Model.find env.model sa and symb = Model.find env.model sb in
+    let cs =
+      match (syma.Model.sbbox, symb.Model.sbbox) with
+      | Some ba, Some bb -> (
+        let bb_rel = Geom.Transform.apply_rect rel bb in
+        let wa = Geom.Rect.inflate ba dmax and wb = Geom.Rect.inflate bb_rel dmax in
+        match (wa, wb) with
+        | Some wa, Some wb -> (
+          match Geom.Rect.inter wa wb with
+          | None -> []
+          | Some window ->
+            let sites_a = frontier env.model window Geom.Transform.identity [] syma [] in
+            let sites_b = frontier env.model window rel [] symb [] in
+            List.concat_map
+              (fun a ->
+                List.filter_map
+                  (fun b ->
+                    if Geom.Rect.chebyshev_gap a.s_bbox b.s_bbox > dmax then None
+                    else
+                      let g2, _, _ = gap2_of cfg a.s_rects b.s_rects in
+                      if g2 <= dmax * dmax then
+                        Some
+                          { k_a = (a.s_path, a.s_eid);
+                            k_b = (b.s_path, b.s_eid);
+                            k_la = a.s_layer;
+                            k_lb = b.s_layer;
+                            k_site_a = a;
+                            k_site_b = b }
+                      else None)
+                  sites_b)
+              sites_a)
+        | _ -> [])
+      | _ -> []
+    in
+    Hashtbl.add memo key cs;
+    cs
+
+let transform_site tr s =
+  { s with
+    s_rects = List.map (Geom.Transform.apply_rect tr) s.s_rects;
+    s_bbox = Geom.Transform.apply_rect tr s.s_bbox }
+
+(* ------------------------------------------------------------------ *)
+
+let check_symbol cfg env stats memo (s : Model.symbol) =
+  if Model.is_device s then []
+  else begin
+    let context = s.Model.sname in
+    let rules = env.model.Model.rules in
+    let dmax = max_dist rules in
+    let out = ref [] in
+    let emit la lb o = out := report_outcome ~context la lb o @ !out in
+    let net_of (site : site) = resolve env s.Model.sid site.s_path site.s_eid in
+    let same_net a b =
+      match (net_of a, net_of b) with
+      | Some x, Some y -> x = y
+      | _ -> false
+    in
+    let port_cache = Hashtbl.create 16 in
+    let port_nets (site : site) =
+      match Hashtbl.find_opt port_cache site.s_path with
+      | Some ns -> ns
+      | None ->
+        let ns = instance_port_nets env s.Model.sid site.s_path in
+        Hashtbl.add port_cache site.s_path ns;
+        ns
+    in
+    let is_device_site (site : site) = site.s_path <> [] && site.s_device <> None in
+    let related a b =
+      (is_device_site a
+      && match net_of b with Some n -> List.mem n (port_nets a) | None -> false)
+      || (is_device_site b
+         && match net_of a with Some n -> List.mem n (port_nets b) | None -> false)
+    in
+    (* Local element pairs. *)
+    let local_sites =
+      List.filter_map
+        (fun (e : Model.element) ->
+          Some
+            { s_path = [];
+              s_eid = e.Model.eid;
+              s_layer = e.Model.layer;
+              s_rects = e.Model.rects;
+              s_bbox = e.Model.bbox;
+              s_device = s.Model.device })
+        s.Model.elements
+    in
+    let elt_idx = Geom.Grid_index.create ~cell:(max 1 dmax) () in
+    List.iter (fun site -> Geom.Grid_index.add elt_idx site.s_bbox site) local_sites;
+    List.iter
+      (fun ((_, a), (_, b)) ->
+        emit a.s_layer b.s_layer (judge cfg rules stats ~same_net:(same_net a b) ~related:(related a b) a b))
+      (Geom.Grid_index.pairs_within elt_idx dmax);
+    (* Calls with their placed bounding boxes. *)
+    let placed_calls =
+      List.filter_map
+        (fun (c : Model.call) ->
+          let callee = Model.find env.model c.Model.callee in
+          Option.map
+            (fun bb -> (c, callee, Geom.Transform.apply_rect c.Model.transform bb))
+            callee.Model.sbbox)
+        s.Model.calls
+    in
+    (* Element vs instance. *)
+    let call_idx = Geom.Grid_index.create ~cell:(max 1 (4 * dmax)) () in
+    List.iter (fun (c, callee, bb) -> Geom.Grid_index.add call_idx bb (c, callee)) placed_calls;
+    List.iter
+      (fun site ->
+        match Geom.Rect.inflate site.s_bbox dmax with
+        | None -> ()
+        | Some window ->
+          Geom.Grid_index.query call_idx window
+          |> List.iter (fun (_, ((c : Model.call), callee)) ->
+                 let sites =
+                   frontier env.model window c.Model.transform [ c.Model.cidx ] callee []
+                 in
+                 List.iter
+                   (fun sub ->
+                     emit site.s_layer sub.s_layer
+                       (judge cfg rules stats ~same_net:(same_net site sub) ~related:(related site sub) site sub))
+                   sites))
+      local_sites;
+    (* Instance vs instance, with memoised candidates. *)
+    let inst_idx = Geom.Grid_index.create ~cell:(max 1 (4 * dmax)) () in
+    List.iter (fun (c, callee, bb) -> Geom.Grid_index.add inst_idx bb (c, callee)) placed_calls;
+    List.iter
+      (fun ((_, ((ca : Model.call), _)), (_, ((cb : Model.call), _))) ->
+        let rel =
+          Geom.Transform.compose
+            (Geom.Transform.inverse ca.Model.transform)
+            cb.Model.transform
+        in
+        let cands =
+          candidates cfg env dmax memo stats ca.Model.callee cb.Model.callee rel
+        in
+        List.iter
+          (fun cand ->
+            let site_a =
+              transform_site ca.Model.transform
+                { cand.k_site_a with s_path = ca.Model.cidx :: fst cand.k_a }
+            and site_b =
+              transform_site ca.Model.transform
+                { cand.k_site_b with s_path = cb.Model.cidx :: fst cand.k_b }
+            in
+            emit site_a.s_layer site_b.s_layer
+              (judge cfg rules stats ~same_net:(same_net site_a site_b) ~related:(related site_a site_b) site_a site_b))
+          cands)
+      (Geom.Grid_index.pairs_within inst_idx dmax);
+    !out
+  end
+
+type memo = (memo_key, cand list) Hashtbl.t
+
+let create_memo () : memo = Hashtbl.create 64
+
+let prune_memo (memo : memo) ~keep =
+  let doomed =
+    Hashtbl.fold
+      (fun ((sa, sb, _) as key) _ acc ->
+        if keep sa && keep sb then acc else key :: acc)
+      memo []
+  in
+  List.iter (Hashtbl.remove memo) doomed
+
+let check ?(config = default_config) ?memo (nets : Netgen.t) =
+  let env = make_env nets in
+  let stats = new_stats () in
+  let memo = match memo with Some m -> m | None -> create_memo () in
+  let violations =
+    List.concat_map (check_symbol config env stats memo) env.model.Model.symbols
+  in
+  (violations, stats)

@@ -1,0 +1,75 @@
+(** Pipeline stage 6 — "check interactions".
+
+    "At this point all elements are checked, all primitive symbols are
+    checked, connections between the elements and symbols are checked,
+    and net identifiers are available for each element.  What remains
+    to be checked are the interactions between elements and/or
+    primitive symbols.  The checks which remain are only spacing
+    checks."
+
+    The layer-pair cases come from {!Tech.Interaction} (Fig 12), each
+    split into same-net / different-net subcases.  Same-net pairs are
+    skipped — this is what removes the paper's Fig 5a false errors —
+    *except* when a resistor is involved (Fig 5b: a short across a
+    resistor body changes the circuit).  Pairs at distance zero on
+    different nets are shorts; poly touching diffusion outside a device
+    is specifically an accidental transistor (Fig 8).
+
+    The search is hierarchical: each symbol definition is scanned once;
+    element-instance and instance-instance interactions examine only
+    the geometry near the overlap window, and repeated
+    (symbol, symbol, relative placement) instance pairs reuse memoised
+    candidate lists — the redundancy elimination that makes the
+    hierarchical checker fast on regular designs. *)
+
+type spacing_model =
+  | Geometric
+      (** compare drawn distances against the rule (the normal mode) *)
+  | Exposure of { model : Process_model.Exposure.t; misalign : int }
+      (** the paper's 2-D process model: spacing passes iff the
+          combined exposure along the line of closest approach stays
+          below the develop threshold, with [misalign] units of
+          worst-case mask misalignment on cross-layer pairs.  "Although
+          still slower than the expand-check overlap technique, [it] is
+          more correct." *)
+
+type config = {
+  metric : Geom.Measure.metric;
+  check_same_net : bool;
+      (** force spacing checks even between same-net elements, i.e.
+          behave like a net-blind checker (for the Fig 5 ablation) *)
+  spacing_model : spacing_model;
+}
+
+val default_config : config
+
+(** Counters per matrix cell, for the Fig 12 coverage report. *)
+type cell_stats = {
+  mutable pairs : int;  (** candidate pairs examined *)
+  mutable checked : int;  (** spacing checks actually performed *)
+  mutable skipped_same_net : int;
+  mutable skipped_no_rule : int;
+  mutable skipped_device : int;
+}
+
+type stats = {
+  cells : (Tech.Layer.t * Tech.Layer.t, cell_stats) Hashtbl.t;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+}
+
+(** A reusable instance-pair candidate cache.  Keyed by (callee,
+    callee, relative transform), so it stays valid across checker runs
+    as long as the rule set and the involved symbol definitions do not
+    change — {!Incremental} passes one in. *)
+type memo
+
+val create_memo : unit -> memo
+
+(** [prune_memo memo ~keep] drops entries that involve a symbol id for
+    which [keep] is false (used to invalidate edited definitions). *)
+val prune_memo : memo -> keep:(int -> bool) -> unit
+
+val check : ?config:config -> ?memo:memo -> Netgen.t -> Report.violation list * stats
+
+val pp_stats : Format.formatter -> stats -> unit

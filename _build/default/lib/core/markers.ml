@@ -1,0 +1,25 @@
+let layer = "XE"
+
+let to_file ?(margin = 50) (r : Report.t) =
+  let boxes =
+    List.filter_map
+      (fun (v : Report.violation) ->
+        match (v.Report.severity, v.Report.where) with
+        | Report.Error, Some where ->
+          Option.map
+            (fun rect -> Cif.Ast.Box { layer; rect; net = Some v.Report.rule })
+            (Geom.Rect.inflate where margin)
+        | _ -> None)
+      r.Report.violations
+  in
+  { Cif.Ast.symbols = []; top_elements = boxes; top_calls = [] }
+
+let to_cif ?margin r = Cif.Print.to_string (to_file ?margin r)
+
+let of_file (f : Cif.Ast.file) =
+  List.filter_map
+    (fun e ->
+      match e with
+      | Cif.Ast.Box { layer = l; rect; net = Some rule } when l = layer -> Some (rule, rect)
+      | _ -> None)
+    f.Cif.Ast.top_elements

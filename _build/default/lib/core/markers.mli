@@ -1,0 +1,22 @@
+(** Violation markers as CIF.
+
+    The classic DRC flow returns errors to the designer as geometry on
+    an error layer that the layout editor overlays on the artwork.
+    [to_cif] emits one marker box per located violation on layer [XE],
+    with the rule id attached as a net annotation so editors (and our
+    own parser) can carry it around. *)
+
+(** Marker layer name. *)
+val layer : string
+
+(** [to_file report] — violations without a location are skipped;
+    marker boxes are inflated by [margin] (default 50) so zero-area
+    violation sites stay visible. *)
+val to_file : ?margin:int -> Report.t -> Cif.Ast.file
+
+(** Convenience: straight to CIF text. *)
+val to_cif : ?margin:int -> Report.t -> string
+
+(** Parse marker geometry back out of a CIF file (for tooling round
+    trips): returns (rule, box) pairs. *)
+val of_file : Cif.Ast.file -> (string * Geom.Rect.t) list

@@ -1,0 +1,159 @@
+type terminal_spec = { device : string; port : string }
+
+type net_spec = {
+  nname : string;
+  terminals : terminal_spec list;
+  closed : bool;
+}
+
+type expected = { nets : net_spec list }
+
+type mismatch =
+  | Missing_net of string
+  | Missing_terminal of { net : string; spec : terminal_spec }
+  | Misplaced_terminal of {
+      expected_net : string;
+      actual_net : string;
+      spec : terminal_spec;
+    }
+  | Extra_terminal of { net : string; device : string; port : string }
+
+let pp_mismatch ppf = function
+  | Missing_net n -> Format.fprintf ppf "expected net %s not found in the layout" n
+  | Missing_terminal { net; spec } ->
+    Format.fprintf ppf "terminal %s.%s expected on net %s is nowhere in the layout"
+      spec.device spec.port net
+  | Misplaced_terminal { expected_net; actual_net; spec } ->
+    Format.fprintf ppf "terminal %s.%s expected on net %s but found on %s" spec.device
+      spec.port expected_net actual_net
+  | Extra_terminal { net; device; port } ->
+    Format.fprintf ppf "unexpected terminal %s.%s on net %s" device port net
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let current = ref None in
+  let nets = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None then begin
+        let line =
+          match String.index_opt line '#' with
+          | Some j -> String.sub line 0 j
+          | None -> line
+        in
+        let close () =
+          match !current with
+          | Some (n, ts, closed) ->
+            nets := { nname = n; terminals = List.rev ts; closed } :: !nets
+          | None -> ()
+        in
+        match
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun s -> s <> "")
+        with
+        | [] -> ()
+        | [ "net"; name ] ->
+          close ();
+          current := Some (name, [], false)
+        | [ "net"; name; "exact" ] ->
+          close ();
+          current := Some (name, [], true)
+        | [ device; port ] -> (
+          match !current with
+          | Some (n, ts, closed) -> current := Some (n, { device; port } :: ts, closed)
+          | None -> err := Some (Printf.sprintf "line %d: terminal before any net" (i + 1)))
+        | _ -> err := Some (Printf.sprintf "line %d: expected 'net NAME [exact]' or 'DEVICE PORT'" (i + 1))
+      end)
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None ->
+    (match !current with
+    | Some (n, ts, closed) ->
+      nets := { nname = n; terminals = List.rev ts; closed } :: !nets
+    | None -> ());
+    Ok { nets = List.rev !nets }
+
+(* Terminals of functional devices only: contacts are wiring and would
+   make every expected list tediously long. *)
+let significant (t : Netlist.Net.terminal) =
+  match t.Netlist.Net.device with
+  | Tech.Device.Enhancement | Tech.Device.Depletion | Tech.Device.Resistor
+  | Tech.Device.Pad ->
+    true
+  | Tech.Device.Contact_cut | Tech.Device.Butting_contact | Tech.Device.Buried_contact
+  | Tech.Device.Checked ->
+    false
+
+let compare expected (actual : Netlist.Net.t) =
+  (* Index every significant terminal in the layout by (device, port). *)
+  let location = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Netlist.Net.net) ->
+      List.iter
+        (fun (t : Netlist.Net.terminal) ->
+          if significant t then
+            Hashtbl.replace location (t.Netlist.Net.device_path, t.Netlist.Net.port)
+              (Netlist.Net.display_name n))
+        n.Netlist.Net.terminals)
+    actual.Netlist.Net.nets;
+  let net_names (n : Netlist.Net.net) =
+    Netlist.Net.display_name n :: n.Netlist.Net.names
+  in
+  List.concat_map
+    (fun { nname = name; terminals = specs; closed } ->
+      match
+        List.find_opt (fun n -> List.mem name (net_names n)) actual.Netlist.Net.nets
+      with
+      | None -> [ Missing_net name ]
+      | Some net ->
+        let actual_name = Netlist.Net.display_name net in
+        let missing_or_misplaced =
+          List.filter_map
+            (fun spec ->
+              match Hashtbl.find_opt location (spec.device, spec.port) with
+              | None -> Some (Missing_terminal { net = name; spec })
+              | Some where when where <> actual_name ->
+                Some (Misplaced_terminal { expected_net = name; actual_net = where; spec })
+              | Some _ -> None)
+            specs
+        in
+        let extras =
+          if not closed then []
+          else
+            List.filter_map
+              (fun (t : Netlist.Net.terminal) ->
+                if
+                  significant t
+                  && not
+                       (List.exists
+                          (fun s ->
+                            s.device = t.Netlist.Net.device_path
+                            && s.port = t.Netlist.Net.port)
+                          specs)
+                then
+                  Some
+                    (Extra_terminal
+                       { net = name;
+                         device = t.Netlist.Net.device_path;
+                         port = t.Netlist.Net.port })
+                else None)
+              net.Netlist.Net.terminals
+        in
+        missing_or_misplaced @ extras)
+    expected.nets
+
+let check expected actual =
+  List.map
+    (fun m ->
+      let rule =
+        match m with
+        | Missing_net _ -> "netcmp.missing-net"
+        | Missing_terminal _ -> "netcmp.missing-terminal"
+        | Misplaced_terminal _ -> "netcmp.misplaced-terminal"
+        | Extra_terminal _ -> "netcmp.extra-terminal"
+      in
+      Report.error ~stage:Report.Netlist_gen ~rule ~context:"netlist"
+        (Format.asprintf "%a" pp_mismatch m))
+    (compare expected actual)

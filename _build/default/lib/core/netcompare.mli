@@ -1,0 +1,57 @@
+(** Net-list consistency checking.
+
+    "With this hierarchical net list available, it is now possible to
+    check electrical construction rules or to check the net list
+    against an input net list for consistency."  This module implements
+    the second half: the designer supplies the intended connectivity
+    (which devices' which ports sit on which named nets) and the
+    checker verifies the extracted net list agrees — catching layouts
+    that meet every geometric rule yet implement the wrong circuit.
+
+    The expected net list uses a small text format, one terminal per
+    line:
+
+    {v
+    # comment
+    net <name>            -- start a net (partial: extra terminals ok)
+    net <name> exact      -- start a net; unlisted terminals are errors
+    <device-path> <port>  -- a terminal expected on the current net
+    v}
+
+    Device paths use the checker's dot notation ([0:inv.1:dep]). *)
+
+type terminal_spec = { device : string; port : string }
+
+type net_spec = {
+  nname : string;
+  terminals : terminal_spec list;
+  closed : bool;  (** flag unlisted functional terminals on this net *)
+}
+
+type expected = { nets : net_spec list }
+
+type mismatch =
+  | Missing_net of string
+      (** the expected net name does not appear in the layout *)
+  | Missing_terminal of { net : string; spec : terminal_spec }
+      (** the terminal is on no net at all *)
+  | Misplaced_terminal of {
+      expected_net : string;
+      actual_net : string;
+      spec : terminal_spec;
+    }  (** the terminal exists but sits on a different net *)
+  | Extra_terminal of { net : string; device : string; port : string }
+      (** a functional-device terminal on a specified net that the
+          expected list does not mention *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+(** Parse the expected-net-list text format. *)
+val parse : string -> (expected, string) result
+
+(** [compare expected actual] — nets not named in [expected] are
+    unconstrained. *)
+val compare : expected -> Netlist.Net.t -> mismatch list
+
+(** As report violations (stage [Netlist_gen], rules [netcmp.*]). *)
+val check : expected -> Netlist.Net.t -> Report.violation list

@@ -1,0 +1,96 @@
+type symbol_stats = {
+  ss_name : string;
+  ss_device : Tech.Device.kind option;
+  ss_elements : int;
+  ss_calls : int;
+  ss_instances : int;
+}
+
+type t = {
+  symbols : symbol_stats list;
+  depth : int;
+  definition_elements : int;
+  instantiated_elements : int;
+  leverage : float;
+  device_census : (Tech.Device.kind * int) list;
+  nets_total : int;
+  nets_local : int;
+  nets_crossing : int;
+}
+
+(* Instance counts: the number of times each symbol appears in the
+   fully instantiated design, computed top-down through call
+   multiplicities. *)
+let instance_counts (model : Model.t) =
+  let counts = Hashtbl.create 16 in
+  Hashtbl.replace counts Model.root_id 1;
+  (* model.symbols is callees-first; walk it in reverse (callers first). *)
+  List.iter
+    (fun (s : Model.symbol) ->
+      let own = try Hashtbl.find counts s.Model.sid with Not_found -> 0 in
+      List.iter
+        (fun (c : Model.call) ->
+          let cur = try Hashtbl.find counts c.Model.callee with Not_found -> 0 in
+          Hashtbl.replace counts c.Model.callee (cur + own))
+        s.Model.calls)
+    (List.rev model.Model.symbols);
+  counts
+
+let compute (nets : Netgen.t) =
+  let model = nets.Netgen.model in
+  let counts = instance_counts model in
+  let symbols =
+    List.filter_map
+      (fun (s : Model.symbol) ->
+        if s.Model.sid = Model.root_id then None
+        else
+          Some
+            { ss_name = s.Model.sname;
+              ss_device = s.Model.device;
+              ss_elements = List.length s.Model.elements;
+              ss_calls = List.length s.Model.calls;
+              ss_instances = (try Hashtbl.find counts s.Model.sid with Not_found -> 0) })
+      model.Model.symbols
+  in
+  let device_census =
+    List.fold_left
+      (fun acc s ->
+        match s.ss_device with
+        | None -> acc
+        | Some k ->
+          let cur = try List.assoc k acc with Not_found -> 0 in
+          (k, cur + s.ss_instances) :: List.remove_assoc k acc)
+      [] symbols
+    |> List.sort (fun (a, _) (b, _) -> Tech.Device.compare a b)
+  in
+  let de = Model.definition_elements model
+  and fe = Model.instantiated_elements model in
+  let local, crossing = Netgen.locality nets in
+  { symbols;
+    depth = Model.depth model;
+    definition_elements = de;
+    instantiated_elements = fe;
+    leverage = (if de = 0 then 1. else float_of_int fe /. float_of_int de);
+    device_census;
+    nets_total = local + crossing;
+    nets_local = local;
+    nets_crossing = crossing }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "%-12s %8s %6s %10s %8s@," "symbol" "elements" "calls" "instances"
+    "device";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-12s %8d %6d %10d %8s@," s.ss_name s.ss_elements s.ss_calls
+        s.ss_instances
+        (match s.ss_device with Some k -> Tech.Device.to_tag k | None -> "-"))
+    t.symbols;
+  Format.fprintf ppf "depth %d; %d definition elements instantiate to %d (%.1fx)@,"
+    t.depth t.definition_elements t.instantiated_elements t.leverage;
+  Format.fprintf ppf "devices:";
+  List.iter
+    (fun (k, n) -> Format.fprintf ppf " %s=%d" (Tech.Device.to_tag k) n)
+    t.device_census;
+  Format.fprintf ppf "@,nets: %d (%d local, %d crossing definitions)@]" t.nets_total
+    t.nets_local t.nets_crossing

@@ -1,0 +1,31 @@
+(** Design-structure statistics.
+
+    The paper's first driving force is "to develop a methodology to
+    manage the complexity of designs".  This report quantifies how well
+    a design exploits hierarchy: definition vs instantiated sizes,
+    instance counts per symbol, device census, hierarchy depth, and the
+    locality of its nets — the numbers behind the structured-design
+    usage rules. *)
+
+type symbol_stats = {
+  ss_name : string;
+  ss_device : Tech.Device.kind option;
+  ss_elements : int;
+  ss_calls : int;
+  ss_instances : int;  (** times instantiated in the whole design *)
+}
+
+type t = {
+  symbols : symbol_stats list;  (** excluding the root, callees first *)
+  depth : int;
+  definition_elements : int;
+  instantiated_elements : int;
+  leverage : float;  (** instantiated / definition elements *)
+  device_census : (Tech.Device.kind * int) list;  (** instances per kind *)
+  nets_total : int;
+  nets_local : int;
+  nets_crossing : int;
+}
+
+val compute : Netgen.t -> t
+val pp : Format.formatter -> t -> unit

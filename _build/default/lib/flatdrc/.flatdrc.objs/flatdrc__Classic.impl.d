@@ -1,0 +1,1 @@
+lib/flatdrc/classic.ml: Flatten Format Geom Hashtbl List Printf String Tech

@@ -1,0 +1,1 @@
+lib/flatdrc/classic.mli: Cif Flatten Format Geom Tech

@@ -1,0 +1,1 @@
+lib/flatdrc/flatten.ml: Cif Geom List Printf

@@ -1,0 +1,1 @@
+lib/flatdrc/flatten.mli: Cif Geom

@@ -1,0 +1,202 @@
+type error = {
+  rule : string;
+  layer : string;
+  where : Geom.Rect.t;
+  note : string;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "%s %a %s" e.rule Geom.Rect.pp e.where e.note
+
+let layer_width rules layer =
+  match Tech.Layer.of_cif layer with
+  | Some l -> Some (Tech.Rules.min_width rules l)
+  | None -> None
+
+let layer_space rules layer =
+  match Tech.Layer.of_cif layer with
+  | Some l -> Some (Tech.Rules.same_layer_space rules l)
+  | None -> None
+
+let by_layer elts =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Flatten.elt) ->
+      let cur = try Hashtbl.find tbl e.Flatten.layer with Not_found -> [] in
+      Hashtbl.replace tbl e.Flatten.layer (e :: cur))
+    elts;
+  Hashtbl.fold (fun layer es acc -> (layer, List.rev es) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let figure_width rules elts =
+  List.concat_map
+    (fun (e : Flatten.elt) ->
+      match layer_width rules e.Flatten.layer with
+      | None -> []
+      | Some w ->
+        let region = Geom.Region.of_rects e.Flatten.rects in
+        Geom.Measure.min_width ~metric:Geom.Measure.Orthogonal ~width:w region
+        |> List.map (fun (v : Geom.Measure.violation) ->
+               { rule = "width." ^ e.Flatten.layer;
+                 layer = e.Flatten.layer;
+                 where = v.Geom.Measure.where;
+                 note = Printf.sprintf "figure %s narrower than %d" e.Flatten.path w }))
+    elts
+
+let sec_width metric rules elts =
+  List.concat_map
+    (fun (layer, es) ->
+      match layer_width rules layer with
+      | None -> []
+      | Some w ->
+        let region =
+          Geom.Region.of_rects (List.concat_map (fun (e : Flatten.elt) -> e.Flatten.rects) es)
+        in
+        (* (w-1)/2, not w/2: with half-open regions a shrink by w/2
+           annihilates features of exactly the legal width. *)
+        let half = (w - 1) / 2 in
+        let shrink, expand =
+          match metric with
+          | Geom.Measure.Orthogonal -> (Geom.Region.shrink_orth, Geom.Region.expand_orth)
+          | Geom.Measure.Euclidean -> (Geom.Region.shrink_euclid, Geom.Region.expand_euclid)
+        in
+        let restored = expand (shrink region half) half in
+        let residue = Geom.Region.diff region restored in
+        Geom.Region.components residue
+        |> List.filter_map (fun c ->
+               match Geom.Region.bbox c with
+               | None -> None
+               | Some bb ->
+                 Some
+                   { rule = "width." ^ layer;
+                     layer;
+                     where = bb;
+                     note =
+                       Printf.sprintf "shrink-expand-compare residue (%d cells)"
+                         (Geom.Region.area c) }))
+    (by_layer elts)
+
+(* Minimum gap between the rectangle sets of two elements. *)
+let elt_gap2 metric (a : Flatten.elt) (b : Flatten.elt) =
+  List.fold_left
+    (fun acc ra ->
+      List.fold_left
+        (fun acc rb ->
+          let g2 =
+            match metric with
+            | Geom.Measure.Orthogonal ->
+              let g = Geom.Rect.chebyshev_gap ra rb in
+              g * g
+            | Geom.Measure.Euclidean -> Geom.Rect.euclidean_gap2 ra rb
+          in
+          min acc g2)
+        acc b.Flatten.rects)
+    max_int a.Flatten.rects
+
+let elt_bbox (e : Flatten.elt) =
+  match e.Flatten.rects with
+  | r :: rs -> List.fold_left Geom.Rect.hull r rs
+  | [] -> invalid_arg "empty element"
+
+let close_pairs es dist =
+  let idx = Geom.Grid_index.create ~cell:(max 1 dist) () in
+  List.iter (fun e -> Geom.Grid_index.add idx (elt_bbox e) e) es;
+  Geom.Grid_index.pairs_within idx dist
+
+let eco_spacing metric rules elts =
+  let same_layer =
+    List.concat_map
+      (fun (layer, es) ->
+        match layer_space rules layer with
+        | None -> []
+        | Some s ->
+          close_pairs es s
+          |> List.filter_map (fun ((ba, a), (bb, b)) ->
+                 let g2 = elt_gap2 metric a b in
+                 (* Touching or overlapping elements are merged by the
+                    union-first view: not a spacing error. *)
+                 if g2 > 0 && g2 < s * s then
+                   Some
+                     { rule = "spacing." ^ layer;
+                       layer;
+                       where = Geom.Rect.hull ba bb;
+                       note = Printf.sprintf "%s vs %s" a.Flatten.path b.Flatten.path }
+                 else None))
+      (by_layer elts)
+  in
+  (* Cross-layer: unrelated poly too close to diffusion. *)
+  let cross =
+    let s = rules.Tech.Rules.space_poly_diffusion in
+    let polys = List.filter (fun (e : Flatten.elt) -> Tech.Layer.of_cif e.Flatten.layer = Some Tech.Layer.Poly) elts
+    and diffs = List.filter (fun (e : Flatten.elt) -> Tech.Layer.of_cif e.Flatten.layer = Some Tech.Layer.Diffusion) elts in
+    let idx = Geom.Grid_index.create ~cell:(max 1 s) () in
+    List.iter (fun e -> Geom.Grid_index.add idx (elt_bbox e) e) diffs;
+    List.concat_map
+      (fun (p : Flatten.elt) ->
+        match Geom.Rect.inflate (elt_bbox p) s with
+        | None -> []
+        | Some window ->
+          Geom.Grid_index.query idx window
+          |> List.filter_map (fun (bd, d) ->
+                 let g2 = elt_gap2 metric p d in
+                 if g2 > 0 && g2 < s * s then
+                   Some
+                     { rule = "spacing.ND-NP";
+                       layer = "NP";
+                       where = Geom.Rect.hull (elt_bbox p) bd;
+                       note = Printf.sprintf "%s vs %s" p.Flatten.path d.Flatten.path }
+                 else None))
+      polys
+  in
+  same_layer @ cross
+
+let poly_diff_check stance _rules elts =
+  match stance with
+  | `Ignore -> []
+  | `Flag_all ->
+    let polys = List.filter (fun (e : Flatten.elt) -> Tech.Layer.of_cif e.Flatten.layer = Some Tech.Layer.Poly) elts
+    and diffs = List.filter (fun (e : Flatten.elt) -> Tech.Layer.of_cif e.Flatten.layer = Some Tech.Layer.Diffusion) elts in
+    let idx = Geom.Grid_index.create ~cell:512 () in
+    List.iter (fun e -> Geom.Grid_index.add idx (elt_bbox e) e) diffs;
+    List.concat_map
+      (fun (p : Flatten.elt) ->
+        Geom.Grid_index.query idx (elt_bbox p)
+        |> List.filter_map (fun (_, d) ->
+               if elt_gap2 Geom.Measure.Euclidean p d = 0 then
+                 let overlap =
+                   Geom.Region.inter
+                     (Geom.Region.of_rects p.Flatten.rects)
+                     (Geom.Region.of_rects d.Flatten.rects)
+                 in
+                 match Geom.Region.bbox overlap with
+                 | Some bb ->
+                   Some
+                     { rule = "polydiff";
+                       layer = "NP";
+                       where = bb;
+                       note =
+                         Printf.sprintf "poly %s crosses diffusion %s" p.Flatten.path
+                           d.Flatten.path }
+                 | None -> None
+               else None))
+      polys
+
+type mode = {
+  metric : Geom.Measure.metric;
+  poly_diff : [ `Ignore | `Flag_all ];
+  width_algorithm : [ `Figure_based | `Shrink_expand_compare ];
+}
+
+let default_mode =
+  { metric = Geom.Measure.Orthogonal;
+    poly_diff = `Ignore;
+    width_algorithm = `Shrink_expand_compare }
+
+let check mode rules file =
+  let elts = Flatten.file file in
+  let width =
+    match mode.width_algorithm with
+    | `Figure_based -> figure_width rules elts
+    | `Shrink_expand_compare -> sec_width mode.metric rules elts
+  in
+  width @ eco_spacing mode.metric rules elts @ poly_diff_check mode.poly_diff rules elts

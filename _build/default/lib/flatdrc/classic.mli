@@ -1,0 +1,54 @@
+(** The three classical flat DRC algorithms the paper critiques.
+
+    - {e figure-based width} ([figure_width]): checks each drawn figure
+      in isolation.  Produces the Fig 2 pathologies: false errors on
+      narrow figures whose union is legal, missed errors on legal
+      figures whose union is not.
+    - {e shrink-expand-compare width} ([sec_width], Lindsay & Preas
+      1976): union per layer, shrink by half the rule, expand back,
+      compare.  In Euclidean mode the corner rounding flags every
+      convex corner (Fig 4 left).
+    - {e expand-check-overlap spacing} ([eco_spacing]): expand features
+      by half the rule and test overlap.  Net-blind — electrically
+      equivalent neighbours are flagged (Fig 5a) — and in orthogonal
+      mode diagonal neighbours at legal Euclidean distance are flagged
+      (Fig 4 right).
+
+    [poly_diff] selects the baseline's stance on poly crossing
+    diffusion (Fig 8): [`Ignore] treats every crossing as a legal
+    transistor (missing accidental ones); [`Flag_all] reports every
+    crossing (false errors on every real transistor and butting
+    contact). *)
+
+type error = {
+  rule : string;  (** e.g. "width.NP", "spacing.NM", "polydiff" *)
+  layer : string;
+  where : Geom.Rect.t;
+  note : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val figure_width : Tech.Rules.t -> Flatten.elt list -> error list
+
+val sec_width :
+  Geom.Measure.metric -> Tech.Rules.t -> Flatten.elt list -> error list
+
+val eco_spacing :
+  Geom.Measure.metric -> Tech.Rules.t -> Flatten.elt list -> error list
+
+val poly_diff_check :
+  [ `Ignore | `Flag_all ] -> Tech.Rules.t -> Flatten.elt list -> error list
+
+type mode = {
+  metric : Geom.Measure.metric;
+  poly_diff : [ `Ignore | `Flag_all ];
+  width_algorithm : [ `Figure_based | `Shrink_expand_compare ];
+}
+
+(** A period-typical configuration: orthogonal metric, union-based
+    width, crossings ignored. *)
+val default_mode : mode
+
+(** Run the whole baseline on a parsed file. *)
+val check : mode -> Tech.Rules.t -> Cif.Ast.file -> error list

@@ -1,0 +1,71 @@
+type elt = { layer : string; rects : Geom.Rect.t list; path : string }
+
+let element_rects = function
+  | Cif.Ast.Box { rect; _ } -> [ rect ]
+  | Cif.Ast.Wire { width; path; _ } -> Geom.Wire.to_rects (Geom.Wire.make ~width path)
+  | Cif.Ast.Polygon { pts; _ } -> (
+    let poly = Geom.Poly.make pts in
+    match Geom.Poly.to_region poly with
+    | Some region -> Geom.Region.rects region
+    | None -> invalid_arg "Flatten: non-rectilinear polygon")
+
+let file (f : Cif.Ast.file) =
+  (match Cif.Ast.check_acyclic f with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Flatten: " ^ msg));
+  let out = ref [] in
+  let rec emit_symbol path transform (s : Cif.Ast.symbol) =
+    List.iter
+      (fun e ->
+        out :=
+          { layer = Cif.Ast.element_layer e;
+            rects = List.map (Geom.Transform.apply_rect transform) (element_rects e);
+            path }
+          :: !out)
+      s.Cif.Ast.elements;
+    List.iteri
+      (fun i (c : Cif.Ast.call) ->
+        let callee =
+          match Cif.Ast.find_symbol f c.Cif.Ast.callee with
+          | Some sym -> sym
+          | None -> assert false (* checked by check_acyclic *)
+        in
+        let label =
+          match callee.Cif.Ast.name with
+          | Some n -> Printf.sprintf "%d:%s" i n
+          | None -> Printf.sprintf "%d:s%d" i callee.Cif.Ast.id
+        in
+        emit_symbol (path ^ "/" ^ label)
+          (Geom.Transform.compose transform c.Cif.Ast.transform)
+          callee)
+      s.Cif.Ast.calls
+  in
+  List.iter
+    (fun e ->
+      out :=
+        { layer = Cif.Ast.element_layer e; rects = element_rects e; path = "top" }
+        :: !out)
+    f.Cif.Ast.top_elements;
+  List.iteri
+    (fun i (c : Cif.Ast.call) ->
+      let callee =
+        match Cif.Ast.find_symbol f c.Cif.Ast.callee with
+        | Some sym -> sym
+        | None -> invalid_arg "Flatten: call to undefined symbol"
+      in
+      let label =
+        match callee.Cif.Ast.name with
+        | Some n -> Printf.sprintf "%d:%s" i n
+        | None -> Printf.sprintf "%d:s%d" i callee.Cif.Ast.id
+      in
+      emit_symbol ("top/" ^ label) c.Cif.Ast.transform callee)
+    f.Cif.Ast.top_calls;
+  List.rev !out
+
+let rect_count elts = List.fold_left (fun acc e -> acc + List.length e.rects) 0 elts
+
+let bbox elts =
+  List.concat_map (fun e -> e.rects) elts
+  |> function
+  | [] -> None
+  | r :: rs -> Some (List.fold_left Geom.Rect.hull r rs)

@@ -1,0 +1,24 @@
+(** Full instantiation of a CIF hierarchy.
+
+    This is exactly what the paper says traditional checkers do — "deal
+    with mask geometry ... in its fully instantiated form.  Any
+    topological or device information about the circuit is discarded."
+    Net identifiers and device types are dropped deliberately; only an
+    instance path string survives, for error reporting. *)
+
+type elt = {
+  layer : string;
+  rects : Geom.Rect.t list;  (** the element's swept geometry *)
+  path : string;  (** e.g. "top/2:inv/0" — call ordinals and symbol ids *)
+}
+
+(** [file f] instantiates every top-level call and element.  Symbol
+    references must be acyclic and defined ({!Cif.Ast.check_acyclic});
+    violations raise [Invalid_argument]. *)
+val file : Cif.Ast.file -> elt list
+
+(** Total rectangle count, the "size" of the flat design. *)
+val rect_count : elt list -> int
+
+(** Bounding box of everything. *)
+val bbox : elt list -> Geom.Rect.t option

@@ -1,0 +1,1 @@
+lib/geom/edges.ml: Format Fun Hashtbl List Pt Rect Region

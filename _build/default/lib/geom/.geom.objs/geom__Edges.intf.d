@@ -1,0 +1,1 @@
+lib/geom/edges.mli: Format Pt Region

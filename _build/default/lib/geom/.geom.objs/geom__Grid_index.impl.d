@@ -1,0 +1,1 @@
+lib/geom/grid_index.ml: Hashtbl Int List Rect

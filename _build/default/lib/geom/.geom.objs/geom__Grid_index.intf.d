@@ -1,0 +1,1 @@
+lib/geom/grid_index.mli: Rect

@@ -1,0 +1,1 @@
+lib/geom/measure.ml: Edges Format Interval List Pt Rect Region

@@ -1,0 +1,1 @@
+lib/geom/measure.mli: Format Rect Region

@@ -1,0 +1,1 @@
+lib/geom/poly.ml: Format Int Interval List Pt Rect Region Transform

@@ -1,0 +1,1 @@
+lib/geom/poly.mli: Format Pt Rect Region Transform

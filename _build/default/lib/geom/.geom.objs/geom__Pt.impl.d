@@ -1,0 +1,1 @@
+lib/geom/pt.ml: Format Int

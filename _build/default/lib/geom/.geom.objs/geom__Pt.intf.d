@@ -1,0 +1,1 @@
+lib/geom/pt.mli: Format

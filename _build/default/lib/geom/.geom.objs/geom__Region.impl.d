@@ -1,0 +1,1 @@
+lib/geom/region.ml: Array Format Hashtbl Int Interval List Rect Transform

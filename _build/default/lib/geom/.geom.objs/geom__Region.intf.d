@@ -1,0 +1,1 @@
+lib/geom/region.mli: Format Interval Rect Transform

@@ -1,0 +1,1 @@
+lib/geom/skeleton.mli: Rect

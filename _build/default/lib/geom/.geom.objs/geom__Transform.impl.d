@@ -1,0 +1,1 @@
+lib/geom/transform.ml: Format List Pt Rect Stdlib

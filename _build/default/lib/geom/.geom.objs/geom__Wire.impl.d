@@ -1,0 +1,1 @@
+lib/geom/wire.ml: Format List Pt Rect Region Transform

@@ -1,0 +1,1 @@
+lib/geom/wire.mli: Format Pt Rect Region Transform

@@ -1,0 +1,79 @@
+type orient = H | V
+type side = Lo | Hi
+type t = { orient : orient; pos : int; lo : int; hi : int; inside : side }
+type corner = { at : Pt.t; ix : int; iy : int; convex : bool }
+
+(* Boundary cells in a given direction: cells of [r] whose neighbour in
+   direction (dx,dy) lies outside.  Because a cell is in the difference
+   only if its neighbour is not, the resulting strips are one cell thick
+   in the scan direction, so each strip is a maximal straight edge. *)
+let boundary_strips r dx dy = Region.rects (Region.diff r (Region.translate r dx dy))
+
+let of_region r =
+  let left =
+    List.map
+      (fun s -> { orient = V; pos = Rect.x0 s; lo = Rect.y0 s; hi = Rect.y1 s; inside = Hi })
+      (boundary_strips r 1 0)
+  and right =
+    List.map
+      (fun s -> { orient = V; pos = Rect.x1 s; lo = Rect.y0 s; hi = Rect.y1 s; inside = Lo })
+      (boundary_strips r (-1) 0)
+  and bottom =
+    List.map
+      (fun s -> { orient = H; pos = Rect.y0 s; lo = Rect.x0 s; hi = Rect.x1 s; inside = Hi })
+      (boundary_strips r 0 1)
+  and top =
+    List.map
+      (fun s -> { orient = H; pos = Rect.y1 s; lo = Rect.x0 s; hi = Rect.x1 s; inside = Lo })
+      (boundary_strips r 0 (-1))
+  in
+  left @ right @ bottom @ top
+
+let corners r =
+  (* Candidate grid points: span endpoints crossed with slab bounds of
+     the strips meeting there.  Classify by the four surrounding cells. *)
+  let pts = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) -> Hashtbl.replace pts (x, y) ())
+        [ (Rect.x0 s, Rect.y0 s); (Rect.x0 s, Rect.y1 s);
+          (Rect.x1 s, Rect.y0 s); (Rect.x1 s, Rect.y1 s) ])
+    (Region.rects r);
+  Hashtbl.fold
+    (fun (x, y) () acc ->
+      let sw = Region.contains_pt r (x - 1) (y - 1)
+      and se = Region.contains_pt r x (y - 1)
+      and nw = Region.contains_pt r (x - 1) y
+      and ne = Region.contains_pt r x y in
+      let n = List.length (List.filter Fun.id [ sw; se; nw; ne ]) in
+      if n = 1 then
+        let ix = if se || ne then 1 else -1 and iy = if nw || ne then 1 else -1 in
+        { at = Pt.make x y; ix; iy; convex = true } :: acc
+      else if n = 3 then
+        (* Interior direction of a concave corner: towards the single
+           outside cell's opposite. *)
+        let ix = if (not se) || not ne then 1 else -1
+        and iy = if (not nw) || not ne then 1 else -1 in
+        { at = Pt.make x y; ix; iy; convex = false } :: acc
+      else if n = 2 && sw && ne then
+        (* A diagonal pinch: the boundary turns twice here, once for
+           each of the two touching quadrants. *)
+        { at = Pt.make x y; ix = -1; iy = -1; convex = true }
+        :: { at = Pt.make x y; ix = 1; iy = 1; convex = true }
+        :: acc
+      else if n = 2 && se && nw then
+        { at = Pt.make x y; ix = 1; iy = -1; convex = true }
+        :: { at = Pt.make x y; ix = -1; iy = 1; convex = true }
+        :: acc
+      else acc)
+    pts []
+
+let length e = e.hi - e.lo
+let perimeter r = List.fold_left (fun acc e -> acc + length e) 0 (of_region r)
+
+let pp ppf e =
+  Format.fprintf ppf "%s@%d [%d,%d) inside=%s"
+    (match e.orient with H -> "H" | V -> "V")
+    e.pos e.lo e.hi
+    (match e.inside with Lo -> "lo" | Hi -> "hi")

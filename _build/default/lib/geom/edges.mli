@@ -1,0 +1,34 @@
+(** Boundary edges and corners of rectilinear regions.
+
+    Edge-based checking is the alternative the paper cites to expensive
+    general polygon algorithms: width and spacing measurements reduce to
+    scans over facing boundary-edge pairs plus corner cases. *)
+
+type orient = H | V
+
+(** A maximal straight boundary segment.  For a [V] edge, [pos] is the
+    x coordinate and [\[lo,hi)] the y extent; [inside = Hi] means the
+    region interior lies at [x >= pos] (a left boundary).  For an [H]
+    edge, [pos] is y, [\[lo,hi)] the x extent; [inside = Hi] means the
+    interior lies above. *)
+type side = Lo | Hi
+
+type t = { orient : orient; pos : int; lo : int; hi : int; inside : side }
+
+(** A grid point where the boundary turns.  [ix] and [iy] give the
+    direction of the interior quadrant at a convex corner: [(1,1)] means
+    the interior is to the north-east. *)
+type corner = { at : Pt.t; ix : int; iy : int; convex : bool }
+
+(** All boundary edges of a region. *)
+val of_region : Region.t -> t list
+
+(** All boundary corners of a region (convex and concave). *)
+val corners : Region.t -> corner list
+
+val length : t -> int
+
+(** Total boundary length (perimeter). *)
+val perimeter : Region.t -> int
+
+val pp : Format.formatter -> t -> unit

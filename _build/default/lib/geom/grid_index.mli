@@ -1,0 +1,27 @@
+(** Uniform-grid spatial index.
+
+    The interaction search (paper Fig 10, "check interactions") needs
+    "which elements lie within distance d of this window" queries.  A
+    uniform grid hash is ideal for IC layouts: geometry is dense,
+    bounded, and uniformly sized. *)
+
+type 'a t
+
+(** [create ~cell ()] — [cell] is the bucket edge length; pick roughly
+    the largest interaction distance (a few lambda). *)
+val create : cell:int -> unit -> 'a t
+
+val add : 'a t -> Rect.t -> 'a -> unit
+val length : 'a t -> int
+
+(** [query t window] — all items whose bounding box touches [window]
+    (closed-set test), each exactly once, in insertion order. *)
+val query : 'a t -> Rect.t -> (Rect.t * 'a) list
+
+(** [pairs_within t d] — all unordered pairs of items whose bounding
+    boxes come within Chebyshev distance [d] (inclusive), each pair
+    exactly once. *)
+val pairs_within : 'a t -> int -> ((Rect.t * 'a) * (Rect.t * 'a)) list
+
+(** Left fold over all items. *)
+val fold : ('acc -> Rect.t -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

@@ -1,0 +1,59 @@
+type span = { lo : int; hi : int }
+type t = span list
+
+let empty = []
+let is_empty t = t = []
+
+let normalise spans =
+  let spans = List.filter (fun s -> s.lo < s.hi) spans in
+  let spans = List.sort (fun a b -> Int.compare a.lo b.lo) spans in
+  let rec merge = function
+    | a :: b :: rest ->
+      if b.lo <= a.hi then merge ({ lo = a.lo; hi = max a.hi b.hi } :: rest)
+      else a :: merge (b :: rest)
+    | l -> l
+  in
+  merge spans
+
+let union a b = normalise (a @ b)
+
+let inter a b =
+  (* Both inputs sorted and disjoint: standard two-pointer sweep. *)
+  let rec go a b acc =
+    match a, b with
+    | [], _ | _, [] -> List.rev acc
+    | x :: a', y :: b' ->
+      let lo = max x.lo y.lo and hi = min x.hi y.hi in
+      let acc = if lo < hi then { lo; hi } :: acc else acc in
+      if x.hi < y.hi then go a' b acc else go a b' acc
+  in
+  go a b []
+
+let diff a b =
+  let rec cut (s : span) b acc =
+    match b with
+    | [] -> List.rev (s :: acc)
+    | y :: b' ->
+      if y.hi <= s.lo then cut s b' acc
+      else if y.lo >= s.hi then List.rev (s :: acc)
+      else
+        let acc = if y.lo > s.lo then { lo = s.lo; hi = y.lo } :: acc else acc in
+        if y.hi < s.hi then cut { lo = y.hi; hi = s.hi } b' acc
+        else List.rev acc
+  in
+  List.concat_map (fun s -> cut s b []) a
+
+let length t = List.fold_left (fun acc s -> acc + (s.hi - s.lo)) 0 t
+let equal (a : t) (b : t) = a = b
+let mem x t = List.exists (fun s -> s.lo <= x && x < s.hi) t
+
+let inflate d t =
+  normalise (List.map (fun s -> { lo = s.lo - d; hi = s.hi + d }) t)
+
+let complement ~lo ~hi t = diff [ { lo; hi } ] t
+
+let pp ppf t =
+  Format.fprintf ppf "@[%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf s ->
+         Format.fprintf ppf "[%d,%d)" s.lo s.hi))
+    t

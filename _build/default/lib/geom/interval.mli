@@ -1,0 +1,39 @@
+(** Sorted disjoint half-open integer interval lists.
+
+    The 1-D algebra underlying the scanline region representation.  A
+    value of type [t] is a list of spans [\[lo,hi)] with [lo < hi],
+    sorted by [lo], pairwise disjoint and non-adjacent (maximal). *)
+
+type span = { lo : int; hi : int }
+type t = span list
+
+val empty : t
+val is_empty : t -> bool
+
+(** [normalise spans] sorts, merges overlapping and adjacent spans, and
+    drops empty ones. *)
+val normalise : span list -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+(** [diff a b] is [a] minus [b]. *)
+val diff : t -> t -> t
+
+(** Total length covered. *)
+val length : t -> int
+
+val equal : t -> t -> bool
+
+(** [mem x t] — does the half-open union contain coordinate [x]
+    (i.e. the unit cell [\[x,x+1)])? *)
+val mem : int -> t -> bool
+
+(** [inflate d t] grows every span by [d] at both ends and re-merges.
+    [d] may be negative (shrink); spans that vanish are dropped. *)
+val inflate : int -> t -> t
+
+(** [complement ~lo ~hi t] is [\[lo,hi)] minus [t]. *)
+val complement : lo:int -> hi:int -> t -> t
+
+val pp : Format.formatter -> t -> unit

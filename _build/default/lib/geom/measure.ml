@@ -1,0 +1,172 @@
+type metric = Orthogonal | Euclidean
+type kind = Width | Notch | Spacing
+
+type violation = {
+  kind : kind;
+  metric : metric;
+  required : int;
+  gap2 : int;
+  where : Rect.t;
+}
+
+let actual v = sqrt (float_of_int v.gap2)
+
+(* Facing-pair scan shared by width (interior between the edges) and
+   notch (exterior between the edges).  For the vertical case we look
+   for an edge whose interior faces right paired with one whose interior
+   faces left at larger x; [facing_width] selects which inside sides
+   constitute the "between is interior" (width) arrangement. *)
+let facing_pairs ~(interior_between : bool) ~limit (edges : Edges.t list) orient =
+  let sel o = List.filter (fun (e : Edges.t) -> e.Edges.orient = o) edges in
+  let es = sel orient in
+  let lo_side, hi_side =
+    (* For width: left boundary has inside=Hi, right boundary inside=Lo;
+       interior lies between (Hi at smaller pos, Lo at larger pos).
+       For notch the arrangement is reversed. *)
+    if interior_between then (Edges.Hi, Edges.Lo) else (Edges.Lo, Edges.Hi)
+  in
+  let starts = List.filter (fun (e : Edges.t) -> e.Edges.inside = lo_side) es in
+  let stops = List.filter (fun (e : Edges.t) -> e.Edges.inside = hi_side) es in
+  List.concat_map
+    (fun (a : Edges.t) ->
+      List.filter_map
+        (fun (b : Edges.t) ->
+          let gap = b.Edges.pos - a.Edges.pos in
+          let olo = max a.Edges.lo b.Edges.lo and ohi = min a.Edges.hi b.Edges.hi in
+          if gap >= 0 && gap < limit && olo < ohi then
+            (* Exclude portions shadowed by an intervening edge. *)
+            let shadow =
+              List.filter_map
+                (fun (e : Edges.t) ->
+                  if e.Edges.pos > a.Edges.pos && e.Edges.pos < b.Edges.pos then
+                    Some { Interval.lo = e.Edges.lo; hi = e.Edges.hi }
+                  else None)
+                es
+              |> Interval.normalise
+            in
+            let open_spans = Interval.diff [ { Interval.lo = olo; hi = ohi } ] shadow in
+            if open_spans = [] then None else Some (a, b, gap, open_spans)
+          else None)
+        stops)
+    starts
+
+let span_rect orient pos0 pos1 (sp : Interval.span) =
+  match orient with
+  | Edges.V -> Rect.make pos0 sp.Interval.lo pos1 sp.Interval.hi
+  | Edges.H -> Rect.make sp.Interval.lo pos0 sp.Interval.hi pos1
+
+let edge_pair_violations ~kind ~metric ~interior_between ~required edges =
+  List.concat_map
+    (fun orient ->
+      facing_pairs ~interior_between ~limit:required edges orient
+      |> List.concat_map (fun ((a : Edges.t), _b, gap, spans) ->
+             List.map
+               (fun sp ->
+                 { kind;
+                   metric;
+                   required;
+                   gap2 = gap * gap;
+                   where = span_rect orient a.Edges.pos (a.Edges.pos + gap) sp })
+               spans))
+    [ Edges.V; Edges.H ]
+
+(* Diagonal checks between corners; [want_inside] selects whether the
+   midpoint between the corners must be interior (width necks) or
+   exterior (spacing across a diagonal gap). *)
+let corner_violations ~kind ~metric ~required ~want_convex ~want_inside r =
+  let corners =
+    List.filter (fun (c : Edges.corner) -> c.Edges.convex = want_convex) (Edges.corners r)
+  in
+  let lim2 = required * required in
+  let rec pairs = function
+    | [] -> []
+    | (c : Edges.corner) :: rest ->
+      List.filter_map
+        (fun (d : Edges.corner) ->
+          let dx = d.Edges.at.Pt.x - c.Edges.at.Pt.x
+          and dy = d.Edges.at.Pt.y - c.Edges.at.Pt.y in
+          if dx = 0 || dy = 0 then None
+          else
+            let g2 = (dx * dx) + (dy * dy) in
+            if g2 >= lim2 then None
+            else
+              let mx = c.Edges.at.Pt.x + (dx / 2) and my = c.Edges.at.Pt.y + (dy / 2) in
+              (* Sample the cell just inside the midpoint, biased toward c. *)
+              let cell_x = if dx > 0 then mx else mx - 1
+              and cell_y = if dy > 0 then my else my - 1 in
+              let inside = Region.contains_pt r cell_x cell_y in
+              if inside = want_inside then
+                Some
+                  { kind;
+                    metric;
+                    required;
+                    gap2 = g2;
+                    where =
+                      Rect.make c.Edges.at.Pt.x c.Edges.at.Pt.y d.Edges.at.Pt.x
+                        d.Edges.at.Pt.y }
+              else None)
+        rest
+      @ pairs rest
+  in
+  pairs corners
+
+let min_width ~metric ~width r =
+  let edges = Edges.of_region r in
+  let straight =
+    edge_pair_violations ~kind:Width ~metric ~interior_between:true ~required:width edges
+  in
+  match metric with
+  | Orthogonal -> straight
+  | Euclidean ->
+    straight
+    @ corner_violations ~kind:Width ~metric ~required:width ~want_convex:false
+        ~want_inside:true r
+
+let notch ~metric ~space r =
+  let edges = Edges.of_region r in
+  let straight =
+    edge_pair_violations ~kind:Notch ~metric ~interior_between:false ~required:space edges
+  in
+  match metric with
+  | Orthogonal -> straight
+  | Euclidean ->
+    straight
+    @ corner_violations ~kind:Notch ~metric ~required:space ~want_convex:true
+        ~want_inside:false r
+
+let strip_gap2 ~metric ra rb =
+  match metric with
+  | Orthogonal ->
+    let g = Rect.chebyshev_gap ra rb in
+    g * g
+  | Euclidean -> Rect.euclidean_gap2 ra rb
+
+let spacing ~metric ~space a b =
+  let lim2 = space * space in
+  List.concat_map
+    (fun ra ->
+      List.filter_map
+        (fun rb ->
+          let g2 = strip_gap2 ~metric ra rb in
+          if g2 < lim2 then
+            Some
+              { kind = Spacing; metric; required = space; gap2 = g2; where = Rect.hull ra rb }
+          else None)
+        (Region.rects b))
+    (Region.rects a)
+
+let separation2 ~metric a b =
+  let ra = Region.rects a and rb = Region.rects b in
+  if ra = [] || rb = [] then None
+  else
+    Some
+      (List.fold_left
+         (fun acc x ->
+           List.fold_left (fun acc y -> min acc (strip_gap2 ~metric x y)) acc rb)
+         max_int ra)
+
+let pp_violation ppf v =
+  let kind = match v.kind with Width -> "width" | Notch -> "notch" | Spacing -> "spacing" in
+  let metric = match v.metric with Orthogonal -> "orth" | Euclidean -> "euclid" in
+  Format.fprintf ppf "%s(%s) need %d got %.2f at %a" kind metric v.required (actual v)
+    Rect.pp v.where

@@ -1,0 +1,88 @@
+type t = { pts : Pt.t list }
+
+let make pts =
+  if List.length (List.sort_uniq Pt.compare pts) < 3 then
+    invalid_arg "Poly.make: need at least three distinct vertices";
+  { pts }
+
+let vertices t = t.pts
+
+let edges t =
+  match t.pts with
+  | [] -> []
+  | first :: _ ->
+    let rec go = function
+      | a :: (b :: _ as rest) -> (a, b) :: go rest
+      | [ last ] -> [ (last, first) ]
+      | [] -> []
+    in
+    go t.pts
+
+let signed_area2 t =
+  List.fold_left
+    (fun acc ((a : Pt.t), (b : Pt.t)) ->
+      acc + ((a.Pt.x * b.Pt.y) - (b.Pt.x * a.Pt.y)))
+    0 (edges t)
+
+let area t = abs (signed_area2 t) / 2
+
+let bbox t =
+  match t.pts with
+  | [] -> invalid_arg "Poly.bbox"
+  | p :: ps ->
+    List.fold_left
+      (fun r (q : Pt.t) -> Rect.hull r (Rect.make q.Pt.x q.Pt.y q.Pt.x q.Pt.y))
+      (Rect.make p.Pt.x p.Pt.y p.Pt.x p.Pt.y)
+      ps
+
+let is_rectilinear t =
+  List.for_all
+    (fun ((a : Pt.t), (b : Pt.t)) -> a.Pt.x = b.Pt.x || a.Pt.y = b.Pt.y)
+    (edges t)
+
+let to_region t =
+  if not (is_rectilinear t) then None
+  else
+    (* Even-odd scan conversion: for each horizontal slab between
+       consecutive vertex ys, the vertical edges crossing the slab,
+       sorted by x and paired, give the covered x-intervals. *)
+    let vedges =
+      List.filter_map
+        (fun ((a : Pt.t), (b : Pt.t)) ->
+          if a.Pt.x = b.Pt.x && a.Pt.y <> b.Pt.y then
+            Some (a.Pt.x, min a.Pt.y b.Pt.y, max a.Pt.y b.Pt.y)
+          else None)
+        (edges t)
+    in
+    let ys =
+      List.concat_map (fun (_, y0, y1) -> [ y0; y1 ]) vedges |> List.sort_uniq Int.compare
+    in
+    let rec slabs = function
+      | a :: (b :: _ as rest) ->
+        let xs =
+          List.filter_map (fun (x, y0, y1) -> if y0 <= a && y1 >= b then Some x else None) vedges
+          |> List.sort Int.compare
+        in
+        let rec pair = function
+          | x0 :: x1 :: more -> { Interval.lo = x0; hi = x1 } :: pair more
+          | [ _ ] -> invalid_arg "Poly.to_region: unpaired edge (self-intersecting?)"
+          | [] -> []
+        in
+        let spans = Interval.normalise (pair xs) in
+        List.map
+          (fun (sp : Interval.span) -> Rect.make sp.Interval.lo a sp.Interval.hi b)
+          spans
+        @ slabs rest
+      | _ -> []
+    in
+    Some (Region.of_rects (slabs ys))
+
+let translate t dx dy =
+  { pts = List.map (fun (p : Pt.t) -> Pt.make (p.Pt.x + dx) (p.Pt.y + dy)) t.pts }
+
+let transform tr t = { pts = List.map (Transform.apply_pt tr) t.pts }
+
+let pp ppf t =
+  Format.fprintf ppf "poly %a"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Pt.pp)
+    t.pts

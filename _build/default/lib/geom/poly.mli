@@ -1,0 +1,32 @@
+(** Simple polygons on the integer grid.
+
+    The checker's design style (and the NMOS flow it models) restricts
+    layouts to rectilinear geometry; general polygons are accepted from
+    CIF but only rectilinear ones can be elaborated into regions.  The
+    paper notes that general polygon algorithms are "quite expensive
+    while those for boxes and wires are almost trivial" — this module
+    is the small general-purpose remainder. *)
+
+type t = private { pts : Pt.t list }
+
+(** [make pts] — at least three distinct vertices, closed implicitly.
+    Collinear repeats are tolerated.  @raise Invalid_argument on fewer
+    than three points. *)
+val make : Pt.t list -> t
+
+val vertices : t -> Pt.t list
+
+(** Twice the signed area (shoelace); positive for counter-clockwise. *)
+val signed_area2 : t -> int
+
+val area : t -> int
+val bbox : t -> Rect.t
+val is_rectilinear : t -> bool
+
+(** [to_region t] scan-converts a rectilinear polygon (even-odd rule).
+    Returns [None] for non-rectilinear polygons. *)
+val to_region : t -> Region.t option
+
+val translate : t -> int -> int -> t
+val transform : Transform.t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+let zero = { x = 0; y = 0 }
+let add a b = { x = a.x + b.x; y = a.y + b.y }
+let sub a b = { x = a.x - b.x; y = a.y - b.y }
+let neg a = { x = -a.x; y = -a.y }
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  match Int.compare a.x b.x with 0 -> Int.compare a.y b.y | c -> c
+
+let dist2 a b =
+  let dx = a.x - b.x and dy = a.y - b.y in
+  (dx * dx) + (dy * dy)
+
+let chebyshev a b = max (abs (a.x - b.x)) (abs (a.y - b.y))
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y)
+let pp ppf p = Format.fprintf ppf "(%d,%d)" p.x p.y

@@ -1,0 +1,26 @@
+(** Integer 2-D points.
+
+    All geometry in this library uses integer coordinates (CIF
+    centimicrons).  Euclidean quantities are compared through squared
+    distances so the kernel never manipulates floats. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [dist2 a b] is the squared Euclidean distance between [a] and [b]. *)
+val dist2 : t -> t -> int
+
+(** [chebyshev a b] is the L-infinity distance between [a] and [b]. *)
+val chebyshev : t -> t -> int
+
+(** [manhattan a b] is the L1 distance between [a] and [b]. *)
+val manhattan : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

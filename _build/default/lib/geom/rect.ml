@@ -1,0 +1,71 @@
+type t = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+let make a b c d =
+  { x0 = min a c; y0 = min b d; x1 = max a c; y1 = max b d }
+
+let of_center_wh ~cx ~cy ~w ~h =
+  assert (w >= 0 && h >= 0);
+  let x0 = cx - ((w + 1) / 2)
+  and y0 = cy - ((h + 1) / 2) in
+  { x0; y0; x1 = x0 + w; y1 = y0 + h }
+
+let x0 r = r.x0
+let y0 r = r.y0
+let x1 r = r.x1
+let y1 r = r.y1
+let width r = r.x1 - r.x0
+let height r = r.y1 - r.y0
+let center r = Pt.make ((r.x0 + r.x1) / 2) ((r.y0 + r.y1) / 2)
+let area r = width r * height r
+let is_degenerate r = r.x0 = r.x1 || r.y0 = r.y1
+let equal a b = a.x0 = b.x0 && a.y0 = b.y0 && a.x1 = b.x1 && a.y1 = b.y1
+
+let compare a b =
+  let c = Int.compare a.x0 b.x0 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.y0 b.y0 in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.x1 b.x1 in
+      if c <> 0 then c else Int.compare a.y1 b.y1
+
+let contains r (p : Pt.t) =
+  p.Pt.x >= r.x0 && p.Pt.x <= r.x1 && p.Pt.y >= r.y0 && p.Pt.y <= r.y1
+
+let contains_rect outer inner =
+  inner.x0 >= outer.x0 && inner.y0 >= outer.y0 && inner.x1 <= outer.x1
+  && inner.y1 <= outer.y1
+
+let overlaps ~a ~b = a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1
+let touches ~a ~b = a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1
+
+let inter a b =
+  let x0 = max a.x0 b.x0
+  and y0 = max a.y0 b.y0
+  and x1 = min a.x1 b.x1
+  and y1 = min a.y1 b.y1 in
+  if x0 <= x1 && y0 <= y1 then Some { x0; y0; x1; y1 } else None
+
+let hull a b =
+  { x0 = min a.x0 b.x0;
+    y0 = min a.y0 b.y0;
+    x1 = max a.x1 b.x1;
+    y1 = max a.y1 b.y1 }
+
+let inflate r d =
+  let x0 = r.x0 - d and y0 = r.y0 - d and x1 = r.x1 + d and y1 = r.y1 + d in
+  if x0 <= x1 && y0 <= y1 then Some { x0; y0; x1; y1 } else None
+
+let translate r dx dy =
+  { x0 = r.x0 + dx; y0 = r.y0 + dy; x1 = r.x1 + dx; y1 = r.y1 + dy }
+
+let gap_x a b = max 0 (max (b.x0 - a.x1) (a.x0 - b.x1))
+let gap_y a b = max 0 (max (b.y0 - a.y1) (a.y0 - b.y1))
+let chebyshev_gap a b = max (gap_x a b) (gap_y a b)
+
+let euclidean_gap2 a b =
+  let dx = gap_x a b and dy = gap_y a b in
+  (dx * dx) + (dy * dy)
+
+let pp ppf r = Format.fprintf ppf "[%d,%d - %d,%d]" r.x0 r.y0 r.x1 r.y1

@@ -1,0 +1,81 @@
+(** Axis-aligned integer rectangles.
+
+    A rectangle is the closed set [x0,x1] x [y0,y1].  Degenerate
+    rectangles (zero width and/or height) are permitted: they arise
+    naturally as skeletons of minimum-width elements, where the
+    "touching" of degenerate skeletons is exactly the paper's skeletal
+    connectivity criterion. *)
+
+type t = private { x0 : int; y0 : int; x1 : int; y1 : int }
+
+(** [make x0 y0 x1 y1] normalises corner order. *)
+val make : int -> int -> int -> int -> t
+
+(** [of_center_wh ~cx ~cy ~w ~h] builds the rectangle of width [w] and
+    height [h] centred at [(cx,cy)].  [w] and [h] must be non-negative
+    and even on the integer grid for an exact centre; otherwise the
+    rectangle is shifted down-left by the odd half unit. *)
+val of_center_wh : cx:int -> cy:int -> w:int -> h:int -> t
+
+val x0 : t -> int
+val y0 : t -> int
+val x1 : t -> int
+val y1 : t -> int
+val width : t -> int
+val height : t -> int
+val center : t -> Pt.t
+
+(** [area r] as a 64-bit quantity is not needed at CIF scales; plain
+    int is 63-bit on this platform. *)
+val area : t -> int
+
+val is_degenerate : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [contains r p] — closed-set membership. *)
+val contains : t -> Pt.t -> bool
+
+(** [contains_rect outer inner] — closed-set inclusion. *)
+val contains_rect : t -> t -> bool
+
+(** [overlaps a b] — the open interiors intersect (positive-area
+    intersection). *)
+val overlaps : a:t -> b:t -> bool
+
+(** [touches a b] — the closed sets intersect (shared boundary counts,
+    degenerate rectangles count). *)
+val touches : a:t -> b:t -> bool
+
+(** [inter a b] is the closed intersection, if non-empty. *)
+val inter : t -> t -> t option
+
+(** [hull a b] is the bounding box of the union. *)
+val hull : t -> t -> t
+
+(** [inflate r d] grows the rectangle by [d] on all four sides
+    (orthogonal expand).  [d] may be negative; the result is clipped to
+    degenerate-at-centre when over-shrunk, in which case [None] is
+    returned. *)
+val inflate : t -> int -> t option
+
+(** [translate r dx dy]. *)
+val translate : t -> int -> int -> t
+
+(** Axis gap between the projections of [a] and [b]: 0 when the
+    projections overlap or touch. *)
+val gap_x : t -> t -> int
+
+val gap_y : t -> t -> int
+
+(** [chebyshev_gap a b] is the L-infinity separation of the two closed
+    rectangles: [max (gap_x a b) (gap_y a b)].  Two rectangles overlap
+    when expanded orthogonally by [d] each iff the Chebyshev gap is
+    [< 2*d] (strictly), and touch iff [<= 2*d]. *)
+val chebyshev_gap : t -> t -> int
+
+(** [euclidean_gap2 a b] is the squared Euclidean separation of the two
+    closed rectangles (0 if they touch or overlap). *)
+val euclidean_gap2 : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

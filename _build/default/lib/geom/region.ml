@@ -1,0 +1,226 @@
+type slab = { y0 : int; y1 : int; spans : Interval.t }
+type t = slab list
+(* Invariant: slabs sorted by y0, non-overlapping, non-empty spans, and
+   vertically adjacent slabs have distinct span sets (else merged). *)
+
+let empty = []
+let is_empty t = t = []
+
+let coalesce slabs =
+  let slabs = List.filter (fun s -> s.y0 < s.y1 && s.spans <> []) slabs in
+  let rec merge = function
+    | a :: b :: rest when a.y1 = b.y0 && Interval.equal a.spans b.spans ->
+      merge ({ a with y1 = b.y1 } :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  merge slabs
+
+(* Build the canonical form from a list of (rect) contributions by
+   sweeping the distinct y coordinates with an active set, so the work
+   is (number of slabs) x (rects active in the slab) rather than
+   quadratic in the total rect count. *)
+let of_rects rs =
+  let rs = List.filter (fun r -> not (Rect.is_degenerate r)) rs in
+  if rs = [] then []
+  else begin
+    let by_start = Array.of_list rs in
+    Array.sort (fun a b -> Int.compare (Rect.y0 a) (Rect.y0 b)) by_start;
+    let ys =
+      List.concat_map (fun r -> [ Rect.y0 r; Rect.y1 r ]) rs
+      |> List.sort_uniq Int.compare
+      |> Array.of_list
+    in
+    let next = ref 0 in
+    let active = ref [] in
+    let slabs = ref [] in
+    for i = 0 to Array.length ys - 2 do
+      let a = ys.(i) and b = ys.(i + 1) in
+      while !next < Array.length by_start && Rect.y0 by_start.(!next) <= a do
+        active := by_start.(!next) :: !active;
+        incr next
+      done;
+      active := List.filter (fun r -> Rect.y1 r > a) !active;
+      let spans =
+        List.map (fun r -> { Interval.lo = Rect.x0 r; hi = Rect.x1 r }) !active
+        |> Interval.normalise
+      in
+      slabs := { y0 = a; y1 = b; spans } :: !slabs
+    done;
+    coalesce (List.rev !slabs)
+  end
+
+let of_rect r = of_rects [ r ]
+let slabs t = t
+
+let rects t =
+  List.concat_map
+    (fun s ->
+      List.map (fun (sp : Interval.span) -> Rect.make sp.lo s.y0 sp.hi s.y1) s.spans)
+    t
+
+let area t =
+  List.fold_left (fun acc s -> acc + ((s.y1 - s.y0) * Interval.length s.spans)) 0 t
+
+let bbox t =
+  match rects t with
+  | [] -> None
+  | r :: rs -> Some (List.fold_left Rect.hull r rs)
+
+let equal (a : t) (b : t) = a = b
+
+(* Generic boolean combination: sweep the union of slab boundaries. *)
+let binop op a b =
+  let ys =
+    List.concat_map (fun s -> [ s.y0; s.y1 ]) (a @ b) |> List.sort_uniq Int.compare
+  in
+  let spans_at slabs y0 y1 =
+    match List.find_opt (fun s -> s.y0 <= y0 && s.y1 >= y1) slabs with
+    | Some s -> s.spans
+    | None -> Interval.empty
+  in
+  let rec go = function
+    | lo :: (hi :: _ as rest) ->
+      let spans = op (spans_at a lo hi) (spans_at b lo hi) in
+      { y0 = lo; y1 = hi; spans } :: go rest
+    | _ -> []
+  in
+  coalesce (go ys)
+
+let union a b = if a = [] then b else if b = [] then a else binop Interval.union a b
+let inter a b = if a = [] || b = [] then [] else binop Interval.inter a b
+let diff a b = if a = [] then [] else if b = [] then a else binop Interval.diff a b
+
+let contains_pt t x y =
+  List.exists (fun s -> s.y0 <= y && y < s.y1 && Interval.mem x s.spans) t
+
+let contains_rect t r =
+  (not (Rect.is_degenerate r)) && is_empty (diff (of_rect r) t)
+
+let intersects t r =
+  (not (Rect.is_degenerate r)) && not (is_empty (inter t (of_rect r)))
+
+let translate t dx dy =
+  List.map
+    (fun s ->
+      { y0 = s.y0 + dy;
+        y1 = s.y1 + dy;
+        spans =
+          List.map (fun (sp : Interval.span) -> { Interval.lo = sp.lo + dx; hi = sp.hi + dx }) s.spans })
+    t
+
+let transform tr t = of_rects (List.map (Transform.apply_rect tr) (rects t))
+
+let expand_orth t d =
+  if d = 0 then t
+  else begin
+    assert (d > 0);
+    of_rects
+      (List.filter_map (fun r -> Rect.inflate r d) (rects t))
+  end
+
+let shrink_orth t d =
+  if d = 0 then t
+  else begin
+    assert (d > 0);
+    match bbox t with
+    | None -> []
+    | Some bb ->
+      let frame =
+        match Rect.inflate bb (d + 1) with Some f -> f | None -> assert false
+      in
+      let comp = diff (of_rect frame) t in
+      diff t (expand_orth comp d)
+  end
+
+(* Raster staircase approximation of the quarter-disc corner: at most
+   [max_steps] horizontal slices of the L2 ball. *)
+let euclid_steps = 16
+
+let isqrt n =
+  if n <= 0 then 0
+  else
+    let r = int_of_float (sqrt (float_of_int n)) in
+    let r = if (r + 1) * (r + 1) <= n then r + 1 else r in
+    if r * r > n then r - 1 else r
+
+let expand_euclid t d =
+  if d = 0 then t
+  else begin
+    assert (d > 0);
+    let step = max 1 (d / euclid_steps) in
+    let rec offsets dy acc =
+      if dy > d then acc
+      else
+        (* Conservative inscribed staircase: horizontal reach at height
+           dy..dy+step is the reach at the slice top. *)
+        let dy' = min d (dy + step) in
+        offsets (dy + step) ((dy', isqrt ((d * d) - (dy' * dy'))) :: acc)
+    in
+    let offs = (0, d) :: offsets 0 [] in
+    let grown =
+      List.concat_map
+        (fun r ->
+          List.filter_map
+            (fun (dy, dx) ->
+              let x0 = Rect.x0 r - dx
+              and y0 = Rect.y0 r - dy
+              and x1 = Rect.x1 r + dx
+              and y1 = Rect.y1 r + dy in
+              if x0 < x1 && y0 < y1 then Some (Rect.make x0 y0 x1 y1) else None)
+            offs)
+        (rects t)
+    in
+    of_rects grown
+  end
+
+let shrink_euclid t d =
+  if d = 0 then t
+  else
+    match bbox t with
+    | None -> []
+    | Some bb ->
+      let frame =
+        match Rect.inflate bb (d + 1) with Some f -> f | None -> assert false
+      in
+      let comp = diff (of_rect frame) t in
+      diff t (expand_euclid comp d)
+
+let components t =
+  let strips = Array.of_list (rects t) in
+  let n = Array.length strips in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union_ i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = strips.(i) and b = strips.(j) in
+      (* 4-connectivity: share a boundary segment of positive length. *)
+      let share_v =
+        (Rect.y1 a = Rect.y0 b || Rect.y1 b = Rect.y0 a)
+        && min (Rect.x1 a) (Rect.x1 b) > max (Rect.x0 a) (Rect.x0 b)
+      in
+      let share_h =
+        (Rect.x1 a = Rect.x0 b || Rect.x1 b = Rect.x0 a)
+        && min (Rect.y1 a) (Rect.y1 b) > max (Rect.y0 a) (Rect.y0 b)
+      in
+      if share_v || share_h then union_ i j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i r ->
+      let root = find i in
+      let cur = try Hashtbl.find groups root with Not_found -> [] in
+      Hashtbl.replace groups root (r :: cur))
+    strips;
+  Hashtbl.fold (fun _ rs acc -> of_rects rs :: acc) groups []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf s ->
+         Format.fprintf ppf "y[%d,%d): %a" s.y0 s.y1 Interval.pp s.spans))
+    t

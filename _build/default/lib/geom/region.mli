@@ -1,0 +1,78 @@
+(** Rectilinear regions with scanline boolean algebra.
+
+    A region is a finite union of axis-aligned rectangles, stored
+    canonically as horizontal slabs: maximal y-ranges over which the
+    covered x-interval set is constant.  Two regions denote the same
+    point set iff they are structurally equal in this form.
+
+    Region algebra uses half-open semantics ([\[x0,x1) x \[y0,y1)]), so
+    abutting rectangles coalesce and only positive-area geometry is
+    representable.  Closed-set predicates (touching, skeletal
+    connectivity) live on {!Rect} values instead. *)
+
+type t
+
+type slab = { y0 : int; y1 : int; spans : Interval.t }
+
+val empty : t
+val is_empty : t -> bool
+
+val of_rect : Rect.t -> t
+
+(** [of_rects rs] — degenerate rectangles are ignored. *)
+val of_rects : Rect.t list -> t
+
+(** The canonical slab decomposition, bottom to top. *)
+val slabs : t -> slab list
+
+(** The canonical strip decomposition as rectangles (one per span per
+    slab). *)
+val rects : t -> Rect.t list
+
+val area : t -> int
+val bbox : t -> Rect.t option
+val equal : t -> t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+(** [contains_pt t x y] — does the region contain the unit cell at
+    [(x,y)]? *)
+val contains_pt : t -> int -> int -> bool
+
+(** [contains_rect t r] — is the (positive-area) rectangle entirely
+    covered? *)
+val contains_rect : t -> Rect.t -> bool
+
+(** [intersects t r] — positive-area overlap with rectangle [r]. *)
+val intersects : t -> Rect.t -> bool
+
+(** [translate t dx dy] *)
+val translate : t -> int -> int -> t
+
+val transform : Transform.t -> t -> t
+
+(** [expand_orth t d] is the orthogonal (L-infinity) expansion by
+    [d >= 0]: every point within Chebyshev distance [d] of the region. *)
+val expand_orth : t -> int -> t
+
+(** [shrink_orth t d] is the orthogonal erosion by [d >= 0]: the points
+    whose Chebyshev [d]-ball lies inside the region.  Inverse of
+    expansion on convex regions; loses features narrower than [2d]. *)
+val shrink_orth : t -> int -> t
+
+(** [expand_euclid t d] is an octagonal approximation of the Euclidean
+    (L2) expansion: the orthogonal expansion with its corners cut at 45
+    degrees, which is exact along axes and diagonals and inscribes the
+    true rounded-corner expansion.  This is the shape a 1980
+    "Euclidean expand" raster implementation produces (paper Fig 3). *)
+val expand_euclid : t -> int -> t
+
+(** Euclidean erosion, dual to {!expand_euclid}. *)
+val shrink_euclid : t -> int -> t
+
+(** Number of connected components (4-connectivity of slab spans). *)
+val components : t -> t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Skeletal connectivity (paper Fig 11).
+
+    The skeleton of an element is the element shrunk by one half of the
+    minimum width of its layer.  Two elements are legally connected iff
+    their skeletons touch, overlap, or one encloses the other.  If two
+    elements each of legal width are skeletally connected, their union
+    is of legal width — the theorem that lets the checker avoid general
+    polygon machinery on connected interconnect.
+
+    Skeletons are (possibly degenerate) rectangle lists: an element of
+    exactly minimum width shrinks to a line or point, and closed-set
+    intersection makes "touching skeletons" well-defined there. *)
+
+(** [of_rect ~half r] — each axis shrinks by [half] from both sides; an
+    axis narrower than [2*half] collapses to its centre line. *)
+val of_rect : half:int -> Rect.t -> Rect.t
+
+(** [connected a b] — some rectangle of [a] intersects (closed-set)
+    some rectangle of [b]. *)
+val connected : Rect.t list -> Rect.t list -> bool
+
+(** [connected_rect a b] — single-rectangle convenience. *)
+val connected_rect : Rect.t -> Rect.t -> bool

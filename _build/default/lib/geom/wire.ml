@@ -1,0 +1,75 @@
+type t = { width : int; path : Pt.t list }
+
+let manhattan_path path =
+  let rec ok = function
+    | a :: (b :: _ as rest) ->
+      (a.Pt.x = b.Pt.x || a.Pt.y = b.Pt.y) && ok rest
+    | _ -> true
+  in
+  ok path
+
+let make ~width path =
+  if width <= 0 then invalid_arg "Wire.make: width must be positive";
+  if path = [] then invalid_arg "Wire.make: empty path";
+  if not (manhattan_path path) then
+    invalid_arg "Wire.make: diagonal wire segments are not allowed";
+  { width; path }
+
+(* Lateral and cap extension for a pen of width [w]: half = w/2 on each
+   side.  Odd widths extend the extra unit to the high side so that the
+   swept area is exactly [w] across. *)
+let seg_rect w (a : Pt.t) (b : Pt.t) =
+  let lo = w / 2 in
+  let hi = w - lo in
+  Rect.make
+    (min a.Pt.x b.Pt.x - lo)
+    (min a.Pt.y b.Pt.y - lo)
+    (max a.Pt.x b.Pt.x + hi)
+    (max a.Pt.y b.Pt.y + hi)
+
+let to_rects t =
+  match t.path with
+  | [ p ] -> [ seg_rect t.width p p ]
+  | path ->
+    let rec segs = function
+      | a :: (b :: _ as rest) -> seg_rect t.width a b :: segs rest
+      | _ -> []
+    in
+    segs path
+
+let to_region t = Region.of_rects (to_rects t)
+
+let bbox t =
+  match to_rects t with
+  | r :: rs -> List.fold_left Rect.hull r rs
+  | [] -> assert false
+
+let skeleton ~half t =
+  let w = max 0 (t.width - (2 * half)) in
+  let lo = w / 2 in
+  let hi = w - lo in
+  let seg (a : Pt.t) (b : Pt.t) =
+    Rect.make
+      (min a.Pt.x b.Pt.x - lo)
+      (min a.Pt.y b.Pt.y - lo)
+      (max a.Pt.x b.Pt.x + hi)
+      (max a.Pt.y b.Pt.y + hi)
+  in
+  match t.path with
+  | [ p ] -> [ seg p p ]
+  | path ->
+    let rec segs = function
+      | a :: (b :: _ as rest) -> seg a b :: segs rest
+      | _ -> []
+    in
+    segs path
+
+let translate t dx dy =
+  { t with path = List.map (fun p -> Pt.make (p.Pt.x + dx) (p.Pt.y + dy)) t.path }
+
+let transform tr t = { t with path = List.map (Transform.apply_pt tr) t.path }
+
+let pp ppf t =
+  Format.fprintf ppf "wire w=%d %a" t.width
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Pt.pp)
+    t.path

@@ -1,0 +1,32 @@
+(** CIF wires, restricted to Manhattan paths with square end caps.
+
+    A wire is a path swept by a pen of width [width].  True CIF uses a
+    round pen; this library (like most Manhattan DRC engines of the
+    period) uses the square-capped orthogonal approximation, which keeps
+    all geometry rectilinear.  Diagonal path segments are rejected at
+    construction ([Invalid_argument]) — a structured-design style
+    restriction recorded in DESIGN.md. *)
+
+type t = private { width : int; path : Pt.t list }
+
+(** [make ~width path] — [width > 0], [path] non-empty, all segments
+    axis-parallel.  @raise Invalid_argument otherwise. *)
+val make : width:int -> Pt.t list -> t
+
+(** One rectangle per path segment, each extended by [width/2]
+    laterally and longitudinally (square caps).  A single-point path
+    yields one [width x width] square. *)
+val to_rects : t -> Rect.t list
+
+val to_region : t -> Region.t
+val bbox : t -> Rect.t
+
+(** [skeleton ~half t] shrinks the wire by [half] (one half of the
+    layer minimum width, per the paper's skeletal-connectivity rule).
+    Rectangles may be degenerate: a wire of exactly the minimum width
+    has its centreline as skeleton. *)
+val skeleton : half:int -> t -> Rect.t list
+
+val translate : t -> int -> int -> t
+val transform : Transform.t -> t -> t
+val pp : Format.formatter -> t -> unit

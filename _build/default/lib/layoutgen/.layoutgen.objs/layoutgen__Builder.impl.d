@@ -1,0 +1,1 @@
+lib/layoutgen/builder.ml: Cif Geom List

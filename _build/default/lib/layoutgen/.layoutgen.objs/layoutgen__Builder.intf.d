@@ -1,0 +1,1 @@
+lib/layoutgen/builder.mli: Cif

@@ -1,0 +1,1 @@
+lib/layoutgen/cells.ml: Builder Fun List Tech

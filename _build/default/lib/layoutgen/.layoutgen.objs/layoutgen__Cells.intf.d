@@ -1,0 +1,1 @@
+lib/layoutgen/cells.mli: Cif

@@ -1,0 +1,1 @@
+lib/layoutgen/inject.ml: Builder Cif Dic Geom List Tech

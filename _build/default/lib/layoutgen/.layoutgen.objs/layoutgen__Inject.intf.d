@@ -1,0 +1,1 @@
+lib/layoutgen/inject.mli: Cif Dic

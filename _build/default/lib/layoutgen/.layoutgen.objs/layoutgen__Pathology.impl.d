@@ -1,0 +1,1 @@
+lib/layoutgen/pathology.ml: Builder Cells Cif Dic Geom Tech

@@ -1,0 +1,1 @@
+lib/layoutgen/pathology.mli: Cif Dic

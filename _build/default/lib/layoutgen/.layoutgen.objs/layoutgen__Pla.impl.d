@@ -1,0 +1,1 @@
+lib/layoutgen/pla.ml: Array Builder Cells List Printf Tech

@@ -1,0 +1,1 @@
+lib/layoutgen/pla.mli: Cif

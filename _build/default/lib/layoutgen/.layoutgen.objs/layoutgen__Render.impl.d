@@ -1,0 +1,1 @@
+lib/layoutgen/render.ml: Array Buffer Cif Dic Geom Hashtbl List Tech

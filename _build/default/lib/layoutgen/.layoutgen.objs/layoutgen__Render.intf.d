@@ -1,0 +1,1 @@
+lib/layoutgen/render.mli: Cif Dic Geom Tech

@@ -1,0 +1,1 @@
+lib/layoutgen/shift.ml: Builder Cells List Tech

@@ -1,0 +1,1 @@
+lib/layoutgen/shift.mli: Cif

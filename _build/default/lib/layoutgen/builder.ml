@@ -1,0 +1,37 @@
+let box ~layer ?net x0 y0 x1 y1 =
+  Cif.Ast.Box { layer; rect = Geom.Rect.make x0 y0 x1 y1; net }
+
+let wire ~layer ?net ~width pts =
+  Cif.Ast.Wire
+    { layer; width; path = List.map (fun (x, y) -> Geom.Pt.make x y) pts; net }
+
+let poly ~layer ?net pts =
+  Cif.Ast.Polygon { layer; pts = List.map (fun (x, y) -> Geom.Pt.make x y) pts; net }
+
+let call ?at ?rot ?mirror callee =
+  let ts =
+    List.concat
+      [ (match mirror with
+        | Some `X -> [ Geom.Transform.mirror_x ]
+        | Some `Y -> [ Geom.Transform.mirror_y ]
+        | None -> []);
+        (match rot with Some r -> [ Geom.Transform.rotate r ] | None -> []);
+        (match at with Some (x, y) -> [ Geom.Transform.translate x y ] | None -> []) ]
+  in
+  { Cif.Ast.callee; transform = Geom.Transform.seq ts }
+
+let symbol ~id ~name ?device elements calls =
+  { Cif.Ast.id; name = Some name; device; elements; calls }
+
+let file ~symbols ?(top_elements = []) ~top_calls () =
+  { Cif.Ast.symbols; top_elements; top_calls }
+
+let translate_element dx dy e =
+  match e with
+  | Cif.Ast.Box b -> Cif.Ast.Box { b with rect = Geom.Rect.translate b.rect dx dy }
+  | Cif.Ast.Wire w ->
+    Cif.Ast.Wire
+      { w with path = List.map (fun (p : Geom.Pt.t) -> Geom.Pt.make (p.Geom.Pt.x + dx) (p.Geom.Pt.y + dy)) w.path }
+  | Cif.Ast.Polygon p ->
+    Cif.Ast.Polygon
+      { p with pts = List.map (fun (q : Geom.Pt.t) -> Geom.Pt.make (q.Geom.Pt.x + dx) (q.Geom.Pt.y + dy)) p.pts }

@@ -1,0 +1,39 @@
+(** Ergonomic construction of extended-CIF syntax trees.
+
+    Coordinates are in raw layout units (use [scale] helpers or
+    multiply by lambda yourself); boxes are corner-specified here, and
+    converted to CIF's centre form only when printed. *)
+
+val box : layer:string -> ?net:string -> int -> int -> int -> int -> Cif.Ast.element
+
+(** [wire ~layer ?net ~width points] *)
+val wire :
+  layer:string -> ?net:string -> width:int -> (int * int) list -> Cif.Ast.element
+
+val poly : layer:string -> ?net:string -> (int * int) list -> Cif.Ast.element
+
+val call :
+  ?at:int * int ->
+  ?rot:[ `East | `North | `West | `South ] ->
+  ?mirror:[ `X | `Y ] ->
+  int ->
+  Cif.Ast.call
+
+val symbol :
+  id:int ->
+  name:string ->
+  ?device:string ->
+  Cif.Ast.element list ->
+  Cif.Ast.call list ->
+  Cif.Ast.symbol
+
+val file :
+  symbols:Cif.Ast.symbol list ->
+  ?top_elements:Cif.Ast.element list ->
+  top_calls:Cif.Ast.call list ->
+  unit ->
+  Cif.Ast.file
+
+(** Shift every element/point of a symbol's local geometry — handy when
+    deriving pathological variants. *)
+val translate_element : int -> int -> Cif.Ast.element -> Cif.Ast.element

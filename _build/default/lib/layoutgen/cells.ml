@@ -1,0 +1,165 @@
+let id_enh = 1
+let id_dep = 2
+let id_con = 3
+let id_conp = 4
+let id_burtall = 5
+let id_butt = 6
+let id_res = 7
+let id_pad = 8
+let id_bur = 9
+let id_inv = 10
+let pitch_x = 14
+let pitch_y = 32
+
+let nd = Tech.Layer.to_cif Tech.Layer.Diffusion
+let np = Tech.Layer.to_cif Tech.Layer.Poly
+let nm = Tech.Layer.to_cif Tech.Layer.Metal
+let nc = Tech.Layer.to_cif Tech.Layer.Contact
+let ni = Tech.Layer.to_cif Tech.Layer.Implant
+let nb = Tech.Layer.to_cif Tech.Layer.Buried
+let ng = Tech.Layer.to_cif Tech.Layer.Glass
+
+(* All device geometry is stated in lambda and scaled here; [h] scales
+   half-lambda quantities (implant surrounds). *)
+let enh ~lambda =
+  let l v = v * lambda in
+  Builder.symbol ~id:id_enh ~name:"enh" ~device:"ENH"
+    [ Builder.box ~layer:nd (l 0) (-l 3) (l 2) (l 5);
+      Builder.box ~layer:np (-l 2) (l 0) (l 4) (l 2) ]
+    []
+
+let dep ~lambda =
+  let l v = v * lambda in
+  let h v = v * lambda / 2 in
+  Builder.symbol ~id:id_dep ~name:"dep" ~device:"DEP"
+    [ Builder.box ~layer:nd (l 0) (-l 3) (l 2) (l 5);
+      Builder.box ~layer:np (-l 2) (l 0) (l 4) (l 2);
+      Builder.box ~layer:ni (-h 3) (-h 3) (l 2 + h 3) (l 2 + h 3) ]
+    []
+
+let contact_generic ~id ~name ~landing ~lambda =
+  let l v = v * lambda in
+  Builder.symbol ~id ~name ~device:"CON"
+    [ Builder.box ~layer:nc (l 0) (l 0) (l 2) (l 2);
+      Builder.box ~layer:landing (-l 1) (-l 1) (l 3) (l 3);
+      Builder.box ~layer:nm (-l 1) (-l 1) (l 3) (l 3) ]
+    []
+
+let contact_diff ~lambda = contact_generic ~id:id_con ~name:"con" ~landing:nd ~lambda
+let contact_poly ~lambda = contact_generic ~id:id_conp ~name:"conp" ~landing:np ~lambda
+
+let buried_tall ~lambda =
+  let l v = v * lambda in
+  Builder.symbol ~id:id_burtall ~name:"burtall" ~device:"BUR"
+    [ Builder.box ~layer:nd (l 0) (l 0) (l 2) (l 7);
+      Builder.box ~layer:np (l 0) (l 2) (l 2) (l 6);
+      Builder.box ~layer:nb (-l 2) (l 0) (l 4) (l 8) ]
+    []
+
+let butting ~lambda =
+  let l v = v * lambda in
+  Builder.symbol ~id:id_butt ~name:"butt" ~device:"BUT"
+    [ Builder.box ~layer:nd (l 0) (l 0) (l 2) (l 3);
+      Builder.box ~layer:np (l 0) (l 2) (l 2) (l 5);
+      Builder.box ~layer:nc (l 0) (l 1) (l 2) (l 4);
+      Builder.box ~layer:nm (-l 1) (l 0) (l 3) (l 5) ]
+    []
+
+let resistor ?(len = 10) ~lambda () =
+  let l v = v * lambda in
+  Builder.symbol ~id:id_res ~name:"res" ~device:"RES"
+    [ Builder.box ~layer:nd (l 0) (l 0) (l len) (l 2) ]
+    []
+
+let pad ~lambda =
+  let l v = v * lambda in
+  Builder.symbol ~id:id_pad ~name:"pad" ~device:"PAD"
+    [ Builder.box ~layer:nm (l 0) (l 0) (l 12) (l 12);
+      Builder.box ~layer:ng (l 2) (l 2) (l 10) (l 10) ]
+    []
+
+let buried ~lambda =
+  let l v = v * lambda in
+  Builder.symbol ~id:id_bur ~name:"bur" ~device:"BUR"
+    [ Builder.box ~layer:nd (l 0) (l 0) (l 2) (l 4);
+      Builder.box ~layer:np (l 0) (l 2) (l 2) (l 6);
+      Builder.box ~layer:nb (-l 2) (l 0) (l 4) (l 6) ]
+    []
+
+(* The inverter.  See cells.mli for the floor plan; all joints overlap
+   by at least 2 lambda so skeletons touch, and all unrelated geometry
+   keeps the Fig 12 spacings. *)
+let inverter ~lambda =
+  let l v = v * lambda in
+  let h v = v * lambda / 2 in
+  Builder.symbol ~id:id_inv ~name:"inv"
+    [ (* supply rails; length = pitch + 3 so abutting cells overlap by
+         a full metal width and the rail skeletons touch *)
+      Builder.box ~layer:nm ~net:"GND!" (l 0) (l 0) (l (pitch_x + 3)) (l 3);
+      Builder.box ~layer:nm ~net:"VDD!" (l 0) (l 25) (l (pitch_x + 3)) (l 28);
+      (* input: poly at the left edge, y = 8 *)
+      Builder.wire ~layer:np ~net:"in" ~width:(l 2) [ (l 0, l 8); (l 4, l 8) ];
+      (* gate tie: output poly up and around into the pull-up gate *)
+      Builder.wire ~layer:np ~net:"out" ~width:(l 2)
+        [ (l 6, l 15); (l 2, l 15); (l 2, l 19); (l 4, l 19) ];
+      (* output: poly to the right edge, dropping to y = 8; it reaches
+         one lambda past the pitch so the next cell's input centreline
+         overlaps it *)
+      Builder.wire ~layer:np ~net:"out" ~width:(l 2)
+        [ (l 6, l 15); (l 12, l 15); (l 12, l 8); (l (pitch_x + 1), l 8) ];
+      (* supply stubs in metal *)
+      Builder.wire ~layer:nm ~width:(l 3) [ (l 6, l 4); (l 6, h 3) ];
+      Builder.wire ~layer:nm ~width:(l 3) [ (l 6, l 23); (l 6, h 53) ] ]
+    [ Builder.call ~at:(l 5, l 7) id_enh;
+      Builder.call ~at:(l 5, l 18) id_dep;
+      Builder.call ~at:(l 5, l 10) id_burtall;
+      Builder.call ~at:(l 5, l 3) id_con;
+      Builder.call ~at:(l 5, l 22) id_con ]
+
+let device_symbols ~lambda =
+  [ enh ~lambda; dep ~lambda; contact_diff ~lambda; contact_poly ~lambda;
+    buried_tall ~lambda; butting ~lambda; resistor ~lambda (); pad ~lambda;
+    buried ~lambda ]
+
+let inverter_symbols ~lambda =
+  [ enh ~lambda; dep ~lambda; contact_diff ~lambda; buried_tall ~lambda;
+    inverter ~lambda ]
+
+let chain ~lambda n =
+  let calls =
+    List.init n (fun i -> Builder.call ~at:(i * pitch_x * lambda, 0) id_inv)
+  in
+  Builder.file ~symbols:(inverter_symbols ~lambda) ~top_calls:calls ()
+
+let grid ~lambda ~nx ~ny =
+  let calls =
+    List.concat_map
+      (fun j ->
+        List.init nx (fun i ->
+            Builder.call ~at:(i * pitch_x * lambda, j * pitch_y * lambda) id_inv))
+      (List.init ny Fun.id)
+  in
+  Builder.file ~symbols:(inverter_symbols ~lambda) ~top_calls:calls ()
+
+let grid_blocks ~lambda ~nx ~ny =
+  (* Row symbol (100): nx cells.  Block symbol (101): 4 rows (or fewer).
+     Top: blocks stacked — a chip / block / row / cell / device
+     hierarchy, five levels deep counting devices. *)
+  let row =
+    Builder.symbol ~id:100 ~name:"row" []
+      (List.init nx (fun i -> Builder.call ~at:(i * pitch_x * lambda, 0) id_inv))
+  in
+  let rows_per_block = min 4 ny in
+  let block =
+    Builder.symbol ~id:101 ~name:"block" []
+      (List.init rows_per_block (fun j ->
+           Builder.call ~at:(0, j * pitch_y * lambda) 100))
+  in
+  let n_blocks = (ny + rows_per_block - 1) / rows_per_block in
+  let top_calls =
+    List.init n_blocks (fun b ->
+        Builder.call ~at:(0, b * rows_per_block * pitch_y * lambda) 101)
+  in
+  Builder.file
+    ~symbols:(inverter_symbols ~lambda @ [ row; block ])
+    ~top_calls ()

@@ -1,0 +1,73 @@
+(** An NMOS cell library in extended CIF, Mead & Conway style.
+
+    Every device is an explicitly declared primitive symbol (the
+    paper's structured-design requirement); composite cells wire device
+    instances together with interconnect whose skeletal connections are
+    by construction legal: geometry overlaps by at least the layer
+    minimum width at every joint.
+
+    Symbol id map (fixed):
+    - 1 [enh]: enhancement transistor, vertical current flow.  Gate
+      (0,0)-(2,2) lambda; diffusion (0,-3)-(2,5); poly (-2,0)-(4,2).
+    - 2 [dep]: depletion transistor, ditto plus implant.
+    - 3 [con]: metal-diffusion contact.  Cut (0,0)-(2,2); diffusion
+      and metal (-1,-1)-(3,3).
+    - 4 [conp]: metal-poly contact.
+    - 5 [burtall]: buried contact with an elongated diffusion tail
+      ((0,0)-(2,7)) used to bridge pull-down drain to pull-up source.
+    - 6 [butt]: butting contact.
+    - 7 [res]: diffused resistor (parameter [res_len], default 10
+      lambda).
+    - 8 [pad]: bonding pad.
+    - 9 [bur]: standard buried contact.
+    - 10 [inv]: an inverter: enhancement pull-down, depletion pull-up,
+      buried gate tie, supply contacts and rails.  Input arrives at the
+      left edge at y = 8 lambda; the output is presented at the right
+      edge at y = 8 lambda so that cells abut at {!pitch_x} into a
+      chain with no extra wiring.
+
+    All dimensions scale with [lambda]. *)
+
+val id_enh : int
+val id_dep : int
+val id_con : int
+val id_conp : int
+val id_burtall : int
+val id_butt : int
+val id_res : int
+val id_pad : int
+val id_bur : int
+val id_inv : int
+
+(** Horizontal abutment pitch of the inverter, in lambda (14). *)
+val pitch_x : int
+
+(** Vertical row pitch, in lambda (32). *)
+val pitch_y : int
+
+val enh : lambda:int -> Cif.Ast.symbol
+val dep : lambda:int -> Cif.Ast.symbol
+val contact_diff : lambda:int -> Cif.Ast.symbol
+val contact_poly : lambda:int -> Cif.Ast.symbol
+val buried_tall : lambda:int -> Cif.Ast.symbol
+val butting : lambda:int -> Cif.Ast.symbol
+val resistor : ?len:int -> lambda:int -> unit -> Cif.Ast.symbol
+val pad : lambda:int -> Cif.Ast.symbol
+val buried : lambda:int -> Cif.Ast.symbol
+val inverter : lambda:int -> Cif.Ast.symbol
+
+(** All device symbols (ids 1-9). *)
+val device_symbols : lambda:int -> Cif.Ast.symbol list
+
+(** [chain ~lambda n] — [n] inverters abutted into a chain at the top
+    level. *)
+val chain : lambda:int -> int -> Cif.Ast.file
+
+(** [grid ~lambda ~nx ~ny] — [ny] independent rows of [nx]-inverter
+    chains: the scaling workload for the runtime benches. *)
+val grid : lambda:int -> nx:int -> ny:int -> Cif.Ast.file
+
+(** [grid_blocks ~lambda ~nx ~ny ~bx ~by] — same array but composed
+    hierarchically: a row symbol of [nx] cells, a block symbol of [by]
+    rows, blocks stacked — a 4-level hierarchy exercising Fig 9. *)
+val grid_blocks : lambda:int -> nx:int -> ny:int -> Cif.Ast.file

@@ -1,0 +1,76 @@
+type t = {
+  label : string;
+  truth : Dic.Classify.truth;
+  overlay : Cif.Ast.element list;
+}
+
+let np = Tech.Layer.to_cif Tech.Layer.Poly
+let nd = Tech.Layer.to_cif Tech.Layer.Diffusion
+let nm = Tech.Layer.to_cif Tech.Layer.Metal
+
+let bbox_of elements =
+  match List.map Cif.Ast.element_bbox elements with
+  | [] -> invalid_arg "Inject: empty overlay"
+  | r :: rs -> List.fold_left Geom.Rect.hull r rs
+
+let make ~label ~families overlay =
+  { label;
+    truth =
+      { Dic.Classify.t_families = families;
+        t_where = Some (bbox_of overlay);
+        t_note = label };
+    overlay }
+
+let narrow_poly_wire ~lambda ~at:(x, y) =
+  make ~label:"narrow poly wire" ~families:[ "width" ]
+    [ Builder.wire ~layer:np ~width:lambda [ (x, y); (x + (6 * lambda), y) ] ]
+
+let spacing_pair layer ~lambda ~at:(x, y) =
+  make ~label:("close " ^ layer ^ " pair") ~families:[ "spacing" ]
+    [ Builder.box ~layer x y (x + (4 * lambda)) (y + (4 * lambda));
+      Builder.box ~layer
+        (x + (6 * lambda))
+        y
+        (x + (10 * lambda))
+        (y + (4 * lambda)) ]
+
+let metal_spacing_pair = spacing_pair nm
+let diff_spacing_pair = spacing_pair nd
+
+let accidental_crossing ~lambda ~at:(x, y) =
+  make ~label:"accidental transistor" ~families:[ "integrity" ]
+    [ Builder.wire ~layer:nd ~width:(2 * lambda)
+        [ (x, y); (x + (8 * lambda), y) ];
+      Builder.wire ~layer:np ~width:(2 * lambda)
+        [ (x + (4 * lambda), y - (4 * lambda));
+          (x + (4 * lambda), y + (4 * lambda)) ] ]
+
+let supply_short ~lambda ~cell_origin:(cx, cy) =
+  (* The strap runs at the cell's left margin (x in [0.5, 3.5] lambda of
+     the cell), clear of the 4.5..7.5 metal stub column, from below the
+     GND rail to the top of the VDD rail. *)
+  let x0 = cx + (lambda / 2) and x1 = cx + (7 * lambda / 2) in
+  (* Only the electrical stage can see this one: the strap is legal
+     geometry, and it silently merges the two nets, so no geometric
+     family may claim the credit. *)
+  { label = "VDD-GND strap";
+    truth =
+      { Dic.Classify.t_families = [ "erc" ]; t_where = None;
+        t_note = "VDD-GND strap" };
+    overlay = [ Builder.box ~layer:nm x0 cy x1 (cy + (28 * lambda)) ] }
+
+let butting_halves ~lambda ~at:(x, y) =
+  make ~label:"butting half-width boxes" ~families:[ "width"; "connection"; "short" ]
+    [ Builder.box ~layer:np x y (x + lambda) (y + (6 * lambda));
+      Builder.box ~layer:np (x + lambda) y (x + (2 * lambda)) (y + (6 * lambda)) ]
+
+let standard_batch ~lambda ~at:(x, y) ~step =
+  [ narrow_poly_wire ~lambda ~at:(x, y);
+    metal_spacing_pair ~lambda ~at:(x, y + step);
+    diff_spacing_pair ~lambda ~at:(x, y + (2 * step));
+    accidental_crossing ~lambda ~at:(x, y + (3 * step) + (4 * lambda)) ]
+
+let apply (file : Cif.Ast.file) injections =
+  let overlay = List.concat_map (fun i -> i.overlay) injections in
+  ( { file with Cif.Ast.top_elements = file.Cif.Ast.top_elements @ overlay },
+    List.map (fun i -> i.truth) injections )

@@ -1,0 +1,44 @@
+(** Ground-truth error injection.
+
+    Each injector yields top-level overlay geometry that *really*
+    violates a rule, together with a {!Dic.Classify.truth} journal
+    entry.  Benches drop injections into a clean design and measure
+    which checker finds what — the experimental protocol behind the
+    paper's Fig 1 regions. *)
+
+type t = {
+  label : string;
+  truth : Dic.Classify.truth;
+  overlay : Cif.Ast.element list;
+}
+
+(** A 1-lambda poly wire (half the legal width). *)
+val narrow_poly_wire : lambda:int -> at:int * int -> t
+
+(** Two metal boxes 2 lambda apart (3 required). *)
+val metal_spacing_pair : lambda:int -> at:int * int -> t
+
+(** Two diffusion boxes 2 lambda apart (3 required). *)
+val diff_spacing_pair : lambda:int -> at:int * int -> t
+
+(** A poly wire crossing a diffusion wire in open interconnect — the
+    accidental transistor of paper Fig 8. *)
+val accidental_crossing : lambda:int -> at:int * int -> t
+
+(** A metal strap shorting a cell's GND rail to its VDD rail.
+    [cell_origin] is the cell's placement; the strap runs up its left
+    margin.  Only a net-aware checker can see this one. *)
+val supply_short : lambda:int -> cell_origin:int * int -> t
+
+(** Two half-width boxes butted to form a legal composite — paper
+    Fig 15's self-sufficiency violation. *)
+val butting_halves : lambda:int -> at:int * int -> t
+
+(** The standard mixed batch used by the Fig 1 benches: one of each
+    geometric defect, spread vertically starting at [at] with [step]
+    vertical spacing. *)
+val standard_batch : lambda:int -> at:int * int -> step:int -> t list
+
+(** Apply injections to a file (overlay elements are appended at top
+    level). *)
+val apply : Cif.Ast.file -> t list -> Cif.Ast.file * Dic.Classify.truth list

@@ -1,0 +1,193 @@
+type kit = {
+  kit_name : string;
+  figure : string;
+  description : string;
+  file : Cif.Ast.file;
+  truths : Dic.Classify.truth list;
+}
+
+let np = Tech.Layer.to_cif Tech.Layer.Poly
+let nd = Tech.Layer.to_cif Tech.Layer.Diffusion
+let nm = Tech.Layer.to_cif Tech.Layer.Metal
+let nc = Tech.Layer.to_cif Tech.Layer.Contact
+
+let truth ?where families note =
+  { Dic.Classify.t_families = families; t_where = where; t_note = note }
+
+let fig2_union_illegal ~lambda =
+  let l v = v * lambda in
+  { kit_name = "fig2a";
+    figure = "Fig 2";
+    description =
+      "two individually legal boxes overlap at a corner; the union has an \
+       illegal diagonal neck that figure-based checking cannot see";
+    file =
+      Builder.file ~symbols:[]
+        ~top_elements:
+          [ Builder.box ~layer:np ~net:"a" (l 0) (l 0) (l 4) (l 4);
+            Builder.box ~layer:np ~net:"a" (l 3) (l 3) (l 7) (l 7) ]
+        ~top_calls:[] ();
+    truths =
+      [ truth
+          ~where:(Geom.Rect.make (l 3) (l 3) (l 4) (l 4))
+          [ "width"; "connection"; "short" ] "diagonal neck at the corner overlap" ] }
+
+let fig2_figures_illegal ~lambda =
+  let l v = v * lambda in
+  { kit_name = "fig2b";
+    figure = "Fig 2";
+    description =
+      "two half-width boxes butted into a legal composite; figure-based \
+       checking falsely flags both (the hierarchical checker flags them too, \
+       deliberately, as a Fig 15 style error)";
+    file =
+      Builder.file ~symbols:[]
+        ~top_elements:
+          [ Builder.box ~layer:np ~net:"a" (l 0) (l 0) (l 1) (l 6);
+            Builder.box ~layer:np ~net:"a" (l 1) (l 0) (l 2) (l 6) ]
+        ~top_calls:[] ();
+    truths = [] }
+
+let metal_comb ~lambda =
+  let l v = v * lambda in
+  [ Builder.box ~layer:nm ~net:"a" (l 0) (l 0) (l 10) (l 3);
+    Builder.box ~layer:nm ~net:"a" (l 0) (l 0) (l 3) (l 13);
+    Builder.box ~layer:nm ~net:"a" (l 5) (l 0) (l 8) (l 13) ]
+
+let fig5_equivalent ~lambda =
+  { kit_name = "fig5a";
+    figure = "Fig 5";
+    description =
+      "electrically equivalent metal fingers 2 lambda apart: no hazard, \
+       since a bridge would connect a net to itself; net-blind checkers \
+       flag the gap";
+    file =
+      Builder.file ~symbols:[] ~top_elements:(metal_comb ~lambda) ~top_calls:[] ();
+    truths = [] }
+
+let fig5_resistor ~lambda =
+  let l v = v * lambda in
+  { kit_name = "fig5b";
+    figure = "Fig 5";
+    description =
+      "the same closeness against a declared resistor body is a real \
+       hazard: a bridge would shunt the resistor";
+    file =
+      Builder.file
+        ~symbols:[ Cells.resistor ~lambda () ]
+        ~top_elements:
+          [ (* connection stub into the resistor's end... *)
+            Builder.wire ~layer:nd ~net:"a" ~width:(l 2) [ (l 1, l 1); (l 1, l 5) ];
+            (* ...and a separate parallel run 2 lambda above the body *)
+            Builder.wire ~layer:nd ~width:(l 2) [ (l 1, l 5); (l 9, l 5) ] ]
+        ~top_calls:[ Builder.call ~at:(0, 0) Cells.id_res ]
+        ();
+    truths =
+      [ truth
+          ~where:(Geom.Rect.make (l 0) (l 0) (l 10) (l 6))
+          [ "spacing" ] "wire 2 lambda from the resistor body it feeds" ] }
+
+(* An enhancement transistor with a contact cut dropped on its gate. *)
+let bad_enh ~lambda ~id =
+  let l v = v * lambda in
+  Builder.symbol ~id ~name:"enhbad" ~device:"ENH"
+    [ Builder.box ~layer:nd (l 0) (-l 3) (l 2) (l 5);
+      Builder.box ~layer:np (-l 2) (l 0) (l 4) (l 2);
+      Builder.box ~layer:nc (l 0) (l 0) (l 2) (l 2) ]
+    []
+
+let fig6_device_dependent ~lambda =
+  let l v = v * lambda in
+  { kit_name = "fig6";
+    figure = "Fig 6";
+    description =
+      "the same mask construct is an error on one device and legal on \
+       another: a cut over a transistor's active gate destroys it, while a \
+       cut tapping a resistor body is routine (paper's bipolar example \
+       mapped to the NMOS process)";
+    file =
+      Builder.file
+        ~symbols:
+          [ bad_enh ~lambda ~id:31;
+            (* resistor with a legal tap: cut + metal over one end *)
+            Builder.symbol ~id:32 ~name:"restap" ~device:"RES"
+              [ Builder.box ~layer:nd (l 0) (l 0) (l 10) (l 2);
+                Builder.box ~layer:nc (l 1) (l 0) (l 3) (l 2);
+                Builder.box ~layer:nm (l 0) (-l 1) (l 4) (l 3) ]
+              [] ]
+        ~top_calls:
+          [ Builder.call ~at:(0, 0) 31; Builder.call ~at:(l 10, 0) 32 ]
+        ();
+    truths =
+      [ truth
+          ~where:(Geom.Rect.make (l 0) (l 0) (l 2) (l 2))
+          [ "device" ] "contact over the active gate" ] }
+
+let fig7_contact_gate ~lambda =
+  let l v = v * lambda in
+  { kit_name = "fig7";
+    figure = "Fig 7";
+    description =
+      "a butting contact is a legal poly-diffusion-contact stack; a contact \
+       over an active gate is not.  Mask-level checkers either flag both or \
+       neither";
+    file =
+      Builder.file
+        ~symbols:[ Cells.butting ~lambda; bad_enh ~lambda ~id:31 ]
+        ~top_calls:
+          [ Builder.call ~at:(0, 0) Cells.id_butt;
+            Builder.call ~at:(l 12, 0) 31 ]
+        ();
+    truths =
+      [ (* device findings are reported in symbol-local coordinates *)
+        truth
+          ~where:(Geom.Rect.make (l 0) (l 0) (l 2) (l 2))
+          [ "device" ] "contact over the active gate" ] }
+
+let fig8_accidental ~lambda =
+  let l v = v * lambda in
+  { kit_name = "fig8";
+    figure = "Fig 8";
+    description =
+      "an intentional transistor is a declared device symbol; the same \
+       poly-over-diffusion crossing in open interconnect is an accidental \
+       transistor.  A mask-level checker cannot tell them apart";
+    file =
+      Builder.file
+        ~symbols:[ Cells.enh ~lambda ]
+        ~top_elements:
+          [ Builder.wire ~layer:nd ~width:(l 2) [ (l 12, l 1); (l 20, l 1) ];
+            Builder.wire ~layer:np ~width:(l 2) [ (l 16, -l 3); (l 16, l 5) ] ]
+        ~top_calls:[ Builder.call ~at:(0, 0) Cells.id_enh ]
+        ();
+    truths =
+      [ truth
+          ~where:(Geom.Rect.make (l 15) (l 0) (l 17) (l 2))
+          [ "integrity" ] "accidental poly-diffusion crossing" ] }
+
+let fig15_self_sufficiency ~lambda =
+  let l v = v * lambda in
+  { kit_name = "fig15";
+    figure = "Fig 15";
+    description =
+      "half-width boxes butted into a legal composite violate symbol \
+       self-sufficiency; the preferred form overlaps two full-width boxes";
+    file =
+      Builder.file ~symbols:[]
+        ~top_elements:
+          [ (* the error: butting halves *)
+            Builder.box ~layer:np ~net:"a" (l 0) (l 0) (l 1) (l 6);
+            Builder.box ~layer:np ~net:"a" (l 1) (l 0) (l 2) (l 6);
+            (* the preferred form: overlapped legal boxes *)
+            Builder.box ~layer:np ~net:"b" (l 8) (l 0) (l 10) (l 6);
+            Builder.box ~layer:np ~net:"b" (l 8) (l 4) (l 10) (l 10) ]
+        ~top_calls:[] ();
+    truths =
+      [ truth
+          ~where:(Geom.Rect.make (l 0) (l 0) (l 2) (l 6))
+          [ "width"; "connection"; "short" ] "butting half-width boxes" ] }
+
+let all ~lambda =
+  [ fig2_union_illegal ~lambda; fig2_figures_illegal ~lambda; fig5_equivalent ~lambda;
+    fig5_resistor ~lambda; fig6_device_dependent ~lambda; fig7_contact_gate ~lambda;
+    fig8_accidental ~lambda; fig15_self_sufficiency ~lambda ]

@@ -1,0 +1,47 @@
+(** Pathology kits — one per figure of the paper that illustrates a
+    checker failure mode.  Each kit is a tiny self-contained design
+    plus the expected behaviour, used by the per-figure benches and the
+    [pathologies] example. *)
+
+type kit = {
+  kit_name : string;  (** e.g. "fig2a" *)
+  figure : string;  (** "Fig 2" *)
+  description : string;
+  file : Cif.Ast.file;
+  truths : Dic.Classify.truth list;  (** real defects present (may be none) *)
+}
+
+(** Fig 2 left: two individually legal boxes whose union has an illegal
+    diagonal neck — figure-based checking misses it. *)
+val fig2_union_illegal : lambda:int -> kit
+
+(** Fig 2 right: two half-width boxes whose union is a legal box —
+    figure-based checking falsely flags both. *)
+val fig2_figures_illegal : lambda:int -> kit
+
+(** Fig 5a: electrically equivalent metal fingers closer than the
+    spacing rule — no real defect; net-blind checkers flag it. *)
+val fig5_equivalent : lambda:int -> kit
+
+(** Fig 5b: the same geometry, but the fingers shunt a declared
+    resistor — now the closeness is a real defect. *)
+val fig5_resistor : lambda:int -> kit
+
+(** Fig 6: device-dependent rules — a contact landing on a transistor's
+    active gate (error) and the same contact landing on a plain
+    interconnect crossing pad (legal). *)
+val fig6_device_dependent : lambda:int -> kit
+
+(** Fig 7: a legal butting contact next to a transistor with a contact
+    over its gate (the latter is the only defect). *)
+val fig7_contact_gate : lambda:int -> kit
+
+(** Fig 8: an intentional transistor (declared) and an accidental
+    crossing (undeclared) — only the latter is a defect. *)
+val fig8_accidental : lambda:int -> kit
+
+(** Fig 15: butting half-width boxes (error) and the preferred
+    overlapped legal boxes (clean). *)
+val fig15_self_sufficiency : lambda:int -> kit
+
+val all : lambda:int -> kit list

@@ -1,0 +1,73 @@
+let id_active = 17
+let id_blank = 18
+let pitch = 14
+
+let nd = Tech.Layer.to_cif Tech.Layer.Diffusion
+let np = Tech.Layer.to_cif Tech.Layer.Poly
+let nm = Tech.Layer.to_cif Tech.Layer.Metal
+
+(* The through-routing every crosspoint carries: input poly column,
+   product metal row, vertical ground diffusion.  Each extends 3 lambda
+   past the pitch so neighbours overlap by a full minimum width. *)
+let routing ~lambda =
+  let l v = v * lambda in
+  [ Builder.box ~layer:np (l 2) (l 0) (l 4) (l (pitch + 3));
+    Builder.box ~layer:nm (l 0) (l 9) (l (pitch + 3)) (l 12);
+    Builder.box ~layer:nd ~net:"GND!" (l 12) (l 0) (l 14) (l (pitch + 3)) ]
+
+let blank ~lambda =
+  Builder.symbol ~id:id_blank ~name:"xb" (routing ~lambda) []
+
+let crosspoint ~lambda =
+  let l v = v * lambda in
+  let h v = v * lambda / 2 in
+  Builder.symbol ~id:id_active ~name:"xp"
+    (routing ~lambda
+    @ [ (* gate feed from the input column *)
+        Builder.wire ~layer:np ~width:(l 2) [ (l 3, l 5); (l 5, l 5) ];
+        (* drain up to the product line *)
+        Builder.wire ~layer:nm ~width:(l 3) [ (l 7, l 9); (l 7, h 23) ];
+        (* source over to the ground rail *)
+        Builder.wire ~layer:nd ~width:(l 2) [ (l 7, l 2); (l 13, l 2) ] ])
+    [ Builder.call ~at:(l 6, l 4) Cells.id_enh;
+      Builder.call ~at:(l 6, l 8) Cells.id_con ]
+
+let plane ~lambda program =
+  let l v = v * lambda in
+  let rows = Array.length program in
+  let cols = if rows = 0 then 0 else Array.length program.(0) in
+  let calls =
+    List.concat
+      (List.init rows (fun r ->
+           List.init cols (fun c ->
+               Builder.call
+                 ~at:(c * pitch * lambda, r * pitch * lambda)
+                 (if program.(r).(c) then id_active else id_blank))))
+  in
+  let labels =
+    (* Input labels below the columns; product labels left of the rows. *)
+    List.init cols (fun c ->
+        Builder.wire ~layer:np
+          ~net:(Printf.sprintf "in%d" c)
+          ~width:(l 2)
+          [ ((c * pitch * lambda) + l 3, -l 2); ((c * pitch * lambda) + l 3, l 1) ])
+    @ List.init rows (fun r ->
+          Builder.wire ~layer:nm
+            ~net:(Printf.sprintf "P%d" r)
+            ~width:(l 3)
+            [ (-l 2, (r * pitch * lambda) + (l 21 / 2));
+              (l 2, (r * pitch * lambda) + (l 21 / 2)) ])
+  in
+  Builder.file
+    ~symbols:
+      [ Cells.enh ~lambda; Cells.contact_diff ~lambda; crosspoint ~lambda;
+        blank ~lambda ]
+    ~top_elements:labels ~top_calls:calls ()
+
+let random_program ~rows ~cols ~seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  Array.init rows (fun _ -> Array.init cols (fun _ -> next () land 1 = 1))

@@ -1,0 +1,29 @@
+(** A programmable logic array plane — the regular, structured-VLSI
+    workload the paper's hierarchical argument is aimed at.
+
+    The plane is a grid of crosspoint cells.  Each cell carries an
+    input column (poly), a product-term row (metal) and a ground rail
+    (diffusion, vertical); a *programmed* crosspoint adds a pull-down
+    transistor gated by the input column whose drain contacts the
+    product line and whose source ties to ground — a distributed NOR.
+    Unprogrammed crosspoints route the three wires straight through.
+
+    Symbol ids: 17 [xp] (programmed), 18 [xb] (blank). *)
+
+val id_active : int
+val id_blank : int
+
+(** Crosspoint pitch, in lambda (14 in both axes). *)
+val pitch : int
+
+val crosspoint : lambda:int -> Cif.Ast.symbol
+val blank : lambda:int -> Cif.Ast.symbol
+
+(** [plane ~lambda program] — [program.(row).(col)] places a pull-down
+    at that crosspoint.  Input columns are labelled [in<col>], product
+    rows [P<row>], ground is [GND!]. *)
+val plane : lambda:int -> bool array array -> Cif.Ast.file
+
+(** Deterministic pseudo-random program (linear congruential, seeded) —
+    roughly half the crosspoints active. *)
+val random_program : rows:int -> cols:int -> seed:int -> bool array array

@@ -1,0 +1,90 @@
+let layer_char = function
+  | Tech.Layer.Diffusion -> '+'
+  | Tech.Layer.Poly -> '#'
+  | Tech.Layer.Metal -> '='
+  | Tech.Layer.Contact -> 'X'
+  | Tech.Layer.Implant -> ':'
+  | Tech.Layer.Buried -> 'o'
+  | Tech.Layer.Glass -> 'g'
+
+(* Render priority: later entries overwrite earlier ones. *)
+let priority =
+  [ Tech.Layer.Glass; Tech.Layer.Buried; Tech.Layer.Implant; Tech.Layer.Diffusion;
+    Tech.Layer.Poly; Tech.Layer.Metal; Tech.Layer.Contact ]
+
+let draw ~cell layers =
+  let boxes = List.concat_map (fun (_, rs) -> rs) layers in
+  match boxes with
+  | [] -> "(empty)\n"
+  | r :: rs ->
+    let bb = List.fold_left Geom.Rect.hull r rs in
+    let x0 = Geom.Rect.x0 bb and y0 = Geom.Rect.y0 bb in
+    let w = ((Geom.Rect.width bb + cell - 1) / cell) + 1
+    and h = ((Geom.Rect.height bb + cell - 1) / cell) + 1 in
+    if w > 400 || h > 400 then "(too large to render)\n"
+    else begin
+      let grid = Array.make_matrix h w '.' in
+      List.iter
+        (fun (ch, rects) ->
+          List.iter
+            (fun r ->
+              let cx0 = (Geom.Rect.x0 r - x0) / cell
+              and cy0 = (Geom.Rect.y0 r - y0) / cell
+              and cx1 = (Geom.Rect.x1 r - x0 - 1) / cell
+              and cy1 = (Geom.Rect.y1 r - y0 - 1) / cell in
+              for y = max 0 cy0 to min (h - 1) cy1 do
+                for x = max 0 cx0 to min (w - 1) cx1 do
+                  grid.(y).(x) <- ch
+                done
+              done)
+            rects)
+        layers;
+      let buf = Buffer.create (h * (w + 1)) in
+      for y = h - 1 downto 0 do
+        for x = 0 to w - 1 do
+          Buffer.add_char buf grid.(y).(x)
+        done;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.contents buf
+    end
+
+let collect_symbol model (s : Dic.Model.symbol) =
+  (* Instantiate the symbol's full content into per-layer rect lists. *)
+  let acc = Hashtbl.create 8 in
+  let add layer rects =
+    let cur = try Hashtbl.find acc layer with Not_found -> [] in
+    Hashtbl.replace acc layer (rects @ cur)
+  in
+  let rec go tr (sym : Dic.Model.symbol) =
+    List.iter
+      (fun (e : Dic.Model.element) ->
+        add e.Dic.Model.layer (List.map (Geom.Transform.apply_rect tr) e.Dic.Model.rects))
+      sym.Dic.Model.elements;
+    List.iter
+      (fun (c : Dic.Model.call) ->
+        go (Geom.Transform.compose tr c.Dic.Model.transform)
+          (Dic.Model.find model c.Dic.Model.callee))
+      sym.Dic.Model.calls
+  in
+  go Geom.Transform.identity s;
+  List.filter_map
+    (fun layer ->
+      match Hashtbl.find_opt acc layer with
+      | Some rects -> Some (layer_char layer, rects)
+      | None -> None)
+    priority
+
+let model_symbol ?cell (model : Dic.Model.t) symbol =
+  let cell = match cell with Some c -> c | None -> max 1 (model.Dic.Model.rules.Tech.Rules.lambda / 2) in
+  draw ~cell (collect_symbol model symbol)
+
+let file ?cell rules (f : Cif.Ast.file) =
+  match Dic.Model.elaborate rules f with
+  | Error msg -> "(elaboration failed: " ^ msg ^ ")\n"
+  | Ok (model, _) ->
+    let cell = match cell with Some c -> c | None -> max 1 (rules.Tech.Rules.lambda / 2) in
+    draw ~cell (collect_symbol model model.Dic.Model.root)
+
+let regions ?(cell = 50) layers =
+  draw ~cell (List.map (fun (ch, r) -> (ch, Geom.Region.rects r)) layers)

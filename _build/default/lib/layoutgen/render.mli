@@ -1,0 +1,22 @@
+(** ASCII rendering of layouts — the 1980 line-printer check plot.
+
+    One character per grid cell, layers stacked in priority order
+    (contact cuts over metal over poly over diffusion over the modifier
+    masks).  Useful for eyeballing generated cells and violation
+    neighbourhoods in a terminal. *)
+
+(** Character used for each layer. *)
+val layer_char : Tech.Layer.t -> char
+
+(** [model_symbol ?cell model symbol] renders one symbol definition
+    with its calls instantiated (the full picture of a cell).  [cell]
+    is the grid pitch per character (default: half the rule lambda). *)
+val model_symbol : ?cell:int -> Dic.Model.t -> Dic.Model.symbol -> string
+
+(** [file ?cell rules f] parses nothing: renders the fully instantiated
+    file. *)
+val file : ?cell:int -> Tech.Rules.t -> Cif.Ast.file -> string
+
+(** [regions ?cell layers] renders labelled regions with given
+    characters, first match wins. *)
+val regions : ?cell:int -> (char * Geom.Region.t) list -> string

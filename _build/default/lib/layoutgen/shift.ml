@@ -1,0 +1,73 @@
+let id_pass1 = 11
+let id_burh = 12
+let id_enhh = 13
+let id_pass2 = 15
+let id_sbit = 16
+
+let nd = Tech.Layer.to_cif Tech.Layer.Diffusion
+let np = Tech.Layer.to_cif Tech.Layer.Poly
+let nb = Tech.Layer.to_cif Tech.Layer.Buried
+
+(* Pass gate span: input wire reaches x = -4, output wire reaches
+   x = 19 (one lambda into the following inverter's input); the
+   inverter then occupies 17..17+14.  One bit is two of each. *)
+let stage_pitch = 17 + Cells.pitch_x
+let bit_pitch = 2 * stage_pitch
+
+(* Horizontal buried contact: poly enters from the left, diffusion
+   leaves to the right; the buried window surrounds the tie by 2
+   lambda. *)
+let bur_h ~lambda =
+  let l v = v * lambda in
+  Builder.symbol ~id:id_burh ~name:"burh" ~device:"BUR"
+    [ Builder.box ~layer:np (-l 2) (l 0) (l 2) (l 2);
+      Builder.box ~layer:nd (l 0) (l 0) (l 4) (l 2);
+      Builder.box ~layer:nb (-l 2) (-l 2) (l 4) (l 4) ]
+    []
+
+(* Horizontal-flow enhancement transistor: diffusion runs left-right,
+   poly crosses vertically. *)
+let enh_h ~lambda =
+  let l v = v * lambda in
+  Builder.symbol ~id:id_enhh ~name:"enhh" ~device:"ENH"
+    [ Builder.box ~layer:nd (-l 3) (l 0) (l 5) (l 2);
+      Builder.box ~layer:np (l 0) (-l 2) (l 2) (l 4) ]
+    []
+
+(* The pass gate: signal track at y = 7..9 (centreline y = 8, matching
+   the inverter's input height), clock poly rising from the gate. *)
+let passgate ~lambda ~id ~clock =
+  let l v = v * lambda in
+  Builder.symbol ~id ~name:("pass_" ^ clock)
+    [ (* signal in: poly to the first buried contact *)
+      Builder.wire ~layer:np ~width:(l 2) [ (-l 3, l 8); (l 0, l 8) ];
+      (* signal out: poly reaching one lambda past the stage edge so the
+         next cell's input overlaps it *)
+      Builder.wire ~layer:np ~net:"q" ~width:(l 2) [ (l 13, l 8); (l 18, l 8) ];
+      (* the clock line, rising from the pass gate *)
+      Builder.wire ~layer:np ~net:(clock ^ "!") ~width:(l 2)
+        [ (l 6, l 10); (l 6, l 19) ] ]
+    [ Builder.call ~at:(l 0, l 7) id_burh;
+      Builder.call ~at:(l 5, l 7) id_enhh;
+      Builder.call ~at:(l 12, l 7) ~mirror:`X id_burh ]
+
+let shift_bit ~lambda =
+  let l v = v * lambda in
+  Builder.symbol ~id:id_sbit ~name:"sbit"
+    []
+    [ Builder.call ~at:(l 0, l 0) id_pass1;
+      Builder.call ~at:(l 17, l 0) Cells.id_inv;
+      Builder.call ~at:(l stage_pitch, l 0) id_pass2;
+      Builder.call ~at:(l (stage_pitch + 17), l 0) Cells.id_inv ]
+
+let register ~lambda n =
+  let symbols =
+    [ Cells.enh ~lambda; Cells.dep ~lambda; Cells.contact_diff ~lambda;
+      Cells.buried_tall ~lambda; Cells.inverter ~lambda; bur_h ~lambda;
+      enh_h ~lambda;
+      passgate ~lambda ~id:id_pass1 ~clock:"PHI1";
+      passgate ~lambda ~id:id_pass2 ~clock:"PHI2";
+      shift_bit ~lambda ]
+  in
+  let calls = List.init n (fun i -> Builder.call ~at:(i * bit_pitch * lambda, 0) id_sbit) in
+  Builder.file ~symbols ~top_calls:calls ()

@@ -1,0 +1,31 @@
+(** A two-phase NMOS dynamic shift register.
+
+    Each bit is pass(PHI1) -> inverter -> pass(PHI2) -> inverter; the
+    pass transistors conduct through diffusion, entered and left
+    through buried contacts (poly-diffusion ties), with the clock in
+    poly crossing the diffusion track — the canonical Mead & Conway
+    dynamic register.  Clocks are global nets ([PHI1!], [PHI2!]) that
+    merge by name across bits.
+
+    Extra symbol ids (on top of {!Cells}):
+    - 12 [burh]: horizontal buried contact (poly left, diffusion right),
+    - 13 [enhh]: horizontal-flow enhancement transistor,
+    - 11/15 [pass1]/[pass2]: pass gates clocked by PHI1/PHI2,
+    - 16 [sbit]: one shift-register bit (two pass gates, two inverters). *)
+
+val id_pass1 : int
+val id_burh : int
+val id_enhh : int
+val id_pass2 : int
+val id_sbit : int
+
+(** Horizontal abutment pitch of one bit, in lambda. *)
+val bit_pitch : int
+
+val bur_h : lambda:int -> Cif.Ast.symbol
+val enh_h : lambda:int -> Cif.Ast.symbol
+val passgate : lambda:int -> id:int -> clock:string -> Cif.Ast.symbol
+val shift_bit : lambda:int -> Cif.Ast.symbol
+
+(** [register ~lambda n] — an [n]-bit shift register at the top level. *)
+val register : lambda:int -> int -> Cif.Ast.file

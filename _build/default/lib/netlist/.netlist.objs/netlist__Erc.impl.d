@@ -1,0 +1,1 @@
+lib/netlist/erc.ml: Format List Net String Tech

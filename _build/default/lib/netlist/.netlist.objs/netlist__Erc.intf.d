@@ -1,0 +1,1 @@
+lib/netlist/erc.mli: Format Net

@@ -1,0 +1,1 @@
+lib/netlist/net.ml: Format Hashtbl List Option Printf Stdlib String Tech Uf

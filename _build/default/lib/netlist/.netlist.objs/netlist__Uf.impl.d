@@ -1,0 +1,1 @@
+lib/netlist/uf.ml: Array Hashtbl List Stdlib

@@ -1,0 +1,96 @@
+type terminal = {
+  device_path : string;
+  device : Tech.Device.kind;
+  port : string;
+}
+
+type net = {
+  names : string list;
+  auto_name : string;
+  classes : Tech.Netclass.t list;
+  terminals : terminal list;
+  element_count : int;
+}
+
+type t = { nets : net list }
+
+let display_name n = match n.names with name :: _ -> name | [] -> n.auto_name
+let has_class n c = List.exists (Tech.Netclass.equal c) n.classes
+
+let find_by_name t name =
+  List.find_opt (fun n -> List.mem name n.names || n.auto_name = name) t.nets
+
+let pp_net ppf n =
+  Format.fprintf ppf "%s: %d element(s), %d terminal(s)%s" (display_name n)
+    n.element_count (List.length n.terminals)
+    (match n.classes with
+    | [] -> ""
+    | cs -> " [" ^ String.concat "," (List.map Tech.Netclass.to_string cs) ^ "]")
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_net) t.nets
+
+type builder = {
+  uf : Uf.t;
+  labels : (int, string) Hashtbl.t;  (** node -> explicit label *)
+  terminals : (int, terminal) Hashtbl.t;  (** node -> terminals (multi) *)
+  elements : (int, unit) Hashtbl.t;  (** node -> element marks (multi) *)
+}
+
+let builder () =
+  { uf = Uf.create ();
+    labels = Hashtbl.create 64;
+    terminals = Hashtbl.create 64;
+    elements = Hashtbl.create 64 }
+
+let node b ~label =
+  let id = Uf.make b.uf in
+  (match label with None -> () | Some l -> Hashtbl.add b.labels id l);
+  id
+
+let connect b i j = Uf.union b.uf i j
+let connected b i j = Uf.same b.uf i j
+let add_terminal b i t = Hashtbl.add b.terminals i t
+let add_element b i = Hashtbl.add b.elements i ()
+
+let is_global name = String.length name > 0 && name.[String.length name - 1] = '!'
+
+let merge_globals b =
+  let by_name = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun node label ->
+      if is_global label then
+        match Hashtbl.find_opt by_name label with
+        | Some first -> Uf.union b.uf first node
+        | None -> Hashtbl.add by_name label node)
+    b.labels
+
+let finish b ~auto_prefix =
+  let classes_of names =
+    List.sort_uniq Stdlib.compare (List.map Tech.Netclass.classify names)
+    |> List.filter (fun c -> not (Tech.Netclass.equal c Tech.Netclass.Signal))
+  in
+  let nets =
+    Uf.classes b.uf
+    |> List.mapi (fun i members ->
+           let names =
+             List.concat_map
+               (fun m -> Option.to_list (Hashtbl.find_opt b.labels m))
+               members
+             |> List.sort_uniq String.compare
+           in
+           let terminals =
+             List.concat_map (fun m -> Hashtbl.find_all b.terminals m) members
+           in
+           let element_count =
+             List.fold_left
+               (fun acc m -> acc + List.length (Hashtbl.find_all b.elements m))
+               0 members
+           in
+           { names;
+             auto_name = Printf.sprintf "%sn%d" auto_prefix i;
+             classes = classes_of names;
+             terminals;
+             element_count })
+  in
+  { nets }

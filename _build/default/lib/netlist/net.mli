@@ -1,0 +1,66 @@
+(** The hierarchical net list (paper Fig 10, "generate hierarchical net
+    list").
+
+    Each element in the design gets a unique net identifier using dot
+    notation to reference elements of an instance from a higher level:
+    [a.b] is element (or net) [b] inside instance [a].  Explicitly
+    labelled nets keep their labels; global nets (CIF convention:
+    trailing [!]) merge across the hierarchy by name. *)
+
+type terminal = {
+  device_path : string;  (** instance path of the device, dot notation *)
+  device : Tech.Device.kind;
+  port : string;  (** e.g. "gate", "sd1", "via" *)
+}
+
+type net = {
+  names : string list;
+      (** explicit labels merged into this net (empty for anonymous
+          nets), sorted *)
+  auto_name : string;  (** generated dot-notation identifier *)
+  classes : Tech.Netclass.t list;  (** distinct classes of [names] *)
+  terminals : terminal list;
+  element_count : int;  (** interconnect elements on the net *)
+}
+
+type t = { nets : net list }
+
+(** Preferred display name: first explicit label, else the generated
+    identifier. *)
+val display_name : net -> string
+
+(** Does the net carry (a label of) the given class? *)
+val has_class : net -> Tech.Netclass.t -> bool
+
+val find_by_name : t -> string -> net option
+val pp_net : Format.formatter -> net -> unit
+val pp : Format.formatter -> t -> unit
+
+(** {1 Building} *)
+
+type builder
+
+val builder : unit -> builder
+
+(** [node b ~label] allocates a connectivity node; [label] is an
+    optional explicit net name. *)
+val node : builder -> label:string option -> int
+
+val connect : builder -> int -> int -> unit
+val connected : builder -> int -> int -> bool
+
+(** [add_terminal b node t] records a device terminal on the net of
+    [node]. *)
+val add_terminal : builder -> int -> terminal -> unit
+
+(** [add_element b node] counts an interconnect element on the net of
+    [node]. *)
+val add_element : builder -> int -> unit
+
+(** [merge_globals b] unions nodes whose labels are equal global names
+    (trailing [!]). *)
+val merge_globals : builder -> unit
+
+(** [finish b ~auto_prefix] produces the net list; anonymous nets are
+    named [auto_prefix ^ "n" ^ string_of_int i]. *)
+val finish : builder -> auto_prefix:string -> t

@@ -1,0 +1,57 @@
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable n : int;
+}
+
+let create () = { parent = Array.make 16 0; rank = Array.make 16 0; n = 0 }
+
+let grow t =
+  let cap = Array.length t.parent in
+  if t.n >= cap then begin
+    let parent = Array.make (2 * cap) 0 and rank = Array.make (2 * cap) 0 in
+    Array.blit t.parent 0 parent 0 cap;
+    Array.blit t.rank 0 rank 0 cap;
+    t.parent <- parent;
+    t.rank <- rank
+  end
+
+let make t =
+  grow t;
+  let id = t.n in
+  t.parent.(id) <- id;
+  t.n <- t.n + 1;
+  id
+
+let size t = t.n
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri <> rj then
+    if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
+    else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
+    else begin
+      t.parent.(rj) <- ri;
+      t.rank.(ri) <- t.rank.(ri) + 1
+    end
+
+let same t i j = find t i = find t j
+
+let classes t =
+  let groups = Hashtbl.create 16 in
+  for i = t.n - 1 downto 0 do
+    let root = find t i in
+    let cur = try Hashtbl.find groups root with Not_found -> [] in
+    Hashtbl.replace groups root (i :: cur)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) groups []
+  |> List.sort (fun a b -> Stdlib.compare a b)

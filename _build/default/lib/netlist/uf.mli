@@ -1,0 +1,20 @@
+(** Union-find with path compression and union by rank.
+
+    The connectivity workhorse behind net-list generation: elements
+    found skeletally connected are unioned; the resulting classes are
+    the nets. *)
+
+type t
+
+val create : unit -> t
+
+(** [make t] allocates a fresh node. *)
+val make : t -> int
+
+val size : t -> int
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+(** Groups of node ids, one list per class, each sorted ascending. *)
+val classes : t -> int list list

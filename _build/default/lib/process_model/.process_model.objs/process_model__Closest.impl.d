@@ -1,0 +1,1 @@
+lib/process_model/closest.ml: Exposure Float Format Geom List

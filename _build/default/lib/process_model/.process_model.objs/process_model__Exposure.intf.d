@@ -1,0 +1,1 @@
+lib/process_model/exposure.mli: Geom

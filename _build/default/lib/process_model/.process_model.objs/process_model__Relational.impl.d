@@ -1,0 +1,1 @@
+lib/process_model/relational.ml: Exposure Float Format Geom

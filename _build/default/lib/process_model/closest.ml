@@ -1,0 +1,87 @@
+type verdict = {
+  gap2 : int;
+  line : (Geom.Pt.t * Geom.Pt.t) option;
+  max_exposure : float;
+  bridges : bool;
+}
+
+(* The closest pair of points between two boxes decomposes per axis: if
+   the projections are disjoint the facing endpoints are closest;
+   otherwise any shared coordinate (we take the overlap midpoint) gives
+   distance zero on that axis. *)
+let axis_closest a0 a1 b0 b1 =
+  if b0 > a1 then (a1, b0)
+  else if a0 > b1 then (a0, b1)
+  else
+    let m = (max a0 b0 + min a1 b1) / 2 in
+    (m, m)
+
+let closest_points a b =
+  let ax, bx = axis_closest (Geom.Rect.x0 a) (Geom.Rect.x1 a) (Geom.Rect.x0 b) (Geom.Rect.x1 b) in
+  let ay, by = axis_closest (Geom.Rect.y0 a) (Geom.Rect.y1 a) (Geom.Rect.y0 b) (Geom.Rect.y1 b) in
+  (Geom.Pt.make ax ay, Geom.Pt.make bx by)
+
+let line_of_closest_approach ra rb =
+  let rects_a = Geom.Region.rects ra and rects_b = Geom.Region.rects rb in
+  if rects_a = [] || rects_b = [] then None
+  else begin
+    let best = ref None in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            let g2 = Geom.Rect.euclidean_gap2 a b in
+            match !best with
+            | Some (bg2, _, _) when bg2 <= g2 -> ()
+            | _ -> best := Some (g2, a, b))
+          rects_b)
+      rects_a;
+    match !best with
+    | None -> None
+    | Some (_, a, b) -> Some (closest_points a b)
+  end
+
+let check model ~misalign a b =
+  match line_of_closest_approach a b with
+  | None -> { gap2 = 0; line = None; max_exposure = 1.0; bridges = true }
+  | Some (pa, pb) ->
+    let gap2 = Geom.Pt.dist2 pa pb in
+    if gap2 = 0 then
+      { gap2 = 0; line = Some (pa, pb); max_exposure = 1.0; bridges = true }
+    else begin
+      (* Worst-case misalignment: translate b toward a along the line,
+         rounded so geometry stays on the integer grid. *)
+      let dx = pa.Geom.Pt.x - pb.Geom.Pt.x and dy = pa.Geom.Pt.y - pb.Geom.Pt.y in
+      let len = sqrt (float_of_int ((dx * dx) + (dy * dy))) in
+      let shift_x =
+        int_of_float (Float.round (float_of_int misalign *. float_of_int dx /. len))
+      and shift_y =
+        int_of_float (Float.round (float_of_int misalign *. float_of_int dy /. len))
+      in
+      let b' = Geom.Region.translate b shift_x shift_y in
+      let combined = Geom.Region.union a b' in
+      let max_exposure, _ =
+        Exposure.max_along model combined
+          ~x0:(float_of_int pa.Geom.Pt.x) ~y0:(float_of_int pa.Geom.Pt.y)
+          ~x1:(float_of_int (pb.Geom.Pt.x + shift_x))
+          ~y1:(float_of_int (pb.Geom.Pt.y + shift_y))
+          ~samples:32
+      in
+      (* If the regions now touch after misalignment, they bridge
+         outright. *)
+      let touching =
+        match Geom.Measure.separation2 ~metric:Geom.Measure.Euclidean a b' with
+        | Some 0 -> true
+        | _ -> false
+      in
+      { gap2;
+        line = Some (pa, pb);
+        max_exposure;
+        bridges = touching || max_exposure >= model.Exposure.threshold }
+    end
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "gap=%.2f maxI=%.3f %s"
+    (sqrt (float_of_int v.gap2))
+    v.max_exposure
+    (if v.bridges then "BRIDGES" else "clear")

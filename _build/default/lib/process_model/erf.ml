@@ -1,0 +1,15 @@
+let erf_pos x =
+  (* A&S 7.1.26. *)
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429
+  and p = 0.3275911 in
+  let t = 1. /. (1. +. (p *. x)) in
+  let poly = t *. (a1 +. (t *. (a2 +. (t *. (a3 +. (t *. (a4 +. (t *. a5)))))))) in
+  1. -. (poly *. exp (-.(x *. x)))
+
+let erf x = if x >= 0. then erf_pos x else -.erf_pos (-.x)
+let erfc x = 1. -. erf x
+let gauss_cdf x = (1. +. erf (x /. sqrt 2.)) /. 2.

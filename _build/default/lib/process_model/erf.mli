@@ -1,0 +1,14 @@
+(** The error function, needed for the closed-form solution of the
+    paper's Eq 1: with a Gaussian exposure kernel and box masks, "the
+    exposure at each point ... has a closed form solution in terms of
+    an error function." *)
+
+(** Abramowitz & Stegun 7.1.26 rational approximation; absolute error
+    below 1.5e-7, odd-symmetric by construction. *)
+val erf : float -> float
+
+val erfc : float -> float
+
+(** Integral of the unit Gaussian from -inf to [x]:
+    [(1 + erf (x /. sqrt 2.)) /. 2.]. *)
+val gauss_cdf : float -> float

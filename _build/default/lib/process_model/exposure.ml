@@ -1,0 +1,57 @@
+type t = { sigma : float; threshold : float }
+
+let make ?(threshold = 0.5) ~sigma () =
+  if sigma <= 0. then invalid_arg "Exposure.make: sigma must be positive";
+  if threshold <= 0. || threshold >= 1. then
+    invalid_arg "Exposure.make: threshold must lie strictly between 0 and 1";
+  { sigma; threshold }
+
+let of_rect t r x y =
+  let s = t.sigma *. sqrt 2. in
+  let ex lo hi v = Erf.erf ((hi -. v) /. s) -. Erf.erf ((lo -. v) /. s) in
+  0.25
+  *. ex (float_of_int (Geom.Rect.x0 r)) (float_of_int (Geom.Rect.x1 r)) x
+  *. ex (float_of_int (Geom.Rect.y0 r)) (float_of_int (Geom.Rect.y1 r)) y
+
+let of_region t region x y =
+  List.fold_left (fun acc r -> acc +. of_rect t r x y) 0. (Geom.Region.rects region)
+
+let prints t region x y = of_region t region x y >= t.threshold
+
+let printed t region ~step ~margin =
+  if step <= 0 then invalid_arg "Exposure.printed: step must be positive";
+  match Geom.Region.bbox region with
+  | None -> Geom.Region.empty
+  | Some bb ->
+    let x0 = Geom.Rect.x0 bb - margin
+    and y0 = Geom.Rect.y0 bb - margin
+    and x1 = Geom.Rect.x1 bb + margin
+    and y1 = Geom.Rect.y1 bb + margin in
+    let cells = ref [] in
+    let y = ref y0 in
+    while !y < y1 do
+      let x = ref x0 in
+      while !x < x1 do
+        let cx = float_of_int !x +. (float_of_int step /. 2.)
+        and cy = float_of_int !y +. (float_of_int step /. 2.) in
+        if prints t region cx cy then
+          cells := Geom.Rect.make !x !y (!x + step) (!y + step) :: !cells;
+        x := !x + step
+      done;
+      y := !y + step
+    done;
+    Geom.Region.of_rects !cells
+
+let max_along t region ~x0 ~y0 ~x1 ~y1 ~samples =
+  if samples < 1 then invalid_arg "Exposure.max_along: samples must be >= 1";
+  let best = ref neg_infinity and best_u = ref 0. in
+  for i = 0 to samples do
+    let u = float_of_int i /. float_of_int samples in
+    let x = x0 +. (u *. (x1 -. x0)) and y = y0 +. (u *. (y1 -. y0)) in
+    let v = of_region t region x y in
+    if v > !best then begin
+      best := v;
+      best_u := u
+    end
+  done;
+  (!best, !best_u)

@@ -1,0 +1,44 @@
+(** Gaussian exposure of a mask (the paper's Eq 1).
+
+    [I(p) = integral of A exp(-r^2 / 2 sigma^2) M(q) dq] where [M] is
+    the binary mask.  With the kernel normalised so that a full plane
+    exposes to 1.0, a box mask has the separable closed form
+
+    [I(x,y) = 1/4 (erf((x1-x)/s) - erf((x0-x)/s)) (erf-terms in y)]
+
+    with [s = sigma * sqrt 2].  Exposure of a region is the sum over
+    its disjoint canonical strips.  Printing is thresholded: resist
+    develops where [I >= threshold]; [threshold = 0.5] prints a long
+    straight mask edge exactly in place, so bias is zero for large
+    features and all deviation is corner rounding and proximity — the
+    effects of paper Figs 13 and 14. *)
+
+type t = {
+  sigma : float;  (** Gaussian kernel width, in layout units *)
+  threshold : float;  (** develop threshold as a fraction of full exposure *)
+}
+
+(** [make ~sigma ~threshold ()] — [sigma > 0], [0 < threshold < 1]. *)
+val make : ?threshold:float -> sigma:float -> unit -> t
+
+(** Exposure contribution of one rectangle at a (float) point. *)
+val of_rect : t -> Geom.Rect.t -> float -> float -> float
+
+(** Total exposure of a region at a point (sums disjoint strips). *)
+val of_region : t -> Geom.Region.t -> float -> float -> float
+
+(** Does the point print? *)
+val prints : t -> Geom.Region.t -> float -> float -> bool
+
+(** [printed t region ~step ~margin] rasterises the printed contour:
+    samples cell centres every [step] units over the bounding box grown
+    by [margin] and returns the region of printing cells.  This is the
+    paper's "proximity effect expand" shape (Fig 13). *)
+val printed : t -> Geom.Region.t -> step:int -> margin:int -> Geom.Region.t
+
+(** Maximum exposure along the closed segment from [(x0,y0)] to
+    [(x1,y1)], sampled at [samples + 1] points ([samples >= 1]).
+    Returns the maximum and its parameter in [0..1]. *)
+val max_along :
+  t -> Geom.Region.t -> x0:float -> y0:float -> x1:float -> y1:float ->
+  samples:int -> float * float

@@ -1,0 +1,54 @@
+(* A long wire of width w ending at x = 0, extending to x = -L.  The
+   printed end is the largest x with exposure >= threshold along the
+   centreline; retreat is its distance short of 0. *)
+let retreat model ~width =
+  if width <= 0 then invalid_arg "Relational.retreat: width must be positive";
+  let l = 40. *. model.Exposure.sigma in
+  let region =
+    Geom.Region.of_rect
+      (Geom.Rect.make (-(int_of_float l)) (-(width / 2)) 0 (width - (width / 2)))
+  in
+  let expose x = Exposure.of_region model region x 0. in
+  (* The exposure is monotone decreasing in x near the end; bisect for
+     the threshold crossing.  Search window: a few sigma either side. *)
+  let lo = ref (-4. *. model.Exposure.sigma) and hi = ref (4. *. model.Exposure.sigma) in
+  if expose !lo < model.Exposure.threshold then
+    (* Even well inside the wire the exposure is below threshold: the
+       wire does not print at all.  Retreat is effectively the whole
+       search window. *)
+    -. !lo
+  else begin
+    for _ = 1 to 48 do
+      let mid = (!lo +. !hi) /. 2. in
+      if expose mid >= model.Exposure.threshold then lo := mid else hi := mid
+    done;
+    let printed_end = (!lo +. !hi) /. 2. in
+    Float.max 0. (-.printed_end)
+  end
+
+let effective_overhang model ~width ~drawn =
+  Float.max 0. (float_of_int drawn -. retreat model ~width)
+
+type verdict = {
+  width : int;
+  drawn_overhang : int;
+  retreat : float;
+  effective : float;
+  required : int;
+  ok : bool;
+}
+
+let check_gate_overhang model ~width ~drawn ~required =
+  let r = retreat model ~width in
+  let effective = Float.max 0. (float_of_int drawn -. r) in
+  { width;
+    drawn_overhang = drawn;
+    retreat = r;
+    effective;
+    required;
+    ok = effective >= float_of_int required }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "w=%d drawn=%d retreat=%.1f effective=%.1f need=%d %s" v.width
+    v.drawn_overhang v.retreat v.effective v.required
+    (if v.ok then "ok" else "VIOLATION")

@@ -1,0 +1,41 @@
+(** Relational rules (paper Fig 14).
+
+    "Relational rules are ones where one dimension of the structure
+    depends on another feature of the same structure.  For example, the
+    poly overlap of the gate region on an MOS transistor is a function
+    of the width of the poly in some design rules to account for the
+    'retreat' of the end on narrow wires."
+
+    The end of a drawn wire prints short of its drawn position because
+    the exposure near the end lacks contribution from beyond it, and
+    the loss is worse for narrow wires (less lateral exposure to spare).
+    [retreat] computes that pull-back from the exposure model; the
+    relational gate-overlap check compares the *effective* (retreated)
+    poly overhang against the requirement, instead of the drawn one. *)
+
+(** [retreat model ~width] — distance (in layout units, >= 0) by which
+    the printed end of a long wire of the given drawn width falls short
+    of the drawn end.  Monotone non-increasing in [width]. *)
+val retreat : Exposure.t -> width:int -> float
+
+(** [effective_overhang model ~width ~drawn] — drawn overhang minus the
+    retreat, clamped at zero. *)
+val effective_overhang : Exposure.t -> width:int -> drawn:int -> float
+
+type verdict = {
+  width : int;
+  drawn_overhang : int;
+  retreat : float;
+  effective : float;
+  required : int;
+  ok : bool;
+}
+
+(** [check_gate_overhang model ~width ~drawn ~required] — the
+    relational form of the gate-overhang rule: the effective overhang
+    must still meet [required] (the fixed-rule number covers the
+    shorting hazard only if the end does not retreat). *)
+val check_gate_overhang :
+  Exposure.t -> width:int -> drawn:int -> required:int -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

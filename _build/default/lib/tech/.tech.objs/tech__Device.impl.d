@@ -1,0 +1,1 @@
+lib/tech/device.ml: Format Int Layer String

@@ -1,0 +1,1 @@
+lib/tech/device.mli: Format Layer

@@ -1,0 +1,1 @@
+lib/tech/interaction.ml: Format Layer List Rules

@@ -1,0 +1,1 @@
+lib/tech/interaction.mli: Format Layer Rules

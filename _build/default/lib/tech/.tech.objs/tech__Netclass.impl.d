@@ -1,0 +1,1 @@
+lib/tech/netclass.ml: Format String

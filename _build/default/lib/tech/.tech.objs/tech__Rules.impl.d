@@ -1,0 +1,1 @@
+lib/tech/rules.ml: Buffer Format Layer List Printf Result String

@@ -1,0 +1,58 @@
+type kind =
+  | Enhancement
+  | Depletion
+  | Contact_cut
+  | Butting_contact
+  | Buried_contact
+  | Resistor
+  | Pad
+  | Checked
+
+let all =
+  [ Enhancement; Depletion; Contact_cut; Butting_contact; Buried_contact; Resistor;
+    Pad; Checked ]
+
+let to_tag = function
+  | Enhancement -> "ENH"
+  | Depletion -> "DEP"
+  | Contact_cut -> "CON"
+  | Butting_contact -> "BUT"
+  | Buried_contact -> "BUR"
+  | Resistor -> "RES"
+  | Pad -> "PAD"
+  | Checked -> "CHK"
+
+let of_tag s =
+  match String.uppercase_ascii s with
+  | "ENH" -> Some Enhancement
+  | "DEP" -> Some Depletion
+  | "CON" -> Some Contact_cut
+  | "BUT" -> Some Butting_contact
+  | "BUR" -> Some Buried_contact
+  | "RES" -> Some Resistor
+  | "PAD" -> Some Pad
+  | "CHK" -> Some Checked
+  | _ -> None
+
+let rank = function
+  | Enhancement -> 0
+  | Depletion -> 1
+  | Contact_cut -> 2
+  | Butting_contact -> 3
+  | Buried_contact -> 4
+  | Resistor -> 5
+  | Pad -> 6
+  | Checked -> 7
+
+let equal a b = rank a = rank b
+let compare a b = Int.compare (rank a) (rank b)
+let pp ppf k = Format.pp_print_string ppf (to_tag k)
+let is_transistor = function Enhancement | Depletion -> true | _ -> false
+
+let ties = function
+  | Contact_cut -> [ (Layer.Metal, Layer.Poly); (Layer.Metal, Layer.Diffusion) ]
+  | Butting_contact ->
+    [ (Layer.Metal, Layer.Poly); (Layer.Metal, Layer.Diffusion);
+      (Layer.Poly, Layer.Diffusion) ]
+  | Buried_contact -> [ (Layer.Poly, Layer.Diffusion) ]
+  | Enhancement | Depletion | Resistor | Pad | Checked -> []

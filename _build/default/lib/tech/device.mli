@@ -1,0 +1,40 @@
+(** Device types for primitive symbols.
+
+    The paper requires every "device" to be declared explicitly as a
+    primitive symbol with a type — the structured-design analogue of a
+    typed declaration.  Implicit devices (poly crossing diffusion in
+    open interconnect) are errors. *)
+
+type kind =
+  | Enhancement  (** enhancement-mode MOS transistor *)
+  | Depletion  (** depletion-mode MOS transistor (implanted) *)
+  | Contact_cut  (** metal to poly or diffusion contact *)
+  | Butting_contact  (** poly-diffusion tie under one contact (paper Fig 7) *)
+  | Buried_contact  (** poly-diffusion tie through a buried window *)
+  | Resistor  (** diffused resistor — spacing matters even on one net (Fig 5b) *)
+  | Pad  (** bonding pad: glass opening over wide metal *)
+  | Checked  (** user-certified special device: all internal checks waived
+                 (the paper's "technique for flagging specific devices as
+                 checked") *)
+
+val all : kind list
+
+(** Identifier used in the CIF [4D] extension. *)
+val to_tag : kind -> string
+
+val of_tag : string -> kind option
+val equal : kind -> kind -> bool
+val compare : kind -> kind -> int
+val pp : Format.formatter -> kind -> unit
+
+(** Is this a transistor (gate/implant geometry cannot be assigned to a
+    net, and interaction subcases depend on relatedness — paper
+    Fig 12's discussion)? *)
+val is_transistor : kind -> bool
+
+(** Layer pairs the device electrically ties together.  Transistors tie
+    nothing (the channel is not a wire); a contact cut ties metal to
+    poly or diffusion (whichever it lands on); butting and buried
+    contacts tie poly to diffusion (the butting contact also to
+    metal). *)
+val ties : kind -> (Layer.t * Layer.t) list

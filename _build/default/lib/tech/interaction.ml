@@ -1,0 +1,44 @@
+type entry =
+  | No_rule
+  | Device_checked
+  | Space of { same_net : int option; diff_net : int }
+
+let entry rules a b =
+  let l = Layer.(if index a <= index b then (a, b) else (b, a)) in
+  match l with
+  | Layer.Diffusion, Layer.Diffusion ->
+    Space { same_net = None; diff_net = rules.Rules.space_diffusion }
+  | Layer.Poly, Layer.Poly -> Space { same_net = None; diff_net = rules.Rules.space_poly }
+  | Layer.Metal, Layer.Metal -> Space { same_net = None; diff_net = rules.Rules.space_metal }
+  | Layer.Contact, Layer.Contact ->
+    Space { same_net = None; diff_net = rules.Rules.space_contact }
+  | Layer.Diffusion, Layer.Poly ->
+    (* Unrelated poly and diffusion must stay apart lest they form an
+       accidental transistor; legal crossings happen only inside
+       transistor/contact symbols (checked there). *)
+    Space { same_net = Some rules.Rules.space_poly_diffusion;
+            diff_net = rules.Rules.space_poly_diffusion }
+  | Layer.Diffusion, Layer.Metal -> No_rule
+  | Layer.Poly, Layer.Metal -> No_rule
+  | Layer.Diffusion, Layer.Contact | Layer.Poly, Layer.Contact
+  | Layer.Metal, Layer.Contact ->
+    Device_checked
+  | _ -> No_rule
+
+let cells rules =
+  let routing = Layer.routing in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if Layer.index a <= Layer.index b then Some (a, b, entry rules a b) else None)
+        routing)
+    routing
+
+let pp_entry ppf = function
+  | No_rule -> Format.pp_print_string ppf "-"
+  | Device_checked -> Format.pp_print_string ppf "dev"
+  | Space { same_net; diff_net } ->
+    (match same_net with
+    | None -> Format.fprintf ppf "same:skip diff:%d" diff_net
+    | Some s -> Format.fprintf ppf "same:%d diff:%d" s diff_net)

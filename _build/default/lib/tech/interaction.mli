@@ -1,0 +1,33 @@
+(** The paper's Fig 12 interaction-rule matrix.
+
+    After elements, devices, and connections are checked, "what remains
+    to be checked are the interactions between elements and/or
+    primitive symbols.  The checks which remain are only spacing
+    checks."  The possible cases form an upper-triangular matrix over
+    the routing layers (D P M C), each split into same-net and
+    different-net subcases.  Most cells need no check: either no rule
+    relates the two layers (metal/diffusion) or the only rules concern
+    primitive symbols already checked (contact/poly). *)
+
+type entry =
+  | No_rule  (** the two layers never interact geometrically *)
+  | Device_checked
+      (** any legal interaction occurs only inside a primitive symbol,
+          which stage 3 has already checked *)
+  | Space of {
+      same_net : int option;
+          (** spacing required even between electrically equivalent
+              elements — [None] for ordinary interconnect (Fig 5a), a
+              distance when a resistor or similar is involved
+              (Fig 5b) *)
+      diff_net : int;  (** spacing required between different nets *)
+    }
+
+(** [entry rules a b] — symmetric lookup into the matrix. *)
+val entry : Rules.t -> Layer.t -> Layer.t -> entry
+
+(** All upper-triangular (layer, layer, entry) cells over the routing
+    layers, for reporting (bench [fig12_matrix_coverage]). *)
+val cells : Rules.t -> (Layer.t * Layer.t * entry) list
+
+val pp_entry : Format.formatter -> entry -> unit

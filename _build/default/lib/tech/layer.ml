@@ -1,0 +1,41 @@
+type t = Diffusion | Poly | Metal | Contact | Implant | Buried | Glass
+
+let all = [ Diffusion; Poly; Metal; Contact; Implant; Buried; Glass ]
+let routing = [ Diffusion; Poly; Metal; Contact ]
+
+let to_cif = function
+  | Diffusion -> "ND"
+  | Poly -> "NP"
+  | Metal -> "NM"
+  | Contact -> "NC"
+  | Implant -> "NI"
+  | Buried -> "NB"
+  | Glass -> "NG"
+
+let of_cif s =
+  match String.uppercase_ascii s with
+  | "ND" -> Some Diffusion
+  | "NP" -> Some Poly
+  | "NM" -> Some Metal
+  | "NC" -> Some Contact
+  | "NI" -> Some Implant
+  | "NB" -> Some Buried
+  | "NG" -> Some Glass
+  | _ -> None
+
+let is_interconnect = function
+  | Diffusion | Poly | Metal -> true
+  | Contact | Implant | Buried | Glass -> false
+
+let index = function
+  | Diffusion -> 0
+  | Poly -> 1
+  | Metal -> 2
+  | Contact -> 3
+  | Implant -> 4
+  | Buried -> 5
+  | Glass -> 6
+
+let equal a b = index a = index b
+let compare a b = Int.compare (index a) (index b)
+let pp ppf t = Format.pp_print_string ppf (to_cif t)

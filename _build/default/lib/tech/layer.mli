@@ -1,0 +1,36 @@
+(** Mask layers of the silicon-gate NMOS process the paper's examples
+    use (Mead & Conway style).
+
+    The paper's central argument is that design rules should *not* be
+    phrased purely in terms of these mask layers — devices and
+    interconnect are the right vocabulary — but the masks remain the
+    substrate every element lives on. *)
+
+type t =
+  | Diffusion  (** CIF [ND] — n+ diffusion *)
+  | Poly  (** CIF [NP] — polysilicon *)
+  | Metal  (** CIF [NM] — metal *)
+  | Contact  (** CIF [NC] — contact cut *)
+  | Implant  (** CIF [NI] — depletion implant *)
+  | Buried  (** CIF [NB] — buried contact window *)
+  | Glass  (** CIF [NG] — overglass openings *)
+
+val all : t list
+
+(** The four *interconnect-bearing* layers of the paper's Fig 12
+    interaction matrix: diffusion, poly, metal, contact. *)
+val routing : t list
+
+val to_cif : t -> string
+
+(** Case-insensitive. *)
+val of_cif : string -> t option
+
+(** Can signal wiring run on this layer? (Implant, buried windows and
+    glass are modifier masks, not interconnect.) *)
+val is_interconnect : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val index : t -> int
+val pp : Format.formatter -> t -> unit

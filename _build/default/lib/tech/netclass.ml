@@ -1,0 +1,25 @@
+type t = Power | Ground | Bus | Signal
+
+let strip_global name =
+  match String.length name with
+  | 0 -> name
+  | n when name.[n - 1] = '!' -> String.sub name 0 (n - 1)
+  | _ -> name
+
+let classify name =
+  let base = String.uppercase_ascii (strip_global name) in
+  if base = "VDD" || base = "VCC" then Power
+  else if base = "GND" || base = "VSS" then Ground
+  else if String.length base >= 3 && String.sub base 0 3 = "BUS" then Bus
+  else Signal
+
+let is_supply = function Power | Ground -> true | Bus | Signal -> false
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Power -> "power"
+  | Ground -> "ground"
+  | Bus -> "bus"
+  | Signal -> "signal"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

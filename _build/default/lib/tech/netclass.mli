@@ -1,0 +1,20 @@
+(** Net classification for the paper's non-geometric construction
+    rules.
+
+    "A net must have at least two devices on it.  Power and ground must
+    not be shorted.  A bus may not connect to power or ground.  A
+    depletion device may not connect to ground."  These rules need to
+    know which nets are power, ground, or busses; the convention here
+    is by name (global nets end in [!], as in CIF usage). *)
+
+type t = Power | Ground | Bus | Signal
+
+(** [classify name] — ["VDD"]/["VCC"] are power, ["GND"]/["VSS"] are
+    ground, names starting with ["BUS"] are busses; a trailing [!]
+    (CIF global marker) is ignored; everything else is signal. *)
+val classify : string -> t
+
+val is_supply : t -> bool
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,142 @@
+type t = {
+  name : string;
+  lambda : int;
+  width_diffusion : int;
+  width_poly : int;
+  width_metal : int;
+  contact_size : int;
+  space_diffusion : int;
+  space_poly : int;
+  space_metal : int;
+  space_contact : int;
+  space_poly_diffusion : int;
+  gate_poly_overhang : int;
+  gate_diff_extension : int;
+  contact_surround : int;
+  implant_gate_surround : int;
+  buried_overlap : int;
+  pad_metal_surround : int;
+}
+
+let nmos ?(lambda = 100) () =
+  { name = "nmos-lambda";
+    lambda;
+    width_diffusion = 2 * lambda;
+    width_poly = 2 * lambda;
+    width_metal = 3 * lambda;
+    contact_size = 2 * lambda;
+    space_diffusion = 3 * lambda;
+    space_poly = 2 * lambda;
+    space_metal = 3 * lambda;
+    space_contact = 2 * lambda;
+    space_poly_diffusion = lambda;
+    gate_poly_overhang = 2 * lambda;
+    gate_diff_extension = 2 * lambda;
+    contact_surround = lambda;
+    implant_gate_surround = 3 * lambda / 2;
+    buried_overlap = 2 * lambda;
+    pad_metal_surround = 2 * lambda }
+
+let min_width t = function
+  | Layer.Diffusion -> t.width_diffusion
+  | Layer.Poly -> t.width_poly
+  | Layer.Metal -> t.width_metal
+  | Layer.Contact -> t.contact_size
+  | Layer.Implant -> t.width_poly
+  | Layer.Buried -> t.contact_size
+  | Layer.Glass -> t.contact_size
+
+let skeleton_half t layer = min_width t layer / 2
+
+let same_layer_space t = function
+  | Layer.Diffusion -> t.space_diffusion
+  | Layer.Poly -> t.space_poly
+  | Layer.Metal -> t.space_metal
+  | Layer.Contact -> t.space_contact
+  | Layer.Implant -> t.space_poly
+  | Layer.Buried -> t.space_contact
+  | Layer.Glass -> t.space_metal
+
+let cross_layer_space t a b =
+  let pair x y = (min (Layer.index x) (Layer.index y), max (Layer.index x) (Layer.index y)) in
+  let key = pair a b in
+  if key = pair Layer.Poly Layer.Diffusion then Some t.space_poly_diffusion else None
+
+let pp ppf t =
+  Format.fprintf ppf "%s (lambda=%d)" t.name t.lambda
+
+(* Field table shared by the reader and the writer. *)
+let int_fields =
+  [ ("width_diffusion", (fun t -> t.width_diffusion), fun t v -> { t with width_diffusion = v });
+    ("width_poly", (fun t -> t.width_poly), fun t v -> { t with width_poly = v });
+    ("width_metal", (fun t -> t.width_metal), fun t v -> { t with width_metal = v });
+    ("contact_size", (fun t -> t.contact_size), fun t v -> { t with contact_size = v });
+    ("space_diffusion", (fun t -> t.space_diffusion), fun t v -> { t with space_diffusion = v });
+    ("space_poly", (fun t -> t.space_poly), fun t v -> { t with space_poly = v });
+    ("space_metal", (fun t -> t.space_metal), fun t v -> { t with space_metal = v });
+    ("space_contact", (fun t -> t.space_contact), fun t v -> { t with space_contact = v });
+    ("space_poly_diffusion", (fun t -> t.space_poly_diffusion),
+     fun t v -> { t with space_poly_diffusion = v });
+    ("gate_poly_overhang", (fun t -> t.gate_poly_overhang),
+     fun t v -> { t with gate_poly_overhang = v });
+    ("gate_diff_extension", (fun t -> t.gate_diff_extension),
+     fun t v -> { t with gate_diff_extension = v });
+    ("contact_surround", (fun t -> t.contact_surround), fun t v -> { t with contact_surround = v });
+    ("implant_gate_surround", (fun t -> t.implant_gate_surround),
+     fun t v -> { t with implant_gate_surround = v });
+    ("buried_overlap", (fun t -> t.buried_overlap), fun t v -> { t with buried_overlap = v });
+    ("pad_metal_surround", (fun t -> t.pad_metal_surround),
+     fun t v -> { t with pad_metal_surround = v }) ]
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "name %s\nlambda %d\n" t.name t.lambda);
+  List.iter
+    (fun (key, get, _) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" key (get t)))
+    int_fields;
+  Buffer.contents buf
+
+let of_string src =
+  let lines = String.split_on_char '\n' src in
+  let tokens =
+    List.concat_map
+      (fun line ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match
+          String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+        with
+        | [] -> []
+        | [ k; v ] -> [ Ok (k, v) ]
+        | _ -> [ Error (Printf.sprintf "malformed line: %S" (String.trim line)) ])
+      lines
+  in
+  match List.find_opt Result.is_error tokens with
+  | Some (Error e) -> Error e
+  | Some (Ok _) -> assert false
+  | None ->
+    let pairs = List.filter_map Result.to_option tokens in
+    let int_of key v =
+      match int_of_string_opt v with
+      | Some n when n > 0 -> Ok n
+      | _ -> Error (Printf.sprintf "%s: expected a positive integer, got %S" key v)
+    in
+    (* lambda first: it sets the defaults. *)
+    let base =
+      match List.assoc_opt "lambda" pairs with
+      | None -> Ok (nmos ())
+      | Some v -> Result.map (fun lambda -> nmos ~lambda ()) (int_of "lambda" v)
+    in
+    List.fold_left
+      (fun acc (key, v) ->
+        Result.bind acc (fun t ->
+            if key = "lambda" then Ok t
+            else if key = "name" then Ok { t with name = v }
+            else
+              match List.find_opt (fun (k, _, _) -> k = key) int_fields with
+              | Some (_, _, set) -> Result.map (set t) (int_of key v)
+              | None -> Error (Printf.sprintf "unknown rule key %S" key)))
+      base pairs

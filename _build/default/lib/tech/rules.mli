@@ -1,0 +1,67 @@
+(** Geometric design-rule set.
+
+    The default is a Mead & Conway style lambda rule set for the
+    silicon-gate NMOS process (the paper and its examples come from the
+    same Caltech design community).  All dimensions are in integer
+    layout units; [lambda] sets the scale (default 100 units per
+    lambda, i.e. half-micron resolution at lambda = 2.5 um).
+
+    Following the paper's taxonomy, the rules split into: legal-device
+    parameters (gate overhang, surrounds), interconnect rules (widths),
+    and interaction rules (spacings) — see {!Interaction} for the
+    Fig 12 matrix built from these numbers. *)
+
+type t = {
+  name : string;
+  lambda : int;
+  width_diffusion : int;  (** 2 lambda *)
+  width_poly : int;  (** 2 lambda *)
+  width_metal : int;  (** 3 lambda *)
+  contact_size : int;  (** contact cut edge, 2 lambda *)
+  space_diffusion : int;  (** 3 lambda *)
+  space_poly : int;  (** 2 lambda *)
+  space_metal : int;  (** 3 lambda *)
+  space_contact : int;  (** 2 lambda *)
+  space_poly_diffusion : int;  (** unrelated poly to diffusion, 1 lambda *)
+  gate_poly_overhang : int;  (** poly past gate, 2 lambda (Fig 14's rule) *)
+  gate_diff_extension : int;  (** diffusion past gate, 2 lambda *)
+  contact_surround : int;  (** conductor around a contact cut, 1 lambda *)
+  implant_gate_surround : int;  (** implant past depletion gate, 1.5 lambda *)
+  buried_overlap : int;  (** buried window past the poly-diff tie, 2 lambda *)
+  pad_metal_surround : int;  (** metal past glass opening, 2 lambda *)
+}
+
+(** [nmos ~lambda ()] — the default rule set; [lambda] defaults to
+    100. *)
+val nmos : ?lambda:int -> unit -> t
+
+(** Minimum legal width of interconnect on a layer. *)
+val min_width : t -> Layer.t -> int
+
+(** Half the minimum width, used to erode elements to skeletons. *)
+val skeleton_half : t -> Layer.t -> int
+
+(** Minimum spacing between *different-net* geometry on one layer. *)
+val same_layer_space : t -> Layer.t -> int
+
+(** Minimum spacing between geometry on two different layers, if any
+    rule exists at all ([None] for e.g. metal over diffusion). *)
+val cross_layer_space : t -> Layer.t -> Layer.t -> int option
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Rule files}
+
+    A textual rule description so processes are data, not code: one
+    [key value] pair per line, [#] comments.  [lambda] (read first)
+    sets the defaults for every other key via {!nmos}; explicit keys
+    override.  Keys are the record field names, plus [name].
+
+    {v
+    # a coarser process
+    lambda 200
+    width_metal 800     # wider metal than the default 3 lambda
+    v} *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result

@@ -1,0 +1,1 @@
+test/test_cif.ml: Alcotest Astring_contains Cif Geom Layoutgen List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dic.ml: Alcotest Astring_contains Cif Dic Geom Hashtbl Layoutgen List Netlist Printf Process_model QCheck2 QCheck_alcotest Stdlib String Tech

@@ -1,0 +1,1 @@
+test/test_flatdrc.ml: Alcotest Cif Dic Flatdrc Geom Layoutgen List Printf Tech

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Edges Geom Grid_index Interval List Measure Poly Pt QCheck2 QCheck_alcotest Rect Region Skeleton Transform Wire

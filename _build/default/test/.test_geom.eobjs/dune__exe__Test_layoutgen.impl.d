@@ -1,0 +1,1 @@
+test/test_layoutgen.ml: Alcotest Array Cif Dic Flatdrc Geom Int Layoutgen List Netlist Printf String Tech

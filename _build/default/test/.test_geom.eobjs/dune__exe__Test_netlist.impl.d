@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array List Netlist QCheck2 QCheck_alcotest Stdlib Tech

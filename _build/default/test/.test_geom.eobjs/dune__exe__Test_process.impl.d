@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest Float Geom List Printf Process_model QCheck2 QCheck_alcotest

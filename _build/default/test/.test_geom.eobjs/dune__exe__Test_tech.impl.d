@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Astring_contains Int Interaction Layer List Tech

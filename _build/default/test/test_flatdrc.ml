@@ -1,0 +1,270 @@
+(* Tests for the flat baseline: the hierarchy flattener and the three
+   classical checking algorithms with their period pathologies. *)
+
+let rules = Tech.Rules.nmos ()
+let lambda = rules.Tech.Rules.lambda
+
+let parse src =
+  match Cif.Parse.file src with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "parse: %s" (Cif.Parse.string_of_error e)
+
+(* ------------------------------------------------------------------ *)
+(* Flatten                                                             *)
+
+let test_flatten_counts () =
+  let f = Layoutgen.Cells.grid ~lambda ~nx:3 ~ny:2 in
+  let elts = Flatdrc.Flatten.file f in
+  (* 6 cells x (7 local elements + T1(2) + T2(3) + buried(3) + 2x con(3)). *)
+  Alcotest.(check int) "elements" (6 * 21) (List.length elts);
+  Alcotest.(check bool) "rects at least one per element" true
+    (Flatdrc.Flatten.rect_count elts >= List.length elts)
+
+let test_flatten_transforms () =
+  let f =
+    parse "DS 1; L NM; B 100 100 50 50; DF; C 1 T 1000 0; C 1 R 0 1 T 0 1000; E"
+  in
+  let elts = Flatdrc.Flatten.file f in
+  Alcotest.(check int) "two instances" 2 (List.length elts);
+  let boxes = List.concat_map (fun (e : Flatdrc.Flatten.elt) -> e.Flatdrc.Flatten.rects) elts in
+  Alcotest.(check bool) "translated instance" true
+    (List.exists (fun r -> Geom.Rect.equal r (Geom.Rect.make 1000 0 1100 100)) boxes);
+  Alcotest.(check bool) "rotated instance" true
+    (List.exists (fun r -> Geom.Rect.equal r (Geom.Rect.make (-100) 1000 0 1100)) boxes)
+
+let test_flatten_nested_paths () =
+  let f = parse "DS 1; 9 leaf; L NM; B 100 100 50 50; DF; DS 2; 9 mid; C 1; DF; C 2; E" in
+  match Flatdrc.Flatten.file f with
+  | [ e ] ->
+    Alcotest.(check string) "path" "top/0:mid/0:leaf" e.Flatdrc.Flatten.path
+  | _ -> Alcotest.fail "expected one element"
+
+let test_flatten_cycle_rejected () =
+  let f = parse "DS 1; C 2; DF; DS 2; C 1; DF; C 1; E" in
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Flatten: call cycle through symbol 1") (fun () ->
+      ignore (Flatdrc.Flatten.file f))
+
+let test_flatten_bbox () =
+  let f = parse "L NM; B 100 100 50 50; B 100 100 950 950; E" in
+  match Flatdrc.Flatten.bbox (Flatdrc.Flatten.file f) with
+  | Some bb -> Alcotest.(check bool) "hull" true (Geom.Rect.equal bb (Geom.Rect.make 0 0 1000 1000))
+  | None -> Alcotest.fail "expected a bbox"
+
+(* ------------------------------------------------------------------ *)
+(* Width algorithms                                                    *)
+
+let rule_count family errors =
+  List.length
+    (List.filter
+       (fun (e : Flatdrc.Classic.error) ->
+         Dic.Classify.family_of_rule e.Flatdrc.Classic.rule = family)
+       errors)
+
+let test_figure_width_catches_narrow () =
+  let f = parse "L NP; W 100 0 0 1000 0; E" in
+  let errors = Flatdrc.Classic.figure_width rules (Flatdrc.Flatten.file f) in
+  Alcotest.(check bool) "narrow wire flagged" true (List.length errors >= 1)
+
+let test_figure_width_false_on_halves () =
+  (* Fig 2 right: two half-width figures forming a legal composite. *)
+  let f = parse "L NP; B 100 600 50 300; B 100 600 150 300; E" in
+  let errors = Flatdrc.Classic.figure_width rules (Flatdrc.Flatten.file f) in
+  Alcotest.(check int) "both flagged (false errors)" 2 (List.length errors)
+
+let test_sec_width_exact_min_passes () =
+  let f = parse "L NP; B 200 1000 100 500; E" in
+  let errors =
+    Flatdrc.Classic.sec_width Geom.Measure.Orthogonal rules (Flatdrc.Flatten.file f)
+  in
+  Alcotest.(check int) "exactly-min width is legal" 0 (List.length errors)
+
+let test_sec_width_catches_composite () =
+  (* Two legal boxes whose union necks down is NOT caught by SEC with
+     orthogonal ops (the Fig 2 left blind spot is shared), but a
+     directly drawn narrow bar is caught. *)
+  let f = parse "L NP; B 100 1000 50 500; E" in
+  let errors =
+    Flatdrc.Classic.sec_width Geom.Measure.Orthogonal rules (Flatdrc.Flatten.file f)
+  in
+  Alcotest.(check bool) "narrow bar flagged" true (List.length errors >= 1)
+
+let test_sec_euclid_corner_false_errors () =
+  (* Fig 4 left: Euclidean shrink-expand-compare nibbles every convex
+     corner of a perfectly legal L. *)
+  let f = parse "L NM; B 1000 300 500 150; B 300 1000 150 500; E" in
+  let orth =
+    Flatdrc.Classic.sec_width Geom.Measure.Orthogonal rules (Flatdrc.Flatten.file f)
+  in
+  let eucl =
+    Flatdrc.Classic.sec_width Geom.Measure.Euclidean rules (Flatdrc.Flatten.file f)
+  in
+  Alcotest.(check int) "orthogonal correct" 0 (List.length orth);
+  Alcotest.(check bool) "euclidean false corners" true (List.length eucl >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Spacing                                                             *)
+
+let test_eco_spacing_basic () =
+  let f = parse "L NM; B 400 400 200 200; B 400 400 800 200; E" in
+  (* Gap is 200 < 300. *)
+  let errors =
+    Flatdrc.Classic.eco_spacing Geom.Measure.Orthogonal rules (Flatdrc.Flatten.file f)
+  in
+  Alcotest.(check int) "flagged" 1 (rule_count "spacing" errors)
+
+let test_eco_spacing_touching_merged () =
+  let f = parse "L NM; B 400 400 200 200; B 400 400 600 200; E" in
+  let errors =
+    Flatdrc.Classic.eco_spacing Geom.Measure.Orthogonal rules (Flatdrc.Flatten.file f)
+  in
+  Alcotest.(check int) "touching elements merge" 0 (rule_count "spacing" errors)
+
+let test_eco_corner_metric () =
+  (* Fig 4 right: diagonal corner-to-corner, chebyshev 250 < 300 but
+     euclid 353 > 300: the orthogonal expand flags a false error. *)
+  let src = "L NM; B 400 400 200 200; B 400 400 850 850; E" in
+  let orth =
+    Flatdrc.Classic.eco_spacing Geom.Measure.Orthogonal rules
+      (Flatdrc.Flatten.file (parse src))
+  in
+  let eucl =
+    Flatdrc.Classic.eco_spacing Geom.Measure.Euclidean rules
+      (Flatdrc.Flatten.file (parse src))
+  in
+  Alcotest.(check int) "orthogonal flags (false)" 1 (rule_count "spacing" orth);
+  Alcotest.(check int) "euclidean passes" 0 (rule_count "spacing" eucl)
+
+let test_eco_cross_layer_poly_diff () =
+  let f = parse "L NP; B 400 400 200 200; L ND; B 400 400 650 200; E" in
+  (* Gap 50 < 100. *)
+  let errors =
+    Flatdrc.Classic.eco_spacing Geom.Measure.Orthogonal rules (Flatdrc.Flatten.file f)
+  in
+  Alcotest.(check bool) "poly-diff proximity flagged" true
+    (List.exists
+       (fun (e : Flatdrc.Classic.error) -> e.Flatdrc.Classic.rule = "spacing.ND-NP")
+       errors)
+
+(* ------------------------------------------------------------------ *)
+(* Poly-diff crossings                                                 *)
+
+let crossing_file () =
+  parse "L NP; B 200 800 100 400; L ND; B 800 200 400 100; E"
+
+let test_polydiff_ignore_misses () =
+  let errors = Flatdrc.Classic.poly_diff_check `Ignore rules (Flatdrc.Flatten.file (crossing_file ())) in
+  Alcotest.(check int) "silent" 0 (List.length errors)
+
+let test_polydiff_flag_all () =
+  let errors =
+    Flatdrc.Classic.poly_diff_check `Flag_all rules (Flatdrc.Flatten.file (crossing_file ()))
+  in
+  Alcotest.(check int) "flagged" 1 (List.length errors)
+
+let test_polydiff_flags_legal_devices_too () =
+  (* The whole point of Fig 8: the flat checker cannot tell a declared
+     transistor from an accident, so Flag_all reports the device too. *)
+  let kit = Layoutgen.Pathology.fig8_accidental ~lambda in
+  let errors =
+    Flatdrc.Classic.poly_diff_check `Flag_all rules
+      (Flatdrc.Flatten.file kit.Layoutgen.Pathology.file)
+  in
+  Alcotest.(check int) "both crossings flagged" 2 (List.length errors)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-checker behaviour                                             *)
+
+let test_clean_chain_has_false_errors () =
+  (* The baseline's defining flaw: a perfectly legal design draws
+     complaints. *)
+  let f = Layoutgen.Cells.chain ~lambda 4 in
+  let errors = Flatdrc.Classic.check Flatdrc.Classic.default_mode rules f in
+  Alcotest.(check bool) "false errors on clean design" true (List.length errors > 0)
+
+let test_injections_partially_found () =
+  let clean = Layoutgen.Cells.chain ~lambda 2 in
+  let salted, truths =
+    Layoutgen.Inject.apply clean
+      [ Layoutgen.Inject.narrow_poly_wire ~lambda ~at:(0, -20 * lambda);
+        Layoutgen.Inject.metal_spacing_pair ~lambda ~at:(0, -40 * lambda) ]
+  in
+  let errors = Flatdrc.Classic.check Flatdrc.Classic.default_mode rules salted in
+  let outcome =
+    Dic.Classify.classify ~tolerance:(2 * lambda) truths (Dic.Classify.of_classic errors)
+  in
+  Alcotest.(check int) "both geometric defects found" 2
+    (List.length outcome.Dic.Classify.flagged)
+
+(* The paper's per-figure behaviour of the flat baseline, as one
+   regression table: (kit, crossings stance, expected flagged, expected
+   missed). *)
+let test_figure_matrix () =
+  let kits = Layoutgen.Pathology.all ~lambda in
+  let kit name =
+    List.find (fun (k : Layoutgen.Pathology.kit) -> k.Layoutgen.Pathology.kit_name = name) kits
+  in
+  let expectations =
+    [ ("fig2a", `Ignore, 0, 1);  (* missed composite defect *)
+      ("fig5b", `Ignore, 1, 0);  (* plain geometric gap: found *)
+      ("fig6", `Ignore, 0, 1);  (* contact-over-gate invisible *)
+      ("fig6", `Flag_all, 0, 1);
+      ("fig7", `Ignore, 0, 1);
+      ("fig7", `Flag_all, 0, 1);
+      ("fig8", `Ignore, 0, 1);  (* accidental transistor missed... *)
+      ("fig8", `Flag_all, 1, 0);  (* ...or found along with false alarms *)
+      ("fig15", `Ignore, 0, 1) (* butting halves union is legal *) ]
+  in
+  List.iter
+    (fun (name, stance, want_flagged, want_missed) ->
+      let k = kit name in
+      let mode = { Flatdrc.Classic.default_mode with Flatdrc.Classic.poly_diff = stance } in
+      let errors = Flatdrc.Classic.check mode rules k.Layoutgen.Pathology.file in
+      let outcome =
+        Dic.Classify.classify ~tolerance:(2 * lambda) k.Layoutgen.Pathology.truths
+          (Dic.Classify.of_classic errors)
+      in
+      let tag =
+        Printf.sprintf "%s/%s" name
+          (match stance with `Ignore -> "ignore" | `Flag_all -> "flag")
+      in
+      Alcotest.(check int) (tag ^ " flagged") want_flagged
+        (List.length outcome.Dic.Classify.flagged);
+      Alcotest.(check int) (tag ^ " missed") want_missed
+        (List.length outcome.Dic.Classify.missed))
+    expectations
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "flatdrc"
+    [ ( "flatten",
+        [ Alcotest.test_case "counts" `Quick test_flatten_counts;
+          Alcotest.test_case "transforms" `Quick test_flatten_transforms;
+          Alcotest.test_case "nested paths" `Quick test_flatten_nested_paths;
+          Alcotest.test_case "cycle rejected" `Quick test_flatten_cycle_rejected;
+          Alcotest.test_case "bbox" `Quick test_flatten_bbox ] );
+      ( "width",
+        [ Alcotest.test_case "figure-based catches narrow" `Quick
+            test_figure_width_catches_narrow;
+          Alcotest.test_case "figure-based false on halves" `Quick
+            test_figure_width_false_on_halves;
+          Alcotest.test_case "SEC exact-min passes" `Quick test_sec_width_exact_min_passes;
+          Alcotest.test_case "SEC catches narrow bar" `Quick test_sec_width_catches_composite;
+          Alcotest.test_case "SEC euclid corner false errors" `Quick
+            test_sec_euclid_corner_false_errors ] );
+      ( "spacing",
+        [ Alcotest.test_case "basic" `Quick test_eco_spacing_basic;
+          Alcotest.test_case "touching merged" `Quick test_eco_spacing_touching_merged;
+          Alcotest.test_case "corner metric divergence" `Quick test_eco_corner_metric;
+          Alcotest.test_case "cross-layer poly-diff" `Quick test_eco_cross_layer_poly_diff ] );
+      ( "polydiff",
+        [ Alcotest.test_case "ignore misses" `Quick test_polydiff_ignore_misses;
+          Alcotest.test_case "flag-all catches" `Quick test_polydiff_flag_all;
+          Alcotest.test_case "flag-all over-reports devices" `Quick
+            test_polydiff_flags_legal_devices_too ] );
+      ( "checker",
+        [ Alcotest.test_case "clean chain draws complaints" `Quick
+            test_clean_chain_has_false_errors;
+          Alcotest.test_case "injections found" `Quick test_injections_partially_found;
+          Alcotest.test_case "per-figure matrix" `Quick test_figure_matrix ] ) ]

@@ -1,0 +1,247 @@
+(* Tests for union-find, the net-list builder, and the four
+   non-geometric construction rules. *)
+
+(* ------------------------------------------------------------------ *)
+(* Union-find                                                          *)
+
+let test_uf_basic () =
+  let uf = Netlist.Uf.create () in
+  let a = Netlist.Uf.make uf and b = Netlist.Uf.make uf and c = Netlist.Uf.make uf in
+  Alcotest.(check bool) "initially apart" false (Netlist.Uf.same uf a b);
+  Netlist.Uf.union uf a b;
+  Alcotest.(check bool) "joined" true (Netlist.Uf.same uf a b);
+  Alcotest.(check bool) "c apart" false (Netlist.Uf.same uf a c);
+  Netlist.Uf.union uf b c;
+  Alcotest.(check bool) "transitive" true (Netlist.Uf.same uf a c)
+
+let test_uf_classes () =
+  let uf = Netlist.Uf.create () in
+  let nodes = List.init 6 (fun _ -> Netlist.Uf.make uf) in
+  (match nodes with
+  | [ a; b; c; d; _e; _f ] ->
+    Netlist.Uf.union uf a b;
+    Netlist.Uf.union uf c d
+  | _ -> assert false);
+  let classes = Netlist.Uf.classes uf in
+  Alcotest.(check int) "4 classes" 4 (List.length classes);
+  Alcotest.(check int) "6 members total" 6
+    (List.fold_left (fun acc c -> acc + List.length c) 0 classes)
+
+let test_uf_growth () =
+  let uf = Netlist.Uf.create () in
+  let nodes = List.init 1000 (fun _ -> Netlist.Uf.make uf) in
+  List.iteri (fun i n -> if i > 0 then Netlist.Uf.union uf (List.hd nodes) n) nodes;
+  Alcotest.(check int) "one class" 1 (List.length (Netlist.Uf.classes uf));
+  Alcotest.(check int) "size" 1000 (Netlist.Uf.size uf)
+
+let prop_uf_equivalence =
+  QCheck2.Test.make ~name:"uf: same is an equivalence closure of unions" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 2 20) (list_size (int_range 0 40) (pair (int_range 0 19) (int_range 0 19))))
+    (fun (n, unions) ->
+      let unions = List.filter (fun (a, b) -> a < n && b < n) unions in
+      let uf = Netlist.Uf.create () in
+      for _ = 1 to n do
+        ignore (Netlist.Uf.make uf)
+      done;
+      List.iter (fun (a, b) -> Netlist.Uf.union uf a b) unions;
+      (* Reference: repeated relaxation over an explicit matrix. *)
+      let reach = Array.make_matrix n n false in
+      for i = 0 to n - 1 do
+        reach.(i).(i) <- true
+      done;
+      List.iter
+        (fun (a, b) ->
+          reach.(a).(b) <- true;
+          reach.(b).(a) <- true)
+        unions;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            for k = 0 to n - 1 do
+              if reach.(i).(k) && reach.(k).(j) && not reach.(i).(j) then begin
+                reach.(i).(j) <- true;
+                changed := true
+              end
+            done
+          done
+        done
+      done;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Netlist.Uf.same uf i j <> reach.(i).(j) then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Net builder                                                         *)
+
+let terminal path kind port =
+  { Netlist.Net.device_path = path; device = kind; port }
+
+let test_builder_basic () =
+  let b = Netlist.Net.builder () in
+  let n1 = Netlist.Net.node b ~label:(Some "out") in
+  let n2 = Netlist.Net.node b ~label:None in
+  let n3 = Netlist.Net.node b ~label:None in
+  Netlist.Net.connect b n1 n2;
+  Netlist.Net.add_element b n1;
+  Netlist.Net.add_element b n2;
+  Netlist.Net.add_terminal b n3 (terminal "t1" Tech.Device.Enhancement "gate");
+  let t = Netlist.Net.finish b ~auto_prefix:"" in
+  Alcotest.(check int) "two nets" 2 (List.length t.Netlist.Net.nets);
+  (match Netlist.Net.find_by_name t "out" with
+  | Some net ->
+    Alcotest.(check int) "elements merged" 2 net.Netlist.Net.element_count;
+    Alcotest.(check int) "no terminals" 0 (List.length net.Netlist.Net.terminals)
+  | None -> Alcotest.fail "net 'out' not found");
+  Alcotest.(check bool) "connected query" true (Netlist.Net.connected b n1 n2)
+
+let test_builder_globals_merge () =
+  let b = Netlist.Net.builder () in
+  let n1 = Netlist.Net.node b ~label:(Some "VDD!") in
+  let n2 = Netlist.Net.node b ~label:(Some "VDD!") in
+  let n3 = Netlist.Net.node b ~label:(Some "VDD") in
+  Netlist.Net.merge_globals b;
+  Alcotest.(check bool) "globals merged" true (Netlist.Net.connected b n1 n2);
+  Alcotest.(check bool) "non-global kept apart" false (Netlist.Net.connected b n1 n3)
+
+let test_builder_classes () =
+  let b = Netlist.Net.builder () in
+  let n1 = Netlist.Net.node b ~label:(Some "VDD!") in
+  let n2 = Netlist.Net.node b ~label:(Some "GND!") in
+  Netlist.Net.connect b n1 n2;
+  let t = Netlist.Net.finish b ~auto_prefix:"" in
+  match t.Netlist.Net.nets with
+  | [ net ] ->
+    Alcotest.(check bool) "power" true (Netlist.Net.has_class net Tech.Netclass.Power);
+    Alcotest.(check bool) "ground" true (Netlist.Net.has_class net Tech.Netclass.Ground);
+    Alcotest.(check string) "display uses a label" "GND!" (Netlist.Net.display_name net)
+  | _ -> Alcotest.fail "expected one merged net"
+
+(* ------------------------------------------------------------------ *)
+(* ERC                                                                 *)
+
+let net_with ?(names = []) ?(terminals = []) ?(elements = 1) auto =
+  { Netlist.Net.names;
+    auto_name = auto;
+    classes =
+      List.sort_uniq Stdlib.compare (List.map Tech.Netclass.classify names)
+      |> List.filter (fun c -> not (Tech.Netclass.equal c Tech.Netclass.Signal));
+    terminals;
+    element_count = elements }
+
+let has_violation pred vs = List.exists pred vs
+
+let test_erc_floating () =
+  let t =
+    { Netlist.Net.nets =
+        [ net_with ~terminals:[ terminal "t1" Tech.Device.Enhancement "gate" ] "n0" ] }
+  in
+  Alcotest.(check bool) "flagged" true
+    (has_violation
+       (function Netlist.Erc.Floating_net { terminals = 1; _ } -> true | _ -> false)
+       (Netlist.Erc.check t))
+
+let test_erc_floating_ok_with_two () =
+  let t =
+    { Netlist.Net.nets =
+        [ net_with
+            ~terminals:
+              [ terminal "t1" Tech.Device.Enhancement "gate";
+                terminal "t2" Tech.Device.Depletion "sd0" ]
+            "n0" ] }
+  in
+  Alcotest.(check bool) "clean" false
+    (has_violation (function Netlist.Erc.Floating_net _ -> true | _ -> false)
+       (Netlist.Erc.check t))
+
+let test_erc_contacts_not_devices () =
+  (* Contacts are wiring: a net with two contacts and one transistor
+     terminal still floats. *)
+  let t =
+    { Netlist.Net.nets =
+        [ net_with
+            ~terminals:
+              [ terminal "c1" Tech.Device.Contact_cut "via";
+                terminal "c2" Tech.Device.Buried_contact "via";
+                terminal "t1" Tech.Device.Enhancement "gate" ]
+            "n0" ] }
+  in
+  Alcotest.(check bool) "still floating" true
+    (has_violation (function Netlist.Erc.Floating_net _ -> true | _ -> false)
+       (Netlist.Erc.check t))
+
+let test_erc_supplies_exempt_from_floating () =
+  let t = { Netlist.Net.nets = [ net_with ~names:[ "VDD!" ] "n0" ] } in
+  Alcotest.(check bool) "supply exempt" false
+    (has_violation (function Netlist.Erc.Floating_net _ -> true | _ -> false)
+       (Netlist.Erc.check t))
+
+let test_erc_supply_short () =
+  let t = { Netlist.Net.nets = [ net_with ~names:[ "GND!"; "VDD!" ] "n0" ] } in
+  Alcotest.(check bool) "flagged" true
+    (has_violation (function Netlist.Erc.Supply_short _ -> true | _ -> false)
+       (Netlist.Erc.check t))
+
+let test_erc_bus_on_supply () =
+  let t = { Netlist.Net.nets = [ net_with ~names:[ "BUS0!"; "GND!" ] "n0" ] } in
+  Alcotest.(check bool) "flagged" true
+    (has_violation (function Netlist.Erc.Bus_on_supply _ -> true | _ -> false)
+       (Netlist.Erc.check t));
+  let ok = { Netlist.Net.nets = [ net_with ~names:[ "BUS0!"; "data" ] "n0" ] } in
+  Alcotest.(check bool) "bus on signal fine" false
+    (has_violation (function Netlist.Erc.Bus_on_supply _ -> true | _ -> false)
+       (Netlist.Erc.check ok))
+
+let test_erc_depletion_on_ground () =
+  let t =
+    { Netlist.Net.nets =
+        [ net_with ~names:[ "GND!" ]
+            ~terminals:[ terminal "x.dep" Tech.Device.Depletion "sd0" ]
+            "n0" ] }
+  in
+  Alcotest.(check bool) "flagged" true
+    (has_violation
+       (function
+         | Netlist.Erc.Depletion_on_ground { device_path = "x.dep"; _ } -> true
+         | _ -> false)
+       (Netlist.Erc.check t));
+  (* An enhancement pull-down on ground is of course fine. *)
+  let ok =
+    { Netlist.Net.nets =
+        [ net_with ~names:[ "GND!" ]
+            ~terminals:[ terminal "x.enh" Tech.Device.Enhancement "sd0" ]
+            "n0" ] }
+  in
+  Alcotest.(check bool) "enhancement fine" false
+    (has_violation (function Netlist.Erc.Depletion_on_ground _ -> true | _ -> false)
+       (Netlist.Erc.check ok))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "netlist"
+    [ ( "uf",
+        [ Alcotest.test_case "basic" `Quick test_uf_basic;
+          Alcotest.test_case "classes" `Quick test_uf_classes;
+          Alcotest.test_case "growth" `Quick test_uf_growth ] );
+      qsuite "uf.props" [ prop_uf_equivalence ];
+      ( "builder",
+        [ Alcotest.test_case "basic" `Quick test_builder_basic;
+          Alcotest.test_case "globals merge" `Quick test_builder_globals_merge;
+          Alcotest.test_case "classes" `Quick test_builder_classes ] );
+      ( "erc",
+        [ Alcotest.test_case "floating" `Quick test_erc_floating;
+          Alcotest.test_case "two devices ok" `Quick test_erc_floating_ok_with_two;
+          Alcotest.test_case "contacts are wiring" `Quick test_erc_contacts_not_devices;
+          Alcotest.test_case "supplies exempt" `Quick test_erc_supplies_exempt_from_floating;
+          Alcotest.test_case "supply short" `Quick test_erc_supply_short;
+          Alcotest.test_case "bus on supply" `Quick test_erc_bus_on_supply;
+          Alcotest.test_case "depletion on ground" `Quick test_erc_depletion_on_ground ] ) ]

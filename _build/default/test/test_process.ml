@@ -1,0 +1,259 @@
+(* Tests for the 2-D process model: erf, Gaussian box exposure (the
+   paper's Eq 1), printed contours, line-of-closest-approach spacing,
+   and the relational end-cap rule. *)
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) < eps
+
+(* ------------------------------------------------------------------ *)
+(* erf                                                                 *)
+
+let test_erf_known_values () =
+  (* Reference values to 7 digits. *)
+  List.iter
+    (fun (x, want) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "erf(%g)" x)
+        true
+        (feq ~eps:2e-7 (Process_model.Erf.erf x) want))
+    [ (0.0, 0.0); (0.5, 0.5204999); (1.0, 0.8427008); (2.0, 0.9953223);
+      (3.0, 0.9999779) ]
+
+let test_erf_odd () =
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "odd" true
+        (feq (Process_model.Erf.erf (-.x)) (-.Process_model.Erf.erf x)))
+    [ 0.3; 1.1; 2.7 ]
+
+let test_erfc () =
+  Alcotest.(check bool) "erfc = 1 - erf" true
+    (feq (Process_model.Erf.erfc 0.7) (1. -. Process_model.Erf.erf 0.7))
+
+let test_gauss_cdf () =
+  Alcotest.(check bool) "cdf(0)=0.5" true (feq (Process_model.Erf.gauss_cdf 0.) 0.5);
+  Alcotest.(check bool) "cdf(1.96)~0.975" true
+    (feq ~eps:1e-3 (Process_model.Erf.gauss_cdf 1.96) 0.975);
+  Alcotest.(check bool) "monotone" true
+    (Process_model.Erf.gauss_cdf 0.5 > Process_model.Erf.gauss_cdf 0.4)
+
+let prop_erf_monotone =
+  QCheck2.Test.make ~name:"erf: monotone increasing" ~count:300
+    QCheck2.Gen.(pair (float_bound_exclusive 4.) (float_bound_exclusive 4.))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Process_model.Erf.erf lo <= Process_model.Erf.erf hi +. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Exposure                                                            *)
+
+let model = Process_model.Exposure.make ~sigma:60. ()
+
+let big_square =
+  Geom.Region.of_rect (Geom.Rect.make (-1000) (-1000) 1000 1000)
+
+let test_exposure_center_saturates () =
+  Alcotest.(check bool) "centre of a big mask ~ 1" true
+    (feq ~eps:1e-6 (Process_model.Exposure.of_region model big_square 0. 0.) 1.)
+
+let test_exposure_edge_half () =
+  (* A long straight edge exposes to exactly half at the edge. *)
+  Alcotest.(check bool) "edge = 0.5" true
+    (feq ~eps:1e-3 (Process_model.Exposure.of_region model big_square 1000. 0.) 0.5)
+
+let test_exposure_corner_quarter () =
+  Alcotest.(check bool) "corner = 0.25" true
+    (feq ~eps:1e-3 (Process_model.Exposure.of_region model big_square 1000. 1000.) 0.25)
+
+let test_exposure_far_zero () =
+  Alcotest.(check bool) "far outside ~ 0" true
+    (Process_model.Exposure.of_region model big_square 2000. 0. < 1e-6)
+
+let test_exposure_additive () =
+  let a = Geom.Rect.make 0 0 100 100 and b = Geom.Rect.make 300 0 400 100 in
+  let sum =
+    Process_model.Exposure.of_rect model a 200. 50.
+    +. Process_model.Exposure.of_rect model b 200. 50.
+  in
+  let union = Process_model.Exposure.of_region model (Geom.Region.of_rects [ a; b ]) 200. 50. in
+  Alcotest.(check bool) "separable sum" true (feq ~eps:1e-9 sum union)
+
+let test_exposure_symmetry () =
+  let sq = Geom.Region.of_rect (Geom.Rect.make (-100) (-100) 100 100) in
+  let i1 = Process_model.Exposure.of_region model sq 150. 30.
+  and i2 = Process_model.Exposure.of_region model sq (-150.) 30.
+  and i3 = Process_model.Exposure.of_region model sq 30. 150. in
+  Alcotest.(check bool) "mirror x" true (feq i1 i2);
+  Alcotest.(check bool) "transpose" true (feq i1 i3)
+
+let test_printed_straight_edge_in_place () =
+  (* With threshold 0.5, a large feature prints with its edges in
+     place to within the sampling step. *)
+  let sq = Geom.Region.of_rect (Geom.Rect.make 0 0 600 600) in
+  let printed = Process_model.Exposure.printed model sq ~step:10 ~margin:200 in
+  Alcotest.(check bool) "mid-edge cell prints" true
+    (Geom.Region.contains_pt printed 300 10);
+  Alcotest.(check bool) "just outside does not" false
+    (Geom.Region.contains_pt printed 300 (-20));
+  (* Corners round: the drawn corner cell does not print. *)
+  Alcotest.(check bool) "corner rounds" false (Geom.Region.contains_pt printed 5 5)
+
+let test_max_along () =
+  let sq = Geom.Region.of_rect (Geom.Rect.make 0 0 400 400) in
+  let m, at =
+    Process_model.Exposure.max_along model sq ~x0:(-200.) ~y0:200. ~x1:600. ~y1:200.
+      ~samples:60
+  in
+  Alcotest.(check bool) "max is about 1 inside" true (m > 0.9);
+  Alcotest.(check bool) "max lands inside the mask" true (at > 0.2 && at < 0.8)
+
+let prop_exposure_bounded =
+  QCheck2.Test.make ~name:"exposure: 0 <= I <= 1" ~count:200
+    QCheck2.Gen.(
+      quad (int_range (-300) 300) (int_range (-300) 300) (int_range 1 200) (int_range 1 200))
+    (fun (x, y, w, h) ->
+      let r = Geom.Region.of_rect (Geom.Rect.make x y (x + w) (y + h)) in
+      let i = Process_model.Exposure.of_region model r 0. 0. in
+      i >= -1e-9 && i <= 1. +. 1e-9)
+
+let prop_exposure_monotone_in_mask =
+  QCheck2.Test.make ~name:"exposure: larger mask, larger exposure" ~count:200
+    QCheck2.Gen.(pair (int_range 10 200) (int_range 1 100))
+    (fun (w, extra) ->
+      let small = Geom.Region.of_rect (Geom.Rect.make 0 0 w w) in
+      let large = Geom.Region.of_rect (Geom.Rect.make 0 0 (w + extra) w) in
+      Process_model.Exposure.of_region model small 10. 10.
+      <= Process_model.Exposure.of_region model large 10. 10. +. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Closest approach                                                    *)
+
+let test_closest_points_disjoint () =
+  let a = Geom.Rect.make 0 0 100 100 and b = Geom.Rect.make 200 300 300 400 in
+  let pa, pb = Process_model.Closest.closest_points a b in
+  Alcotest.(check bool) "pa corner" true (Geom.Pt.equal pa (Geom.Pt.make 100 100));
+  Alcotest.(check bool) "pb corner" true (Geom.Pt.equal pb (Geom.Pt.make 200 300))
+
+let test_closest_points_aligned () =
+  let a = Geom.Rect.make 0 0 100 100 and b = Geom.Rect.make 300 0 400 100 in
+  let pa, pb = Process_model.Closest.closest_points a b in
+  Alcotest.(check int) "facing edges x" 100 pa.Geom.Pt.x;
+  Alcotest.(check int) "facing edges x" 300 pb.Geom.Pt.x;
+  Alcotest.(check int) "same y" pa.Geom.Pt.y pb.Geom.Pt.y
+
+let test_loca_picks_nearest_pair () =
+  let a = Geom.Region.of_rects [ Geom.Rect.make 0 0 100 100; Geom.Rect.make 0 500 100 600 ] in
+  let b = Geom.Region.of_rect (Geom.Rect.make 150 500 250 600) in
+  match Process_model.Closest.line_of_closest_approach a b with
+  | Some (pa, pb) ->
+    Alcotest.(check int) "distance 50" (50 * 50) (Geom.Pt.dist2 pa pb)
+  | None -> Alcotest.fail "expected a line"
+
+let test_check_bridging_threshold () =
+  let bar gap =
+    ( Geom.Region.of_rect (Geom.Rect.make 0 0 400 200),
+      Geom.Region.of_rect (Geom.Rect.make (400 + gap) 0 (800 + gap) 200) )
+  in
+  let a, b = bar 50 in
+  Alcotest.(check bool) "50 bridges" true
+    (Process_model.Closest.check model ~misalign:0 a b).Process_model.Closest.bridges;
+  let a, b = bar 300 in
+  Alcotest.(check bool) "300 clear" false
+    (Process_model.Closest.check model ~misalign:0 a b).Process_model.Closest.bridges
+
+let test_check_misalignment_tightens () =
+  (* A gap that is clear same-layer bridges once misalignment is
+     added. *)
+  let a = Geom.Region.of_rect (Geom.Rect.make 0 0 400 200) in
+  let b = Geom.Region.of_rect (Geom.Rect.make 500 0 900 200) in
+  Alcotest.(check bool) "aligned clear" false
+    (Process_model.Closest.check model ~misalign:0 a b).Process_model.Closest.bridges;
+  Alcotest.(check bool) "misaligned bridges" true
+    (Process_model.Closest.check model ~misalign:60 a b).Process_model.Closest.bridges
+
+let test_check_touching () =
+  let a = Geom.Region.of_rect (Geom.Rect.make 0 0 100 100) in
+  let b = Geom.Region.of_rect (Geom.Rect.make 100 0 200 100) in
+  let v = Process_model.Closest.check model ~misalign:0 a b in
+  Alcotest.(check bool) "touching bridges" true v.Process_model.Closest.bridges;
+  Alcotest.(check int) "gap 0" 0 v.Process_model.Closest.gap2
+
+(* ------------------------------------------------------------------ *)
+(* Relational rule                                                     *)
+
+let test_retreat_monotone () =
+  let widths = [ 400; 300; 200; 150; 100 ] in
+  let rs = List.map (fun w -> Process_model.Relational.retreat model ~width:w) widths in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "narrower retreats more" true (increasing rs)
+
+let test_retreat_wide_is_small () =
+  Alcotest.(check bool) "wide wire barely retreats" true
+    (Process_model.Relational.retreat model ~width:500 < 2.)
+
+let test_retreat_nonnegative () =
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "w=%d" w)
+        true
+        (Process_model.Relational.retreat model ~width:w >= 0.))
+    [ 50; 100; 200; 400 ]
+
+let test_gate_overhang_verdicts () =
+  let wide =
+    Process_model.Relational.check_gate_overhang model ~width:400 ~drawn:200 ~required:150
+  in
+  Alcotest.(check bool) "wide passes" true wide.Process_model.Relational.ok;
+  let narrow =
+    Process_model.Relational.check_gate_overhang model ~width:100 ~drawn:200 ~required:150
+  in
+  Alcotest.(check bool) "narrow fails" false narrow.Process_model.Relational.ok;
+  Alcotest.(check bool) "effective < drawn" true
+    (narrow.Process_model.Relational.effective < 200.)
+
+let prop_effective_overhang_bounded =
+  QCheck2.Test.make ~name:"relational: 0 <= effective <= drawn" ~count:100
+    QCheck2.Gen.(pair (int_range 60 400) (int_range 50 300))
+    (fun (width, drawn) ->
+      let e = Process_model.Relational.effective_overhang model ~width ~drawn in
+      e >= 0. && e <= float_of_int drawn +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "process_model"
+    [ ( "erf",
+        [ Alcotest.test_case "known values" `Quick test_erf_known_values;
+          Alcotest.test_case "odd" `Quick test_erf_odd;
+          Alcotest.test_case "erfc" `Quick test_erfc;
+          Alcotest.test_case "gauss cdf" `Quick test_gauss_cdf ] );
+      qsuite "erf.props" [ prop_erf_monotone ];
+      ( "exposure",
+        [ Alcotest.test_case "centre saturates" `Quick test_exposure_center_saturates;
+          Alcotest.test_case "edge = 1/2" `Quick test_exposure_edge_half;
+          Alcotest.test_case "corner = 1/4" `Quick test_exposure_corner_quarter;
+          Alcotest.test_case "far = 0" `Quick test_exposure_far_zero;
+          Alcotest.test_case "additive over strips" `Quick test_exposure_additive;
+          Alcotest.test_case "symmetry" `Quick test_exposure_symmetry;
+          Alcotest.test_case "printed edges in place" `Quick
+            test_printed_straight_edge_in_place;
+          Alcotest.test_case "max along" `Quick test_max_along ] );
+      qsuite "exposure.props" [ prop_exposure_bounded; prop_exposure_monotone_in_mask ];
+      ( "closest",
+        [ Alcotest.test_case "disjoint corners" `Quick test_closest_points_disjoint;
+          Alcotest.test_case "aligned edges" `Quick test_closest_points_aligned;
+          Alcotest.test_case "nearest pair" `Quick test_loca_picks_nearest_pair;
+          Alcotest.test_case "bridging threshold" `Quick test_check_bridging_threshold;
+          Alcotest.test_case "misalignment tightens" `Quick test_check_misalignment_tightens;
+          Alcotest.test_case "touching" `Quick test_check_touching ] );
+      ( "relational",
+        [ Alcotest.test_case "retreat monotone" `Quick test_retreat_monotone;
+          Alcotest.test_case "wide retreats little" `Quick test_retreat_wide_is_small;
+          Alcotest.test_case "retreat nonnegative" `Quick test_retreat_nonnegative;
+          Alcotest.test_case "gate overhang verdicts" `Quick test_gate_overhang_verdicts ] );
+      qsuite "relational.props" [ prop_effective_overhang_bounded ] ]
