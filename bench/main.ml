@@ -515,6 +515,89 @@ let ablations () =
      the geometric rules carry the process margin instead)"
 
 (* ------------------------------------------------------------------ *)
+(* P -- Domain-parallel interaction checking                           *)
+
+(* Wall-clock scaling of the interaction stage over Domain.spawn, on
+   the two regular workloads the paper's hierarchy argument targets.
+   Writes BENCH_parallel.json next to the working directory. *)
+
+let wall f =
+  let t0 = Dic.Metrics.now_ns () in
+  let v = f () in
+  (v, Int64.to_float (Int64.sub (Dic.Metrics.now_ns ()) t0) *. 1e-9)
+
+let parallel_scaling () =
+  section
+    "P: Domain-parallel interaction checking\n\
+     (instance-pair worklist sharded over Domain.spawn; the report is\n\
+     identical at every domain count)";
+  let workloads =
+    [ ("shift-register-256", Layoutgen.Shift.register ~lambda 256);
+      ("pla-48x96",
+       Layoutgen.Pla.plane ~lambda
+         (Layoutgen.Pla.random_program ~rows:48 ~cols:96 ~seed:7)) ]
+  in
+  let job_counts = [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "host: %d hardware thread(s) available" cores;
+  if cores = 1 then
+    print_string
+      " -- speedup is not expected on this host;\ndomains time-slice one core and \
+       pay the cross-domain GC synchronisation";
+  print_newline ();
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"experiment\":\"parallel-interaction-scaling\",\"hardware_threads\":%d,\"workloads\":["
+       cores);
+  List.iteri
+    (fun wi (name, file) ->
+      if wi > 0 then Buffer.add_string buf ",";
+      let model =
+        match Dic.Model.elaborate rules file with
+        | Ok (m, _) -> m
+        | Error e -> failwith e
+      in
+      let nets, _ = Dic.Netgen.build model in
+      Printf.printf "[%s] %d symbol(s), %d instantiated element(s)\n" name
+        (Dic.Model.symbol_count model)
+        (Dic.Model.instantiated_elements model);
+      Printf.printf "%8s %12s %10s %12s\n" "jobs" "seconds" "speedup" "identical";
+      let reference = ref [] in
+      let base = ref 0. in
+      Buffer.add_string buf (Printf.sprintf "{\"name\":\"%s\",\"points\":[" name);
+      List.iteri
+        (fun ji jobs ->
+          if ji > 0 then Buffer.add_string buf ",";
+          let config = { Dic.Interactions.default_config with Dic.Interactions.jobs } in
+          (* Best of three runs: domain spawn noise is real. *)
+          let best = ref infinity and vs_keep = ref [] in
+          for _ = 1 to 3 do
+            let (vs, _), t = wall (fun () -> Dic.Interactions.check ~config nets) in
+            if t < !best then begin
+              best := t;
+              vs_keep := vs
+            end
+          done;
+          if jobs = 1 then begin
+            reference := !vs_keep;
+            base := !best
+          end;
+          let identical = !vs_keep = !reference in
+          Printf.printf "%8d %12.3f %9.2fx %12b\n" jobs !best (!base /. !best) identical;
+          Buffer.add_string buf
+            (Printf.sprintf "{\"jobs\":%d,\"seconds\":%.6f,\"speedup\":%.3f,\"identical\":%b}"
+               jobs !best (!base /. !best) identical))
+        job_counts;
+      Buffer.add_string buf "]}")
+    workloads;
+  Buffer.add_string buf "]}";
+  Out_channel.with_open_text "BENCH_parallel.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf);
+      Out_channel.output_char oc '\n');
+  print_endline "wrote BENCH_parallel.json"
+
+(* ------------------------------------------------------------------ *)
 (* T2 and Bechamel micro-benchmarks                                    *)
 
 let bechamel_benches () =
@@ -583,24 +666,30 @@ let bechamel_benches () =
 
 (* ------------------------------------------------------------------ *)
 
+let experiments =
+  [ ("fig1", fig01_error_venn); ("fig2", fig02_figure_pathologies);
+    ("fig3", fig03_expand_shrink); ("fig4", fig04_width_spacing);
+    ("fig5", fig05_topological); ("fig6", fig06_device_dependent);
+    ("fig7", fig07_contact_gate); ("fig8", fig08_accidental);
+    ("fig9", fig09_hierarchy); ("fig10", fig10_pipeline);
+    ("fig11", fig11_skeletal); ("fig12", fig12_matrix);
+    ("fig13", fig13_proximity); ("fig14", fig14_relational);
+    ("fig15", fig15_self_sufficiency); ("t1", t1_runtime_scaling);
+    ("t3", t3_incremental); ("ablations", ablations);
+    ("parallel", parallel_scaling); ("bechamel", bechamel_benches) ]
+
 let () =
-  fig01_error_venn ();
-  fig02_figure_pathologies ();
-  fig03_expand_shrink ();
-  fig04_width_spacing ();
-  fig05_topological ();
-  fig06_device_dependent ();
-  fig07_contact_gate ();
-  fig08_accidental ();
-  fig09_hierarchy ();
-  fig10_pipeline ();
-  fig11_skeletal ();
-  fig12_matrix ();
-  fig13_proximity ();
-  fig14_relational ();
-  fig15_self_sufficiency ();
-  t1_runtime_scaling ();
-  t3_incremental ();
-  ablations ();
-  bechamel_benches ();
-  print_endline "\nAll experiments complete."
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as picks) ->
+    List.iter
+      (fun pick ->
+        match List.assoc_opt pick experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %s (known: %s)\n" pick
+            (String.concat " " (List.map fst experiments));
+          exit 2)
+      picks
+  | _ ->
+    List.iter (fun (_, f) -> f ()) experiments;
+    print_endline "\nAll experiments complete."

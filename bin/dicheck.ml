@@ -9,7 +9,8 @@ let read_file path =
   if path = "-" then In_channel.input_all In_channel.stdin
   else In_channel.with_open_text path In_channel.input_all
 
-let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers rules src =
+let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
+    ~jobs ~stats_json rules src =
   match Cif.Parse.file src with
   | Error e ->
     Printf.eprintf "parse error: %s\n" (Cif.Parse.string_of_error e);
@@ -30,7 +31,8 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
         Dic.Checker.expected_netlist;
         Dic.Checker.interactions =
           { Dic.Interactions.default_config with
-            Dic.Interactions.check_same_net } }
+            Dic.Interactions.check_same_net;
+            Dic.Interactions.jobs } }
     in
     match Dic.Checker.run ~config rules file with
     | Error e ->
@@ -52,6 +54,14 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
       | Some path ->
         Out_channel.with_open_text path (fun oc ->
             Out_channel.output_string oc (Dic.Markers.to_cif result.Dic.Checker.report)));
+      (match stats_json with
+      | None -> ()
+      | Some path ->
+        let json = Dic.Metrics.to_json result.Dic.Checker.metrics in
+        if path = "-" then print_endline json
+        else Out_channel.with_open_text path (fun oc ->
+                 Out_channel.output_string oc json;
+                 Out_channel.output_char oc '\n'));
       if Dic.Report.count ~severity:Dic.Report.Error result.Dic.Checker.report > 0 then 1
       else 0)
 
@@ -68,7 +78,7 @@ let run_flat ~metric ~poly_diff ~width_algorithm rules src =
     if errors = [] then 0 else 1
 
 let main file flat metric polydiff figure_based lambda rules_file show_netlist
-    show_stats show_structure check_same_net expect markers =
+    show_stats show_structure check_same_net expect markers jobs stats_json =
   let rules =
     match rules_file with
     | None -> Tech.Rules.nmos ~lambda ()
@@ -80,14 +90,17 @@ let main file flat metric polydiff figure_based lambda rules_file show_netlist
         exit 2)
   in
   let src = read_file file in
-  if flat then
+  if flat then begin
+    if stats_json <> None then
+      prerr_endline "dicheck: --stats-json applies to the hierarchical checker; ignored with --flat";
     run_flat ~metric
       ~poly_diff:(if polydiff then `Flag_all else `Ignore)
       ~width_algorithm:(if figure_based then `Figure_based else `Shrink_expand_compare)
       rules src
+  end
   else
     run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
-      rules src
+      ~jobs ~stats_json rules src
 
 let metric_conv =
   Arg.enum [ ("orthogonal", Geom.Measure.Orthogonal); ("euclidean", Geom.Measure.Euclidean) ]
@@ -124,10 +137,25 @@ let cmd =
   let markers =
     Arg.(value & opt (some string) None & info [ "markers" ] ~docv:"FILE" ~doc:"Write violation markers as CIF (layer XE) to FILE.")
   in
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Domains for the interaction stage: 1 = serial, N > 1 fans the \
+                   instance-pair worklist over N domains, 0 (default) asks the \
+                   runtime for the recommended count.  The report is identical \
+                   for every N.")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ] ~docv:"FILE"
+             ~doc:"Write run metrics (per-stage wall-clock, work counters, \
+                   per-pair cost histogram, errors by class) as canonical JSON \
+                   to FILE (- for stdout).")
+  in
   let term =
     Term.(
       const main $ file $ flat $ metric $ polydiff $ figure_based $ lambda $ rules_file
-      $ netlist $ stats $ structure $ same_net $ expect $ markers)
+      $ netlist $ stats $ structure $ same_net $ expect $ markers $ jobs $ stats_json)
   in
   Cmd.v
     (Cmd.info "dicheck" ~doc:"Design integrity and immunity checking (McGrath & Whitney, DAC 1980)")

@@ -14,6 +14,10 @@ let main workload nx ny lambda salt out =
     | `Chain -> Layoutgen.Cells.chain ~lambda nx
     | `Grid -> Layoutgen.Cells.grid ~lambda ~nx ~ny
     | `Grid_blocks -> Layoutgen.Cells.grid_blocks ~lambda ~nx ~ny
+    | `Shift -> Layoutgen.Shift.register ~lambda nx
+    | `Pla ->
+      Layoutgen.Pla.plane ~lambda
+        (Layoutgen.Pla.random_program ~rows:ny ~cols:nx ~seed:7)
     | `Pathology name -> (
       match
         List.find_opt
@@ -47,23 +51,27 @@ let workload_conv =
     | "chain" -> Ok `Chain
     | "grid" -> Ok `Grid
     | "grid-blocks" -> Ok `Grid_blocks
+    | "shift" -> Ok `Shift
+    | "pla" -> Ok `Pla
     | s when String.length s > 4 && String.sub s 0 4 = "fig:" ->
       Ok (`Pathology (String.sub s 4 (String.length s - 4)))
-    | _ -> Error (`Msg "expected chain | grid | grid-blocks | fig:<kit>")
+    | _ -> Error (`Msg "expected chain | grid | grid-blocks | shift | pla | fig:<kit>")
   in
   let print ppf = function
     | `Chain -> Format.pp_print_string ppf "chain"
     | `Grid -> Format.pp_print_string ppf "grid"
     | `Grid_blocks -> Format.pp_print_string ppf "grid-blocks"
+    | `Shift -> Format.pp_print_string ppf "shift"
+    | `Pla -> Format.pp_print_string ppf "pla"
     | `Pathology n -> Format.fprintf ppf "fig:%s" n
   in
   Arg.conv (parse, print)
 
 let cmd =
   let workload =
-    Arg.(value & opt workload_conv `Chain & info [ "w"; "workload" ] ~doc:"chain | grid | grid-blocks | fig:<kit>")
+    Arg.(value & opt workload_conv `Chain & info [ "w"; "workload" ] ~doc:"chain | grid | grid-blocks | shift | pla | fig:<kit>")
   in
-  let nx = Arg.(value & opt int 4 & info [ "nx" ] ~doc:"Cells per row.") in
+  let nx = Arg.(value & opt int 4 & info [ "nx" ] ~doc:"Cells per row (shift: bits; pla: columns).") in
   let ny = Arg.(value & opt int 4 & info [ "ny" ] ~doc:"Rows.") in
   let lambda = Arg.(value & opt int 100 & info [ "lambda" ] ~doc:"Lambda in layout units.") in
   let salt = Arg.(value & flag & info [ "salt" ] ~doc:"Inject the standard defect batch.") in

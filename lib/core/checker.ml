@@ -14,15 +14,10 @@ type result = {
   netlist : Netlist.Net.t;
   interaction_stats : Interactions.stats;
   stage_seconds : (string * float) list;
+  metrics : Metrics.t;
   model : Model.t;
   nets : Netgen.t;
 }
-
-let timed name f times =
-  let t0 = Sys.time () in
-  let v = f () in
-  times := (name, Sys.time () -. t0) :: !times;
-  v
 
 let erc_violations netlist =
   List.map
@@ -44,34 +39,38 @@ let erc_violations netlist =
       | `W -> Report.warning ~stage:Report.Electrical ~rule ~context:"netlist" msg)
     (Netlist.Erc.check netlist)
 
-let run ?(config = default_config) rules file =
-  let times = ref [] in
-  match timed "elaborate" (fun () -> Model.elaborate rules file) times with
+let run ?(config = default_config) ?metrics rules file =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let timed name f = Metrics.time_stage m name f in
+  match timed "elaborate" (fun () -> Model.elaborate rules file) with
   | Error e -> Error e
   | Ok (model, parse_issues) ->
-    let element_issues = timed "elements" (fun () -> Element_checks.check model) times in
-    let device_issues = timed "devices" (fun () -> Devices.check model) times in
+    Metrics.incr ~by:(Model.symbol_count model) m "model.symbols";
+    Metrics.incr ~by:(Model.definition_elements model) m "model.definition_elements";
+    Metrics.incr ~by:(Model.instantiated_elements model) m "model.instantiated_elements";
+    let element_issues = timed "elements" (fun () -> Element_checks.check model) in
+    let device_issues = timed "devices" (fun () -> Devices.check model) in
     let relational_issues =
       match config.relational with
       | None -> []
       | Some exposure ->
         timed "devices-relational" (fun () -> Devices.check_relational_all exposure model)
-          times
     in
-    let nets, connection_issues = timed "connections+netlist" (fun () -> Netgen.build model) times in
-    let netlist = timed "netlist-export" (fun () -> Netgen.netlist nets) times in
+    let nets, connection_issues = timed "connections+netlist" (fun () -> Netgen.build model) in
+    let netlist = timed "netlist-export" (fun () -> Netgen.netlist nets) in
     let interaction_issues, interaction_stats =
-      timed "interactions" (fun () -> Interactions.check ~config:config.interactions nets) times
+      timed "interactions" (fun () ->
+          Interactions.check ~config:config.interactions ~metrics:m nets)
     in
     let electrical_issues =
-      if config.run_erc then timed "electrical" (fun () -> erc_violations netlist) times
+      if config.run_erc then timed "electrical" (fun () -> erc_violations netlist)
       else []
     in
     let consistency_issues =
       match config.expected_netlist with
       | None -> []
       | Some expected ->
-        timed "netlist-compare" (fun () -> Netcompare.check expected netlist) times
+        timed "netlist-compare" (fun () -> Netcompare.check expected netlist)
     in
     let local, crossing = Netgen.locality nets in
     let locality_info =
@@ -85,18 +84,20 @@ let run ?(config = default_config) rules file =
           @ connection_issues @ interaction_issues @ electrical_issues
           @ consistency_issues @ [ locality_info ] }
     in
+    Metrics.count_report m report;
     Ok
       { report;
         netlist;
         interaction_stats;
-        stage_seconds = List.rev !times;
+        stage_seconds = Metrics.stage_seconds m;
+        metrics = m;
         model;
         nets }
 
-let run_string ?config rules src =
+let run_string ?config ?metrics rules src =
   match Cif.Parse.file src with
   | Error e -> Error (Cif.Parse.string_of_error e)
-  | Ok file -> run ?config rules file
+  | Ok file -> run ?config ?metrics rules file
 
 let pp_summary ppf r =
   let by sev = Report.count ~severity:sev r.report in

@@ -3,13 +3,23 @@
 
     {v
     PARSE CIF
-      -> CHECK ELEMENTS
-      -> CHECK PRIMITIVE SYMBOLS
-      -> CHECK LEGAL CONNECTIONS
-      -> GENERATE HIERARCHICAL NET LIST
-      -> CHECK INTERACTIONS
-      (+ non-geometric construction rules over the net list)
-    v} *)
+      -> CHECK ELEMENTS                    (stage 2, Element_checks)
+      -> CHECK PRIMITIVE SYMBOLS           (stage 3, Devices)
+      -> CHECK LEGAL CONNECTIONS           (stage 4, Netgen)
+      -> GENERATE HIERARCHICAL NET LIST    (stage 5, Netgen)
+      -> CHECK INTERACTIONS                (stage 6, Interactions)
+      (+ non-geometric construction rules over the net list, ERC)
+    v}
+
+    {2 Invariants}
+
+    - Stages run in the order above; each consumes only the outputs of
+      earlier stages, so a stage's violations never depend on a later
+      stage (the paper's argument for why net identifiers are available
+      when interactions are checked).
+    - Every stage is timed on the monotonic clock and every run carries
+      a {!Metrics.t}; [stage_seconds] is derived from it and kept for
+      compatibility. *)
 
 type config = {
   interactions : Interactions.config;
@@ -27,16 +37,26 @@ type result = {
   report : Report.t;
   netlist : Netlist.Net.t;
   interaction_stats : Interactions.stats;
-  stage_seconds : (string * float) list;  (** per pipeline stage, CPU time *)
+  stage_seconds : (string * float) list;
+      (** per pipeline stage, monotonic wall-clock seconds (a view of
+          [metrics]) *)
+  metrics : Metrics.t;
+      (** the full observability record: stage timers, work counters,
+          per-pair cost histogram, errors by class *)
   model : Model.t;
   nets : Netgen.t;
 }
 
-(** Run on an already-parsed file. *)
-val run : ?config:config -> Tech.Rules.t -> Cif.Ast.file -> (result, string) Stdlib.result
+(** Run on an already-parsed file.  [metrics] lets the caller supply
+    (and keep) the accumulator; one is created per run otherwise. *)
+val run :
+  ?config:config -> ?metrics:Metrics.t -> Tech.Rules.t -> Cif.Ast.file ->
+  (result, string) Stdlib.result
 
 (** Parse CIF text and run. *)
-val run_string : ?config:config -> Tech.Rules.t -> string -> (result, string) Stdlib.result
+val run_string :
+  ?config:config -> ?metrics:Metrics.t -> Tech.Rules.t -> string ->
+  (result, string) Stdlib.result
 
 (** One-line summary: error/warning counts by stage. *)
 val pp_summary : Format.formatter -> result -> unit

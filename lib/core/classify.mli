@@ -8,7 +8,18 @@
     entries are unchecked (missed) errors.  This makes the paper's
     headline claim — flat checkers produce 10 or more false errors per
     real one, the topology-aware checker removes almost all of them —
-    measurable. *)
+    measurable.
+
+    {2 Invariants}
+
+    - Matching is one-to-one: each truth absorbs at most one finding
+      and each finding discharges at most one truth, so
+      [flagged + missed] partitions the truths and
+      [flagged + false_findings = findings_total] partitions the
+      findings.
+    - Classification looks only at (family, location); it is
+      insensitive to report order, which is what lets the parallel
+      checker's output be compared across domain counts. *)
 
 type truth = {
   t_families : string list;

@@ -143,6 +143,7 @@ let run ?(config = Checker.default_config) t rules file =
           netlist;
           interaction_stats;
           stage_seconds = [];
+          metrics = Metrics.create ();
           model;
           nets },
         { symbols_total = List.length model.Model.symbols; symbols_reused = !reused } )

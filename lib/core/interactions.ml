@@ -6,11 +6,12 @@ type config = {
   metric : Geom.Measure.metric;
   check_same_net : bool;
   spacing_model : spacing_model;
+  jobs : int;
 }
 
 let default_config =
   { metric = Geom.Measure.Orthogonal; check_same_net = false;
-    spacing_model = Geometric }
+    spacing_model = Geometric; jobs = 1 }
 
 type cell_stats = {
   mutable pairs : int;
@@ -24,9 +25,11 @@ type stats = {
   cells : (Tech.Layer.t * Tech.Layer.t, cell_stats) Hashtbl.t;
   mutable memo_hits : int;
   mutable memo_misses : int;
+  mutable bbox_rejects : int;
 }
 
-let new_stats () = { cells = Hashtbl.create 16; memo_hits = 0; memo_misses = 0 }
+let new_stats () =
+  { cells = Hashtbl.create 16; memo_hits = 0; memo_misses = 0; bbox_rejects = 0 }
 
 let cell stats la lb =
   let key = if Tech.Layer.index la <= Tech.Layer.index lb then (la, lb) else (lb, la) in
@@ -51,7 +54,38 @@ let pp_stats ppf stats =
          Format.fprintf ppf "%s-%s: pairs=%d checked=%d same-net-skip=%d no-rule=%d device=%d@,"
            (Tech.Layer.to_cif la) (Tech.Layer.to_cif lb) c.pairs c.checked
            c.skipped_same_net c.skipped_no_rule c.skipped_device);
-  Format.fprintf ppf "memo: %d hits / %d misses@]" stats.memo_hits stats.memo_misses
+  Format.fprintf ppf "memo: %d hits / %d misses; bbox rejects: %d@]" stats.memo_hits
+    stats.memo_misses stats.bbox_rejects
+
+let merge_stats ~into src =
+  Hashtbl.iter
+    (fun (la, lb) (c : cell_stats) ->
+      let d = cell into la lb in
+      d.pairs <- d.pairs + c.pairs;
+      d.checked <- d.checked + c.checked;
+      d.skipped_same_net <- d.skipped_same_net + c.skipped_same_net;
+      d.skipped_no_rule <- d.skipped_no_rule + c.skipped_no_rule;
+      d.skipped_device <- d.skipped_device + c.skipped_device)
+    src.cells;
+  into.memo_hits <- into.memo_hits + src.memo_hits;
+  into.memo_misses <- into.memo_misses + src.memo_misses;
+  into.bbox_rejects <- into.bbox_rejects + src.bbox_rejects
+
+let record_metrics metrics stats =
+  let total field =
+    Hashtbl.fold (fun _ c acc -> acc + field c) stats.cells 0
+  in
+  Metrics.incr ~by:(total (fun c -> c.pairs)) metrics "interactions.pairs";
+  Metrics.incr ~by:(total (fun c -> c.checked)) metrics "interactions.checked";
+  Metrics.incr ~by:(total (fun c -> c.skipped_same_net)) metrics
+    "interactions.skipped_same_net";
+  Metrics.incr ~by:(total (fun c -> c.skipped_no_rule)) metrics
+    "interactions.skipped_no_rule";
+  Metrics.incr ~by:(total (fun c -> c.skipped_device)) metrics
+    "interactions.skipped_device";
+  Metrics.incr ~by:stats.memo_hits metrics "interactions.memo_hits";
+  Metrics.incr ~by:stats.memo_misses metrics "interactions.memo_misses";
+  Metrics.incr ~by:stats.bbox_rejects metrics "interactions.bbox_rejects"
 
 (* ------------------------------------------------------------------ *)
 
@@ -335,7 +369,10 @@ let candidates cfg env dmax (memo : (memo_key, cand list) Hashtbl.t) stats sa sb
               (fun a ->
                 List.filter_map
                   (fun b ->
-                    if Geom.Rect.chebyshev_gap a.s_bbox b.s_bbox > dmax then None
+                    if Geom.Rect.chebyshev_gap a.s_bbox b.s_bbox > dmax then begin
+                      stats.bbox_rejects <- stats.bbox_rejects + 1;
+                      None
+                    end
                     else
                       let g2, _, _ = gap2_of cfg a.s_rects b.s_rects in
                       if g2 <= dmax * dmax then
@@ -361,56 +398,109 @@ let transform_site tr s =
     s_bbox = Geom.Transform.apply_rect tr s.s_bbox }
 
 (* ------------------------------------------------------------------ *)
+(* The worklist                                                        *)
 
-let check_symbol cfg env stats memo (s : Model.symbol) =
+(* Everything below runs in two phases.  Phase 1 (serial, cheap) walks
+   the definitions once and builds an ordered worklist of independent
+   *tasks*: a chunk of local element pairs, one element against the
+   instances near it, or one instance pair.  Phase 2 evaluates the
+   tasks — either in order on the calling domain ([jobs <= 1], exactly
+   the old serial behaviour) or sharded over [Domain.spawn].
+
+   A task only reads shared state (the model, the net structure — both
+   frozen after elaboration); everything it mutates lives in the
+   per-domain [dctx] below, merged deterministically after the join.
+   Because a task's result does not depend on its [dctx] (the memo is a
+   pure cache, the stats are write-only), the concatenated report is
+   identical whatever the domain count. *)
+
+type dctx = {
+  d_stats : stats;
+  d_memo : (memo_key, cand list) Hashtbl.t;
+  d_ports : (int * int list, int list) Hashtbl.t;
+      (** (sid, site path) -> port nets of the owning device instance *)
+}
+
+let make_dctx stats memo = { d_stats = stats; d_memo = memo; d_ports = Hashtbl.create 64 }
+
+let net_of env sid (site : site) = resolve env sid site.s_path site.s_eid
+
+let same_net env sid a b =
+  match (net_of env sid a, net_of env sid b) with
+  | Some x, Some y -> x = y
+  | _ -> false
+
+let port_nets env dctx sid (site : site) =
+  match Hashtbl.find_opt dctx.d_ports (sid, site.s_path) with
+  | Some ns -> ns
+  | None ->
+    let ns = instance_port_nets env sid site.s_path in
+    Hashtbl.add dctx.d_ports (sid, site.s_path) ns;
+    ns
+
+let is_device_site (site : site) = site.s_path <> [] && site.s_device <> None
+
+let related env dctx sid a b =
+  (is_device_site a
+  && match net_of env sid b with
+     | Some n -> List.mem n (port_nets env dctx sid a)
+     | None -> false)
+  || (is_device_site b
+     && match net_of env sid a with
+        | Some n -> List.mem n (port_nets env dctx sid b)
+        | None -> false)
+
+type task = dctx -> Report.violation list
+
+let judge_pair cfg env sid rules dctx a b =
+  judge cfg rules dctx.d_stats ~same_net:(same_net env sid a b)
+    ~related:(related env dctx sid a b) a b
+
+(* Local element pairs are individually tiny; batch them so a task is
+   worth scheduling. *)
+let local_chunk = 32
+
+let rec chunked n = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let chunk, rest = take n [] l in
+    chunk :: chunked n rest
+
+let tasks_of_symbol cfg env (s : Model.symbol) : task list =
   if Model.is_device s then []
   else begin
     let context = s.Model.sname in
+    let sid = s.Model.sid in
     let rules = env.model.Model.rules in
     let dmax = max_dist rules in
-    let out = ref [] in
-    let emit la lb o = out := report_outcome ~context la lb o @ !out in
-    let net_of (site : site) = resolve env s.Model.sid site.s_path site.s_eid in
-    let same_net a b =
-      match (net_of a, net_of b) with
-      | Some x, Some y -> x = y
-      | _ -> false
-    in
-    let port_cache = Hashtbl.create 16 in
-    let port_nets (site : site) =
-      match Hashtbl.find_opt port_cache site.s_path with
-      | Some ns -> ns
-      | None ->
-        let ns = instance_port_nets env s.Model.sid site.s_path in
-        Hashtbl.add port_cache site.s_path ns;
-        ns
-    in
-    let is_device_site (site : site) = site.s_path <> [] && site.s_device <> None in
-    let related a b =
-      (is_device_site a
-      && match net_of b with Some n -> List.mem n (port_nets a) | None -> false)
-      || (is_device_site b
-         && match net_of a with Some n -> List.mem n (port_nets b) | None -> false)
-    in
-    (* Local element pairs. *)
     let local_sites =
-      List.filter_map
+      List.map
         (fun (e : Model.element) ->
-          Some
-            { s_path = [];
-              s_eid = e.Model.eid;
-              s_layer = e.Model.layer;
-              s_rects = e.Model.rects;
-              s_bbox = e.Model.bbox;
-              s_device = s.Model.device })
+          { s_path = [];
+            s_eid = e.Model.eid;
+            s_layer = e.Model.layer;
+            s_rects = e.Model.rects;
+            s_bbox = e.Model.bbox;
+            s_device = s.Model.device })
         s.Model.elements
     in
+    (* Local element pairs, chunked. *)
     let elt_idx = Geom.Grid_index.create ~cell:(max 1 dmax) () in
     List.iter (fun site -> Geom.Grid_index.add elt_idx site.s_bbox site) local_sites;
-    List.iter
-      (fun ((_, a), (_, b)) ->
-        emit a.s_layer b.s_layer (judge cfg rules stats ~same_net:(same_net a b) ~related:(related a b) a b))
-      (Geom.Grid_index.pairs_within elt_idx dmax);
+    let local_tasks =
+      chunked local_chunk (Geom.Grid_index.pairs_within elt_idx dmax)
+      |> List.map (fun chunk dctx ->
+             List.concat_map
+               (fun ((_, a), (_, b)) ->
+                 report_outcome ~context a.s_layer b.s_layer
+                   (judge_pair cfg env sid rules dctx a b))
+               chunk)
+    in
     (* Calls with their placed bounding boxes. *)
     let placed_calls =
       List.filter_map
@@ -421,52 +511,65 @@ let check_symbol cfg env stats memo (s : Model.symbol) =
             callee.Model.sbbox)
         s.Model.calls
     in
-    (* Element vs instance. *)
+    (* Element vs instance: one task per local element near instances. *)
     let call_idx = Geom.Grid_index.create ~cell:(max 1 (4 * dmax)) () in
     List.iter (fun (c, callee, bb) -> Geom.Grid_index.add call_idx bb (c, callee)) placed_calls;
-    List.iter
-      (fun site ->
-        match Geom.Rect.inflate site.s_bbox dmax with
-        | None -> ()
-        | Some window ->
-          Geom.Grid_index.query call_idx window
-          |> List.iter (fun (_, ((c : Model.call), callee)) ->
-                 let sites =
-                   frontier env.model window c.Model.transform [ c.Model.cidx ] callee []
-                 in
-                 List.iter
-                   (fun sub ->
-                     emit site.s_layer sub.s_layer
-                       (judge cfg rules stats ~same_net:(same_net site sub) ~related:(related site sub) site sub))
-                   sites))
-      local_sites;
-    (* Instance vs instance, with memoised candidates. *)
+    let elt_inst_tasks =
+      List.filter_map
+        (fun site ->
+          match Geom.Rect.inflate site.s_bbox dmax with
+          | None -> None
+          | Some window -> (
+            match Geom.Grid_index.query call_idx window with
+            | [] -> None
+            | near ->
+              Some
+                (fun dctx ->
+                  List.concat_map
+                    (fun (_, ((c : Model.call), callee)) ->
+                      let sites =
+                        frontier env.model window c.Model.transform [ c.Model.cidx ]
+                          callee []
+                      in
+                      List.concat_map
+                        (fun sub ->
+                          report_outcome ~context site.s_layer sub.s_layer
+                            (judge_pair cfg env sid rules dctx site sub))
+                        sites)
+                    near)))
+        local_sites
+    in
+    (* Instance vs instance: one task per interacting placement pair,
+       with memoised candidate lists. *)
     let inst_idx = Geom.Grid_index.create ~cell:(max 1 (4 * dmax)) () in
     List.iter (fun (c, callee, bb) -> Geom.Grid_index.add inst_idx bb (c, callee)) placed_calls;
-    List.iter
-      (fun ((_, ((ca : Model.call), _)), (_, ((cb : Model.call), _))) ->
-        let rel =
-          Geom.Transform.compose
-            (Geom.Transform.inverse ca.Model.transform)
-            cb.Model.transform
-        in
-        let cands =
-          candidates cfg env dmax memo stats ca.Model.callee cb.Model.callee rel
-        in
-        List.iter
-          (fun cand ->
-            let site_a =
-              transform_site ca.Model.transform
-                { cand.k_site_a with s_path = ca.Model.cidx :: fst cand.k_a }
-            and site_b =
-              transform_site ca.Model.transform
-                { cand.k_site_b with s_path = cb.Model.cidx :: fst cand.k_b }
-            in
-            emit site_a.s_layer site_b.s_layer
-              (judge cfg rules stats ~same_net:(same_net site_a site_b) ~related:(related site_a site_b) site_a site_b))
-          cands)
-      (Geom.Grid_index.pairs_within inst_idx dmax);
-    !out
+    let inst_tasks =
+      List.map
+        (fun ((_, ((ca : Model.call), _)), (_, ((cb : Model.call), _))) dctx ->
+          let rel =
+            Geom.Transform.compose
+              (Geom.Transform.inverse ca.Model.transform)
+              cb.Model.transform
+          in
+          let cands =
+            candidates cfg env dmax dctx.d_memo dctx.d_stats ca.Model.callee
+              cb.Model.callee rel
+          in
+          List.concat_map
+            (fun cand ->
+              let site_a =
+                transform_site ca.Model.transform
+                  { cand.k_site_a with s_path = ca.Model.cidx :: fst cand.k_a }
+              and site_b =
+                transform_site ca.Model.transform
+                  { cand.k_site_b with s_path = cb.Model.cidx :: fst cand.k_b }
+              in
+              report_outcome ~context site_a.s_layer site_b.s_layer
+                (judge_pair cfg env sid rules dctx site_a site_b))
+            cands)
+        (Geom.Grid_index.pairs_within inst_idx dmax)
+    in
+    local_tasks @ elt_inst_tasks @ inst_tasks
   end
 
 type memo = (memo_key, cand list) Hashtbl.t
@@ -482,11 +585,67 @@ let prune_memo (memo : memo) ~keep =
   in
   List.iter (Hashtbl.remove memo) doomed
 
-let check ?(config = default_config) ?memo (nets : Netgen.t) =
+(* ------------------------------------------------------------------ *)
+(* The scheduler                                                       *)
+
+let run_span ?metrics (tasks : task array) lo hi dctx =
+  let out = ref [] in
+  for i = lo to hi - 1 do
+    let vs =
+      match metrics with
+      | None -> tasks.(i) dctx
+      | Some m ->
+        let t0 = Metrics.now_ns () in
+        let vs = tasks.(i) dctx in
+        Metrics.observe_ns m "interactions.pair_check_ns"
+          (Int64.sub (Metrics.now_ns ()) t0);
+        vs
+    in
+    out := vs :: !out
+  done;
+  List.concat (List.rev !out)
+
+let effective_jobs jobs =
+  if jobs <= 0 then Domain.recommended_domain_count () else jobs
+
+let check ?(config = default_config) ?memo ?metrics (nets : Netgen.t) =
   let env = make_env nets in
   let stats = new_stats () in
-  let memo = match memo with Some m -> m | None -> create_memo () in
-  let violations =
-    List.concat_map (check_symbol config env stats memo) env.model.Model.symbols
+  let master_memo = match memo with Some m -> m | None -> create_memo () in
+  let tasks =
+    Array.of_list
+      (List.concat_map (tasks_of_symbol config env) env.model.Model.symbols)
   in
+  let n = Array.length tasks in
+  let jobs = max 1 (min (effective_jobs config.jobs) (max 1 n)) in
+  let violations =
+    if jobs = 1 then run_span ?metrics tasks 0 n (make_dctx stats master_memo)
+    else begin
+      (* Contiguous shards keep the merged report in worklist order, so
+         the output is bit-identical to the serial run. *)
+      let bounds i = (i * n / jobs, (i + 1) * n / jobs) in
+      let work i () =
+        let dctx = make_dctx (new_stats ()) (Hashtbl.copy master_memo) in
+        let dm = Option.map (fun _ -> Metrics.create ()) metrics in
+        let lo, hi = bounds i in
+        let vs = run_span ?metrics:dm tasks lo hi dctx in
+        (vs, dctx, dm)
+      in
+      let spawned = List.init (jobs - 1) (fun i -> Domain.spawn (work (i + 1))) in
+      let first = work 0 () in
+      let shards = first :: List.map Domain.join spawned in
+      List.concat_map
+        (fun (vs, dctx, dm) ->
+          merge_stats ~into:stats dctx.d_stats;
+          Hashtbl.iter
+            (fun k v -> if not (Hashtbl.mem master_memo k) then Hashtbl.add master_memo k v)
+            dctx.d_memo;
+          (match (metrics, dm) with
+          | Some m, Some d -> Metrics.merge_into ~into:m d
+          | _ -> ());
+          vs)
+        shards
+    end
+  in
+  Option.iter (fun m -> record_metrics m stats) metrics;
   (violations, stats)

@@ -20,7 +20,28 @@
     the geometry near the overlap window, and repeated
     (symbol, symbol, relative placement) instance pairs reuse memoised
     candidate lists — the redundancy elimination that makes the
-    hierarchical checker fast on regular designs. *)
+    hierarchical checker fast on regular designs.
+
+    {2 Parallelism}
+
+    The stage is embarrassingly parallel across its worklist: every
+    local-pair chunk, element-vs-instance neighbourhood, and instance
+    pair is independent of the others.  With {!config.jobs} above 1 the
+    worklist is cut into contiguous shards fanned out over
+    [Domain.spawn]; per-domain error lists, statistics, and memo tables
+    are merged deterministically after the join.
+
+    {2 Invariants}
+
+    - The model and net structure are read-only during the check; all
+      mutation is confined to per-domain accumulators.
+    - A task's verdicts do not depend on which domain runs it (the memo
+      is a pure cache), so the merged report is {e identical} — same
+      violations, same order — for every [jobs] value, including the
+      serial [jobs = 1].
+    - Only {!stats} totals (memo hit/miss split, never the per-cell
+      pair counts) may vary with [jobs], because each domain warms its
+      own copy of the memo. *)
 
 type spacing_model =
   | Geometric
@@ -39,6 +60,11 @@ type config = {
       (** force spacing checks even between same-net elements, i.e.
           behave like a net-blind checker (for the Fig 5 ablation) *)
   spacing_model : spacing_model;
+  jobs : int;
+      (** domains to fan the interaction worklist over: [1] (the
+          default) is today's exact serial behaviour, [n > 1] spawns
+          [n - 1] extra domains, [0] asks the runtime
+          ([Domain.recommended_domain_count ()]) *)
 }
 
 val default_config : config
@@ -56,7 +82,16 @@ type stats = {
   cells : (Tech.Layer.t * Tech.Layer.t, cell_stats) Hashtbl.t;
   mutable memo_hits : int;
   mutable memo_misses : int;
+  mutable bbox_rejects : int;
+      (** candidate pairs discarded on bounding boxes alone, before any
+          exact gap computation *)
 }
+
+(** Add [src]'s totals into [into] (used to fold per-domain stats). *)
+val merge_stats : into:stats -> stats -> unit
+
+(** Export the totals as [interactions.*] counters. *)
+val record_metrics : Metrics.t -> stats -> unit
 
 (** A reusable instance-pair candidate cache.  Keyed by (callee,
     callee, relative transform), so it stays valid across checker runs
@@ -70,6 +105,11 @@ val create_memo : unit -> memo
     which [keep] is false (used to invalidate edited definitions). *)
 val prune_memo : memo -> keep:(int -> bool) -> unit
 
-val check : ?config:config -> ?memo:memo -> Netgen.t -> Report.violation list * stats
+(** Run the stage.  When [metrics] is given, per-task wall-clock costs
+    are recorded into the [interactions.pair_check_ns] histogram and
+    the {!stats} totals are exported as counters. *)
+val check :
+  ?config:config -> ?memo:memo -> ?metrics:Metrics.t -> Netgen.t ->
+  Report.violation list * stats
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,217 @@
+(* Structured observability: stage timers, counters, histograms.
+
+   Self-contained on purpose — the only outside dependency is the
+   monotonic clock stub shipped with bechamel, so the checker library
+   never drags in a JSON or metrics framework. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+(* Power-of-two buckets: index i counts observations v with
+   2^(i-1) <= v < 2^i (index 0: v = 0).  63 buckets cover any int64. *)
+let bucket_count = 64
+
+type hist = {
+  mutable count : int;
+  mutable sum_ns : int64;
+  buckets : int array;
+}
+
+type t = {
+  mutable stages_rev : (string * float) list;
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  { stages_rev = []; counters = Hashtbl.create 16; hists = Hashtbl.create 4 }
+
+(* ------------------------------------------------------------------ *)
+(* Stage timers                                                        *)
+
+let add_stage_seconds t name seconds = t.stages_rev <- (name, seconds) :: t.stages_rev
+
+let time_stage t name f =
+  let t0 = now_ns () in
+  let v = f () in
+  let dt = Int64.sub (now_ns ()) t0 in
+  add_stage_seconds t name (Int64.to_float dt *. 1e-9);
+  v
+
+let stage_seconds t = List.rev t.stages_rev
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+
+let incr ?(by = 1) t name =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic (by < 0)";
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+let bucket_of ns =
+  if Int64.compare ns 1L < 0 then 0
+  else begin
+    let i = ref 0 and v = ref ns in
+    while Int64.compare !v 0L > 0 do
+      i := !i + 1;
+      v := Int64.shift_right_logical !v 1
+    done;
+    min !i (bucket_count - 1)
+  end
+
+let hist_of t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h = { count = 0; sum_ns = 0L; buckets = Array.make bucket_count 0 } in
+    Hashtbl.add t.hists name h;
+    h
+
+let observe_ns t name ns =
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  let h = hist_of t name in
+  h.count <- h.count + 1;
+  h.sum_ns <- Int64.add h.sum_ns ns;
+  let b = bucket_of ns in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum_ns : int64;
+  h_buckets : (int64 * int) list;
+}
+
+(* Inclusive upper bound of bucket i: 2^i - 1 (bucket 0 holds v = 0). *)
+let bucket_le i = Int64.sub (Int64.shift_left 1L i) 1L
+
+let snapshot (h : hist) =
+  let buckets = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if h.buckets.(i) > 0 then buckets := (bucket_le i, h.buckets.(i)) :: !buckets
+  done;
+  { h_count = h.count; h_sum_ns = h.sum_ns; h_buckets = !buckets }
+
+let histogram t name = Option.map snapshot (Hashtbl.find_opt t.hists name)
+
+let hist_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.hists [] |> List.sort String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Composition                                                         *)
+
+let merge_into ~into src =
+  into.stages_rev <- src.stages_rev @ into.stages_rev;
+  Hashtbl.iter (fun name r -> incr ~by:!r into name) src.counters;
+  Hashtbl.iter
+    (fun name (h : hist) ->
+      let dst = hist_of into name in
+      dst.count <- dst.count + h.count;
+      dst.sum_ns <- Int64.add dst.sum_ns h.sum_ns;
+      Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) h.buckets)
+    src.hists
+
+let count_report t (report : Report.t) =
+  List.iter
+    (fun (v : Report.violation) ->
+      match v.Report.severity with
+      | Report.Error ->
+        incr t "report.errors";
+        incr t ("errors." ^ Report.stage_name v.Report.stage)
+      | Report.Warning -> incr t "report.warnings"
+      | Report.Info -> incr t "report.infos")
+    report.Report.violations
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add "{\"stages\":[";
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then add ",";
+      add (Printf.sprintf "{\"name\":\"%s\",\"seconds\":%.9f}" (json_escape name) s))
+    (stage_seconds t);
+  add "],\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then add ",";
+      add (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    (counters t);
+  add "},\"histograms\":{";
+  List.iteri
+    (fun i name ->
+      if i > 0 then add ",";
+      let s = snapshot (Hashtbl.find t.hists name) in
+      add (Printf.sprintf "\"%s\":{\"count\":%d,\"sum_ns\":%Ld,\"buckets\":[" (json_escape name)
+             s.h_count s.h_sum_ns);
+      List.iteri
+        (fun j (le, n) ->
+          if j > 0 then add ",";
+          add (Printf.sprintf "{\"le_ns\":%Ld,\"count\":%d}" le n))
+        s.h_buckets;
+      add "]}")
+    (hist_names t);
+  add "}}";
+  Buffer.contents buf
+
+(* Approximate quantile from the bucket upper bounds. *)
+let quantile_ns s q =
+  let target = int_of_float (ceil (q *. float_of_int s.h_count)) in
+  let rec go acc = function
+    | [] -> 0L
+    | (le, n) :: rest -> if acc + n >= target then le else go (acc + n) rest
+  in
+  go 0 s.h_buckets
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  let stages = stage_seconds t in
+  if stages <> [] then begin
+    Format.fprintf ppf "stages:@,";
+    List.iter (fun (name, s) -> Format.fprintf ppf "  %-28s %10.4f s@," name s) stages
+  end;
+  let cs = counters t in
+  if cs <> [] then begin
+    Format.fprintf ppf "counters:@,";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-38s %12d@," name v) cs
+  end;
+  let hs = hist_names t in
+  if hs <> [] then begin
+    Format.fprintf ppf "histograms:@,";
+    List.iter
+      (fun name ->
+        let s = snapshot (Hashtbl.find t.hists name) in
+        if s.h_count > 0 then
+          let mean = Int64.to_float s.h_sum_ns /. float_of_int s.h_count in
+          Format.fprintf ppf "  %-28s n=%d mean=%.0fns p50<=%Ldns p99<=%Ldns@," name
+            s.h_count mean (quantile_ns s 0.5) (quantile_ns s 0.99))
+      hs
+  end;
+  Format.fprintf ppf "@]"

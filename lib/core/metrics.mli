@@ -1,0 +1,108 @@
+(** Structured observability for the checking pipeline.
+
+    The paper evaluates its checker the way every DRC paper since has:
+    by wall-clock cost per pipeline stage (Fig 10) and by how much work
+    the hierarchy avoids (Fig 9's definition-vs-instance ratio, the
+    interaction-matrix coverage of Fig 12).  This module makes those
+    measurements first-class instead of ad-hoc [Sys.time] deltas: one
+    accumulator object carries
+
+    - {b stage timers} — monotonic wall-clock seconds per pipeline
+      stage, in execution order (the Fig 10 bar chart as data);
+    - {b counters} — monotonically non-decreasing named totals
+      (elements scanned, instance pairs visited, memo hits, bounding
+      box rejections, errors by class …);
+    - {b histograms} — log₂-bucketed nanosecond distributions, used for
+      the per-instance-pair interaction check cost.
+
+    Timers use a monotonic clock ([CLOCK_MONOTONIC] via the bechamel
+    stubs), so parallel speedups measure real time, not summed CPU
+    time.
+
+    {2 Invariants}
+
+    - Counters never decrease; [incr] with a negative [by] raises
+      [Invalid_argument].
+    - A value is thread-compatible but not thread-safe: each domain
+      accumulates into its own [t] and the results are combined with
+      {!merge_into} after joining (this is what the parallel
+      interaction scheduler does).
+    - {!to_json} is canonical: counter and histogram names are sorted,
+      stages appear in execution order, so equal metric states render
+      to equal strings. *)
+
+type t
+
+val create : unit -> t
+
+(** Nanoseconds on the monotonic clock.  Differences are meaningful;
+    the absolute value is not. *)
+val now_ns : unit -> int64
+
+(** {1 Stage timers} *)
+
+(** [time_stage t name f] runs [f], recording its monotonic wall-clock
+    duration as pipeline stage [name].  Stages are kept in call order;
+    timing the same name twice records two entries. *)
+val time_stage : t -> string -> (unit -> 'a) -> 'a
+
+(** Record an externally measured stage duration (seconds). *)
+val add_stage_seconds : t -> string -> float -> unit
+
+(** Stages in execution order with their wall-clock seconds. *)
+val stage_seconds : t -> (string * float) list
+
+(** {1 Counters} *)
+
+(** [incr ?by t name] adds [by] (default 1, must be [>= 0]) to counter
+    [name], creating it at zero first if needed. *)
+val incr : ?by:int -> t -> string -> unit
+
+(** Current value of a counter; [0] if never incremented. *)
+val counter : t -> string -> int
+
+(** All counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+(** {1 Histograms} *)
+
+(** [observe_ns t name ns] adds one observation to histogram [name].
+    Buckets are powers of two: observation [v] (clamped to [>= 0])
+    lands in the bucket whose upper bound is the smallest power of two
+    [> v]. *)
+val observe_ns : t -> string -> int64 -> unit
+
+type histogram_snapshot = {
+  h_count : int;  (** number of observations *)
+  h_sum_ns : int64;  (** sum of all observations *)
+  h_buckets : (int64 * int) list;
+      (** (inclusive upper bound in ns, count) for non-empty buckets,
+          ascending *)
+}
+
+val histogram : t -> string -> histogram_snapshot option
+
+(** {1 Composition} *)
+
+(** [merge_into ~into src] adds [src]'s counters and histograms into
+    [into] and appends [src]'s stages after [into]'s.  [src] is not
+    modified.  Used to fold per-domain accumulators back into the main
+    one after a parallel stage. *)
+val merge_into : into:t -> t -> unit
+
+(** Tally a finished report into the [report.errors] /
+    [report.warnings] / [report.infos] counters plus one
+    [errors.<stage>] counter per pipeline stage that produced errors. *)
+val count_report : t -> Report.t -> unit
+
+(** {1 Rendering} *)
+
+(** Canonical JSON: [{"stages":[{"name","seconds"}…],
+    "counters":{…}, "histograms":{name:{"count","sum_ns",
+    "buckets":[{"le_ns","count"}…]}…}}].  Deterministic for equal
+    states; no external JSON library involved. *)
+val to_json : t -> string
+
+(** Human-readable multi-line summary (stage table, then counters,
+    then histogram quantile sketches). *)
+val pp : Format.formatter -> t -> unit

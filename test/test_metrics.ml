@@ -1,0 +1,321 @@
+(* Metrics: JSON well-formedness/round-trip, counter invariants, and
+   the parallel-interaction determinism guarantee. *)
+
+let rules = Tech.Rules.nmos ()
+let lambda = rules.Tech.Rules.lambda
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON reader — enough to round-trip Metrics.to_json
+   without pulling a JSON dependency into the repository. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+    let skip_ws () =
+      while
+        match peek () with
+        | Some (' ' | '\t' | '\n' | '\r') -> true
+        | _ -> false
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do advance () done;
+            Buffer.add_char buf '?';
+            go ()
+          | Some c -> Buffer.add_char buf c; advance (); go ()
+          | None -> fail "bad escape")
+        | Some c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (members [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Arr (items [])
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> pos := !pos + 4; Bool true
+      | Some 'f' -> pos := !pos + 5; Bool false
+      | Some 'n' -> pos := !pos + 4; Null
+      | Some _ ->
+        let start = !pos in
+        while
+          match peek () with
+          | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> true
+          | _ -> false
+        do
+          advance ()
+        done;
+        if !pos = start then fail "bad value"
+        else Num (float_of_string (String.sub s start (!pos - start)))
+      | None -> fail "eof"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member name = function
+    | Obj kvs -> List.assoc_opt name kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+
+let run_ok ?config file =
+  match Dic.Checker.run ?config rules file with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let workload () = Layoutgen.Cells.grid ~lambda ~nx:4 ~ny:4
+
+let test_json_roundtrip () =
+  let result = run_ok (workload ()) in
+  let json = Dic.Metrics.to_json result.Dic.Checker.metrics in
+  let v = try Json.parse json with Json.Bad m -> Alcotest.fail ("bad JSON: " ^ m) in
+  (* Stages: present, in pipeline order, with non-negative seconds. *)
+  (match Json.member "stages" v with
+  | Some (Json.Arr stages) ->
+    Alcotest.(check bool) "at least six stages" true (List.length stages >= 6);
+    let names =
+      List.map
+        (fun st ->
+          match (Json.member "name" st, Json.member "seconds" st) with
+          | Some (Json.Str name), Some (Json.Num s) ->
+            Alcotest.(check bool) ("stage " ^ name ^ " time >= 0") true (s >= 0.);
+            name
+          | _ -> Alcotest.fail "stage entry missing name/seconds")
+        stages
+    in
+    Alcotest.(check string) "first stage" "elaborate" (List.hd names);
+    Alcotest.(check bool) "has interactions stage" true (List.mem "interactions" names)
+  | _ -> Alcotest.fail "no stages array");
+  (* Counters: an object of non-negative integers, sorted by key. *)
+  (match Json.member "counters" v with
+  | Some (Json.Obj kvs) ->
+    Alcotest.(check bool) "some counters" true (List.length kvs > 0);
+    List.iter
+      (fun (k, cv) ->
+        match cv with
+        | Json.Num f ->
+          Alcotest.(check bool) (k ^ " non-negative") true (f >= 0.);
+          Alcotest.(check bool) (k ^ " integral") true (Float.is_integer f)
+        | _ -> Alcotest.fail (k ^ " not a number"))
+      kvs;
+    let keys = List.map fst kvs in
+    Alcotest.(check (list string)) "keys sorted" (List.sort String.compare keys) keys;
+    Alcotest.(check bool) "has pair counter" true
+      (List.mem "interactions.pairs" keys)
+  | _ -> Alcotest.fail "no counters object");
+  (* Histograms: pair-check cost recorded, bucket counts sum to count. *)
+  match Json.member "histograms" v with
+  | Some (Json.Obj kvs) -> (
+    match List.assoc_opt "interactions.pair_check_ns" kvs with
+    | Some h -> (
+      match (Json.member "count" h, Json.member "buckets" h) with
+      | Some (Json.Num count), Some (Json.Arr buckets) ->
+        let total =
+          List.fold_left
+            (fun acc b ->
+              match Json.member "count" b with
+              | Some (Json.Num c) -> acc + int_of_float c
+              | _ -> Alcotest.fail "bucket without count")
+            0 buckets
+        in
+        Alcotest.(check int) "bucket counts sum to count" (int_of_float count) total
+      | _ -> Alcotest.fail "histogram missing count/buckets")
+    | None -> Alcotest.fail "no pair_check_ns histogram")
+  | _ -> Alcotest.fail "no histograms object"
+
+let test_canonical () =
+  (* Equal metric states render to equal JSON strings. *)
+  let mk () =
+    let m = Dic.Metrics.create () in
+    Dic.Metrics.incr m "b";
+    Dic.Metrics.incr ~by:3 m "a";
+    Dic.Metrics.observe_ns m "h" 100L;
+    Dic.Metrics.observe_ns m "h" 5000L;
+    Dic.Metrics.add_stage_seconds m "s1" 0.25;
+    m
+  in
+  Alcotest.(check string) "canonical" (Dic.Metrics.to_json (mk ()))
+    (Dic.Metrics.to_json (mk ()))
+
+let test_counter_invariants () =
+  let m = Dic.Metrics.create () in
+  Alcotest.(check int) "absent counter is zero" 0 (Dic.Metrics.counter m "nope");
+  Dic.Metrics.incr m "x";
+  Dic.Metrics.incr ~by:41 m "x";
+  Alcotest.(check int) "accumulates" 42 (Dic.Metrics.counter m "x");
+  Alcotest.check_raises "negative increment rejected"
+    (Invalid_argument "Metrics.incr: counters are monotonic (by < 0)") (fun () ->
+      Dic.Metrics.incr ~by:(-1) m "x")
+
+let test_merge () =
+  let a = Dic.Metrics.create () and b = Dic.Metrics.create () in
+  Dic.Metrics.incr ~by:2 a "n";
+  Dic.Metrics.incr ~by:5 b "n";
+  Dic.Metrics.observe_ns a "h" 10L;
+  Dic.Metrics.observe_ns b "h" 20L;
+  Dic.Metrics.merge_into ~into:a b;
+  Alcotest.(check int) "counters added" 7 (Dic.Metrics.counter a "n");
+  match Dic.Metrics.histogram a "h" with
+  | Some s ->
+    Alcotest.(check int) "observations added" 2 s.Dic.Metrics.h_count;
+    Alcotest.(check bool) "sum added" true (s.Dic.Metrics.h_sum_ns = 30L)
+  | None -> Alcotest.fail "histogram lost in merge"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel determinism                                                *)
+
+let canonical_errors (r : Dic.Checker.result) =
+  Dic.Report.errors r.Dic.Checker.report
+  |> List.map (fun (v : Dic.Report.violation) ->
+         (v.Dic.Report.rule, v.Dic.Report.context,
+          Option.map
+            (fun w -> (Geom.Rect.x0 w, Geom.Rect.y0 w, Geom.Rect.x1 w, Geom.Rect.y1 w))
+            v.Dic.Report.where,
+          v.Dic.Report.message))
+  |> List.sort compare
+
+let with_jobs jobs =
+  { Dic.Checker.default_config with
+    Dic.Checker.interactions =
+      { Dic.Interactions.default_config with Dic.Interactions.jobs } }
+
+let salted_workload () =
+  let clean = Layoutgen.Cells.grid ~lambda ~nx:4 ~ny:3 in
+  let margin = (4 * Layoutgen.Cells.pitch_x * lambda) + (6 * lambda) in
+  let salted, _ =
+    Layoutgen.Inject.apply clean
+      (Layoutgen.Inject.standard_batch ~lambda ~at:(margin, 0) ~step:(10 * lambda))
+  in
+  salted
+
+let test_jobs_deterministic () =
+  List.iter
+    (fun file ->
+      let serial = run_ok ~config:(with_jobs 1) file in
+      let parallel = run_ok ~config:(with_jobs 4) file in
+      Alcotest.(check bool) "some errors to compare" true
+        (canonical_errors serial <> []);
+      let canon =
+        Alcotest.testable
+          (fun ppf (rule, ctx, _, _) -> Format.fprintf ppf "%s in %s" rule ctx)
+          ( = )
+      in
+      Alcotest.(check (list canon)) "identical classified error sets"
+        (canonical_errors serial) (canonical_errors parallel);
+      (* Stronger than the acceptance criterion: the raw report lists
+         are identical, not merely equal as sets. *)
+      Alcotest.(check bool) "identical report order" true
+        (serial.Dic.Checker.report = parallel.Dic.Checker.report))
+    [ salted_workload ();
+      (Layoutgen.Pathology.fig8_accidental ~lambda).Layoutgen.Pathology.file;
+      (Layoutgen.Pathology.fig2_figures_illegal ~lambda).Layoutgen.Pathology.file ]
+
+let test_jobs_auto () =
+  (* jobs = 0 resolves to the runtime's recommendation and still runs. *)
+  let r = run_ok ~config:(with_jobs 0) (workload ()) in
+  Alcotest.(check bool) "completed" true
+    (Dic.Report.count r.Dic.Checker.report >= 0)
+
+let test_stats_merge_totals () =
+  (* Per-cell pair totals are independent of the domain count (only the
+     memo hit/miss split may shift). *)
+  let totals (r : Dic.Checker.result) =
+    let s = r.Dic.Checker.interaction_stats in
+    Hashtbl.fold
+      (fun (la, lb) (c : Dic.Interactions.cell_stats) acc ->
+        ((Tech.Layer.index la, Tech.Layer.index lb),
+         (c.Dic.Interactions.pairs, c.Dic.Interactions.checked))
+        :: acc)
+      s.Dic.Interactions.cells []
+    |> List.sort compare
+  in
+  let file = salted_workload () in
+  let serial = run_ok ~config:(with_jobs 1) file in
+  let parallel = run_ok ~config:(with_jobs 3) file in
+  Alcotest.(check (list (pair (pair int int) (pair int int))))
+    "cell totals invariant" (totals serial) (totals parallel)
+
+let () =
+  Alcotest.run "metrics"
+    [ ("json",
+       [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+         Alcotest.test_case "canonical" `Quick test_canonical ]);
+      ("counters",
+       [ Alcotest.test_case "invariants" `Quick test_counter_invariants;
+         Alcotest.test_case "merge" `Quick test_merge ]);
+      ("parallel",
+       [ Alcotest.test_case "deterministic" `Quick test_jobs_deterministic;
+         Alcotest.test_case "auto jobs" `Quick test_jobs_auto;
+         Alcotest.test_case "stats totals" `Quick test_stats_merge_totals ]) ]
