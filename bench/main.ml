@@ -598,6 +598,61 @@ let parallel_scaling () =
   print_endline "wrote BENCH_parallel.json"
 
 (* ------------------------------------------------------------------ *)
+(* TR -- Tracing overhead                                              *)
+
+(* Cost of the span tracer: disabled (no --trace; every with_span is
+   one option match) and enabled (two clock reads and an array store
+   per span) against the same workloads as the parallel experiment. *)
+
+let trace_overhead () =
+  section
+    "TR: span-tracing overhead\n\
+     (disabled tracing must be free; enabled, a span is two clock\n\
+     reads and one append)";
+  let best n f =
+    let b = ref infinity in
+    for _ = 1 to n do
+      let _, t = wall f in
+      if t < !b then b := t
+    done;
+    !b
+  in
+  Printf.printf "%-26s %12s %12s %10s\n" "workload" "off (s)" "on (s)" "overhead";
+  List.iter
+    (fun (name, file) ->
+      let model =
+        match Dic.Model.elaborate rules file with
+        | Ok (m, _) -> m
+        | Error e -> failwith e
+      in
+      let nets, _ = Dic.Netgen.build model in
+      let off = best 5 (fun () -> Dic.Interactions.check nets) in
+      let on_ =
+        best 5 (fun () ->
+            let tr = Dic.Trace.create () in
+            Dic.Interactions.check ~trace:tr nets)
+      in
+      Printf.printf "%-26s %12.4f %12.4f %+9.2f%%\n" name off on_
+        (100. *. (on_ -. off) /. Float.max 1e-9 off))
+    [ ("shift-register-256", Layoutgen.Shift.register ~lambda 256);
+      ("grid-12x12", Layoutgen.Cells.grid ~lambda ~nx:12 ~ny:12) ];
+  (* Whole pipeline, end to end, with the full span set (stages,
+     symbols, shards). *)
+  let file = Layoutgen.Cells.grid ~lambda ~nx:12 ~ny:12 in
+  let run trace () =
+    match Dic.Checker.run ?trace rules file with
+    | Ok r -> ignore r
+    | Error e -> failwith e
+  in
+  let off = best 3 (run None) in
+  let tr = Dic.Trace.create () in
+  let on_ = best 3 (run (Some tr)) in
+  Printf.printf "%-26s %12.4f %12.4f %+9.2f%%   (%d spans)\n" "full pipeline (grid-12x12)"
+    off on_
+    (100. *. (on_ -. off) /. Float.max 1e-9 off)
+    (Dic.Trace.length tr)
+
+(* ------------------------------------------------------------------ *)
 (* T2 and Bechamel micro-benchmarks                                    *)
 
 let bechamel_benches () =
@@ -676,7 +731,8 @@ let experiments =
     ("fig13", fig13_proximity); ("fig14", fig14_relational);
     ("fig15", fig15_self_sufficiency); ("t1", t1_runtime_scaling);
     ("t3", t3_incremental); ("ablations", ablations);
-    ("parallel", parallel_scaling); ("bechamel", bechamel_benches) ]
+    ("parallel", parallel_scaling); ("trace-overhead", trace_overhead);
+    ("bechamel", bechamel_benches) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -1,7 +1,10 @@
 (* dicheck: the Design Integrity and Immunity Checker, as a command.
 
    Reads extended CIF, runs either the hierarchical checker or the
-   classical flat baseline, and prints the report. *)
+   classical flat baseline, and prints the report.
+
+   Exit codes: 0 the design checked clean, 1 the checker found errors
+   (or warnings, with --werror), 2 usage / parse / input failure. *)
 
 open Cmdliner
 
@@ -9,8 +12,15 @@ let read_file path =
   if path = "-" then In_channel.input_all In_channel.stdin
   else In_channel.with_open_text path In_channel.input_all
 
+let write_output path content =
+  if path = "-" then print_endline content
+  else
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc content;
+        Out_channel.output_char oc '\n')
+
 let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
-    ~jobs ~stats_json rules src =
+    ~jobs ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror ~input rules src =
   match Cif.Parse.file src with
   | Error e ->
     Printf.eprintf "parse error: %s\n" (Cif.Parse.string_of_error e);
@@ -34,21 +44,42 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
             Dic.Interactions.check_same_net;
             Dic.Interactions.jobs } }
     in
-    match Dic.Checker.run ~config rules file with
+    let trace = match trace_out with None -> None | Some _ -> Some (Dic.Trace.create ()) in
+    let progress_fn =
+      if progress then Some (fun stage -> Printf.eprintf "[dicheck] %s...\n%!" stage)
+      else None
+    in
+    match Dic.Checker.run ~config ?trace ?progress:progress_fn rules file with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       2
     | Ok result ->
-      Format.printf "%a@." Dic.Report.pp result.Dic.Checker.report;
-      Format.printf "%a@." Dic.Checker.pp_summary result;
+      (* When any structured output claims stdout, the human report
+         moves to stderr so the JSON stream stays parseable. *)
+      let on_stdout = function Some "-" -> true | _ -> false in
+      let out =
+        if on_stdout stats_json || on_stdout trace_out || on_stdout sarif_out then
+          Format.err_formatter
+        else Format.std_formatter
+      in
+      Format.fprintf out "%a@." Dic.Report.pp result.Dic.Checker.report;
+      Format.fprintf out "%a@." Dic.Checker.pp_summary result;
       if show_netlist then
-        Format.printf "@.--- net list ---@.%a@." Netlist.Net.pp result.Dic.Checker.netlist;
+        Format.fprintf out "@.--- net list ---@.%a@." Netlist.Net.pp
+          result.Dic.Checker.netlist;
       if show_stats then
-        Format.printf "@.--- interaction coverage ---@.%a@." Dic.Interactions.pp_stats
+        Format.fprintf out "@.--- interaction coverage ---@.%a@." Dic.Interactions.pp_stats
           result.Dic.Checker.interaction_stats;
       if show_structure then
-        Format.printf "@.--- design structure ---@.%a@." Dic.Structure.pp
+        Format.fprintf out "@.--- design structure ---@.%a@." Dic.Structure.pp
           (Dic.Structure.compute result.Dic.Checker.nets);
+      if top_cost > 0 then begin
+        Format.fprintf out "@.--- most expensive definitions ---@.";
+        List.iter
+          (fun (name, ns) ->
+            Format.fprintf out "%-38s %12.3f ms@." name (Int64.to_float ns /. 1e6))
+          (Dic.Metrics.top_costs result.Dic.Checker.metrics ~n:top_cost)
+      end;
       (match markers with
       | None -> ()
       | Some path ->
@@ -56,13 +87,18 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
             Out_channel.output_string oc (Dic.Markers.to_cif result.Dic.Checker.report)));
       (match stats_json with
       | None -> ()
+      | Some path -> write_output path (Dic.Metrics.to_json result.Dic.Checker.metrics));
+      (match (trace_out, trace) with
+      | Some path, Some tr -> write_output path (Dic.Trace.to_chrome_json tr)
+      | _ -> ());
+      (match sarif_out with
+      | None -> ()
       | Some path ->
-        let json = Dic.Metrics.to_json result.Dic.Checker.metrics in
-        if path = "-" then print_endline json
-        else Out_channel.with_open_text path (fun oc ->
-                 Out_channel.output_string oc json;
-                 Out_channel.output_char oc '\n'));
-      if Dic.Report.count ~severity:Dic.Report.Error result.Dic.Checker.report > 0 then 1
+        let uri = if input = "-" then "stdin" else input in
+        write_output path (Dic.Sarif.of_report ~uri result.Dic.Checker.report));
+      let count sev = Dic.Report.count ~severity:sev result.Dic.Checker.report in
+      if count Dic.Report.Error > 0 then 1
+      else if werror && count Dic.Report.Warning > 0 then 1
       else 0)
 
 let run_flat ~metric ~poly_diff ~width_algorithm rules src =
@@ -78,7 +114,8 @@ let run_flat ~metric ~poly_diff ~width_algorithm rules src =
     if errors = [] then 0 else 1
 
 let main file flat metric polydiff figure_based lambda rules_file show_netlist
-    show_stats show_structure check_same_net expect markers jobs stats_json =
+    show_stats show_structure check_same_net expect markers jobs stats_json trace_out
+    sarif_out top_cost progress werror =
   let rules =
     match rules_file with
     | None -> Tech.Rules.nmos ~lambda ()
@@ -91,8 +128,12 @@ let main file flat metric polydiff figure_based lambda rules_file show_netlist
   in
   let src = read_file file in
   if flat then begin
-    if stats_json <> None then
-      prerr_endline "dicheck: --stats-json applies to the hierarchical checker; ignored with --flat";
+    List.iter
+      (fun (opt, name) ->
+        if opt <> None then
+          Printf.eprintf
+            "dicheck: %s applies to the hierarchical checker; ignored with --flat\n" name)
+      [ (stats_json, "--stats-json"); (trace_out, "--trace"); (sarif_out, "--sarif") ];
     run_flat ~metric
       ~poly_diff:(if polydiff then `Flag_all else `Ignore)
       ~width_algorithm:(if figure_based then `Figure_based else `Shrink_expand_compare)
@@ -100,7 +141,8 @@ let main file flat metric polydiff figure_based lambda rules_file show_netlist
   end
   else
     run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
-      ~jobs ~stats_json rules src
+      ~jobs ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror ~input:file
+      rules src
 
 let metric_conv =
   Arg.enum [ ("orthogonal", Geom.Measure.Orthogonal); ("euclidean", Geom.Measure.Euclidean) ]
@@ -149,16 +191,58 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "stats-json" ] ~docv:"FILE"
              ~doc:"Write run metrics (per-stage wall-clock, work counters, \
-                   per-pair cost histogram, errors by class) as canonical JSON \
-                   to FILE (- for stdout).")
+                   per-pair cost histogram, per-definition costs, errors by \
+                   class) as canonical JSON to FILE (- for stdout).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON timeline of the run to FILE \
+                   (- for stdout): one span per pipeline stage, per symbol \
+                   definition checked, and per parallel interaction shard.  \
+                   Load it in Perfetto (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let sarif_out =
+    Arg.(value & opt (some string) None
+         & info [ "sarif" ] ~docv:"FILE"
+             ~doc:"Write the report as SARIF 2.1.0 to FILE (- for stdout), with \
+                   the CIF source line/column and the full instance path on \
+                   each violation.")
+  in
+  let top_cost =
+    Arg.(value & opt int 0
+         & info [ "top-cost" ] ~docv:"N"
+             ~doc:"Print the N most expensive symbol definitions (wall-clock \
+                   across all checking stages).")
+  in
+  let progress =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:"Print each pipeline stage to stderr as it starts.")
+  in
+  let werror =
+    Arg.(value & flag
+         & info [ "werror" ]
+             ~doc:"Exit 1 when the report contains warnings, not only errors.")
   in
   let term =
     Term.(
       const main $ file $ flat $ metric $ polydiff $ figure_based $ lambda $ rules_file
-      $ netlist $ stats $ structure $ same_net $ expect $ markers $ jobs $ stats_json)
+      $ netlist $ stats $ structure $ same_net $ expect $ markers $ jobs $ stats_json
+      $ trace_out $ sarif_out $ top_cost $ progress $ werror)
+  in
+  let exits =
+    [ Cmd.Exit.info 0 ~doc:"the design checked clean (with $(b,--werror): no warnings either).";
+      Cmd.Exit.info 1 ~doc:"the checker found errors (with $(b,--werror): or warnings).";
+      Cmd.Exit.info 2 ~doc:"usage, parse, or input failure." ]
   in
   Cmd.v
-    (Cmd.info "dicheck" ~doc:"Design integrity and immunity checking (McGrath & Whitney, DAC 1980)")
+    (Cmd.info "dicheck" ~version:Dic.Version.version ~exits
+       ~doc:"Design integrity and immunity checking (McGrath & Whitney, DAC 1980)")
     term
 
-let () = exit (Cmd.eval' cmd)
+(* Fold cmdliner's own failure codes (cli errors, internal errors) into
+   the documented usage-failure code. *)
+let () =
+  let code = Cmd.eval' cmd in
+  exit (if code = Cmd.Exit.cli_error || code = Cmd.Exit.internal_error then 2 else code)

@@ -77,7 +77,8 @@ let cmd =
   let salt = Arg.(value & flag & info [ "salt" ] ~doc:"Inject the standard defect batch.") in
   let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output file.") in
   Cmd.v
-    (Cmd.info "dic-layoutgen" ~doc:"Synthetic extended-CIF workload generator")
+    (Cmd.info "dic-layoutgen" ~version:Dic.Version.version
+       ~doc:"Synthetic extended-CIF workload generator")
     Term.(const main $ workload $ nx $ ny $ lambda $ salt $ out)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,14 +1,25 @@
 type element =
-  | Box of { layer : string; rect : Geom.Rect.t; net : string option }
+  | Box of {
+      layer : string;
+      rect : Geom.Rect.t;
+      net : string option;
+      loc : Loc.t option;
+    }
   | Wire of {
       layer : string;
       width : int;
       path : Geom.Pt.t list;
       net : string option;
+      loc : Loc.t option;
     }
-  | Polygon of { layer : string; pts : Geom.Pt.t list; net : string option }
+  | Polygon of {
+      layer : string;
+      pts : Geom.Pt.t list;
+      net : string option;
+      loc : Loc.t option;
+    }
 
-type call = { callee : int; transform : Geom.Transform.t }
+type call = { callee : int; transform : Geom.Transform.t; call_loc : Loc.t option }
 
 type symbol = {
   id : int;
@@ -16,6 +27,7 @@ type symbol = {
   device : string option;
   elements : element list;
   calls : call list;
+  sym_loc : Loc.t option;
 }
 
 type file = {
@@ -29,6 +41,9 @@ let element_layer = function
 
 let element_net = function
   | Box { net; _ } | Wire { net; _ } | Polygon { net; _ } -> net
+
+let element_loc = function
+  | Box { loc; _ } | Wire { loc; _ } | Polygon { loc; _ } -> loc
 
 let with_net e net =
   match e with

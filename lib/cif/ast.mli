@@ -14,16 +14,31 @@
     checker. *)
 
 type element =
-  | Box of { layer : string; rect : Geom.Rect.t; net : string option }
+  | Box of {
+      layer : string;
+      rect : Geom.Rect.t;
+      net : string option;
+      loc : Loc.t option;  (** position of the [B] command letter *)
+    }
   | Wire of {
       layer : string;
       width : int;
       path : Geom.Pt.t list;
       net : string option;
+      loc : Loc.t option;
     }
-  | Polygon of { layer : string; pts : Geom.Pt.t list; net : string option }
+  | Polygon of {
+      layer : string;
+      pts : Geom.Pt.t list;
+      net : string option;
+      loc : Loc.t option;
+    }
 
-type call = { callee : int; transform : Geom.Transform.t }
+type call = {
+  callee : int;
+  transform : Geom.Transform.t;
+  call_loc : Loc.t option;  (** position of the [C] command letter *)
+}
 
 type symbol = {
   id : int;
@@ -31,6 +46,7 @@ type symbol = {
   device : string option;
   elements : element list;  (** in source order *)
   calls : call list;  (** in source order *)
+  sym_loc : Loc.t option;  (** position of the opening [DS] command *)
 }
 
 type file = {
@@ -41,6 +57,9 @@ type file = {
 
 val element_layer : element -> string
 val element_net : element -> string option
+
+(** Source location of the element, if it came from parsed text. *)
+val element_loc : element -> Loc.t option
 
 (** [with_net e net] replaces the element's net identifier. *)
 val with_net : element -> string option -> element

@@ -1,0 +1,6 @@
+type t = { line : int; col : int }
+
+let make ~line ~col = { line; col }
+let compare (a : t) (b : t) = compare (a.line, a.col) (b.line, b.col)
+let pp ppf l = Format.fprintf ppf "%d:%d" l.line l.col
+let to_string l = Format.asprintf "%a" pp l

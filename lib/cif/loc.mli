@@ -1,0 +1,20 @@
+(** Source locations in a CIF text.
+
+    The paper's pitch is that "the symbol origin of each piece of
+    geometry is never lost"; a location closes the loop back to the
+    text itself.  {!Parse} stamps every element, call, and symbol
+    definition with the position of its command letter, and the
+    checker carries it through {!Dic.Report} into the SARIF output.
+
+    Lines and columns are 1-based, as editors and SARIF count them.
+    ASTs built programmatically (the {!Layoutgen} generators) carry no
+    locations. *)
+
+type t = { line : int; col : int }
+
+val make : line:int -> col:int -> t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** ["line:col"], e.g. ["12:3"]. *)
+val to_string : t -> string

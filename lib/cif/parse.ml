@@ -5,10 +5,27 @@ let string_of_error e = Format.asprintf "%a" pp_error e
 
 exception Fail of int * string
 
-type cursor = { src : string; mutable pos : int }
+(* The cursor tracks line/beginning-of-line incrementally so stamping
+   every element with a location costs one comparison per character
+   instead of an O(n) rescan. *)
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the current line's first character *)
+}
 
 let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
-let advance c = c.pos <- c.pos + 1
+
+let advance c =
+  if c.pos < String.length c.src && c.src.[c.pos] = '\n' then begin
+    c.line <- c.line + 1;
+    c.bol <- c.pos + 1
+  end;
+  c.pos <- c.pos + 1
+
+(* Location of the character the cursor stands on (1-based column). *)
+let here c = Loc.make ~line:c.line ~col:(c.pos - c.bol + 1)
 let fail c msg = raise (Fail (c.pos, msg))
 
 let is_digit ch = ch >= '0' && ch <= '9'
@@ -104,6 +121,7 @@ let scale_pt sc (p : Geom.Pt.t) =
 type pending_symbol = {
   id : int;
   scale : int * int;
+  sym_loc : Loc.t option;
   mutable name : string option;
   mutable device : string option;
   mutable elements : Ast.element list;  (** reversed *)
@@ -137,7 +155,7 @@ let require_layer st c =
   if st.layer = "" then fail c "element before any L (layer) command";
   st.layer
 
-let parse_box st c =
+let parse_box st ~loc c =
   let layer = require_layer st c in
   let sc = current_scale st in
   let length = scale_int sc (integer c) in
@@ -157,9 +175,10 @@ let parse_box st c =
   in
   if w <= 0 || h <= 0 then fail c "box with non-positive dimensions";
   semi c;
-  add_element st c (Ast.Box { layer; rect = Geom.Rect.of_center_wh ~cx ~cy ~w ~h; net = None })
+  add_element st c
+    (Ast.Box { layer; rect = Geom.Rect.of_center_wh ~cx ~cy ~w ~h; net = None; loc = Some loc })
 
-let parse_wire st c =
+let parse_wire st ~loc c =
   let layer = require_layer st c in
   let sc = current_scale st in
   let width = scale_int sc (integer c) in
@@ -167,21 +186,21 @@ let parse_wire st c =
   let path = List.map (scale_pt sc) (points c []) in
   if path = [] then fail c "wire with empty path";
   semi c;
-  add_element st c (Ast.Wire { layer; width; path; net = None })
+  add_element st c (Ast.Wire { layer; width; path; net = None; loc = Some loc })
 
-let parse_polygon st c =
+let parse_polygon st ~loc c =
   let layer = require_layer st c in
   let sc = current_scale st in
   let pts = List.map (scale_pt sc) (points c []) in
   if List.length pts < 3 then fail c "polygon needs at least three points";
   semi c;
-  add_element st c (Ast.Polygon { layer; pts; net = None })
+  add_element st c (Ast.Polygon { layer; pts; net = None; loc = Some loc })
 
 let parse_layer st c =
   st.layer <- ident c;
   semi c
 
-let parse_call st c =
+let parse_call st ~loc c =
   let callee = integer c in
   let rec transforms acc =
     skip_blanks c;
@@ -211,7 +230,7 @@ let parse_call st c =
   in
   let ts = transforms [] in
   semi c;
-  add_call st { Ast.callee; transform = Geom.Transform.seq ts }
+  add_call st { Ast.callee; transform = Geom.Transform.seq ts; call_loc = Some loc }
 
 let close_symbol st c =
   match st.current with
@@ -222,14 +241,15 @@ let close_symbol st c =
         name = p.name;
         device = p.device;
         elements = List.rev p.elements;
-        calls = List.rev p.calls }
+        calls = List.rev p.calls;
+        sym_loc = p.sym_loc }
     in
     if List.exists (fun (s : Ast.symbol) -> s.id = p.id) st.symbols then
       fail c (Printf.sprintf "symbol %d defined twice" p.id);
     st.symbols <- symbol :: st.symbols;
     st.current <- None
 
-let parse_definition st c =
+let parse_definition st ~loc c =
   skip_blanks c;
   match peek c with
   | Some ('S' | 's') ->
@@ -248,7 +268,9 @@ let parse_definition st c =
     in
     semi c;
     st.current <-
-      Some { id; scale; name = None; device = None; elements = []; calls = [] }
+      Some
+        { id; scale; sym_loc = Some loc; name = None; device = None; elements = [];
+          calls = [] }
   | Some ('F' | 'f') ->
     advance c;
     semi c;
@@ -311,24 +333,27 @@ let rec commands st c =
     advance c;
     if st.current <> None then fail c "E inside a symbol definition";
     st.ended <- true
-  | Some ('B' | 'b') -> advance c; parse_box st c; commands st c
-  | Some ('W' | 'w') -> advance c; parse_wire st c; commands st c
-  | Some ('P' | 'p') -> advance c; parse_polygon st c; commands st c
+  | Some ('B' | 'b') ->
+    let loc = here c in
+    advance c; parse_box st ~loc c; commands st c
+  | Some ('W' | 'w') ->
+    let loc = here c in
+    advance c; parse_wire st ~loc c; commands st c
+  | Some ('P' | 'p') ->
+    let loc = here c in
+    advance c; parse_polygon st ~loc c; commands st c
   | Some ('L' | 'l') -> advance c; parse_layer st c; commands st c
-  | Some ('C' | 'c') -> advance c; parse_call st c; commands st c
-  | Some ('D' | 'd') -> advance c; parse_definition st c; commands st c
+  | Some ('C' | 'c') ->
+    let loc = here c in
+    advance c; parse_call st ~loc c; commands st c
+  | Some ('D' | 'd') ->
+    let loc = here c in
+    advance c; parse_definition st ~loc c; commands st c
   | Some ch when is_digit ch -> advance c; parse_user st c ch; commands st c
   | Some ch -> fail c (Printf.sprintf "unknown command %C" ch)
 
-let line_of src offset =
-  let line = ref 1 in
-  for i = 0 to min offset (String.length src - 1) - 1 do
-    if src.[i] = '\n' then incr line
-  done;
-  !line
-
 let file src =
-  let c = { src; pos = 0 } in
+  let c = { src; pos = 0; line = 1; bol = 0 } in
   let st =
     { layer = ""; symbols = []; current = None; top_elements = []; top_calls = [];
       ended = false }
@@ -340,4 +365,6 @@ let file src =
         top_elements = List.rev st.top_elements;
         top_calls = List.rev st.top_calls }
   | exception Fail (offset, message) ->
-    Error { offset; line = line_of src offset; message }
+    (* The cursor's incremental line count is valid at the failure
+       point: [fail] always raises at the current position. *)
+    Error { offset; line = c.line; message }

@@ -9,7 +9,7 @@ let net_suffix ppf = function
 let element ppf e =
   fprintf ppf "@[<v>";
   (match e with
-  | Ast.Box { layer; rect; net = _ } ->
+  | Ast.Box { layer; rect; _ } ->
     let w = Geom.Rect.width rect and h = Geom.Rect.height rect in
     if w mod 2 = 0 && h mod 2 = 0 then
       let c = Geom.Rect.center rect in
@@ -19,11 +19,11 @@ let element ppf e =
         (Geom.Rect.y0 rect) (Geom.Rect.x1 rect) (Geom.Rect.y0 rect)
         (Geom.Rect.x1 rect) (Geom.Rect.y1 rect) (Geom.Rect.x0 rect)
         (Geom.Rect.y1 rect)
-  | Ast.Wire { layer; width; path; net = _ } ->
+  | Ast.Wire { layer; width; path; _ } ->
     fprintf ppf "L %s; W %d" layer width;
     List.iter (fun p -> fprintf ppf " %a" pt p) path;
     fprintf ppf ";"
-  | Ast.Polygon { layer; pts; net = _ } ->
+  | Ast.Polygon { layer; pts; _ } ->
     fprintf ppf "L %s; P" layer;
     List.iter (fun p -> fprintf ppf " %a" pt p) pts;
     fprintf ppf ";");

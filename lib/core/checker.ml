@@ -39,17 +39,43 @@ let erc_violations netlist =
       | `W -> Report.warning ~stage:Report.Electrical ~rule ~context:"netlist" msg)
     (Netlist.Erc.check netlist)
 
-let run ?(config = default_config) ?metrics rules file =
+let run ?(config = default_config) ?metrics ?trace ?progress rules file =
   let m = match metrics with Some m -> m | None -> Metrics.create () in
-  let timed name f = Metrics.time_stage m name f in
+  let tick name = match progress with None -> () | Some f -> f name in
+  (* Each stage is announced to [progress], timed into the metrics, and
+     recorded as a ["stage"]-category trace span — one wrapper so the
+     three views always agree on stage names. *)
+  let timed name f =
+    tick name;
+    Trace.with_span trace ~cat:"stage" name (fun () -> Metrics.time_stage m name f)
+  in
+  (* Per-definition sweep: same order (and thus same report) as
+     [List.concat_map check_sym symbols], with a ["symbol"] span and a
+     [symbol.<name>] cost charge around each definition. *)
+  let per_symbol stage check_sym (model : Model.t) =
+    List.concat_map
+      (fun (s : Model.symbol) ->
+        Trace.with_span trace ~cat:"symbol" ~args:[ ("stage", stage) ] s.Model.sname
+          (fun () ->
+            let t0 = Metrics.now_ns () in
+            let vs = check_sym model.Model.rules s in
+            Metrics.add_cost_ns m ("symbol." ^ s.Model.sname)
+              (Int64.sub (Metrics.now_ns ()) t0);
+            vs))
+      model.Model.symbols
+  in
   match timed "elaborate" (fun () -> Model.elaborate rules file) with
   | Error e -> Error e
   | Ok (model, parse_issues) ->
     Metrics.incr ~by:(Model.symbol_count model) m "model.symbols";
     Metrics.incr ~by:(Model.definition_elements model) m "model.definition_elements";
     Metrics.incr ~by:(Model.instantiated_elements model) m "model.instantiated_elements";
-    let element_issues = timed "elements" (fun () -> Element_checks.check model) in
-    let device_issues = timed "devices" (fun () -> Devices.check model) in
+    let element_issues =
+      timed "elements" (fun () -> per_symbol "elements" Element_checks.check_symbol model)
+    in
+    let device_issues =
+      timed "devices" (fun () -> per_symbol "devices" Devices.check_symbol model)
+    in
     let relational_issues =
       match config.relational with
       | None -> []
@@ -60,7 +86,7 @@ let run ?(config = default_config) ?metrics rules file =
     let netlist = timed "netlist-export" (fun () -> Netgen.netlist nets) in
     let interaction_issues, interaction_stats =
       timed "interactions" (fun () ->
-          Interactions.check ~config:config.interactions ~metrics:m nets)
+          Interactions.check ~config:config.interactions ~metrics:m ?trace nets)
     in
     let electrical_issues =
       if config.run_erc then timed "electrical" (fun () -> erc_violations netlist)
@@ -94,10 +120,10 @@ let run ?(config = default_config) ?metrics rules file =
         model;
         nets }
 
-let run_string ?config ?metrics rules src =
+let run_string ?config ?metrics ?trace ?progress rules src =
   match Cif.Parse.file src with
   | Error e -> Error (Cif.Parse.string_of_error e)
-  | Ok file -> run ?config ?metrics rules file
+  | Ok file -> run ?config ?metrics ?trace ?progress rules file
 
 let pp_summary ppf r =
   let by sev = Report.count ~severity:sev r.report in

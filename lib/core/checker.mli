@@ -48,14 +48,21 @@ type result = {
 }
 
 (** Run on an already-parsed file.  [metrics] lets the caller supply
-    (and keep) the accumulator; one is created per run otherwise. *)
+    (and keep) the accumulator; one is created per run otherwise.
+    [trace] records one ["stage"] span per pipeline stage, one
+    ["symbol"] span per definition in the element/device sweeps, and
+    one ["shard"] span per interaction shard (see {!Trace}).
+    [progress] is called with each stage name as it starts — the
+    [--progress] heartbeat. *)
 val run :
-  ?config:config -> ?metrics:Metrics.t -> Tech.Rules.t -> Cif.Ast.file ->
+  ?config:config -> ?metrics:Metrics.t -> ?trace:Trace.t ->
+  ?progress:(string -> unit) -> Tech.Rules.t -> Cif.Ast.file ->
   (result, string) Stdlib.result
 
 (** Parse CIF text and run. *)
 val run_string :
-  ?config:config -> ?metrics:Metrics.t -> Tech.Rules.t -> string ->
+  ?config:config -> ?metrics:Metrics.t -> ?trace:Trace.t ->
+  ?progress:(string -> unit) -> Tech.Rules.t -> string ->
   (result, string) Stdlib.result
 
 (** One-line summary: error/warning counts by stage. *)

@@ -226,20 +226,33 @@ let check_pad rules ~context (s : Model.symbol) =
 
 (* ------------------------------------------------------------------ *)
 
+(* Device violations are judged on the definition's merged layer
+   regions, so the natural source position is the definition itself —
+   its DS statement — not any single element. *)
+let with_symbol_loc (s : Model.symbol) vs =
+  match s.Model.sloc with
+  | None -> vs
+  | Some _ as sloc ->
+    List.map
+      (fun (v : Report.violation) ->
+        match v.Report.loc with None -> { v with Report.loc = sloc } | Some _ -> v)
+      vs
+
 let check_symbol rules (s : Model.symbol) =
   let context = s.Model.sname in
-  match s.Model.device with
-  | None -> []
-  | Some Tech.Device.Enhancement -> check_transistor rules ~context ~depletion:false s
-  | Some Tech.Device.Depletion -> check_transistor rules ~context ~depletion:true s
-  | Some Tech.Device.Contact_cut -> check_contact_cut rules ~context s
-  | Some Tech.Device.Butting_contact -> check_butting_contact rules ~context s
-  | Some Tech.Device.Buried_contact -> check_buried_contact rules ~context s
-  | Some Tech.Device.Resistor -> check_resistor rules ~context s
-  | Some Tech.Device.Pad -> check_pad rules ~context s
-  | Some Tech.Device.Checked ->
-    [ Report.info ~stage:Report.Devices ~rule:"device.checked-waived" ~context
-        "user-certified device: internal checks waived" ]
+  with_symbol_loc s
+    (match s.Model.device with
+    | None -> []
+    | Some Tech.Device.Enhancement -> check_transistor rules ~context ~depletion:false s
+    | Some Tech.Device.Depletion -> check_transistor rules ~context ~depletion:true s
+    | Some Tech.Device.Contact_cut -> check_contact_cut rules ~context s
+    | Some Tech.Device.Butting_contact -> check_butting_contact rules ~context s
+    | Some Tech.Device.Buried_contact -> check_buried_contact rules ~context s
+    | Some Tech.Device.Resistor -> check_resistor rules ~context s
+    | Some Tech.Device.Pad -> check_pad rules ~context s
+    | Some Tech.Device.Checked ->
+      [ Report.info ~stage:Report.Devices ~rule:"device.checked-waived" ~context
+          "user-certified device: internal checks waived" ])
 
 let check (m : Model.t) =
   List.concat_map (check_symbol m.Model.rules) m.Model.symbols

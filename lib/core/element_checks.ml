@@ -3,16 +3,17 @@ let width_rule_name layer = "width." ^ Tech.Layer.to_cif layer
 let check_element rules ~context (e : Model.element) =
   let w = Tech.Rules.min_width rules e.Model.layer in
   let rule = width_rule_name e.Model.layer in
+  let loc = e.Model.loc in
   match e.Model.shape with
   | Model.S_box r ->
     let m = min (Geom.Rect.width r) (Geom.Rect.height r) in
     if m < w then
-      [ Report.error ~stage:Report.Elements ~rule ~where:r ~context
+      [ Report.error ~stage:Report.Elements ~rule ~where:r ~context ?loc
           (Printf.sprintf "box is %d wide; %d required" m w) ]
     else []
   | Model.S_wire wire ->
     if wire.Geom.Wire.width < w then
-      [ Report.error ~stage:Report.Elements ~rule ~where:e.Model.bbox ~context
+      [ Report.error ~stage:Report.Elements ~rule ~where:e.Model.bbox ~context ?loc
           (Printf.sprintf "wire is %d wide; %d required" wire.Geom.Wire.width w) ]
     else []
   | Model.S_poly _ ->
@@ -21,6 +22,7 @@ let check_element rules ~context (e : Model.element) =
     Geom.Measure.min_width ~metric:Geom.Measure.Orthogonal ~width:w region
     |> List.map (fun (v : Geom.Measure.violation) ->
            Report.error ~stage:Report.Elements ~rule ~where:v.Geom.Measure.where ~context
+             ?loc
              (Printf.sprintf "polygon narrows to %.0f; %d required" (Geom.Measure.actual v)
                 w))
 
@@ -34,7 +36,7 @@ let check_symbol rules (s : Model.symbol) =
         else
           [ Report.error ~stage:Report.Integrity
               ~rule:("placement." ^ Tech.Layer.to_cif e.Model.layer)
-              ~where:e.Model.bbox ~context
+              ~where:e.Model.bbox ~context ?loc:e.Model.loc
               (Printf.sprintf "%s geometry belongs inside a device symbol"
                  (Tech.Layer.to_cif e.Model.layer)) ])
       s.Model.elements

@@ -99,6 +99,7 @@ type site = {
   s_rects : Geom.Rect.t list;
   s_bbox : Geom.Rect.t;
   s_device : Tech.Device.kind option;  (** of the owning symbol *)
+  s_loc : Cif.Loc.t option;  (** CIF source position of the element *)
 }
 
 let max_dist rules =
@@ -144,7 +145,8 @@ let rec frontier model window tr path (sym : Model.symbol) acc =
             s_layer = e.Model.layer;
             s_rects = List.map (Geom.Transform.apply_rect tr) e.Model.rects;
             s_bbox = bbox;
-            s_device = sym.Model.device }
+            s_device = sym.Model.device;
+            s_loc = e.Model.loc }
           :: acc
         else acc)
       acc sym.Model.elements
@@ -308,7 +310,7 @@ let judge cfg rules stats ~same_net ~related a b =
       end)
   end
 
-let report_outcome ~context la lb outcome =
+let report_outcome ~context ?path ?loc la lb outcome =
   let pair_name =
     if Tech.Layer.equal la lb then Tech.Layer.to_cif la
     else if Tech.Layer.index la <= Tech.Layer.index lb then
@@ -319,16 +321,47 @@ let report_outcome ~context la lb outcome =
   | Skip -> []
   | Short where ->
     [ Report.error ~stage:Report.Interactions ~rule:("short." ^ pair_name) ~where
-        ~context
+        ~context ?path ?loc
         (Printf.sprintf "%s geometry on different nets touches (short)" pair_name) ]
   | Accidental where ->
     [ Report.error ~stage:Report.Integrity ~rule:"integrity.accidental-transistor" ~where
-        ~context "poly crosses diffusion outside a transistor symbol" ]
+        ~context ?path ?loc "poly crosses diffusion outside a transistor symbol" ]
   | Violation (where, req, gap2) ->
     [ Report.error ~stage:Report.Interactions ~rule:("spacing." ^ pair_name) ~where
-        ~context
+        ~context ?path ?loc
         (Printf.sprintf "%s spacing %.2f < %d" pair_name
            (sqrt (float_of_int gap2)) req) ]
+
+(* Dotted instance path of a site, rooted at the definition being
+   checked: "inv[3].contact[0]" under context "TOP" reads
+   "TOP.inv[3].contact[0]".  [None] when the element is local to the
+   definition — the context alone already names it. *)
+let site_instance_path env sid ~context (site : site) =
+  let rec go sid' acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      let calls = Hashtbl.find env.calls_arr sid' in
+      let call = calls.(c) in
+      let callee = Model.find env.model call.Model.callee in
+      go call.Model.callee
+        (Printf.sprintf "%s[%d]" callee.Model.sname c :: acc)
+        rest
+  in
+  match go sid [] site.s_path with
+  | [] -> None
+  | segs -> Some (String.concat "." (context :: segs))
+
+(* A pair violation gets one provenance: site [a]'s path and source
+   position, falling back to [b]'s when [a] has none (both sites are in
+   the message's bbox anyway). *)
+let pair_provenance env sid ~context a b =
+  let path =
+    match site_instance_path env sid ~context a with
+    | Some _ as p -> p
+    | None -> site_instance_path env sid ~context b
+  in
+  let loc = match a.s_loc with Some _ as l -> l | None -> b.s_loc in
+  (path, loc)
 
 (* ------------------------------------------------------------------ *)
 (* Instance-pair memoisation                                           *)
@@ -486,7 +519,8 @@ let tasks_of_symbol cfg env (s : Model.symbol) : task list =
             s_layer = e.Model.layer;
             s_rects = e.Model.rects;
             s_bbox = e.Model.bbox;
-            s_device = s.Model.device })
+            s_device = s.Model.device;
+            s_loc = e.Model.loc })
         s.Model.elements
     in
     (* Local element pairs, chunked. *)
@@ -497,7 +531,8 @@ let tasks_of_symbol cfg env (s : Model.symbol) : task list =
       |> List.map (fun chunk dctx ->
              List.concat_map
                (fun ((_, a), (_, b)) ->
-                 report_outcome ~context a.s_layer b.s_layer
+                 let path, loc = pair_provenance env sid ~context a b in
+                 report_outcome ~context ?path ?loc a.s_layer b.s_layer
                    (judge_pair cfg env sid rules dctx a b))
                chunk)
     in
@@ -533,7 +568,8 @@ let tasks_of_symbol cfg env (s : Model.symbol) : task list =
                       in
                       List.concat_map
                         (fun sub ->
-                          report_outcome ~context site.s_layer sub.s_layer
+                          let path, loc = pair_provenance env sid ~context site sub in
+                          report_outcome ~context ?path ?loc site.s_layer sub.s_layer
                             (judge_pair cfg env sid rules dctx site sub))
                         sites)
                     near)))
@@ -564,7 +600,8 @@ let tasks_of_symbol cfg env (s : Model.symbol) : task list =
                 transform_site ca.Model.transform
                   { cand.k_site_b with s_path = cb.Model.cidx :: fst cand.k_b }
               in
-              report_outcome ~context site_a.s_layer site_b.s_layer
+              let path, loc = pair_provenance env sid ~context site_a site_b in
+              report_outcome ~context ?path ?loc site_a.s_layer site_b.s_layer
                 (judge_pair cfg env sid rules dctx site_a site_b))
             cands)
         (Geom.Grid_index.pairs_within inst_idx dmax)
@@ -588,17 +625,22 @@ let prune_memo (memo : memo) ~keep =
 (* ------------------------------------------------------------------ *)
 (* The scheduler                                                       *)
 
-let run_span ?metrics (tasks : task array) lo hi dctx =
+(* Tasks are tagged with the symbol definition they came from, so the
+   per-task clock feeds both the pair-check histogram and that
+   definition's [symbol.<name>] cost bucket (the [--top-cost] view). *)
+let run_span ?metrics (tasks : (string * task) array) lo hi dctx =
   let out = ref [] in
   for i = lo to hi - 1 do
+    let sname, task = tasks.(i) in
     let vs =
       match metrics with
-      | None -> tasks.(i) dctx
+      | None -> task dctx
       | Some m ->
         let t0 = Metrics.now_ns () in
-        let vs = tasks.(i) dctx in
-        Metrics.observe_ns m "interactions.pair_check_ns"
-          (Int64.sub (Metrics.now_ns ()) t0);
+        let vs = task dctx in
+        let dt = Int64.sub (Metrics.now_ns ()) t0 in
+        Metrics.observe_ns m "interactions.pair_check_ns" dt;
+        Metrics.add_cost_ns m ("symbol." ^ sname) dt;
         vs
     in
     out := vs :: !out
@@ -608,40 +650,60 @@ let run_span ?metrics (tasks : task array) lo hi dctx =
 let effective_jobs jobs =
   if jobs <= 0 then Domain.recommended_domain_count () else jobs
 
-let check ?(config = default_config) ?memo ?metrics (nets : Netgen.t) =
+let check ?(config = default_config) ?memo ?metrics ?trace (nets : Netgen.t) =
   let env = make_env nets in
   let stats = new_stats () in
   let master_memo = match memo with Some m -> m | None -> create_memo () in
   let tasks =
     Array.of_list
-      (List.concat_map (tasks_of_symbol config env) env.model.Model.symbols)
+      (List.concat_map
+         (fun (s : Model.symbol) ->
+           List.map (fun t -> (s.Model.sname, t)) (tasks_of_symbol config env s))
+         env.model.Model.symbols)
   in
   let n = Array.length tasks in
   let jobs = max 1 (min (effective_jobs config.jobs) (max 1 n)) in
+  let shard_span i lo hi =
+    (Printf.sprintf "shard[%d]" i, [ ("tasks", string_of_int (hi - lo)) ])
+  in
   let violations =
-    if jobs = 1 then run_span ?metrics tasks 0 n (make_dctx stats master_memo)
+    if jobs = 1 then begin
+      let name, args = shard_span 0 0 n in
+      Trace.with_span trace ~cat:"shard" ~args name (fun () ->
+          run_span ?metrics tasks 0 n (make_dctx stats master_memo))
+    end
     else begin
       (* Contiguous shards keep the merged report in worklist order, so
-         the output is bit-identical to the serial run. *)
+         the output is bit-identical to the serial run.  Each domain
+         records into its own trace buffer (lane [tid = i]); buffers are
+         folded back in shard order, like the stats. *)
       let bounds i = (i * n / jobs, (i + 1) * n / jobs) in
       let work i () =
         let dctx = make_dctx (new_stats ()) (Hashtbl.copy master_memo) in
         let dm = Option.map (fun _ -> Metrics.create ()) metrics in
+        let dt = Option.map (fun _ -> Trace.create ~tid:i ()) trace in
         let lo, hi = bounds i in
-        let vs = run_span ?metrics:dm tasks lo hi dctx in
-        (vs, dctx, dm)
+        let name, args = shard_span i lo hi in
+        let vs =
+          Trace.with_span dt ~cat:"shard" ~args name (fun () ->
+              run_span ?metrics:dm tasks lo hi dctx)
+        in
+        (vs, dctx, dm, dt)
       in
       let spawned = List.init (jobs - 1) (fun i -> Domain.spawn (work (i + 1))) in
       let first = work 0 () in
       let shards = first :: List.map Domain.join spawned in
       List.concat_map
-        (fun (vs, dctx, dm) ->
+        (fun (vs, dctx, dm, dt) ->
           merge_stats ~into:stats dctx.d_stats;
           Hashtbl.iter
             (fun k v -> if not (Hashtbl.mem master_memo k) then Hashtbl.add master_memo k v)
             dctx.d_memo;
           (match (metrics, dm) with
           | Some m, Some d -> Metrics.merge_into ~into:m d
+          | _ -> ());
+          (match (trace, dt) with
+          | Some tr, Some d -> Trace.merge_into ~into:tr d
           | _ -> ());
           vs)
         shards

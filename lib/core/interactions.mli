@@ -107,9 +107,13 @@ val prune_memo : memo -> keep:(int -> bool) -> unit
 
 (** Run the stage.  When [metrics] is given, per-task wall-clock costs
     are recorded into the [interactions.pair_check_ns] histogram and
-    the {!stats} totals are exported as counters. *)
+    charged to the owning definition's [symbol.<name>] cost bucket, and
+    the {!stats} totals are exported as counters.  When [trace] is
+    given, one ["shard[i]"] span (category ["shard"]) is recorded per
+    worklist shard — per-domain buffers in the parallel case, merged
+    into [trace] in shard order after the join. *)
 val check :
-  ?config:config -> ?memo:memo -> ?metrics:Metrics.t -> Netgen.t ->
-  Report.violation list * stats
+  ?config:config -> ?memo:memo -> ?metrics:Metrics.t -> ?trace:Trace.t ->
+  Netgen.t -> Report.violation list * stats
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -7,7 +7,7 @@ let to_file ?(margin = 50) (r : Report.t) =
         match (v.Report.severity, v.Report.where) with
         | Report.Error, Some where ->
           Option.map
-            (fun rect -> Cif.Ast.Box { layer; rect; net = Some v.Report.rule })
+            (fun rect -> Cif.Ast.Box { layer; rect; net = Some v.Report.rule; loc = None })
             (Geom.Rect.inflate where margin)
         | _ -> None)
       r.Report.violations
@@ -20,6 +20,6 @@ let of_file (f : Cif.Ast.file) =
   List.filter_map
     (fun e ->
       match e with
-      | Cif.Ast.Box { layer = l; rect; net = Some rule } when l = layer -> Some (rule, rect)
+      | Cif.Ast.Box { layer = l; rect; net = Some rule; _ } when l = layer -> Some (rule, rect)
       | _ -> None)
     f.Cif.Ast.top_elements

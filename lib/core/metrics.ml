@@ -20,10 +20,12 @@ type t = {
   mutable stages_rev : (string * float) list;
   counters : (string, int ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
+  cost_ns : (string, int64 ref) Hashtbl.t;
 }
 
 let create () =
-  { stages_rev = []; counters = Hashtbl.create 16; hists = Hashtbl.create 4 }
+  { stages_rev = []; counters = Hashtbl.create 16; hists = Hashtbl.create 4;
+    cost_ns = Hashtbl.create 16 }
 
 (* ------------------------------------------------------------------ *)
 (* Stage timers                                                        *)
@@ -107,6 +109,31 @@ let hist_names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.hists [] |> List.sort String.compare
 
 (* ------------------------------------------------------------------ *)
+(* Cost attribution                                                    *)
+
+let add_cost_ns t name ns =
+  if Int64.compare ns 0L < 0 then invalid_arg "Metrics.add_cost_ns: ns < 0";
+  match Hashtbl.find_opt t.cost_ns name with
+  | Some r -> r := Int64.add !r ns
+  | None -> Hashtbl.add t.cost_ns name (ref ns)
+
+let cost_ns t name =
+  match Hashtbl.find_opt t.cost_ns name with Some r -> !r | None -> 0L
+
+let costs t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.cost_ns []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Descending by cost; name breaks ties so the ranking is total. *)
+let top_costs t ~n =
+  let all =
+    costs t
+    |> List.sort (fun (na, a) (nb, b) ->
+           match Int64.compare b a with 0 -> String.compare na nb | c -> c)
+  in
+  List.filteri (fun i _ -> i < n) all
+
+(* ------------------------------------------------------------------ *)
 (* Composition                                                         *)
 
 let merge_into ~into src =
@@ -118,7 +145,8 @@ let merge_into ~into src =
       dst.count <- dst.count + h.count;
       dst.sum_ns <- Int64.add dst.sum_ns h.sum_ns;
       Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) h.buckets)
-    src.hists
+    src.hists;
+  Hashtbl.iter (fun name r -> add_cost_ns into name !r) src.cost_ns
 
 let count_report t (report : Report.t) =
   List.iter
@@ -178,6 +206,12 @@ let to_json t =
         s.h_buckets;
       add "]}")
     (hist_names t);
+  add "},\"costs\":{";
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then add ",";
+      add (Printf.sprintf "\"%s\":%Ld" (json_escape name) ns))
+    (costs t);
   add "}}";
   Buffer.contents buf
 
@@ -213,5 +247,13 @@ let pp ppf t =
           Format.fprintf ppf "  %-28s n=%d mean=%.0fns p50<=%Ldns p99<=%Ldns@," name
             s.h_count mean (quantile_ns s 0.5) (quantile_ns s 0.99))
       hs
+  end;
+  let top = top_costs t ~n:10 in
+  if top <> [] then begin
+    Format.fprintf ppf "costs (top %d):@," (List.length top);
+    List.iter
+      (fun (name, ns) ->
+        Format.fprintf ppf "  %-38s %12.3f ms@," name (Int64.to_float ns /. 1e6))
+      top
   end;
   Format.fprintf ppf "@]"

@@ -82,10 +82,32 @@ type histogram_snapshot = {
 
 val histogram : t -> string -> histogram_snapshot option
 
+(** {1 Cost attribution}
+
+    Named nanosecond totals for "which part of the design is
+    expensive" questions — one entry per symbol definition
+    ([symbol.<name>]) accumulated by the checker, surfaced as
+    [dicheck --top-cost N].  Unlike stage timers these are keyed,
+    unordered, and merged additively across domains. *)
+
+(** [add_cost_ns t name ns] adds [ns] (must be [>= 0]) to cost bucket
+    [name], creating it at zero first if needed. *)
+val add_cost_ns : t -> string -> int64 -> unit
+
+(** Accumulated cost of a bucket; [0L] if never charged. *)
+val cost_ns : t -> string -> int64
+
+(** All cost buckets, sorted by name. *)
+val costs : t -> (string * int64) list
+
+(** The [n] most expensive buckets, descending by cost (name ascending
+    on ties, so the ranking is deterministic). *)
+val top_costs : t -> n:int -> (string * int64) list
+
 (** {1 Composition} *)
 
-(** [merge_into ~into src] adds [src]'s counters and histograms into
-    [into] and appends [src]'s stages after [into]'s.  [src] is not
+(** [merge_into ~into src] adds [src]'s counters, histograms, and cost
+    buckets into [into] and appends [src]'s stages after [into]'s.  [src] is not
     modified.  Used to fold per-domain accumulators back into the main
     one after a parallel stage. *)
 val merge_into : into:t -> t -> unit
@@ -99,8 +121,9 @@ val count_report : t -> Report.t -> unit
 
 (** Canonical JSON: [{"stages":[{"name","seconds"}…],
     "counters":{…}, "histograms":{name:{"count","sum_ns",
-    "buckets":[{"le_ns","count"}…]}…}}].  Deterministic for equal
-    states; no external JSON library involved. *)
+    "buckets":[{"le_ns","count"}…]}…}, "costs":{name:ns…}}].
+    Deterministic for equal states; no external JSON library
+    involved. *)
 val to_json : t -> string
 
 (** Human-readable multi-line summary (stage table, then counters,

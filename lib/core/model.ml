@@ -11,6 +11,7 @@ type element = {
   rects : Geom.Rect.t list;
   skeleton : Geom.Rect.t list;
   bbox : Geom.Rect.t;
+  loc : Cif.Loc.t option;
 }
 
 type call = {
@@ -26,6 +27,7 @@ type symbol = {
   elements : element list;
   calls : call list;
   sbbox : Geom.Rect.t option;
+  sloc : Cif.Loc.t option;
 }
 
 type t = {
@@ -102,10 +104,11 @@ let poly_skeleton ~half region =
 let elaborate_element rules ~context eid (e : Cif.Ast.element) :
     (element, Report.violation) result =
   let layer_name = Cif.Ast.element_layer e in
+  let loc = Cif.Ast.element_loc e in
   match Tech.Layer.of_cif layer_name with
   | None ->
     Error
-      (Report.error ~stage:Report.Parse_stage ~rule:"layer.unknown" ~context
+      (Report.error ~stage:Report.Parse_stage ~rule:"layer.unknown" ~context ?loc
          (Printf.sprintf "unknown layer %s" layer_name))
   | Some layer -> (
     let half = Tech.Rules.skeleton_half rules layer in
@@ -118,7 +121,8 @@ let elaborate_element rules ~context eid (e : Cif.Ast.element) :
           net_label = net;
           rects = [ rect ];
           skeleton = [ Geom.Skeleton.of_rect ~half rect ];
-          bbox = rect }
+          bbox = rect;
+          loc }
     | Cif.Ast.Wire { width; path; net; _ } -> (
       match Geom.Wire.make ~width path with
       | w ->
@@ -129,9 +133,11 @@ let elaborate_element rules ~context eid (e : Cif.Ast.element) :
             net_label = net;
             rects = Geom.Wire.to_rects w;
             skeleton = Geom.Wire.skeleton ~half w;
-            bbox = Geom.Wire.bbox w }
+            bbox = Geom.Wire.bbox w;
+            loc }
       | exception Invalid_argument msg ->
-        Error (Report.error ~stage:Report.Parse_stage ~rule:"wire.invalid" ~context msg))
+        Error
+          (Report.error ~stage:Report.Parse_stage ~rule:"wire.invalid" ~context ?loc msg))
     | Cif.Ast.Polygon { pts; net; _ } -> (
       match Geom.Poly.make pts with
       | poly -> (
@@ -144,15 +150,17 @@ let elaborate_element rules ~context eid (e : Cif.Ast.element) :
               net_label = net;
               rects = Geom.Region.rects region;
               skeleton = poly_skeleton ~half region;
-              bbox = Geom.Poly.bbox poly }
+              bbox = Geom.Poly.bbox poly;
+              loc }
         | None ->
           Error
             (Report.error ~stage:Report.Parse_stage ~rule:"polygon.nonrectilinear"
-               ~where:(Geom.Poly.bbox poly) ~context
+               ~where:(Geom.Poly.bbox poly) ~context ?loc
                "non-rectilinear polygon is outside the design style"))
       | exception Invalid_argument msg ->
         Error
-          (Report.error ~stage:Report.Parse_stage ~rule:"polygon.invalid" ~context msg)))
+          (Report.error ~stage:Report.Parse_stage ~rule:"polygon.invalid" ~context ?loc
+             msg)))
 
 let symbol_display_name (s : Cif.Ast.symbol) =
   match s.Cif.Ast.name with Some n -> n | None -> Printf.sprintf "s%d" s.Cif.Ast.id
@@ -163,7 +171,7 @@ let elaborate rules (file : Cif.Ast.file) =
   | Ok () ->
     let issues = ref [] in
     let note v = issues := v :: !issues in
-    let build_symbol ~sid ~sname ~device_tag (elements : Cif.Ast.element list)
+    let build_symbol ~sid ~sname ~device_tag ?sloc (elements : Cif.Ast.element list)
         (calls : Cif.Ast.call list) =
       let context = sname in
       let device =
@@ -175,6 +183,7 @@ let elaborate rules (file : Cif.Ast.file) =
           | None ->
             note
               (Report.error ~stage:Report.Devices ~rule:"device.unknown-type" ~context
+                 ?loc:sloc
                  (Printf.sprintf "unknown device type %s" tag));
             None)
       in
@@ -190,20 +199,21 @@ let elaborate rules (file : Cif.Ast.file) =
       if device <> None && calls <> [] then
         note
           (Report.error ~stage:Report.Devices ~rule:"device.contains-calls" ~context
-             "primitive (device) symbols may contain only geometry");
+             ?loc:sloc "primitive (device) symbols may contain only geometry");
       let calls =
         List.mapi
           (fun i (c : Cif.Ast.call) ->
             { cidx = i; callee = c.Cif.Ast.callee; transform = c.Cif.Ast.transform })
           calls
       in
-      { sid; sname; device; elements; calls; sbbox = None }
+      { sid; sname; device; elements; calls; sbbox = None; sloc }
     in
     let symbols =
       List.map
         (fun (s : Cif.Ast.symbol) ->
           build_symbol ~sid:s.Cif.Ast.id ~sname:(symbol_display_name s)
-            ~device_tag:s.Cif.Ast.device s.Cif.Ast.elements s.Cif.Ast.calls)
+            ~device_tag:s.Cif.Ast.device ?sloc:s.Cif.Ast.sym_loc s.Cif.Ast.elements
+            s.Cif.Ast.calls)
         file.Cif.Ast.symbols
     in
     let root =

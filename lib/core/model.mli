@@ -25,6 +25,7 @@ type element = {
   rects : Geom.Rect.t list;  (** swept geometry *)
   skeleton : Geom.Rect.t list;  (** eroded by half the layer min width *)
   bbox : Geom.Rect.t;
+  loc : Cif.Loc.t option;  (** CIF source position, when parsed from text *)
 }
 
 type call = {
@@ -40,6 +41,7 @@ type symbol = {
   elements : element list;
   calls : call list;
   sbbox : Geom.Rect.t option;  (** of the full instantiated content *)
+  sloc : Cif.Loc.t option;  (** CIF source position of the definition *)
 }
 
 type t = {

@@ -184,9 +184,12 @@ let compose model rules (s : Model.symbol) child_nets =
              (fun ra -> List.exists (fun rb -> Geom.Rect.touches ~a:ra ~b:rb) eb.Model.rects)
              ea.Model.rects
       then
+        let loc =
+          match ea.Model.loc with Some _ as l -> l | None -> eb.Model.loc
+        in
         issues :=
           Report.error ~stage:Report.Connections ~rule:"connection.illegal"
-            ~where:(Geom.Rect.hull ea.Model.bbox eb.Model.bbox) ~context
+            ~where:(Geom.Rect.hull ea.Model.bbox eb.Model.bbox) ~context ?loc
             (Printf.sprintf
                "%s elements touch but are not skeletally connected (butting?)"
                (Tech.Layer.to_cif ea.Model.layer))

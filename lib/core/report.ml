@@ -16,6 +16,8 @@ type violation = {
   severity : severity;
   where : Geom.Rect.t option;
   context : string;
+  path : string option;
+  loc : Cif.Loc.t option;
   message : string;
 }
 
@@ -51,27 +53,33 @@ let stage_name = function
 
 let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
 
+let instance_path v = match v.path with Some p -> p | None -> v.context
+
 let pp_violation ppf v =
-  Format.fprintf ppf "[%s/%s] %s: %s%s%s" (stage_name v.stage) (severity_name v.severity)
-    v.rule v.message
+  Format.fprintf ppf "[%s/%s] %s: %s%s%s%s" (stage_name v.stage)
+    (severity_name v.severity) v.rule v.message
     (match v.where with
     | None -> ""
     | Some r -> Format.asprintf " at %a" Geom.Rect.pp r)
-    (if v.context = "" then "" else " in " ^ v.context)
+    (let p = instance_path v in
+     if p = "" then "" else " in " ^ p)
+    (match v.loc with
+    | None -> ""
+    | Some l -> Format.asprintf " (cif %a)" Cif.Loc.pp l)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a@]"
     (Format.pp_print_list pp_violation)
     (List.rev t.violations)
 
-let make severity ~stage ~rule ?where ~context message =
-  { stage; rule; severity; where; context; message }
+let make severity ~stage ~rule ?where ~context ?path ?loc message =
+  { stage; rule; severity; where; context; path; loc; message }
 
-let error ~stage ~rule ?where ~context message =
-  make Error ~stage ~rule ?where ~context message
+let error ~stage ~rule ?where ~context ?path ?loc message =
+  make Error ~stage ~rule ?where ~context ?path ?loc message
 
-let warning ~stage ~rule ?where ~context message =
-  make Warning ~stage ~rule ?where ~context message
+let warning ~stage ~rule ?where ~context ?path ?loc message =
+  make Warning ~stage ~rule ?where ~context ?path ?loc message
 
-let info ~stage ~rule ?where ~context message =
-  make Info ~stage ~rule ?where ~context message
+let info ~stage ~rule ?where ~context ?path ?loc message =
+  make Info ~stage ~rule ?where ~context ?path ?loc message

@@ -25,7 +25,16 @@ type violation = {
   rule : string;  (** dotted rule id, e.g. "width.NP", "device.gate-overhang" *)
   severity : severity;
   where : Geom.Rect.t option;  (** in the coordinates of [context] *)
-  context : string;  (** symbol name or instance path *)
+  context : string;  (** the symbol definition the check ran in *)
+  path : string option;
+      (** full dotted instance path from the defining symbol down to
+          the geometry, e.g. ["TOP.inv[3].contact[0]"]; [None] when the
+          violation is not tied to a deeper instance (then [context] is
+          the whole path) *)
+  loc : Cif.Loc.t option;
+      (** CIF source position of the offending statement, when the
+          design came from parsed text — the "symbol origin … is never
+          lost" promise extended back to the file *)
   message : string;
 }
 
@@ -42,19 +51,24 @@ val by_stage : t -> stage -> violation list
 val by_rule_prefix : t -> string -> violation list
 
 val stage_name : stage -> string
+
+(** [path] when present, else [context]: the most precise logical
+    location known for the violation. *)
+val instance_path : violation -> string
+
 val pp_violation : Format.formatter -> violation -> unit
 val pp : Format.formatter -> t -> unit
 
 (** Helper constructors. *)
 
 val error :
-  stage:stage -> rule:string -> ?where:Geom.Rect.t -> context:string -> string ->
-  violation
+  stage:stage -> rule:string -> ?where:Geom.Rect.t -> context:string ->
+  ?path:string -> ?loc:Cif.Loc.t -> string -> violation
 
 val warning :
-  stage:stage -> rule:string -> ?where:Geom.Rect.t -> context:string -> string ->
-  violation
+  stage:stage -> rule:string -> ?where:Geom.Rect.t -> context:string ->
+  ?path:string -> ?loc:Cif.Loc.t -> string -> violation
 
 val info :
-  stage:stage -> rule:string -> ?where:Geom.Rect.t -> context:string -> string ->
-  violation
+  stage:stage -> rule:string -> ?where:Geom.Rect.t -> context:string ->
+  ?path:string -> ?loc:Cif.Loc.t -> string -> violation

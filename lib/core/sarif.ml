@@ -1,0 +1,117 @@
+(* SARIF 2.1.0 emission, by hand.
+
+   The output is deterministic: rules are sorted by id, results keep
+   report order, and no timestamps or absolute paths are embedded, so
+   equal reports render to equal documents (the golden test relies on
+   this). *)
+
+let schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let level_of_severity = function
+  | Report.Error -> "error"
+  | Report.Warning -> "warning"
+  | Report.Info -> "note"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ json_escape s ^ "\""
+
+(* The distinct rule ids of the report, sorted, with their index in the
+   emitted [rules] array (results reference rules by id + index). *)
+let rule_table (report : Report.t) =
+  let ids =
+    List.fold_left
+      (fun acc (v : Report.violation) ->
+        if List.mem v.Report.rule acc then acc else v.Report.rule :: acc)
+      [] report.Report.violations
+    |> List.sort String.compare
+  in
+  List.mapi (fun i id -> (id, i)) ids
+
+let rule_json (id, _index) =
+  (* The rule family (prefix before the first dot) doubles as a short
+     description; the full semantics live in the stage docs. *)
+  let family = match String.index_opt id '.' with
+    | Some i -> String.sub id 0 i
+    | None -> id
+  in
+  Printf.sprintf "{\"id\":%s,\"shortDescription\":{\"text\":%s}}" (str id)
+    (str (family ^ " rule " ^ id))
+
+let region_json (l : Cif.Loc.t) =
+  Printf.sprintf "{\"startLine\":%d,\"startColumn\":%d}" l.Cif.Loc.line l.Cif.Loc.col
+
+let location_json ~uri (v : Report.violation) =
+  let physical =
+    match v.Report.loc with
+    | Some l ->
+      Printf.sprintf "\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s},\"region\":%s}"
+        (str uri) (region_json l)
+    | None ->
+      (* No source position (programmatic AST): still name the artifact
+         so viewers group results by file. *)
+      Printf.sprintf "\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s}}" (str uri)
+  in
+  let logical =
+    Printf.sprintf
+      "\"logicalLocations\":[{\"fullyQualifiedName\":%s,\"kind\":\"member\"}]"
+      (str (Report.instance_path v))
+  in
+  Printf.sprintf "{%s,%s}" physical logical
+
+let result_json ~uri rules (v : Report.violation) =
+  let rule_index = match List.assoc_opt v.Report.rule rules with Some i -> i | None -> -1 in
+  let region_props =
+    match v.Report.where with
+    | None -> ""
+    | Some r ->
+      (* Layout coordinates ride along as properties: SARIF regions are
+         text-based, and [where] is geometry in [context]'s frame. *)
+      Printf.sprintf
+        ",\"properties\":{\"bboxX0\":%d,\"bboxY0\":%d,\"bboxX1\":%d,\"bboxY1\":%d}"
+        (Geom.Rect.x0 r) (Geom.Rect.y0 r) (Geom.Rect.x1 r) (Geom.Rect.y1 r)
+  in
+  Printf.sprintf
+    "{\"ruleId\":%s,\"ruleIndex\":%d,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[%s]%s}"
+    (str v.Report.rule) rule_index
+    (str (level_of_severity v.Report.severity))
+    (str v.Report.message)
+    (location_json ~uri v) region_props
+
+let of_report ?(uri = "design.cif") ?(tool_version = Version.version) (report : Report.t) =
+  let rules = rule_table report in
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\"$schema\":";
+  add (str schema);
+  add ",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"dicheck\"";
+  add (Printf.sprintf ",\"version\":%s" (str tool_version));
+  add
+    ",\"informationUri\":\"https://doi.org/10.1145/800139.804577\",\"rules\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",";
+      add (rule_json r))
+    rules;
+  add "]}},\"results\":[";
+  List.iteri
+    (fun i v ->
+      if i > 0 then add ",";
+      add (result_json ~uri rules v))
+    (List.rev report.Report.violations);
+  add "]}]}";
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** SARIF 2.1.0 export of a checking report.
+
+    SARIF (Static Analysis Results Interchange Format) is the exchange
+    format consumed by code-review tooling — GitHub code scanning, VS
+    Code SARIF viewers, and CI annotators.  Each {!Report.violation}
+    becomes one [result] carrying:
+
+    - [ruleId]: the stable rule name ([overlap.layer], [device.gate], …)
+      — the machine-readable counterpart of the paper's "immunity"
+      conditions (McGrath & Whitney, DAC 1980, §4);
+    - [level]: [error] / [warning] / [note] from {!Report.severity};
+    - a physical location: the CIF source file and the 1-based
+      line/column where the offending statement was parsed (when the
+      design came from CIF text; programmatic layouts have no region);
+    - a logical location: the fully qualified instance path
+      ("TOP.inv[3].contact[0]") from {!Report.instance_path}, which is
+      how the paper names a fault site in a hierarchical design.
+
+    Output is deterministic for a given report: rules are sorted by id,
+    results keep report order, and no timestamps are embedded. *)
+
+(** [of_report ~uri report] renders a complete SARIF 2.1.0 document
+    (one [run]).  [uri] is the artifact URI recorded for physical
+    locations — pass the CIF input path; defaults to ["design.cif"].
+    [tool_version] defaults to {!Version.version}. *)
+val of_report : ?uri:string -> ?tool_version:string -> Report.t -> string

@@ -1,0 +1,4 @@
+(* Bumped by hand once per released change-set; CHANGES.md is the
+   ledger.  Kept as code (not a dune-generated site) so the library is
+   usable from any build context, including the toplevel. *)
+let version = "0.3.0"

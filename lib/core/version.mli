@@ -1,0 +1,5 @@
+(** Tool version, embedded in trace ([otherData.version]) and SARIF
+    ([tool.driver.version]) metadata and reported by [--version] on the
+    command-line tools, so archived checker output can always be tied
+    back to the code that produced it. *)
+val version : string

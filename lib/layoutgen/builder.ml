@@ -1,12 +1,13 @@
 let box ~layer ?net x0 y0 x1 y1 =
-  Cif.Ast.Box { layer; rect = Geom.Rect.make x0 y0 x1 y1; net }
+  Cif.Ast.Box { layer; rect = Geom.Rect.make x0 y0 x1 y1; net; loc = None }
 
 let wire ~layer ?net ~width pts =
   Cif.Ast.Wire
-    { layer; width; path = List.map (fun (x, y) -> Geom.Pt.make x y) pts; net }
+    { layer; width; path = List.map (fun (x, y) -> Geom.Pt.make x y) pts; net; loc = None }
 
 let poly ~layer ?net pts =
-  Cif.Ast.Polygon { layer; pts = List.map (fun (x, y) -> Geom.Pt.make x y) pts; net }
+  Cif.Ast.Polygon
+    { layer; pts = List.map (fun (x, y) -> Geom.Pt.make x y) pts; net; loc = None }
 
 let call ?at ?rot ?mirror callee =
   let ts =
@@ -18,10 +19,10 @@ let call ?at ?rot ?mirror callee =
         (match rot with Some r -> [ Geom.Transform.rotate r ] | None -> []);
         (match at with Some (x, y) -> [ Geom.Transform.translate x y ] | None -> []) ]
   in
-  { Cif.Ast.callee; transform = Geom.Transform.seq ts }
+  { Cif.Ast.callee; transform = Geom.Transform.seq ts; call_loc = None }
 
 let symbol ~id ~name ?device elements calls =
-  { Cif.Ast.id; name = Some name; device; elements; calls }
+  { Cif.Ast.id; name = Some name; device; elements; calls; sym_loc = None }
 
 let file ~symbols ?(top_elements = []) ~top_calls () =
   { Cif.Ast.symbols; top_elements; top_calls }

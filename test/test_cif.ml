@@ -16,7 +16,7 @@ let parse_err src =
 let test_box_basic () =
   let f = parse_ok "L NM; B 20 10 15 25; E" in
   match f.Cif.Ast.top_elements with
-  | [ Cif.Ast.Box { layer; rect; net } ] ->
+  | [ Cif.Ast.Box { layer; rect; net; _ } ] ->
     Alcotest.(check string) "layer" "NM" layer;
     Alcotest.(check bool) "net" true (net = None);
     Alcotest.(check int) "x0" 5 (Geom.Rect.x0 rect);
@@ -224,7 +224,7 @@ let test_print_odd_box_as_polygon () =
   let f =
     { Cif.Ast.symbols = [];
       top_elements =
-        [ Cif.Ast.Box { layer = "NM"; rect = Geom.Rect.make 0 0 5 7; net = None } ];
+        [ Cif.Ast.Box { layer = "NM"; rect = Geom.Rect.make 0 0 5 7; net = None; loc = None } ];
       top_calls = [] }
   in
   let f' = parse_ok (Cif.Print.to_string f) in
@@ -270,7 +270,10 @@ let element_gen =
     [ map2
         (fun (layer, net) (x, y, w, h) ->
           Cif.Ast.Box
-            { layer; rect = Geom.Rect.make x y (x + (2 * w) + 2) (y + (2 * h) + 2); net })
+            { layer;
+              rect = Geom.Rect.make x y (x + (2 * w) + 2) (y + (2 * h) + 2);
+              net;
+              loc = None })
         (pair layer net)
         (quad coord coord (int_range 0 20) (int_range 0 20));
       map2
@@ -279,7 +282,8 @@ let element_gen =
             { layer;
               width = 200;
               path = [ Geom.Pt.make x y; Geom.Pt.make (x + (2 * len) + 2) y ];
-              net })
+              net;
+              loc = None })
         (pair layer net)
         (triple coord coord (int_range 0 30)) ]
 
