@@ -23,11 +23,14 @@ let section title =
 (* ------------------------------------------------------------------ *)
 (* Shared classification helpers                                       *)
 
-let dic_outcome ?(config = Dic.Checker.default_config) truths file =
-  match Dic.Checker.run ~config rules file with
+(* One cold engine per outcome: the classification experiments compare
+   configurations, so nothing may leak between runs.  [configure] is an
+   [Engine.with_*] chain. *)
+let dic_outcome ?(configure = fun e -> e) truths file =
+  match Dic.Engine.check (configure (Dic.Engine.create rules)) file with
   | Error e -> failwith e
-  | Ok result ->
-    Dic.Classify.classify ~tolerance truths (Dic.Classify.of_report result.Dic.Checker.report)
+  | Ok (result, _) ->
+    Dic.Classify.classify ~tolerance truths (Dic.Classify.of_report result.Dic.Engine.report)
 
 let flat_outcome mode truths file =
   Dic.Classify.classify ~tolerance truths
@@ -204,14 +207,10 @@ let fig05_topological () =
   Printf.printf "[fig5a] %s\n" a.Layoutgen.Pathology.description;
   print_outcome_row "  DIC (net aware)"
     (dic_outcome a.Layoutgen.Pathology.truths a.Layoutgen.Pathology.file);
-  let net_blind =
-    { Dic.Checker.default_config with
-      Dic.Checker.interactions =
-        { Dic.Interactions.default_config with Dic.Interactions.check_same_net = true } }
-  in
   print_outcome_row "  DIC, net-blind ablation"
-    (dic_outcome ~config:net_blind a.Layoutgen.Pathology.truths
-       a.Layoutgen.Pathology.file);
+    (dic_outcome
+       ~configure:(fun e -> Dic.Engine.with_same_net e true)
+       a.Layoutgen.Pathology.truths a.Layoutgen.Pathology.file);
   print_outcome_row "  flat (net blind)"
     (flat_outcome flat_orth_ignore a.Layoutgen.Pathology.truths
        a.Layoutgen.Pathology.file);
@@ -277,13 +276,13 @@ let fig09_hierarchy () =
 let fig10_pipeline () =
   section "F10 / Fig 10: per-stage cost of the checking pipeline (8x8 grid)";
   let file = Layoutgen.Cells.grid ~lambda ~nx:8 ~ny:8 in
-  match Dic.Checker.run rules file with
+  match Dic.Engine.check (Dic.Engine.create rules) file with
   | Error e -> failwith e
-  | Ok result ->
+  | Ok (result, _) ->
     List.iter
       (fun (name, s) -> Printf.printf "%-24s %8.4f s\n" name s)
-      result.Dic.Checker.stage_seconds;
-    Format.printf "result: %a@." Dic.Checker.pp_summary result
+      (Dic.Metrics.stage_seconds result.Dic.Engine.metrics);
+    Format.printf "result: %a@." Dic.Engine.pp_summary result
 
 (* ------------------------------------------------------------------ *)
 (* F11 -- Fig 11: skeletal connectivity                                *)
@@ -324,10 +323,10 @@ let fig12_matrix () =
     "F12 / Fig 12: interaction-rule matrix coverage on an 8x4 grid\n\
      (most cells need no check: no rule, device-checked, or same-net)";
   let file = Layoutgen.Cells.grid ~lambda ~nx:8 ~ny:4 in
-  match Dic.Checker.run rules file with
+  match Dic.Engine.check (Dic.Engine.create rules) file with
   | Error e -> failwith e
-  | Ok result ->
-    Format.printf "%a@." Dic.Interactions.pp_stats result.Dic.Checker.interaction_stats;
+  | Ok (result, _) ->
+    Format.printf "%a@." Dic.Interactions.pp_stats result.Dic.Engine.interaction_stats;
     Printf.printf "\nstatic matrix (rules):\n";
     List.iter
       (fun (a, b, entry) ->
@@ -436,7 +435,9 @@ let t1_runtime_scaling () =
       let file = Layoutgen.Cells.grid ~lambda ~nx:n ~ny:n in
       let dic_result, dic_t =
         time_once (fun () ->
-            match Dic.Checker.run rules file with Ok r -> r | Error e -> failwith e)
+            match Dic.Engine.check (Dic.Engine.create rules) file with
+            | Ok (r, _) -> r
+            | Error e -> failwith e)
       in
       let flat_errors, flat_t =
         time_once (fun () -> Flatdrc.Classic.check flat_orth_ignore rules file)
@@ -460,17 +461,15 @@ let t3_incremental () =
     "T3: incremental rechecking (edit-check loop)\n\
      (per-definition results cached by structural fingerprint; the\n\
      interaction memo survives for unchanged subtrees)";
-  let inc = Dic.Incremental.create () in
+  let engine = Dic.Engine.create rules in
   let file = Layoutgen.Cells.grid ~lambda ~nx:12 ~ny:12 in
   let run_inc label f =
-    let (_, stats), t =
+    let (_, (reuse : Dic.Engine.reuse)), t =
       time_once (fun () ->
-          match Dic.Incremental.run inc rules f with
-          | Ok r -> r
-          | Error e -> failwith e)
+          match Dic.Engine.check engine f with Ok r -> r | Error e -> failwith e)
     in
     Printf.printf "%-34s %8.3f s   (%d/%d definitions reused)\n" label t
-      stats.Dic.Incremental.symbols_reused stats.Dic.Incremental.symbols_total;
+      reuse.Dic.Engine.symbols_reused reuse.Dic.Engine.symbols_total;
     t
   in
   let cold = run_inc "cold run (12x12 grid)" file in
@@ -492,23 +491,17 @@ let ablations () =
   let salted, truths = salted_grid 4 2 in
   outcome_header ();
   print_outcome_row "full checker" (dic_outcome truths salted);
-  let net_blind =
-    { Dic.Checker.default_config with
-      Dic.Checker.interactions =
-        { Dic.Interactions.default_config with Dic.Interactions.check_same_net = true } }
-  in
-  print_outcome_row "without net awareness" (dic_outcome ~config:net_blind truths salted);
-  let no_erc = { Dic.Checker.default_config with Dic.Checker.run_erc = false } in
-  print_outcome_row "without electrical rules" (dic_outcome ~config:no_erc truths salted);
-  let exposure =
-    { Dic.Checker.default_config with
-      Dic.Checker.interactions =
-        { Dic.Interactions.default_config with
-          Dic.Interactions.spacing_model =
-            Dic.Interactions.Exposure
-              { model = Process_model.Exposure.make ~sigma:60. (); misalign = 50 } } }
-  in
-  print_outcome_row "exposure-model spacing" (dic_outcome ~config:exposure truths salted);
+  print_outcome_row "without net awareness"
+    (dic_outcome ~configure:(fun e -> Dic.Engine.with_same_net e true) truths salted);
+  print_outcome_row "without electrical rules"
+    (dic_outcome ~configure:(fun e -> Dic.Engine.with_erc e false) truths salted);
+  print_outcome_row "exposure-model spacing"
+    (dic_outcome
+       ~configure:(fun e ->
+         Dic.Engine.with_spacing_model e
+           (Dic.Interactions.Exposure
+              { model = Process_model.Exposure.make ~sigma:60. (); misalign = 50 }))
+       truths salted);
   print_endline
     "(exposure mode judges the injected drawn-rule spacing defects\n\
      printable at sigma=60 and so reports them only if they bridge;\n\
@@ -598,6 +591,83 @@ let parallel_scaling () =
   print_endline "wrote BENCH_parallel.json"
 
 (* ------------------------------------------------------------------ *)
+(* I -- Persistent incremental rechecking                              *)
+
+(* The engine's on-disk cache across *processes*: each phase below uses
+   a brand-new engine over the same cache directory, so the only warmth
+   is what Cache persisted.  Cold, warm (identical input), and a recheck
+   after a one-symbol top-level edit; writes BENCH_incremental.json. *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let incremental_recheck () =
+  section
+    "I: persistent incremental rechecking (cold / warm-from-disk / after\n\
+     a one-symbol edit; every phase is a fresh engine over the same\n\
+     --cache directory, and the warm report must be byte-identical)";
+  let cache_dir =
+    let base = Filename.temp_file "dic_bench_cache" "" in
+    Sys.remove base;
+    base
+  in
+  let workloads =
+    [ ("shift-register-256", Layoutgen.Shift.register ~lambda 256);
+      ("pla-48x96",
+       Layoutgen.Pla.plane ~lambda
+         (Layoutgen.Pla.random_program ~rows:48 ~cols:96 ~seed:7)) ]
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"experiment\":\"incremental-recheck\",\"workloads\":[";
+  Printf.printf "%-22s %10s %10s %10s %10s %12s %10s\n" "workload" "cold (s)"
+    "warm (s)" "reused" "identical" "edit (s)" "reused";
+  List.iteri
+    (fun wi (name, file) ->
+      if wi > 0 then Buffer.add_string buf ",";
+      let dir = Filename.concat cache_dir name in
+      let check f =
+        let (result, reuse), t =
+          wall (fun () ->
+              match Dic.Engine.check (Dic.Engine.create ~cache_dir:dir rules) f with
+              | Ok r -> r
+              | Error e -> failwith e)
+        in
+        (Format.asprintf "%a" Dic.Report.pp result.Dic.Engine.report, reuse, t)
+      in
+      let cold_report, _, cold_t = check file in
+      let warm_report, warm_reuse, warm_t = check file in
+      let identical = String.equal cold_report warm_report in
+      let edited, _ =
+        Layoutgen.Inject.apply file
+          [ Layoutgen.Inject.narrow_poly_wire ~lambda ~at:(-40 * lambda, -40 * lambda) ]
+      in
+      let _, edit_reuse, edit_t = check edited in
+      Printf.printf "%-22s %10.3f %10.3f %7d/%-3d %9b %12.3f %7d/%-3d\n" name cold_t
+        warm_t warm_reuse.Dic.Engine.symbols_reused warm_reuse.Dic.Engine.symbols_total
+        identical edit_t edit_reuse.Dic.Engine.symbols_reused
+        edit_reuse.Dic.Engine.symbols_total;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cold_s\":%.6f,\"warm_s\":%.6f,\"warm_reused\":%d,\
+            \"warm_total\":%d,\"warm_identical\":%b,\"warm_memo_loaded\":%d,\
+            \"edit_s\":%.6f,\"edit_reused\":%d}"
+           name cold_t warm_t warm_reuse.Dic.Engine.symbols_reused
+           warm_reuse.Dic.Engine.symbols_total identical
+           warm_reuse.Dic.Engine.memo_loaded edit_t
+           edit_reuse.Dic.Engine.symbols_reused))
+    workloads;
+  Buffer.add_string buf "]}";
+  Out_channel.with_open_text "BENCH_incremental.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf);
+      Out_channel.output_char oc '\n');
+  rm_rf cache_dir;
+  print_endline "wrote BENCH_incremental.json"
+
+(* ------------------------------------------------------------------ *)
 (* TR -- Tracing overhead                                              *)
 
 (* Cost of the span tracer: disabled (no --trace; every with_span is
@@ -640,7 +710,7 @@ let trace_overhead () =
      symbols, shards). *)
   let file = Layoutgen.Cells.grid ~lambda ~nx:12 ~ny:12 in
   let run trace () =
-    match Dic.Checker.run ?trace rules file with
+    match Dic.Engine.check ?trace (Dic.Engine.create rules) file with
     | Ok r -> ignore r
     | Error e -> failwith e
   in
@@ -677,15 +747,15 @@ let bechamel_benches () =
           (Staged.stage (fun () -> Geom.Region.union a b));
         Test.make ~name:"dic-check-grid4x4"
           (Staged.stage (fun () ->
-               match Dic.Checker.run rules grid4 with
-               | Ok r -> r
+               match Dic.Engine.check (Dic.Engine.create rules) grid4 with
+               | Ok (r, _) -> r
                | Error e -> failwith e));
         Test.make ~name:"flat-check-grid4x4"
           (Staged.stage (fun () -> Flatdrc.Classic.check flat_orth_ignore rules grid4));
         Test.make ~name:"dic-check-fig8-kit"
           (Staged.stage (fun () ->
-               match Dic.Checker.run rules kit.Layoutgen.Pathology.file with
-               | Ok r -> r
+               match Dic.Engine.check (Dic.Engine.create rules) kit.Layoutgen.Pathology.file with
+               | Ok (r, _) -> r
                | Error e -> failwith e)) ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
@@ -731,8 +801,8 @@ let experiments =
     ("fig13", fig13_proximity); ("fig14", fig14_relational);
     ("fig15", fig15_self_sufficiency); ("t1", t1_runtime_scaling);
     ("t3", t3_incremental); ("ablations", ablations);
-    ("parallel", parallel_scaling); ("trace-overhead", trace_overhead);
-    ("bechamel", bechamel_benches) ]
+    ("parallel", parallel_scaling); ("incremental", incremental_recheck);
+    ("trace-overhead", trace_overhead); ("bechamel", bechamel_benches) ]
 
 let () =
   match Array.to_list Sys.argv with

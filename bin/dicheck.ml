@@ -1,7 +1,14 @@
 (* dicheck: the Design Integrity and Immunity Checker, as a command.
 
-   Reads extended CIF, runs either the hierarchical checker or the
-   classical flat baseline, and prints the report.
+   Two subcommands sharing one engine library:
+
+     dicheck check FILE   (also the default: `dicheck FILE`)
+     dicheck serve        JSON-lines request loop on stdio or a socket
+
+   `check` reads extended CIF, runs either the hierarchical checker or
+   the classical flat baseline, and prints the report; with --cache DIR
+   per-definition results and the interaction memo persist across
+   invocations.  `serve` keeps the engine warm in-process instead.
 
    Exit codes: 0 the design checked clean, 1 the checker found errors
    (or warnings, with --werror), 2 usage / parse / input failure. *)
@@ -19,8 +26,22 @@ let write_output path content =
         Out_channel.output_string oc content;
         Out_channel.output_char oc '\n')
 
+let load_rules ~lambda rules_file =
+  match rules_file with
+  | None -> Tech.Rules.nmos ~lambda ()
+  | Some path -> (
+    match Tech.Rules.of_string (read_file path) with
+    | Ok r -> r
+    | Error msg ->
+      Printf.eprintf "rule file: %s\n" msg;
+      exit 2)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
 let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
-    ~jobs ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror ~input rules src =
+    ~jobs ~cache ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror ~input
+    rules src =
   match Cif.Parse.file src with
   | Error e ->
     Printf.eprintf "parse error: %s\n" (Cif.Parse.string_of_error e);
@@ -36,24 +57,22 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
           Printf.eprintf "expected net list: %s\n" msg;
           exit 2)
     in
-    let config =
-      { Dic.Checker.default_config with
-        Dic.Checker.expected_netlist;
-        Dic.Checker.interactions =
-          { Dic.Interactions.default_config with
-            Dic.Interactions.check_same_net;
-            Dic.Interactions.jobs } }
+    let engine =
+      let e = Dic.Engine.create ?cache_dir:cache rules in
+      let e = Dic.Engine.with_jobs e jobs in
+      let e = Dic.Engine.with_same_net e check_same_net in
+      Dic.Engine.with_expected_netlist e expected_netlist
     in
     let trace = match trace_out with None -> None | Some _ -> Some (Dic.Trace.create ()) in
     let progress_fn =
       if progress then Some (fun stage -> Printf.eprintf "[dicheck] %s...\n%!" stage)
       else None
     in
-    match Dic.Checker.run ~config ?trace ?progress:progress_fn rules file with
+    match Dic.Engine.check ?trace ?progress:progress_fn engine file with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       2
-    | Ok result ->
+    | Ok (result, reuse) ->
       (* When any structured output claims stdout, the human report
          moves to stderr so the JSON stream stays parseable. *)
       let on_stdout = function Some "-" -> true | _ -> false in
@@ -62,32 +81,40 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
           Format.err_formatter
         else Format.std_formatter
       in
-      Format.fprintf out "%a@." Dic.Report.pp result.Dic.Checker.report;
-      Format.fprintf out "%a@." Dic.Checker.pp_summary result;
+      Format.fprintf out "%a@." Dic.Report.pp result.Dic.Engine.report;
+      Format.fprintf out "%a@." Dic.Engine.pp_summary result;
+      (* Reuse goes to stderr: a warm run's stdout must stay
+         byte-identical to the cold run's. *)
+      if cache <> None then
+        Printf.eprintf
+          "[dicheck] cache: %d/%d definition(s) reused (%d from disk), %d memo entr%s loaded\n"
+          reuse.Dic.Engine.symbols_reused reuse.Dic.Engine.symbols_total
+          reuse.Dic.Engine.defs_from_disk reuse.Dic.Engine.memo_loaded
+          (if reuse.Dic.Engine.memo_loaded = 1 then "y" else "ies");
       if show_netlist then
         Format.fprintf out "@.--- net list ---@.%a@." Netlist.Net.pp
-          result.Dic.Checker.netlist;
+          result.Dic.Engine.netlist;
       if show_stats then
         Format.fprintf out "@.--- interaction coverage ---@.%a@." Dic.Interactions.pp_stats
-          result.Dic.Checker.interaction_stats;
+          result.Dic.Engine.interaction_stats;
       if show_structure then
         Format.fprintf out "@.--- design structure ---@.%a@." Dic.Structure.pp
-          (Dic.Structure.compute result.Dic.Checker.nets);
+          (Dic.Structure.compute result.Dic.Engine.nets);
       if top_cost > 0 then begin
         Format.fprintf out "@.--- most expensive definitions ---@.";
         List.iter
           (fun (name, ns) ->
             Format.fprintf out "%-38s %12.3f ms@." name (Int64.to_float ns /. 1e6))
-          (Dic.Metrics.top_costs result.Dic.Checker.metrics ~n:top_cost)
+          (Dic.Metrics.top_costs result.Dic.Engine.metrics ~n:top_cost)
       end;
       (match markers with
       | None -> ()
       | Some path ->
         Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc (Dic.Markers.to_cif result.Dic.Checker.report)));
+            Out_channel.output_string oc (Dic.Markers.to_cif result.Dic.Engine.report)));
       (match stats_json with
       | None -> ()
-      | Some path -> write_output path (Dic.Metrics.to_json result.Dic.Checker.metrics));
+      | Some path -> write_output path (Dic.Metrics.to_json result.Dic.Engine.metrics));
       (match (trace_out, trace) with
       | Some path, Some tr -> write_output path (Dic.Trace.to_chrome_json tr)
       | _ -> ());
@@ -95,8 +122,8 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
       | None -> ()
       | Some path ->
         let uri = if input = "-" then "stdin" else input in
-        write_output path (Dic.Sarif.of_report ~uri result.Dic.Checker.report));
-      let count sev = Dic.Report.count ~severity:sev result.Dic.Checker.report in
+        write_output path (Dic.Sarif.of_report ~uri result.Dic.Engine.report));
+      let count sev = Dic.Report.count ~severity:sev result.Dic.Engine.report in
       if count Dic.Report.Error > 0 then 1
       else if werror && count Dic.Report.Warning > 0 then 1
       else 0)
@@ -113,19 +140,10 @@ let run_flat ~metric ~poly_diff ~width_algorithm rules src =
     Printf.printf "%d error(s)\n" (List.length errors);
     if errors = [] then 0 else 1
 
-let main file flat metric polydiff figure_based lambda rules_file show_netlist
-    show_stats show_structure check_same_net expect markers jobs stats_json trace_out
-    sarif_out top_cost progress werror =
-  let rules =
-    match rules_file with
-    | None -> Tech.Rules.nmos ~lambda ()
-    | Some path -> (
-      match Tech.Rules.of_string (read_file path) with
-      | Ok r -> r
-      | Error msg ->
-        Printf.eprintf "rule file: %s\n" msg;
-        exit 2)
-  in
+let check_main file flat metric polydiff figure_based lambda rules_file show_netlist
+    show_stats show_structure check_same_net expect markers jobs cache stats_json
+    trace_out sarif_out top_cost progress werror =
+  let rules = load_rules ~lambda rules_file in
   let src = read_file file in
   if flat then begin
     List.iter
@@ -133,7 +151,8 @@ let main file flat metric polydiff figure_based lambda rules_file show_netlist
         if opt <> None then
           Printf.eprintf
             "dicheck: %s applies to the hierarchical checker; ignored with --flat\n" name)
-      [ (stats_json, "--stats-json"); (trace_out, "--trace"); (sarif_out, "--sarif") ];
+      [ (stats_json, "--stats-json"); (trace_out, "--trace"); (sarif_out, "--sarif");
+        (cache, "--cache") ];
     run_flat ~metric
       ~poly_diff:(if polydiff then `Flag_all else `Ignore)
       ~width_algorithm:(if figure_based then `Figure_based else `Shrink_expand_compare)
@@ -141,13 +160,65 @@ let main file flat metric polydiff figure_based lambda rules_file show_netlist
   end
   else
     run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
-      ~jobs ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror ~input:file
-      rules src
+      ~jobs ~cache ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror
+      ~input:file rules src
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_main lambda rules_file cache socket =
+  let rules = load_rules ~lambda rules_file in
+  let server = Dic.Serve.create ?cache_dir:cache rules in
+  match socket with
+  | None ->
+    Dic.Serve.loop server stdin stdout;
+    0
+  | Some path ->
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 8;
+    Printf.eprintf "[dicheck] serving on %s\n%!" path;
+    (* Sequential accept loop: one client at a time, each a JSON-lines
+       conversation; the warm engine is shared across clients.  Runs
+       until the process is killed. *)
+    let rec accept_loop () =
+      let client, _ = Unix.accept sock in
+      let ic = Unix.in_channel_of_descr client in
+      let oc = Unix.out_channel_of_descr client in
+      (try Dic.Serve.loop server ic oc with Sys_error _ | End_of_file -> ());
+      (try Out_channel.flush oc with Sys_error _ -> ());
+      (try Unix.close client with Unix.Unix_error _ -> ());
+      accept_loop ()
+    in
+    accept_loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
 
 let metric_conv =
   Arg.enum [ ("orthogonal", Geom.Measure.Orthogonal); ("euclidean", Geom.Measure.Euclidean) ]
 
-let cmd =
+let lambda_arg = Arg.(value & opt int 100 & info [ "lambda" ] ~doc:"Lambda in layout units.")
+
+let rules_arg =
+  Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"FILE" ~doc:"Load the rule set from a rule file instead of the built-in NMOS rules.")
+
+let cache_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache" ] ~docv:"DIR"
+           ~doc:"Persist per-definition results and the interaction memo under \
+                 DIR (created if missing), keyed by content: a recheck reuses \
+                 everything whose definition, rules, and config did not change.  \
+                 Cache state never changes verdicts, only cost; reuse counts go \
+                 to stderr and to $(b,--stats-json).")
+
+let exits =
+  [ Cmd.Exit.info 0 ~doc:"the design checked clean (with $(b,--werror): no warnings either).";
+    Cmd.Exit.info 1 ~doc:"the checker found errors (with $(b,--werror): or warnings).";
+    Cmd.Exit.info 2 ~doc:"usage, parse, or input failure." ]
+
+let check_term =
   let file =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"CIF file (- for stdin)")
   in
@@ -161,7 +232,6 @@ let cmd =
   let figure_based =
     Arg.(value & flag & info [ "figure-based" ] ~doc:"Flat baseline: figure-based width checks instead of shrink-expand-compare.")
   in
-  let lambda = Arg.(value & opt int 100 & info [ "lambda" ] ~doc:"Lambda in layout units.") in
   let netlist = Arg.(value & flag & info [ "netlist" ] ~doc:"Print the extracted net list.") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print interaction-matrix coverage.") in
   let structure =
@@ -172,9 +242,6 @@ let cmd =
   in
   let expect =
     Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"FILE" ~doc:"Verify the extracted net list against this expected net list.")
-  in
-  let rules_file =
-    Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"FILE" ~doc:"Load the rule set from a rule file instead of the built-in NMOS rules.")
   in
   let markers =
     Arg.(value & opt (some string) None & info [ "markers" ] ~docv:"FILE" ~doc:"Write violation markers as CIF (layer XE) to FILE.")
@@ -190,9 +257,10 @@ let cmd =
   let stats_json =
     Arg.(value & opt (some string) None
          & info [ "stats-json" ] ~docv:"FILE"
-             ~doc:"Write run metrics (per-stage wall-clock, work counters, \
-                   per-pair cost histogram, per-definition costs, errors by \
-                   class) as canonical JSON to FILE (- for stdout).")
+             ~doc:"Write run metrics (per-stage wall-clock, work counters \
+                   including cache reuse, per-pair cost histogram, \
+                   per-definition costs, errors by class) as canonical JSON to \
+                   FILE (- for stdout).")
   in
   let trace_out =
     Arg.(value & opt (some string) None
@@ -225,24 +293,56 @@ let cmd =
          & info [ "werror" ]
              ~doc:"Exit 1 when the report contains warnings, not only errors.")
   in
-  let term =
-    Term.(
-      const main $ file $ flat $ metric $ polydiff $ figure_based $ lambda $ rules_file
-      $ netlist $ stats $ structure $ same_net $ expect $ markers $ jobs $ stats_json
-      $ trace_out $ sarif_out $ top_cost $ progress $ werror)
-  in
-  let exits =
-    [ Cmd.Exit.info 0 ~doc:"the design checked clean (with $(b,--werror): no warnings either).";
-      Cmd.Exit.info 1 ~doc:"the checker found errors (with $(b,--werror): or warnings).";
-      Cmd.Exit.info 2 ~doc:"usage, parse, or input failure." ]
+  Term.(
+    const check_main $ file $ flat $ metric $ polydiff $ figure_based $ lambda_arg
+    $ rules_arg $ netlist $ stats $ structure $ same_net $ expect $ markers $ jobs
+    $ cache_arg $ stats_json $ trace_out $ sarif_out $ top_cost $ progress $ werror)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~exits
+       ~doc:"Check one CIF file and print the report (the default subcommand).")
+    check_term
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix domain socket at PATH (unlinked and rebound \
+                   at startup) instead of serving the process's stdin/stdout.  \
+                   Clients connect and speak the same JSON-lines protocol; the \
+                   warm engine is shared across connections.")
   in
   Cmd.v
-    (Cmd.info "dicheck" ~version:Dic.Version.version ~exits
-       ~doc:"Design integrity and immunity checking (McGrath & Whitney, DAC 1980)")
-    term
+    (Cmd.info "serve" ~exits
+       ~doc:"Answer JSON-lines check requests from a warm engine.  One request \
+             object per input line (fields: id, path or cif, jobs, \
+             check_same_net, werror, stats, sarif, out), one reply line per \
+             request.  Per-definition results and the interaction memo persist \
+             in memory across requests — and on disk with $(b,--cache).")
+    Term.(const serve_main $ lambda_arg $ rules_arg $ cache_arg $ socket)
 
-(* Fold cmdliner's own failure codes (cli errors, internal errors) into
-   the documented usage-failure code. *)
+let info =
+  Cmd.info "dicheck" ~version:Dic.Version.version ~exits
+    ~doc:"Design integrity and immunity checking (McGrath & Whitney, DAC 1980)"
+
+let group = Cmd.group ~default:check_term info [ check_cmd; serve_cmd ]
+
+(* The historical spelling `dicheck FILE` must keep working, but
+   cmdliner's command groups reject a first positional that is not a
+   subcommand name.  Route through the group only when the invocation
+   clearly addresses it (a known subcommand, help, version, or nothing
+   at all); everything else is a legacy one-shot check. *)
+let legacy = Cmd.v info check_term
+
 let () =
-  let code = Cmd.eval' cmd in
+  let use_group =
+    Array.length Sys.argv <= 1
+    || match Sys.argv.(1) with
+       | "check" | "serve" | "--help" | "-h" | "--version" -> true
+       | _ -> false
+  in
+  (* Fold cmdliner's own failure codes (cli errors, internal errors)
+     into the documented usage-failure code. *)
+  let code = Cmd.eval' (if use_group then group else legacy) in
   exit (if code = Cmd.Exit.cli_error || code = Cmd.Exit.internal_error then 2 else code)

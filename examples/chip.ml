@@ -49,10 +49,10 @@ let () =
         @ [ Layoutgen.Builder.call ~at:(0, l 2) Layoutgen.Cells.id_pad;
             Layoutgen.Builder.call ~at:(l 20, l 7) Layoutgen.Cells.id_conp ] }
   in
-  match Dic.Checker.run rules chip with
+  match Dic.Engine.check (Dic.Engine.create rules) chip with
   | Error e -> failwith e
-  | Ok result ->
-    Format.printf "--- chip ---@.%a@.@." Dic.Checker.pp_summary result;
+  | Ok (result, _) ->
+    Format.printf "--- chip ---@.%a@.@." Dic.Engine.pp_summary result;
     List.iter
       (fun (v : Dic.Report.violation) ->
         if v.Dic.Report.severity = Dic.Report.Error then

@@ -11,11 +11,14 @@
 let rules = Tech.Rules.nmos ()
 let lambda = rules.Tech.Rules.lambda
 
+(* One warm engine for every kit in the walkthrough. *)
+let engine = Dic.Engine.create rules
+
 let show title file =
   Printf.printf "--- %s ---\n" title;
-  match Dic.Checker.run rules file with
+  match Dic.Engine.check engine file with
   | Error e -> Printf.printf "checker failed: %s\n\n" e
-  | Ok result ->
+  | Ok (result, _) ->
     let electrical =
       Dic.Report.by_stage result.Dic.Checker.report Dic.Report.Electrical
     in

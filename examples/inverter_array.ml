@@ -22,12 +22,16 @@ let () =
     Printf.printf "elements in definitions:%6d\n" (Dic.Model.definition_elements model);
     Printf.printf "elements if flattened:  %6d\n\n" (Dic.Model.instantiated_elements model));
 
+  (* One engine for both runs: the salted check reuses every cell
+     definition the clean check already verified. *)
+  let engine = Dic.Engine.create rules in
+
   (* --- clean run --- *)
-  (match Dic.Checker.run rules clean with
+  (match Dic.Engine.check engine clean with
   | Error e -> failwith e
-  | Ok result ->
+  | Ok (result, _) ->
     Printf.printf "--- clean array (%dx%d cells) ---\n" nx ny;
-    Format.printf "%a@." Dic.Checker.pp_summary result;
+    Format.printf "%a@." Dic.Engine.pp_summary result;
     let local, crossing = Dic.Netgen.locality result.Dic.Checker.nets in
     Printf.printf "net locality: %d local / %d crossing\n" local crossing;
     Format.printf "memoisation: %a@.@."
@@ -46,10 +50,12 @@ let () =
   in
   let salted, truths = Layoutgen.Inject.apply clean injections in
   let tolerance = 2 * lambda in
-  (match Dic.Checker.run rules salted with
+  (match Dic.Engine.check engine salted with
   | Error e -> failwith e
-  | Ok result ->
-    let findings = Dic.Classify.of_report result.Dic.Checker.report in
+  | Ok (result, reuse) ->
+    Printf.printf "(reused %d/%d definitions from the clean run)\n"
+      reuse.Dic.Engine.symbols_reused reuse.Dic.Engine.symbols_total;
+    let findings = Dic.Classify.of_report result.Dic.Engine.report in
     let outcome = Dic.Classify.classify ~tolerance truths findings in
     Format.printf "--- salted array: hierarchical checker ---@.%a@."
       Dic.Classify.pp_outcome outcome;

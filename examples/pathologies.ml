@@ -5,8 +5,8 @@
    Run with: dune exec examples/pathologies.exe *)
 
 let run_dic rules file =
-  match Dic.Checker.run rules file with
-  | Ok result -> Dic.Classify.of_report result.Dic.Checker.report
+  match Dic.Engine.check (Dic.Engine.create rules) file with
+  | Ok (result, _) -> Dic.Classify.of_report result.Dic.Engine.report
   | Error msg -> failwith msg
 
 let run_flat mode rules file = Dic.Classify.of_classic (Flatdrc.Classic.check mode rules file)

@@ -17,10 +17,10 @@ let () =
   let plane = Layoutgen.Pla.plane ~lambda program in
   Printf.printf "--- 3 products x 4 inputs (# poly, = metal, + diff, X cut) ---\n";
   print_string (Layoutgen.Render.file ~cell:100 rules plane);
-  match Dic.Checker.run rules plane with
+  match Dic.Engine.check (Dic.Engine.create rules) plane with
   | Error e -> failwith e
-  | Ok result ->
-    Format.printf "@.%a@.@." Dic.Checker.pp_summary result;
+  | Ok (result, _) ->
+    Format.printf "@.%a@.@." Dic.Engine.pp_summary result;
     Printf.printf "product terms as extracted from layout connectivity:\n";
     Array.iteri
       (fun r _ ->

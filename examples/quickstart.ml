@@ -25,18 +25,21 @@ let () =
   print_newline ();
 
   (* Run the checker: parse -> elements -> devices -> connections ->
-     net list -> interactions -> electrical rules. *)
-  match Dic.Checker.run rules design with
+     net list -> interactions -> electrical rules.  [Engine.create]
+     builds a session (reusable across designs, optionally backed by an
+     on-disk cache); [Engine.check] runs one design through it. *)
+  let engine = Dic.Engine.create rules in
+  match Dic.Engine.check engine design with
   | Error msg ->
     Printf.eprintf "checker failed: %s\n" msg;
     exit 1
-  | Ok result ->
-    Format.printf "--- report ---@.%a@.@." Dic.Report.pp result.Dic.Checker.report;
-    Format.printf "--- summary ---@.%a@.@." Dic.Checker.pp_summary result;
-    Format.printf "--- nets ---@.%a@.@." Netlist.Net.pp result.Dic.Checker.netlist;
+  | Ok (result, _reuse) ->
+    Format.printf "--- report ---@.%a@.@." Dic.Report.pp result.Dic.Engine.report;
+    Format.printf "--- summary ---@.%a@.@." Dic.Engine.pp_summary result;
+    Format.printf "--- nets ---@.%a@.@." Netlist.Net.pp result.Dic.Engine.netlist;
     Format.printf "--- stage timings ---@.";
     List.iter
       (fun (name, s) -> Format.printf "%-22s %.4fs@." name s)
-      result.Dic.Checker.stage_seconds;
+      (Dic.Metrics.stage_seconds result.Dic.Engine.metrics);
     Format.printf "@.--- interaction matrix coverage ---@.%a@."
-      Dic.Interactions.pp_stats result.Dic.Checker.interaction_stats
+      Dic.Interactions.pp_stats result.Dic.Engine.interaction_stats

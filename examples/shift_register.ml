@@ -11,11 +11,15 @@ let () =
   let bits = 4 in
   let design = Layoutgen.Shift.register ~lambda bits in
 
+  (* One engine session for the whole walkthrough: the geometric model
+     is shared, only the expected net list changes between runs. *)
+  let engine = Dic.Engine.create rules in
+
   (* Geometric + electrical check. *)
-  (match Dic.Checker.run rules design with
+  (match Dic.Engine.check engine design with
   | Error e -> failwith e
-  | Ok result ->
-    Format.printf "--- %d-bit shift register ---@.%a@." bits Dic.Checker.pp_summary result;
+  | Ok (result, _) ->
+    Format.printf "--- %d-bit shift register ---@.%a@." bits Dic.Engine.pp_summary result;
     Format.printf "clock nets merge globally:@.";
     List.iter
       (fun name ->
@@ -40,10 +44,9 @@ let () =
     | Ok e -> e
     | Error msg -> failwith msg
   in
-  let config = { Dic.Checker.default_config with Dic.Checker.expected_netlist = Some expected } in
-  (match Dic.Checker.run ~config rules design with
+  (match Dic.Engine.check (Dic.Engine.with_expected_netlist engine (Some expected)) design with
   | Error e -> failwith e
-  | Ok result ->
+  | Ok (result, _) ->
     let mismatches = Dic.Report.by_rule_prefix result.Dic.Checker.report "netcmp" in
     Format.printf "@.--- net list vs intent (correct design) ---@.";
     if List.exists (fun (v : Dic.Report.violation) -> v.Dic.Report.severity = Dic.Report.Error) mismatches
@@ -56,10 +59,9 @@ let () =
     | Ok e -> e
     | Error msg -> failwith msg
   in
-  let config = { Dic.Checker.default_config with Dic.Checker.expected_netlist = Some wrong } in
-  match Dic.Checker.run ~config rules design with
+  match Dic.Engine.check (Dic.Engine.with_expected_netlist engine (Some wrong)) design with
   | Error e -> failwith e
-  | Ok result ->
+  | Ok (result, _) ->
     Format.printf "@.--- net list vs a wrong intent ---@.";
     List.iter
       (fun v -> Format.printf "%a@." Dic.Report.pp_violation v)

@@ -1,0 +1,63 @@
+(** Content-addressed on-disk store for per-definition check results
+    and the instance-pair interaction memo.
+
+    {2 Addressing}
+
+    Everything is keyed under an {e environment digest} [env] — a hash
+    of the rule set and the result-affecting parts of the engine
+    configuration, computed by {!Engine.env_key} — so results checked
+    under different rules or configs can never be confused.  Within an
+    environment:
+
+    - a definition entry is addressed by the symbol's structural
+      fingerprint ({!Engine.fingerprint}), so the entry is valid for
+      {e any} layout containing a structurally identical definition;
+    - the interaction memo is one file whose entries are keyed by
+      (subtree fingerprint, subtree fingerprint, relative transform) —
+      symbol ids are process-local and are remapped by the engine on
+      load.
+
+    {2 Layout}
+
+    {v
+    DIR/defs/<env>/<fingerprint>   one file per cached definition
+    DIR/memo/<env>                 the persisted interaction memo
+    v}
+
+    {2 Safety and determinism}
+
+    Every file is [magic ^ MD5(payload) ^ payload] and is written to a
+    temporary name then renamed, so readers never observe a partial
+    file.  A file that is missing, truncated, from another version, or
+    whose digest does not match is treated as a miss — corruption can
+    cost a recheck but can never crash or change a verdict.  The cache
+    stores only inputs to report {e assembly} (violation lists, memo
+    candidates), never verdict logic, which is the engine's determinism
+    invariant: cache state changes cost, not results. *)
+
+type t
+
+(** Per-definition results for the three definition-local sweeps.  The
+    lists are in the checker's emission order for that definition. *)
+type def_entry = {
+  de_elements : Report.violation list;
+  de_devices : Report.violation list;
+  de_relational : Report.violation list;
+}
+
+(** Memo entries persisted with content-addressed keys:
+    (caller subtree fingerprint, callee subtree fingerprint, relative
+    transform). *)
+type memo_file = ((string * string * Geom.Transform.t) * Interactions.memo_entry) list
+
+(** [open_dir dir] creates [dir] (and parents) if needed.  Raises
+    [Sys_error] only if the directory cannot be created at all. *)
+val open_dir : string -> t
+
+val find_def : t -> env:string -> fp:string -> def_entry option
+val store_def : t -> env:string -> fp:string -> def_entry -> unit
+
+(** [[]] on miss or corruption. *)
+val load_memo : t -> env:string -> memo_file
+
+val store_memo : t -> env:string -> memo_file -> unit

@@ -1,15 +1,13 @@
-type config = {
+type config = Engine.config = {
   interactions : Interactions.config;
   run_erc : bool;
   expected_netlist : Netcompare.expected option;
   relational : Process_model.Exposure.t option;
 }
 
-let default_config =
-  { interactions = Interactions.default_config; run_erc = true; expected_netlist = None;
-    relational = None }
+let default_config = Engine.default_config
 
-type result = {
+type result = Engine.result = {
   report : Report.t;
   netlist : Netlist.Net.t;
   interaction_stats : Interactions.stats;
@@ -19,114 +17,13 @@ type result = {
   nets : Netgen.t;
 }
 
-let erc_violations netlist =
-  List.map
-    (fun v ->
-      let rule =
-        match v with
-        | Netlist.Erc.Floating_net _ -> "erc.floating-net"
-        | Netlist.Erc.Supply_short _ -> "erc.supply-short"
-        | Netlist.Erc.Bus_on_supply _ -> "erc.bus-on-supply"
-        | Netlist.Erc.Depletion_on_ground _ -> "erc.depletion-on-ground"
-      in
-      let severity =
-        (* A floating net is suspicious, not provably fatal. *)
-        match v with Netlist.Erc.Floating_net _ -> `W | _ -> `E
-      in
-      let msg = Format.asprintf "%a" Netlist.Erc.pp_violation v in
-      match severity with
-      | `E -> Report.error ~stage:Report.Electrical ~rule ~context:"netlist" msg
-      | `W -> Report.warning ~stage:Report.Electrical ~rule ~context:"netlist" msg)
-    (Netlist.Erc.check netlist)
+let erc_violations = Engine.erc_violations
 
-let run ?(config = default_config) ?metrics ?trace ?progress rules file =
-  let m = match metrics with Some m -> m | None -> Metrics.create () in
-  let tick name = match progress with None -> () | Some f -> f name in
-  (* Each stage is announced to [progress], timed into the metrics, and
-     recorded as a ["stage"]-category trace span — one wrapper so the
-     three views always agree on stage names. *)
-  let timed name f =
-    tick name;
-    Trace.with_span trace ~cat:"stage" name (fun () -> Metrics.time_stage m name f)
-  in
-  (* Per-definition sweep: same order (and thus same report) as
-     [List.concat_map check_sym symbols], with a ["symbol"] span and a
-     [symbol.<name>] cost charge around each definition. *)
-  let per_symbol stage check_sym (model : Model.t) =
-    List.concat_map
-      (fun (s : Model.symbol) ->
-        Trace.with_span trace ~cat:"symbol" ~args:[ ("stage", stage) ] s.Model.sname
-          (fun () ->
-            let t0 = Metrics.now_ns () in
-            let vs = check_sym model.Model.rules s in
-            Metrics.add_cost_ns m ("symbol." ^ s.Model.sname)
-              (Int64.sub (Metrics.now_ns ()) t0);
-            vs))
-      model.Model.symbols
-  in
-  match timed "elaborate" (fun () -> Model.elaborate rules file) with
-  | Error e -> Error e
-  | Ok (model, parse_issues) ->
-    Metrics.incr ~by:(Model.symbol_count model) m "model.symbols";
-    Metrics.incr ~by:(Model.definition_elements model) m "model.definition_elements";
-    Metrics.incr ~by:(Model.instantiated_elements model) m "model.instantiated_elements";
-    let element_issues =
-      timed "elements" (fun () -> per_symbol "elements" Element_checks.check_symbol model)
-    in
-    let device_issues =
-      timed "devices" (fun () -> per_symbol "devices" Devices.check_symbol model)
-    in
-    let relational_issues =
-      match config.relational with
-      | None -> []
-      | Some exposure ->
-        timed "devices-relational" (fun () -> Devices.check_relational_all exposure model)
-    in
-    let nets, connection_issues = timed "connections+netlist" (fun () -> Netgen.build model) in
-    let netlist = timed "netlist-export" (fun () -> Netgen.netlist nets) in
-    let interaction_issues, interaction_stats =
-      timed "interactions" (fun () ->
-          Interactions.check ~config:config.interactions ~metrics:m ?trace nets)
-    in
-    let electrical_issues =
-      if config.run_erc then timed "electrical" (fun () -> erc_violations netlist)
-      else []
-    in
-    let consistency_issues =
-      match config.expected_netlist with
-      | None -> []
-      | Some expected ->
-        timed "netlist-compare" (fun () -> Netcompare.check expected netlist)
-    in
-    let local, crossing = Netgen.locality nets in
-    let locality_info =
-      Report.info ~stage:Report.Netlist_gen ~rule:"netlist.locality" ~context:"TOP"
-        (Printf.sprintf "%d net(s) local to one definition, %d crossing boundaries" local
-           crossing)
-    in
-    let report =
-      { Report.violations =
-          parse_issues @ element_issues @ device_issues @ relational_issues
-          @ connection_issues @ interaction_issues @ electrical_issues
-          @ consistency_issues @ [ locality_info ] }
-    in
-    Metrics.count_report m report;
-    Ok
-      { report;
-        netlist;
-        interaction_stats;
-        stage_seconds = Metrics.stage_seconds m;
-        metrics = m;
-        model;
-        nets }
+let run ?config ?metrics ?trace ?progress rules file =
+  Result.map fst (Engine.check ?metrics ?trace ?progress (Engine.create ?config rules) file)
 
 let run_string ?config ?metrics ?trace ?progress rules src =
-  match Cif.Parse.file src with
-  | Error e -> Error (Cif.Parse.string_of_error e)
-  | Ok file -> run ?config ?metrics ?trace ?progress rules file
+  Result.map fst
+    (Engine.check_string ?metrics ?trace ?progress (Engine.create ?config rules) src)
 
-let pp_summary ppf r =
-  let by sev = Report.count ~severity:sev r.report in
-  Format.fprintf ppf "%d error(s), %d warning(s), %d net(s)" (by Report.Error)
-    (by Report.Warning)
-    (List.length r.netlist.Netlist.Net.nets)
+let pp_summary = Engine.pp_summary

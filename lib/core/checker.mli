@@ -11,6 +11,13 @@
       (+ non-geometric construction rules over the net list, ERC)
     v}
 
+    This module is the {e historical} entry point, kept as a thin
+    wrapper: every call builds a cold {!Engine} and runs one check, so
+    nothing is reused between calls.  New code should hold an
+    {!Engine.t} and call {!Engine.check} — same report, same metrics
+    and trace shape, plus warm per-definition and interaction-memo
+    state (optionally persisted on disk) across checks.
+
     {2 Invariants}
 
     - Stages run in the order above; each consumes only the outputs of
@@ -18,10 +25,12 @@
       stage (the paper's argument for why net identifiers are available
       when interactions are checked).
     - Every stage is timed on the monotonic clock and every run carries
-      a {!Metrics.t}; [stage_seconds] is derived from it and kept for
-      compatibility. *)
+      a {!Metrics.t}. *)
 
-type config = {
+(** Same record as {!Engine.config} (the equation keeps old field
+    accesses compiling); prefer the [Engine.with_*] builders over
+    assembling the nested records by hand. *)
+type config = Engine.config = {
   interactions : Interactions.config;
   run_erc : bool;  (** run the non-geometric construction rules *)
   expected_netlist : Netcompare.expected option;
@@ -33,13 +42,14 @@ type config = {
 
 val default_config : config
 
-type result = {
+type result = Engine.result = {
   report : Report.t;
   netlist : Netlist.Net.t;
   interaction_stats : Interactions.stats;
   stage_seconds : (string * float) list;
-      (** per pipeline stage, monotonic wall-clock seconds (a view of
-          [metrics]) *)
+      (** @deprecated redundant derived view of [metrics] — use
+          {!Metrics.stage_seconds} on the [metrics] field instead.
+          Kept for one release. *)
   metrics : Metrics.t;
       (** the full observability record: stage timers, work counters,
           per-pair cost histogram, errors by class *)
@@ -47,19 +57,23 @@ type result = {
   nets : Netgen.t;
 }
 
-(** Run on an already-parsed file.  [metrics] lets the caller supply
-    (and keep) the accumulator; one is created per run otherwise.
-    [trace] records one ["stage"] span per pipeline stage, one
-    ["symbol"] span per definition in the element/device sweeps, and
-    one ["shard"] span per interaction shard (see {!Trace}).
-    [progress] is called with each stage name as it starts — the
-    [--progress] heartbeat. *)
+(** Run on an already-parsed file.
+
+    @deprecated one-shot wrapper over a cold engine — use
+    {!Engine.create} / {!Engine.check} to keep warm state between
+    checks.  [metrics] lets the caller supply (and keep) the
+    accumulator; one is created per run otherwise.  [trace] records one
+    ["stage"] span per pipeline stage, one ["symbol"] span per
+    definition in the element/device sweeps, and one ["shard"] span per
+    interaction shard (see {!Trace}).  [progress] is called with each
+    stage name as it starts — the [--progress] heartbeat. *)
 val run :
   ?config:config -> ?metrics:Metrics.t -> ?trace:Trace.t ->
   ?progress:(string -> unit) -> Tech.Rules.t -> Cif.Ast.file ->
   (result, string) Stdlib.result
 
-(** Parse CIF text and run. *)
+(** Parse CIF text and run.
+    @deprecated use {!Engine.check_string}. *)
 val run_string :
   ?config:config -> ?metrics:Metrics.t -> ?trace:Trace.t ->
   ?progress:(string -> unit) -> Tech.Rules.t -> string ->
@@ -68,6 +82,6 @@ val run_string :
 (** One-line summary: error/warning counts by stage. *)
 val pp_summary : Format.formatter -> result -> unit
 
-(** The non-geometric construction rules as report violations (shared
-    with {!Incremental}). *)
+(** The non-geometric construction rules as report violations (now
+    {!Engine.erc_violations}). *)
 val erc_violations : Netlist.Net.t -> Report.violation list

@@ -1,0 +1,450 @@
+type config = {
+  interactions : Interactions.config;
+  run_erc : bool;
+  expected_netlist : Netcompare.expected option;
+  relational : Process_model.Exposure.t option;
+}
+
+let default_config =
+  { interactions = Interactions.default_config; run_erc = true; expected_netlist = None;
+    relational = None }
+
+type result = {
+  report : Report.t;
+  netlist : Netlist.Net.t;
+  interaction_stats : Interactions.stats;
+  stage_seconds : (string * float) list;
+  metrics : Metrics.t;
+  model : Model.t;
+  nets : Netgen.t;
+}
+
+type reuse = {
+  symbols_total : int;
+  symbols_reused : int;
+  defs_from_disk : int;
+  memo_loaded : int;
+}
+
+let erc_violations netlist =
+  List.map
+    (fun v ->
+      let rule =
+        match v with
+        | Netlist.Erc.Floating_net _ -> "erc.floating-net"
+        | Netlist.Erc.Supply_short _ -> "erc.supply-short"
+        | Netlist.Erc.Bus_on_supply _ -> "erc.bus-on-supply"
+        | Netlist.Erc.Depletion_on_ground _ -> "erc.depletion-on-ground"
+      in
+      let severity =
+        (* A floating net is suspicious, not provably fatal. *)
+        match v with Netlist.Erc.Floating_net _ -> `W | _ -> `E
+      in
+      let msg = Format.asprintf "%a" Netlist.Erc.pp_violation v in
+      match severity with
+      | `E -> Report.error ~stage:Report.Electrical ~rule ~context:"netlist" msg
+      | `W -> Report.warning ~stage:Report.Electrical ~rule ~context:"netlist" msg)
+    (Netlist.Erc.check netlist)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+
+(* Structural fingerprint of one definition.  Everything the
+   per-definition checks can observe is folded in: name (violations
+   carry it as context), device kind, element geometry/layers/nets,
+   and calls with their transforms. *)
+let fingerprint (s : Model.symbol) =
+  let elements =
+    List.map
+      (fun (e : Model.element) ->
+        ( Tech.Layer.index e.Model.layer,
+          List.map
+            (fun r -> (Geom.Rect.x0 r, Geom.Rect.y0 r, Geom.Rect.x1 r, Geom.Rect.y1 r))
+            e.Model.rects,
+          e.Model.net_label ))
+      s.Model.elements
+  in
+  let calls =
+    List.map
+      (fun (c : Model.call) ->
+        let o = Geom.Transform.apply_pt c.Model.transform Geom.Pt.zero in
+        let ex = Geom.Transform.apply_pt c.Model.transform (Geom.Pt.make 1 0) in
+        (c.Model.callee, o.Geom.Pt.x, o.Geom.Pt.y, ex.Geom.Pt.x, ex.Geom.Pt.y,
+         Geom.Transform.det c.Model.transform))
+      s.Model.calls
+  in
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (s.Model.sname, Option.map Tech.Device.to_tag s.Model.device, elements, calls)
+          []))
+
+let subtree_fingerprints (model : Model.t) =
+  (* model.symbols is topologically sorted, callees first. *)
+  let fps = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Model.symbol) ->
+      let own = fingerprint s in
+      let subs =
+        List.map (fun (c : Model.call) -> Hashtbl.find fps c.Model.callee) s.Model.calls
+      in
+      Hashtbl.replace fps s.Model.sid
+        (Digest.to_hex (Digest.string (String.concat ";" (own :: subs)))))
+    model.Model.symbols;
+  fps
+
+(* Parallelism never affects results, so the environment digest — the
+   cache address — normalises [jobs] away.  Everything else in the
+   config (and the whole rule set) is folded in. *)
+let env_key rules (config : config) =
+  let c = { config with interactions = { config.interactions with Interactions.jobs = 1 } } in
+  Digest.to_hex (Digest.string (Marshal.to_string (rules, c) []))
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+
+type t = {
+  e_rules : Tech.Rules.t;
+  mutable e_config : config;
+  e_cache : Cache.t option;
+  mutable e_env : string;
+  (* fingerprint -> per-definition results, valid within [e_env] *)
+  e_defs : (string, Cache.def_entry) Hashtbl.t;
+  e_memo : Interactions.memo;
+  (* sid -> subtree fingerprint from the previous check, for memo
+     invalidation across edits *)
+  mutable e_memo_fps : (int * string) list;
+  (* the on-disk memo (content-addressed keys), loaded at most once per
+     environment *)
+  mutable e_disk_memo : Cache.memo_file option;
+}
+
+let create ?(config = default_config) ?cache_dir rules =
+  { e_rules = rules;
+    e_config = config;
+    e_cache = Option.map Cache.open_dir cache_dir;
+    e_env = env_key rules config;
+    e_defs = Hashtbl.create 64;
+    e_memo = Interactions.create_memo ();
+    e_memo_fps = [];
+    e_disk_memo = None }
+
+let rules t = t.e_rules
+let config t = t.e_config
+let same_env t rules config = String.equal (env_key rules config) t.e_env
+
+let with_config t config =
+  let env = env_key t.e_rules config in
+  if not (String.equal env t.e_env) then begin
+    (* New environment: none of the warm state can be trusted. *)
+    Hashtbl.reset t.e_defs;
+    Interactions.prune_memo t.e_memo ~keep:(fun _ -> false);
+    t.e_memo_fps <- [];
+    t.e_disk_memo <- None;
+    t.e_env <- env
+  end;
+  t.e_config <- config;
+  t
+
+let with_jobs t jobs =
+  with_config t
+    { t.e_config with interactions = { t.e_config.interactions with Interactions.jobs = jobs } }
+
+let with_metric t metric =
+  with_config t
+    { t.e_config with interactions = { t.e_config.interactions with Interactions.metric } }
+
+let with_same_net t check_same_net =
+  with_config t
+    { t.e_config with
+      interactions = { t.e_config.interactions with Interactions.check_same_net } }
+
+let with_spacing_model t spacing_model =
+  with_config t
+    { t.e_config with
+      interactions = { t.e_config.interactions with Interactions.spacing_model } }
+
+let with_erc t run_erc = with_config t { t.e_config with run_erc }
+let with_expected_netlist t expected_netlist = with_config t { t.e_config with expected_netlist }
+let with_relational t relational = with_config t { t.e_config with relational }
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                            *)
+
+(* One per symbol occurrence in the model: either the cached entry to
+   replay, or the freshly computed pieces accumulated stage by stage so
+   they can be stored as one entry afterwards. *)
+type slot = {
+  sl_sym : Model.symbol;
+  sl_fp : string;
+  sl_hit : Cache.def_entry option;
+  mutable sl_el : Report.violation list;
+  mutable sl_dv : Report.violation list;
+  mutable sl_rel : Report.violation list;
+}
+
+(* Invalidate memoised instance pairs whose definition subtree changed
+   since the previous check, then pull in any surviving entries from
+   the on-disk memo (remapping its content-addressed keys to this
+   model's symbol ids).  Returns the number of entries imported. *)
+let refresh_memo t trace subtree =
+  let unchanged sid =
+    match (List.assoc_opt sid t.e_memo_fps, Hashtbl.find_opt subtree sid) with
+    | Some old_fp, Some new_fp -> String.equal old_fp new_fp
+    | _ -> false
+  in
+  Interactions.prune_memo t.e_memo ~keep:unchanged;
+  t.e_memo_fps <- Hashtbl.fold (fun sid fp acc -> (sid, fp) :: acc) subtree [];
+  match t.e_cache with
+  | None -> 0
+  | Some cache ->
+    Trace.with_span trace ~cat:"cache" "memo-load" (fun () ->
+        let disk =
+          match t.e_disk_memo with
+          | Some d -> d
+          | None ->
+            let d = Cache.load_memo cache ~env:t.e_env in
+            t.e_disk_memo <- Some d;
+            d
+        in
+        if disk = [] then 0
+        else begin
+          let by_fp = Hashtbl.create 64 in
+          Hashtbl.iter
+            (fun sid fp ->
+              Hashtbl.replace by_fp fp
+                (sid :: Option.value ~default:[] (Hashtbl.find_opt by_fp fp)))
+            subtree;
+          let present = Hashtbl.create 64 in
+          List.iter
+            (fun (key, _) -> Hashtbl.replace present key ())
+            (Interactions.export_memo t.e_memo);
+          let imported = ref [] in
+          List.iter
+            (fun ((fpa, fpb, tr), entry) ->
+              match (Hashtbl.find_opt by_fp fpa, Hashtbl.find_opt by_fp fpb) with
+              | Some sas, Some sbs ->
+                List.iter
+                  (fun sa ->
+                    List.iter
+                      (fun sb ->
+                        let key = (sa, sb, tr) in
+                        if not (Hashtbl.mem present key) then begin
+                          Hashtbl.replace present key ();
+                          imported := (key, entry) :: !imported
+                        end)
+                      sbs)
+                  sas
+              | _ -> ())
+            disk;
+          Interactions.import_memo t.e_memo !imported;
+          List.length !imported
+        end)
+
+(* Persist the memo under content-addressed keys (subtree fingerprints
+   instead of process-local symbol ids), deduplicated and sorted so the
+   file is deterministic for a given entry set.  The file is a merge
+   with what was already on disk: entries for definitions absent from
+   the current model (another design checked by the same server, or a
+   pre-edit version of this one) are still content-valid, so dropping
+   them would throw warmth away. *)
+let save_memo t trace subtree =
+  match t.e_cache with
+  | None -> ()
+  | Some cache ->
+    Trace.with_span trace ~cat:"cache" "memo-save" (fun () ->
+        let dedup = Hashtbl.create 64 in
+        (match t.e_disk_memo with
+        | Some old -> List.iter (fun (k, e) -> Hashtbl.replace dedup k e) old
+        | None -> ());
+        List.iter
+          (fun ((sa, sb, tr), entry) ->
+            match (Hashtbl.find_opt subtree sa, Hashtbl.find_opt subtree sb) with
+            | Some fa, Some fb -> Hashtbl.replace dedup (fa, fb, tr) entry
+            | _ -> ())
+          (Interactions.export_memo t.e_memo);
+        let entries = Hashtbl.fold (fun k e acc -> (k, e) :: acc) dedup [] in
+        let entries = List.sort (fun (ka, _) (kb, _) -> compare ka kb) entries in
+        t.e_disk_memo <- Some entries;
+        Cache.store_memo cache ~env:t.e_env entries)
+
+let check ?metrics ?trace ?progress t file =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let tick name = match progress with None -> () | Some f -> f name in
+  (* Each stage is announced to [progress], timed into the metrics, and
+     recorded as a ["stage"]-category trace span — one wrapper so the
+     three views always agree on stage names. *)
+  let timed name f =
+    tick name;
+    Trace.with_span trace ~cat:"stage" name (fun () -> Metrics.time_stage m name f)
+  in
+  match timed "elaborate" (fun () -> Model.elaborate t.e_rules file) with
+  | Error e -> Error e
+  | Ok (model, parse_issues) ->
+    Metrics.incr ~by:(Model.symbol_count model) m "model.symbols";
+    Metrics.incr ~by:(Model.definition_elements model) m "model.definition_elements";
+    Metrics.incr ~by:(Model.instantiated_elements model) m "model.instantiated_elements";
+    let subtree = subtree_fingerprints model in
+    let memo_loaded = refresh_memo t trace subtree in
+    (* Resolve every definition against the session (then disk) cache
+       before the sweeps start, so each stage below just replays or
+       computes. *)
+    let defs_from_disk = ref 0 and reused = ref 0 in
+    let slots =
+      Trace.with_span trace ~cat:"cache" "defs-lookup" (fun () ->
+          List.map
+            (fun (s : Model.symbol) ->
+              let fp = fingerprint s in
+              let hit =
+                match Hashtbl.find_opt t.e_defs fp with
+                | Some e -> Some e
+                | None -> (
+                  match t.e_cache with
+                  | None -> None
+                  | Some cache -> (
+                    match Cache.find_def cache ~env:t.e_env ~fp with
+                    | Some e ->
+                      incr defs_from_disk;
+                      Hashtbl.replace t.e_defs fp e;
+                      Some e
+                    | None -> None))
+              in
+              if Option.is_some hit then incr reused;
+              { sl_sym = s; sl_fp = fp; sl_hit = hit; sl_el = []; sl_dv = []; sl_rel = [] })
+            model.Model.symbols)
+    in
+    (* Per-definition sweep: replayed slots contribute their cached
+       list in place, computed slots get the ["symbol"] span and
+       [symbol.<name>] cost charge — so a cold engine's trace and
+       metrics match the historical Checker.run exactly, and the
+       report ordering (all elements, then all devices, …) is the same
+       either way. *)
+    let per_symbol stage compute replay =
+      List.concat_map
+        (fun sl ->
+          match sl.sl_hit with
+          | Some e -> replay e
+          | None ->
+            Trace.with_span trace ~cat:"symbol" ~args:[ ("stage", stage) ]
+              sl.sl_sym.Model.sname (fun () ->
+                let t0 = Metrics.now_ns () in
+                let vs = compute sl in
+                Metrics.add_cost_ns m ("symbol." ^ sl.sl_sym.Model.sname)
+                  (Int64.sub (Metrics.now_ns ()) t0);
+                vs))
+        slots
+    in
+    let element_issues =
+      timed "elements" (fun () ->
+          per_symbol "elements"
+            (fun sl ->
+              let vs = Element_checks.check_symbol model.Model.rules sl.sl_sym in
+              sl.sl_el <- vs;
+              vs)
+            (fun e -> e.Cache.de_elements))
+    in
+    let device_issues =
+      timed "devices" (fun () ->
+          per_symbol "devices"
+            (fun sl ->
+              let vs = Devices.check_symbol model.Model.rules sl.sl_sym in
+              sl.sl_dv <- vs;
+              vs)
+            (fun e -> e.Cache.de_devices))
+    in
+    let relational_issues =
+      match t.e_config.relational with
+      | None -> []
+      | Some exposure ->
+        timed "devices-relational" (fun () ->
+            List.concat_map
+              (fun sl ->
+                match sl.sl_hit with
+                | Some e -> e.Cache.de_relational
+                | None ->
+                  let vs = Devices.check_relational exposure model.Model.rules sl.sl_sym in
+                  sl.sl_rel <- vs;
+                  vs)
+              slots)
+    in
+    (* Freshly computed definitions become cache entries (session +
+       disk).  When [relational] is off the stored list is empty, which
+       is sound: the environment digest separates the two configs. *)
+    Trace.with_span trace ~cat:"cache" "defs-save" (fun () ->
+        let stored = Hashtbl.create 16 in
+        List.iter
+          (fun sl ->
+            if Option.is_none sl.sl_hit && not (Hashtbl.mem stored sl.sl_fp) then begin
+              Hashtbl.replace stored sl.sl_fp ();
+              let entry =
+                { Cache.de_elements = sl.sl_el;
+                  de_devices = sl.sl_dv;
+                  de_relational = sl.sl_rel }
+              in
+              Hashtbl.replace t.e_defs sl.sl_fp entry;
+              match t.e_cache with
+              | None -> ()
+              | Some cache -> Cache.store_def cache ~env:t.e_env ~fp:sl.sl_fp entry
+            end)
+          slots);
+    let total = List.length slots in
+    Metrics.incr ~by:total m "cache.symbols_total";
+    Metrics.incr ~by:!reused m "cache.symbols_reused";
+    Metrics.incr ~by:!defs_from_disk m "cache.defs_from_disk";
+    Metrics.incr ~by:(total - !reused) m "cache.defs_computed";
+    Metrics.incr ~by:memo_loaded m "cache.memo_loaded";
+    (* Composite stages always run fresh: they are the hierarchical,
+       cheap part, and they stitch the cached pieces together. *)
+    let nets, connection_issues = timed "connections+netlist" (fun () -> Netgen.build model) in
+    let netlist = timed "netlist-export" (fun () -> Netgen.netlist nets) in
+    let interaction_issues, interaction_stats =
+      timed "interactions" (fun () ->
+          Interactions.check ~config:t.e_config.interactions ~memo:t.e_memo ~metrics:m
+            ?trace nets)
+    in
+    let electrical_issues =
+      if t.e_config.run_erc then timed "electrical" (fun () -> erc_violations netlist)
+      else []
+    in
+    let consistency_issues =
+      match t.e_config.expected_netlist with
+      | None -> []
+      | Some expected -> timed "netlist-compare" (fun () -> Netcompare.check expected netlist)
+    in
+    let local, crossing = Netgen.locality nets in
+    let locality_info =
+      Report.info ~stage:Report.Netlist_gen ~rule:"netlist.locality" ~context:"TOP"
+        (Printf.sprintf "%d net(s) local to one definition, %d crossing boundaries" local
+           crossing)
+    in
+    let report =
+      { Report.violations =
+          parse_issues @ element_issues @ device_issues @ relational_issues
+          @ connection_issues @ interaction_issues @ electrical_issues
+          @ consistency_issues @ [ locality_info ] }
+    in
+    Metrics.count_report m report;
+    save_memo t trace subtree;
+    Ok
+      ( { report;
+          netlist;
+          interaction_stats;
+          stage_seconds = Metrics.stage_seconds m;
+          metrics = m;
+          model;
+          nets },
+        { symbols_total = total;
+          symbols_reused = !reused;
+          defs_from_disk = !defs_from_disk;
+          memo_loaded } )
+
+let check_string ?metrics ?trace ?progress t src =
+  match Cif.Parse.file src with
+  | Error e -> Error (Cif.Parse.string_of_error e)
+  | Ok file -> check ?metrics ?trace ?progress t file
+
+let pp_summary ppf r =
+  let by sev = Report.count ~severity:sev r.report in
+  Format.fprintf ppf "%d error(s), %d warning(s), %d net(s)" (by Report.Error)
+    (by Report.Warning)
+    (List.length r.netlist.Netlist.Net.nets)

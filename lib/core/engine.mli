@@ -1,0 +1,152 @@
+(** The check engine — the session-oriented front door to the Fig 10
+    pipeline.
+
+    {v
+    let e = Engine.create ~cache_dir:".dicache" rules in
+    let e = Engine.with_jobs e 4 in
+    match Engine.check e file with
+    | Ok (result, reuse) -> ...
+    | Error msg -> ...
+    v}
+
+    An engine owns the rule set, the configuration, and all warm state:
+    the per-definition result cache (keyed by structural fingerprint),
+    the instance-pair interaction memo, and — when [cache_dir] is given
+    — their on-disk persistence.  Rechecking a design after editing one
+    symbol definition recomputes only that definition (and the
+    composite stages, which are hierarchical and cheap); everything
+    else is replayed from cache.  The same engine serves any number of
+    {!check} calls, which is what [dicheck serve] runs on.
+
+    {2 The determinism invariant}
+
+    Cache state never changes verdicts, only cost.  A cached
+    per-definition entry is addressed by a structural fingerprint of
+    everything the per-definition checks can observe, under an
+    environment digest of the rules and the result-affecting config;
+    the interaction memo is a pure candidate cache.  Consequently a
+    warm {!check} emits a report {e byte-identical} to a cold one on
+    the same input — for every [jobs] value — and a corrupted or stale
+    cache file degrades to a recompute, never to a wrong answer.
+
+    {2 Relation to the old API}
+
+    {!Checker.run} and {!Incremental.run} survive as thin deprecated
+    wrappers: [Checker.run] is a single {!check} on a fresh engine,
+    [Incremental.run] an engine without a [cache_dir].  New code should
+    use {!create}/{!check} directly. *)
+
+(** What {!check} computes.  [interactions] nests the stage-6 knobs
+    (metric, same-net handling, spacing model, jobs) — the
+    [with_*] builders below update either level without the caller
+    assembling nested records. *)
+type config = {
+  interactions : Interactions.config;
+  run_erc : bool;  (** run the non-geometric construction rules *)
+  expected_netlist : Netcompare.expected option;
+      (** verify the extracted net list against an intended one *)
+  relational : Process_model.Exposure.t option;
+      (** also run the relational gate-overhang check against this
+          exposure model (paper Fig 14) *)
+}
+
+val default_config : config
+
+type result = {
+  report : Report.t;
+  netlist : Netlist.Net.t;
+  interaction_stats : Interactions.stats;
+  stage_seconds : (string * float) list;
+      (** @deprecated derived view of [metrics]; use
+          {!Metrics.stage_seconds} *)
+  metrics : Metrics.t;
+      (** the full observability record: stage timers, work counters
+          (including [cache.*]), per-pair cost histogram, errors by
+          class *)
+  model : Model.t;
+  nets : Netgen.t;
+}
+
+(** What the session saved on this check.  [symbols_reused] counts
+    definitions whose element/device/relational results were replayed
+    (from memory or disk) instead of recomputed; [defs_from_disk] is
+    the subset that came off disk; [memo_loaded] is the number of
+    instance-pair memo entries imported from the persistent cache. *)
+type reuse = {
+  symbols_total : int;
+  symbols_reused : int;
+  defs_from_disk : int;
+  memo_loaded : int;
+}
+
+type t
+
+(** [create ?config ?cache_dir rules] — a cold engine.  With
+    [cache_dir] the engine persists per-definition results and the
+    interaction memo under that directory (created if missing; see
+    {!Cache} for the layout), so warmth survives the process. *)
+val create : ?config:config -> ?cache_dir:string -> Tech.Rules.t -> t
+
+val rules : t -> Tech.Rules.t
+val config : t -> config
+
+(** {2 Builders}
+
+    Each returns the (mutated) engine for chaining.  Changing anything
+    that can affect verdicts moves the engine to a new environment
+    digest and drops the warm session state; {!with_jobs} is the
+    exception — parallelism never affects results, so the session (and
+    the on-disk cache address) is shared across [jobs] values. *)
+
+val with_config : t -> config -> t
+val with_jobs : t -> int -> t
+val with_metric : t -> Geom.Measure.metric -> t
+val with_same_net : t -> bool -> t
+val with_spacing_model : t -> Interactions.spacing_model -> t
+val with_erc : t -> bool -> t
+val with_expected_netlist : t -> Netcompare.expected option -> t
+val with_relational : t -> Process_model.Exposure.t option -> t
+
+(** The environment digest: rules × result-affecting config (i.e. with
+    [jobs] normalised away).  This is the [<env>] component of the
+    on-disk cache address. *)
+val env_key : Tech.Rules.t -> config -> string
+
+(** Would this engine's warm state be valid for [rules]/[config]? *)
+val same_env : t -> Tech.Rules.t -> config -> bool
+
+(** Run the pipeline on an already-parsed file.  Identical in report,
+    metrics shape, and trace shape to the historical {!Checker.run}
+    when the engine is cold; warm runs skip recomputation but emit the
+    same report bytes.  [metrics] lets the caller supply (and keep) the
+    accumulator; one is created per check otherwise.  [trace] records
+    the ["stage"]/["symbol"]/["shard"] spans of {!Checker.run} plus
+    ["cache"]-category spans around cache traffic.  [progress] is
+    called with each stage name as it starts. *)
+val check :
+  ?metrics:Metrics.t -> ?trace:Trace.t -> ?progress:(string -> unit) ->
+  t -> Cif.Ast.file -> (result * reuse, string) Stdlib.result
+
+(** Parse CIF text and {!check}. *)
+val check_string :
+  ?metrics:Metrics.t -> ?trace:Trace.t -> ?progress:(string -> unit) ->
+  t -> string -> (result * reuse, string) Stdlib.result
+
+(** One-line summary: error/warning counts and net count. *)
+val pp_summary : Format.formatter -> result -> unit
+
+(** {2 Shared pieces}
+
+    Exposed for the deprecated wrappers and for tests. *)
+
+(** The non-geometric construction rules as report violations. *)
+val erc_violations : Netlist.Net.t -> Report.violation list
+
+(** Structural fingerprint of one definition: name, device kind,
+    element geometry/layers/nets, calls with transforms. *)
+val fingerprint : Model.symbol -> string
+
+(** Per-symbol-id fingerprint of each definition {e subtree} (own
+    fingerprint folded with callees'), used to key the persistent
+    interaction memo by content. *)
+val subtree_fingerprints : Model.t -> (int, string) Hashtbl.t

@@ -1,149 +1,29 @@
-type cached = {
-  c_elements : Report.violation list;
-  c_devices : Report.violation list;
-  c_relational : Report.violation list;
-}
+type t = { mutable engine : Engine.t option }
 
-type t = {
-  per_symbol : (string, cached) Hashtbl.t;
-  memo : Interactions.memo;
-  mutable env_key : string;
-  mutable subtree_fps : (int * string) list;  (** from the previous run *)
-}
-
-let create () =
-  { per_symbol = Hashtbl.create 64;
-    memo = Interactions.create_memo ();
-    env_key = "";
-    subtree_fps = [] }
+let create () = { engine = None }
 
 type stats = {
   symbols_total : int;
   symbols_reused : int;
 }
 
-(* Structural fingerprint of one definition.  Everything the
-   per-definition checks can observe is folded in: name (violations
-   carry it as context), device kind, element geometry/layers/nets,
-   and calls with their transforms. *)
-let fingerprint (s : Model.symbol) =
-  let elements =
-    List.map
-      (fun (e : Model.element) ->
-        ( Tech.Layer.index e.Model.layer,
-          List.map
-            (fun r -> (Geom.Rect.x0 r, Geom.Rect.y0 r, Geom.Rect.x1 r, Geom.Rect.y1 r))
-            e.Model.rects,
-          e.Model.net_label ))
-      s.Model.elements
+let fingerprint = Engine.fingerprint
+
+let run ?(config = Engine.default_config) t rules file =
+  let engine =
+    match t.engine with
+    | Some e when Engine.same_env e rules config ->
+      (* Same environment digest: keep the warm state.  [with_config]
+         still runs so a jobs-only change takes effect. *)
+      Engine.with_config e config
+    | _ ->
+      let e = Engine.create ~config rules in
+      t.engine <- Some e;
+      e
   in
-  let calls =
-    List.map
-      (fun (c : Model.call) ->
-        let o = Geom.Transform.apply_pt c.Model.transform Geom.Pt.zero in
-        let ex = Geom.Transform.apply_pt c.Model.transform (Geom.Pt.make 1 0) in
-        (c.Model.callee, o.Geom.Pt.x, o.Geom.Pt.y, ex.Geom.Pt.x, ex.Geom.Pt.y,
-         Geom.Transform.det c.Model.transform))
-      s.Model.calls
-  in
-  Digest.to_hex
-    (Digest.string
-       (Marshal.to_string
-          (s.Model.sname, Option.map Tech.Device.to_tag s.Model.device, elements, calls)
-          []))
-
-let subtree_fingerprints (model : Model.t) =
-  (* model.symbols is topologically sorted, callees first. *)
-  let fps = Hashtbl.create 16 in
-  List.iter
-    (fun (s : Model.symbol) ->
-      let own = fingerprint s in
-      let subs =
-        List.map (fun (c : Model.call) -> Hashtbl.find fps c.Model.callee) s.Model.calls
-      in
-      Hashtbl.replace fps s.Model.sid
-        (Digest.to_hex (Digest.string (String.concat ";" (own :: subs)))))
-    model.Model.symbols;
-  fps
-
-let environment_key rules (config : Checker.config) =
-  Digest.to_hex (Digest.string (Marshal.to_string (rules, config) []))
-
-let run ?(config = Checker.default_config) t rules file =
-  match Model.elaborate rules file with
-  | Error e -> Error e
-  | Ok (model, parse_issues) ->
-    let key = environment_key rules config in
-    if key <> t.env_key then begin
-      Hashtbl.reset t.per_symbol;
-      Interactions.prune_memo t.memo ~keep:(fun _ -> false);
-      t.env_key <- key;
-      t.subtree_fps <- []
-    end;
-    (* Invalidate memoised instance pairs whose subtree changed. *)
-    let subtree = subtree_fingerprints model in
-    let unchanged sid =
-      match (List.assoc_opt sid t.subtree_fps, Hashtbl.find_opt subtree sid) with
-      | Some old_fp, Some new_fp -> old_fp = new_fp
-      | _ -> false
-    in
-    Interactions.prune_memo t.memo ~keep:unchanged;
-    t.subtree_fps <- Hashtbl.fold (fun sid fp acc -> (sid, fp) :: acc) subtree [];
-    (* Per-definition stages, cached by local fingerprint. *)
-    let reused = ref 0 in
-    let per_symbol =
-      List.concat_map
-        (fun (s : Model.symbol) ->
-          let fp = fingerprint s in
-          match Hashtbl.find_opt t.per_symbol fp with
-          | Some c ->
-            incr reused;
-            c.c_elements @ c.c_devices @ c.c_relational
-          | None ->
-            let c =
-              { c_elements = Element_checks.check_symbol rules s;
-                c_devices = Devices.check_symbol rules s;
-                c_relational =
-                  (match config.Checker.relational with
-                  | None -> []
-                  | Some exposure -> Devices.check_relational exposure rules s) }
-            in
-            Hashtbl.replace t.per_symbol fp c;
-            c.c_elements @ c.c_devices @ c.c_relational)
-        model.Model.symbols
-    in
-    (* Composite stages run fresh (they are the cheap, hierarchical
-       part), with the pruned interaction memo carried over. *)
-    let nets, connection_issues = Netgen.build model in
-    let netlist = Netgen.netlist nets in
-    let interaction_issues, interaction_stats =
-      Interactions.check ~config:config.Checker.interactions ~memo:t.memo nets
-    in
-    let electrical_issues =
-      if config.Checker.run_erc then Checker.erc_violations netlist else []
-    in
-    let consistency_issues =
-      match config.Checker.expected_netlist with
-      | None -> []
-      | Some expected -> Netcompare.check expected netlist
-    in
-    let local, crossing = Netgen.locality nets in
-    let locality_info =
-      Report.info ~stage:Report.Netlist_gen ~rule:"netlist.locality" ~context:"TOP"
-        (Printf.sprintf "%d net(s) local to one definition, %d crossing boundaries" local
-           crossing)
-    in
-    let report =
-      { Report.violations =
-          parse_issues @ per_symbol @ connection_issues @ interaction_issues
-          @ electrical_issues @ consistency_issues @ [ locality_info ] }
-    in
-    Ok
-      ( { Checker.report;
-          netlist;
-          interaction_stats;
-          stage_seconds = [];
-          metrics = Metrics.create ();
-          model;
-          nets },
-        { symbols_total = List.length model.Model.symbols; symbols_reused = !reused } )
+  Result.map
+    (fun (result, (reuse : Engine.reuse)) ->
+      ( result,
+        { symbols_total = reuse.Engine.symbols_total;
+          symbols_reused = reuse.Engine.symbols_reused } ))
+    (Engine.check engine file)

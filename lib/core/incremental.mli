@@ -1,17 +1,15 @@
-(** Incremental rechecking.
+(** Incremental rechecking — deprecated wrapper over {!Engine}.
 
-    Because the checker's per-definition stages (element checks, device
-    checks) depend only on a symbol's own content, their results can be
-    cached across runs and reused for definitions that did not change —
-    the edit-check-edit loop then pays only for what moved.  Composite
-    stages (connectivity, net list, interactions) still rerun, but they
-    are hierarchical and cheap, and the instance-pair interaction memo
-    is reusable too because it is keyed by (symbol, symbol, relative
-    placement), not by instance.
+    Historically this module held the in-memory per-definition cache
+    and interaction memo.  That state now lives in {!Engine.t}
+    (optionally persisted on disk via [cache_dir]); an [Incremental.t]
+    is just a handle that lazily owns one engine and swaps it out when
+    the rules or config change, which is why a rules change reports
+    zero reuse.
 
-    Symbols are fingerprinted structurally (device type, elements with
-    layers/geometry/nets, calls with transforms), so renaming a net or
-    nudging a box invalidates exactly that definition. *)
+    New code should call {!Engine.create} / {!Engine.check} directly —
+    it returns richer {!Engine.reuse} statistics and supports the
+    persistent cache. *)
 
 type t
 
@@ -23,11 +21,14 @@ type stats = {
 }
 
 (** [run t rules file] — same result as {!Checker.run} with the same
-    config, plus reuse statistics.  The cache lives in [t]; pass the
-    same [t] across edits of the same design. *)
+    config, plus reuse statistics.  The warm state lives in [t]; pass
+    the same [t] across edits of the same design.
+
+    @deprecated use {!Engine.check} on a long-lived {!Engine.t}. *)
 val run :
   ?config:Checker.config -> t -> Tech.Rules.t -> Cif.Ast.file ->
   (Checker.result * stats, string) result
 
-(** Structural fingerprint of a symbol (exposed for tests). *)
+(** Structural fingerprint of a symbol (now {!Engine.fingerprint},
+    exposed for tests). *)
 val fingerprint : Model.symbol -> string

@@ -622,6 +622,16 @@ let prune_memo (memo : memo) ~keep =
   in
   List.iter (Hashtbl.remove memo) doomed
 
+type memo_entry = cand list
+
+let memo_size (memo : memo) = Hashtbl.length memo
+
+let export_memo (memo : memo) =
+  Hashtbl.fold (fun key cs acc -> (key, cs) :: acc) memo []
+
+let import_memo (memo : memo) entries =
+  List.iter (fun (key, cs) -> Hashtbl.replace memo key cs) entries
+
 (* ------------------------------------------------------------------ *)
 (* The scheduler                                                       *)
 

@@ -105,6 +105,30 @@ val create_memo : unit -> memo
     which [keep] is false (used to invalidate edited definitions). *)
 val prune_memo : memo -> keep:(int -> bool) -> unit
 
+(** {2 Memo persistence}
+
+    The memo is a pure cache of candidate lists — replaying entries can
+    change cost but never verdicts — so {!Engine} persists it across
+    processes.  An entry's sites are expressed in the callee symbols'
+    own frames and contain no symbol ids, so an exported entry keyed by
+    a {e content} fingerprint of each callee subtree stays valid for any
+    future model containing structurally identical definitions.  The
+    entry payload is deliberately opaque: it round-trips through
+    [Marshal] inside {!Cache} but is not otherwise inspectable. *)
+
+type memo_entry
+
+val memo_size : memo -> int
+
+(** All entries, keyed by (caller-side symbol id, callee-side symbol
+    id, relative transform).  Order is unspecified; sort before writing
+    to disk. *)
+val export_memo : memo -> ((int * int * Geom.Transform.t) * memo_entry) list
+
+(** Add entries (keys already remapped to current symbol ids).  Existing
+    keys are overwritten. *)
+val import_memo : memo -> ((int * int * Geom.Transform.t) * memo_entry) list -> unit
+
 (** Run the stage.  When [metrics] is given, per-task wall-clock costs
     are recorded into the [interactions.pair_check_ns] histogram and
     charged to the owning definition's [symbol.<name>] cost bucket, and

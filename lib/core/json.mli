@@ -1,0 +1,40 @@
+(** A minimal JSON value type, parser, and printer.
+
+    The repository's structured outputs ({!Metrics.to_json},
+    {!Sarif.of_report}, {!Trace.to_chrome_json}) are string emitters and
+    need no value type; this module exists for the places that must
+    {e read} JSON — the [dicheck serve] request protocol ({!Serve}) —
+    and for composing reply objects without string-splicing bugs.
+
+    The parser accepts RFC 8259 JSON (objects, arrays, strings with
+    escapes including [\uXXXX], numbers, booleans, null) and rejects
+    trailing garbage.  The printer is canonical for a given value: no
+    whitespace, object members in the order given, integers printed
+    without a decimal point. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Parse one JSON document.  [Error msg] carries a byte offset. *)
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+
+(** [quote s] is the JSON string literal for [s], including the
+    surrounding double quotes. *)
+val quote : string -> string
+
+(** {1 Accessors}
+
+    All return [None] on a type or key mismatch rather than raising. *)
+
+val member : string -> t -> t option
+val str : t -> string option
+val num : t -> float option
+val bool : t -> bool option
+val arr : t -> t list option

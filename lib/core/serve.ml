@@ -1,0 +1,128 @@
+type t = {
+  s_rules : Tech.Rules.t;
+  s_base : Engine.config;
+  s_cache_dir : string option;
+  (* environment digest -> warm engine; requests that differ only in
+     [jobs] land on the same engine *)
+  s_engines : (string, Engine.t) Hashtbl.t;
+}
+
+let create ?(config = Engine.default_config) ?cache_dir rules =
+  { s_rules = rules; s_base = config; s_cache_dir = cache_dir; s_engines = Hashtbl.create 4 }
+
+let engine_for t config =
+  let env = Engine.env_key t.s_rules config in
+  match Hashtbl.find_opt t.s_engines env with
+  | Some e -> Engine.with_config e config
+  | None ->
+    let e = Engine.create ~config ?cache_dir:t.s_cache_dir t.s_rules in
+    Hashtbl.replace t.s_engines env e;
+    e
+
+let error_reply id msg =
+  Json.to_string
+    (Json.Obj
+       [ ("id", id); ("ok", Json.Bool false); ("error", Json.Str msg);
+         ("exit", Json.Num 2.) ])
+
+(* Embed an already-rendered JSON document as a subobject of the reply.
+   Both emitters are canonical, so the parse cannot fail in practice;
+   if it ever does, ship the text as a string rather than lose it. *)
+let embed rendered =
+  match Json.parse rendered with Ok v -> v | Error _ -> Json.Str rendered
+
+let read_file path =
+  try Ok (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error msg -> Error msg
+
+let handle_request t req =
+  let id = Option.value ~default:Json.Null (Json.member "id" req) in
+  let flag name = Option.bind (Json.member name req) Json.bool = Some true in
+  let source =
+    match (Option.bind (Json.member "path" req) Json.str,
+           Option.bind (Json.member "cif" req) Json.str)
+    with
+    | Some path, _ -> Result.map (fun src -> (src, path)) (read_file path)
+    | None, Some src -> Ok (src, "inline")
+    | None, None -> Error "request needs \"path\" or \"cif\""
+  in
+  match source with
+  | Error msg -> error_reply id msg
+  | Ok (src, uri) -> (
+    let config =
+      { t.s_base with
+        Engine.interactions =
+          { t.s_base.Engine.interactions with
+            Interactions.jobs =
+              (match Option.bind (Json.member "jobs" req) Json.num with
+              | Some j -> int_of_float j
+              | None -> t.s_base.Engine.interactions.Interactions.jobs);
+            Interactions.check_same_net =
+              (match Option.bind (Json.member "check_same_net" req) Json.bool with
+              | Some b -> b
+              | None -> t.s_base.Engine.interactions.Interactions.check_same_net) } }
+    in
+    let engine = engine_for t config in
+    match Engine.check_string engine src with
+    | Error msg -> error_reply id msg
+    | Ok (result, reuse) ->
+      (* Exactly the bytes one-shot [dicheck FILE] writes to stdout:
+         the report then the one-line summary (the serve smoke diffs
+         against that). *)
+      let report_text =
+        Format.asprintf "%a@." Report.pp result.Engine.report
+        ^ Format.asprintf "%a@." Engine.pp_summary result
+      in
+      (match Option.bind (Json.member "out" req) Json.str with
+      | None -> ()
+      | Some path ->
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc report_text));
+      let count sev = Report.count ~severity:sev result.Engine.report in
+      let errors = count Report.Error and warnings = count Report.Warning in
+      let exit_code = if errors > 0 || (flag "werror" && warnings > 0) then 1 else 0 in
+      let base =
+        [ ("id", id); ("ok", Json.Bool true);
+          ("errors", Json.Num (float_of_int errors));
+          ("warnings", Json.Num (float_of_int warnings));
+          ("exit", Json.Num (float_of_int exit_code));
+          ("symbols_total", Json.Num (float_of_int reuse.Engine.symbols_total));
+          ("symbols_reused", Json.Num (float_of_int reuse.Engine.symbols_reused));
+          ("defs_from_disk", Json.Num (float_of_int reuse.Engine.defs_from_disk));
+          ("memo_loaded", Json.Num (float_of_int reuse.Engine.memo_loaded));
+          ("report", Json.Str report_text) ]
+      in
+      let with_metrics =
+        if flag "stats" then
+          base @ [ ("metrics", embed (Metrics.to_json result.Engine.metrics)) ]
+        else base
+      in
+      let with_sarif =
+        if flag "sarif" then
+          with_metrics @ [ ("sarif", embed (Sarif.of_report ~uri result.Engine.report)) ]
+        else with_metrics
+      in
+      Json.to_string (Json.Obj with_sarif))
+
+let handle_line t line =
+  match Json.parse line with
+  | Error msg -> error_reply Json.Null ("bad request: " ^ msg)
+  | Ok req -> (
+    try handle_request t req
+    with exn ->
+      error_reply
+        (Option.value ~default:Json.Null (Json.member "id" req))
+        ("internal error: " ^ Printexc.to_string exn))
+
+let loop t ic oc =
+  let rec go () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line ->
+      if String.trim line <> "" then begin
+        Out_channel.output_string oc (handle_line t line);
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc
+      end;
+      go ()
+  in
+  go ()

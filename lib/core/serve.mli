@@ -1,0 +1,48 @@
+(** The [dicheck serve] protocol: JSON-lines check requests answered
+    from a pool of warm {!Engine} sessions.
+
+    One request per line, one reply line per request (in order).  A
+    request is a JSON object:
+
+    {v
+    { "id": any,              echoed back verbatim (optional)
+      "path": "f.cif",        CIF file to check — or inline text:
+      "cif": "DS 1; ...",
+      "jobs": 4,              optional, default from the server config
+      "check_same_net": true, optional net-blind ablation
+      "werror": true,         optional: exit 1 on warnings too
+      "stats": true,          optional: include the metrics JSON
+      "sarif": true,          optional: include the SARIF document
+      "out": "report.txt" }   optional: also write the report text here
+    v}
+
+    A successful reply:
+
+    {v
+    { "id": ..., "ok": true, "errors": N, "warnings": N, "exit": 0|1,
+      "symbols_total": N, "symbols_reused": N, "defs_from_disk": N,
+      "memo_loaded": N, "report": "...", "metrics": {...}?, "sarif": {...}? }
+    v}
+
+    [report] is byte-identical to what one-shot
+    [dicheck FILE] prints on stdout (report + summary), which is what
+    the CI serve smoke diffs.  A request that cannot be parsed or
+    checked gets [{ "id": ..., "ok": false, "error": "...", "exit": 2 }]
+    — the server never dies on bad input.
+
+    Requests differing only in [jobs] share one warm engine; a
+    verdict-affecting option such as [check_same_net] selects a
+    different engine keyed by its environment digest, so warm state is
+    never reused across incompatible configurations. *)
+
+type t
+
+val create : ?config:Engine.config -> ?cache_dir:string -> Tech.Rules.t -> t
+
+(** Handle one request line, returning the reply line (no trailing
+    newline).  Never raises on malformed input. *)
+val handle_line : t -> string -> string
+
+(** Read JSON-lines requests from [ic] and write replies to [oc],
+    flushing after each, until EOF.  Blank lines are ignored. *)
+val loop : t -> in_channel -> out_channel -> unit

@@ -17,8 +17,8 @@ let elaborate_ok file =
   | Error e -> Alcotest.failf "elaborate: %s" e
 
 let run_ok ?config file =
-  match Dic.Checker.run ?config rules file with
-  | Ok r -> r
+  match Dic.Engine.check (Dic.Engine.create ?config rules) file with
+  | Ok (r, _) -> r
   | Error e -> Alcotest.failf "checker: %s" e
 
 let errors_of result = Dic.Report.errors result.Dic.Checker.report
@@ -519,7 +519,7 @@ let test_e2e_supply_short_erc () =
 let test_e2e_stage_times_present () =
   let result = run_ok (Layoutgen.Cells.chain ~lambda 2) in
   Alcotest.(check bool) "stages timed" true
-    (List.length result.Dic.Checker.stage_seconds >= 6)
+    (List.length (Dic.Metrics.stage_seconds result.Dic.Checker.metrics) >= 6)
 
 let prop_chain_nets =
   QCheck2.Test.make ~name:"e2e: chain of n has n+3 nets and no errors" ~count:8
@@ -576,7 +576,8 @@ let test_relational_via_checker () =
   in
   let result = run_ok ~config (Layoutgen.Cells.chain ~lambda 2) in
   Alcotest.(check bool) "relational stage timed" true
-    (List.mem_assoc "devices-relational" result.Dic.Checker.stage_seconds);
+    (List.mem_assoc "devices-relational"
+       (Dic.Metrics.stage_seconds result.Dic.Checker.metrics));
   Alcotest.(check int) "still clean" 0
     (Dic.Report.count ~severity:Dic.Report.Error result.Dic.Checker.report)
 

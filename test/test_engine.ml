@@ -1,0 +1,293 @@
+(* Engine sessions: persistent-cache reuse and invalidation, the
+   cold/warm determinism invariant, corruption fallback, the serve
+   protocol, and the minimal JSON codec under it. *)
+
+let rules = Tech.Rules.nmos ()
+let lambda = rules.Tech.Rules.lambda
+
+(* ------------------------------------------------------------------ *)
+(* Scratch cache directories                                           *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_cache_dir f =
+  let dir = Filename.temp_file "dic_test_cache" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let check_ok engine file =
+  match Dic.Engine.check engine file with
+  | Ok (result, reuse) -> (result, reuse)
+  | Error e -> Alcotest.fail e
+
+let report_text (result : Dic.Engine.result) =
+  Format.asprintf "%a@." Dic.Report.pp result.Dic.Engine.report
+  ^ Format.asprintf "%a@." Dic.Engine.pp_summary result
+
+(* A workload with real interactions and a known violation, so the
+   report compared for byte-identity is not trivially empty. *)
+let workload () =
+  let clean = Layoutgen.Cells.grid ~lambda ~nx:3 ~ny:2 in
+  fst
+    (Layoutgen.Inject.apply clean
+       [ Layoutgen.Inject.narrow_poly_wire ~lambda ~at:(-30 * lambda, -30 * lambda) ])
+
+(* ------------------------------------------------------------------ *)
+(* Persistent cache: reuse and determinism                             *)
+
+let test_warm_recheck_reuses_and_matches () =
+  with_cache_dir (fun dir ->
+      let file = workload () in
+      let cold, r0 = check_ok (Dic.Engine.create ~cache_dir:dir rules) file in
+      Alcotest.(check int) "cold run computes everything" 0 r0.Dic.Engine.symbols_reused;
+      (* A brand-new engine over the same directory: everything comes
+         back from disk, and the report is byte-identical. *)
+      let warm, r1 = check_ok (Dic.Engine.create ~cache_dir:dir rules) file in
+      Alcotest.(check int) "all definitions reused" r1.Dic.Engine.symbols_total
+        r1.Dic.Engine.symbols_reused;
+      Alcotest.(check bool) "definitions came from disk" true
+        (r1.Dic.Engine.defs_from_disk > 0);
+      Alcotest.(check bool) "memo entries came from disk" true
+        (r1.Dic.Engine.memo_loaded > 0);
+      Alcotest.(check string) "warm report byte-identical" (report_text cold)
+        (report_text warm))
+
+let test_warm_recheck_matches_at_jobs4 () =
+  with_cache_dir (fun dir ->
+      let file = workload () in
+      let cold, _ = check_ok (Dic.Engine.create ~cache_dir:dir rules) file in
+      (* [jobs] is excluded from the environment digest, so a parallel
+         warm run shares the sequential run's cache — and must still
+         produce the same bytes. *)
+      let e4 = Dic.Engine.with_jobs (Dic.Engine.create ~cache_dir:dir rules) 4 in
+      let warm, r1 = check_ok e4 file in
+      Alcotest.(check bool) "parallel run hits the sequential cache" true
+        (r1.Dic.Engine.symbols_reused > 0);
+      Alcotest.(check string) "jobs=4 warm report byte-identical" (report_text cold)
+        (report_text warm))
+
+let test_symbol_edit_invalidates_only_that_symbol () =
+  with_cache_dir (fun dir ->
+      let file = Layoutgen.Cells.chain ~lambda 3 in
+      ignore (check_ok (Dic.Engine.create ~cache_dir:dir rules) file);
+      (* Edit the top level only. *)
+      let salted, _ =
+        Layoutgen.Inject.apply file
+          [ Layoutgen.Inject.narrow_poly_wire ~lambda ~at:(0, -20 * lambda) ]
+      in
+      let result, r = check_ok (Dic.Engine.create ~cache_dir:dir rules) salted in
+      Alcotest.(check int) "all but the edited root reused"
+        (r.Dic.Engine.symbols_total - 1) r.Dic.Engine.symbols_reused;
+      Alcotest.(check bool) "the new defect is found" true
+        (List.exists
+           (fun (v : Dic.Report.violation) ->
+             String.length v.Dic.Report.rule >= 5
+             && String.sub v.Dic.Report.rule 0 5 = "width")
+           (Dic.Report.errors result.Dic.Engine.report)))
+
+let test_rules_change_invalidates () =
+  with_cache_dir (fun dir ->
+      let file = Layoutgen.Cells.chain ~lambda 2 in
+      ignore (check_ok (Dic.Engine.create ~cache_dir:dir rules) file);
+      let strict = { rules with Tech.Rules.width_metal = 4 * lambda } in
+      let _, r = check_ok (Dic.Engine.create ~cache_dir:dir strict) file in
+      Alcotest.(check int) "different rules miss the cache" 0 r.Dic.Engine.symbols_reused)
+
+let test_config_change_invalidates () =
+  with_cache_dir (fun dir ->
+      let file = Layoutgen.Cells.chain ~lambda 2 in
+      ignore (check_ok (Dic.Engine.create ~cache_dir:dir rules) file);
+      let e = Dic.Engine.with_same_net (Dic.Engine.create ~cache_dir:dir rules) true in
+      let _, r = check_ok e file in
+      Alcotest.(check int) "different config misses the cache" 0
+        r.Dic.Engine.symbols_reused;
+      (* But jobs is cost-only: it does not change the environment. *)
+      let e' = Dic.Engine.with_jobs (Dic.Engine.create ~cache_dir:dir rules) 3 in
+      let _, r' = check_ok e' file in
+      Alcotest.(check int) "jobs alone keeps the cache" r'.Dic.Engine.symbols_total
+        r'.Dic.Engine.symbols_reused)
+
+let test_corrupted_cache_falls_back_to_cold () =
+  with_cache_dir (fun dir ->
+      let file = workload () in
+      let cold, _ = check_ok (Dic.Engine.create ~cache_dir:dir rules) file in
+      (* Stomp every cache file with garbage. *)
+      let rec stomp path =
+        if Sys.is_directory path then
+          Array.iter (fun n -> stomp (Filename.concat path n)) (Sys.readdir path)
+        else Out_channel.with_open_bin path (fun oc -> output_string oc "garbage")
+      in
+      stomp dir;
+      let warm, r = check_ok (Dic.Engine.create ~cache_dir:dir rules) file in
+      Alcotest.(check int) "nothing reused from a corrupt cache" 0
+        r.Dic.Engine.symbols_reused;
+      Alcotest.(check int) "no memo loaded from a corrupt cache" 0
+        r.Dic.Engine.memo_loaded;
+      Alcotest.(check string) "run still correct" (report_text cold) (report_text warm))
+
+let test_in_memory_session_reuse () =
+  (* No cache directory at all: the in-memory session still reuses. *)
+  let e = Dic.Engine.create rules in
+  let file = Layoutgen.Cells.grid ~lambda ~nx:3 ~ny:2 in
+  let cold, r0 = check_ok e file in
+  Alcotest.(check int) "cold" 0 r0.Dic.Engine.symbols_reused;
+  let warm, r1 = check_ok e file in
+  Alcotest.(check int) "warm reuses all" r1.Dic.Engine.symbols_total
+    r1.Dic.Engine.symbols_reused;
+  Alcotest.(check int) "nothing read from disk" 0 r1.Dic.Engine.defs_from_disk;
+  Alcotest.(check string) "same bytes" (report_text cold) (report_text warm)
+
+(* ------------------------------------------------------------------ *)
+(* Serve protocol                                                      *)
+
+let reply_field reply name =
+  match Dic.Json.parse reply with
+  | Error e -> Alcotest.fail ("reply is not JSON: " ^ e)
+  | Ok v -> Dic.Json.member name v
+
+let num_field reply name =
+  match Option.bind (reply_field reply name) Dic.Json.num with
+  | Some n -> int_of_float n
+  | None -> Alcotest.fail (Printf.sprintf "reply has no numeric %S" name)
+
+let test_serve_round_trip () =
+  let server = Dic.Serve.create rules in
+  let src = Cif.Print.to_string (Layoutgen.Cells.chain ~lambda 2) in
+  let request =
+    Dic.Json.to_string
+      (Dic.Json.Obj
+         [ ("id", Dic.Json.Num 1.); ("cif", Dic.Json.Str src);
+           ("stats", Dic.Json.Bool true) ])
+  in
+  let reply = Dic.Serve.handle_line server request in
+  Alcotest.(check (option bool)) "ok" (Some true)
+    (Option.bind (reply_field reply "ok") Dic.Json.bool);
+  Alcotest.(check int) "id echoed" 1 (num_field reply "id");
+  Alcotest.(check int) "clean design exits 0" 0 (num_field reply "exit");
+  (match Option.bind (reply_field reply "report") Dic.Json.str with
+  | Some text -> Alcotest.(check bool) "report text present" true (String.length text > 0)
+  | None -> Alcotest.fail "no report in reply");
+  (match reply_field reply "metrics" with
+  | Some (Dic.Json.Obj _) -> ()
+  | _ -> Alcotest.fail "stats:true must embed a metrics object");
+  (* Same design again: the warm engine answers from its session. *)
+  let reply2 = Dic.Serve.handle_line server request in
+  Alcotest.(check int) "second request reuses the session"
+    (num_field reply2 "symbols_total")
+    (num_field reply2 "symbols_reused")
+
+let test_serve_matches_engine_bytes () =
+  let file = workload () in
+  let src = Cif.Print.to_string file in
+  let server = Dic.Serve.create rules in
+  let reply =
+    Dic.Serve.handle_line server
+      (Dic.Json.to_string (Dic.Json.Obj [ ("cif", Dic.Json.Str src) ]))
+  in
+  let served =
+    match Option.bind (reply_field reply "report") Dic.Json.str with
+    | Some text -> text
+    | None -> Alcotest.fail "no report in reply"
+  in
+  (* Checking the same text directly must agree byte-for-byte: serve is
+     a transport, not a different checker.  (Text, not the AST — parsing
+     attaches source positions that show up in the report.) *)
+  let direct =
+    match Dic.Engine.check_string (Dic.Engine.create rules) src with
+    | Ok (r, _) -> r
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "serve report = direct report" (report_text direct) served
+
+let test_serve_malformed_request () =
+  let server = Dic.Serve.create rules in
+  let reply = Dic.Serve.handle_line server "{ not json" in
+  Alcotest.(check (option bool)) "ok:false" (Some false)
+    (Option.bind (reply_field reply "ok") Dic.Json.bool);
+  Alcotest.(check int) "exit 2" 2 (num_field reply "exit");
+  (match Option.bind (reply_field reply "error") Dic.Json.str with
+  | Some _ -> ()
+  | None -> Alcotest.fail "malformed request must carry an error string");
+  (* The server survives and answers the next request. *)
+  let missing = Dic.Serve.handle_line server "{\"id\": 7}" in
+  Alcotest.(check int) "id echoed on error" 7 (num_field missing "id");
+  Alcotest.(check (option bool)) "missing source rejected" (Some false)
+    (Option.bind (reply_field missing "ok") Dic.Json.bool)
+
+let test_serve_bad_cif_is_an_error_reply () =
+  let server = Dic.Serve.create rules in
+  let reply =
+    Dic.Serve.handle_line server
+      (Dic.Json.to_string
+         (Dic.Json.Obj [ ("id", Dic.Json.Num 3.); ("cif", Dic.Json.Str "DS 1 bogus;") ]))
+  in
+  Alcotest.(check (option bool)) "ok:false" (Some false)
+    (Option.bind (reply_field reply "ok") Dic.Json.bool);
+  Alcotest.(check int) "id echoed" 3 (num_field reply "id")
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+
+let test_json_roundtrip () =
+  let v =
+    Dic.Json.Obj
+      [ ("a", Dic.Json.Arr [ Dic.Json.Num 1.; Dic.Json.Num (-2.5); Dic.Json.Null ]);
+        ("s", Dic.Json.Str "line\nbreak \"quoted\" \\ tab\t");
+        ("t", Dic.Json.Bool true); ("f", Dic.Json.Bool false);
+        ("nested", Dic.Json.Obj [ ("empty", Dic.Json.Arr []) ]) ]
+  in
+  match Dic.Json.parse (Dic.Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "print/parse round trip" true (v = v')
+  | Error e -> Alcotest.fail ("round trip failed: " ^ e)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Dic.Json.parse s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let test_json_escapes () =
+  match Dic.Json.parse "\"\\u0041\\u00e9\\ud83d\\ude00\\/\"" with
+  | Ok (Dic.Json.Str s) ->
+    Alcotest.(check string) "unicode escapes decode to UTF-8" "A\xc3\xa9\xf0\x9f\x98\x80/" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "cache",
+        [ Alcotest.test_case "warm recheck reuses and matches" `Quick
+            test_warm_recheck_reuses_and_matches;
+          Alcotest.test_case "warm recheck matches at jobs=4" `Quick
+            test_warm_recheck_matches_at_jobs4;
+          Alcotest.test_case "symbol edit invalidates only that symbol" `Quick
+            test_symbol_edit_invalidates_only_that_symbol;
+          Alcotest.test_case "rules change invalidates" `Quick test_rules_change_invalidates;
+          Alcotest.test_case "config change invalidates, jobs does not" `Quick
+            test_config_change_invalidates;
+          Alcotest.test_case "corrupted cache falls back to cold" `Quick
+            test_corrupted_cache_falls_back_to_cold;
+          Alcotest.test_case "in-memory session reuse" `Quick test_in_memory_session_reuse ] );
+      ( "serve",
+        [ Alcotest.test_case "round trip" `Quick test_serve_round_trip;
+          Alcotest.test_case "serve report = engine report" `Quick
+            test_serve_matches_engine_bytes;
+          Alcotest.test_case "malformed request" `Quick test_serve_malformed_request;
+          Alcotest.test_case "bad CIF is an error reply" `Quick
+            test_serve_bad_cif_is_an_error_reply ] );
+      ( "json",
+        [ Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "escape decoding" `Quick test_json_escapes ] ) ]

@@ -6,8 +6,8 @@ let rules = Tech.Rules.nmos ()
 let lambda = rules.Tech.Rules.lambda
 
 let run file =
-  match Dic.Checker.run rules file with
-  | Ok r -> r
+  match Dic.Engine.check (Dic.Engine.create rules) file with
+  | Ok (r, _) -> r
   | Error e -> Alcotest.failf "checker: %s" e
 
 let error_count file = Dic.Report.count ~severity:Dic.Report.Error (run file).Dic.Checker.report
@@ -50,8 +50,8 @@ let test_lambda_independence () =
     (fun lam ->
       let f = Layoutgen.Cells.chain ~lambda:lam 2 in
       let r =
-        match Dic.Checker.run (Tech.Rules.nmos ~lambda:lam ()) f with
-        | Ok r -> r
+        match Dic.Engine.check (Dic.Engine.create (Tech.Rules.nmos ~lambda:lam ())) f with
+        | Ok (r, _) -> r
         | Error e -> Alcotest.failf "checker: %s" e
       in
       Alcotest.(check int)

@@ -10,8 +10,8 @@ module Json = Tjson
 (* ------------------------------------------------------------------ *)
 
 let run_ok ?config file =
-  match Dic.Checker.run ?config rules file with
-  | Ok r -> r
+  match Dic.Engine.check (Dic.Engine.create ?config rules) file with
+  | Ok (r, _) -> r
   | Error e -> Alcotest.fail e
 
 let workload () = Layoutgen.Cells.grid ~lambda ~nx:4 ~ny:4

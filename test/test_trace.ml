@@ -7,8 +7,8 @@ let lambda = rules.Tech.Rules.lambda
 module Json = Tjson
 
 let run_ok ?config ?trace src =
-  match Dic.Checker.run_string ?config ?trace rules src with
-  | Ok r -> r
+  match Dic.Engine.check_string ?trace (Dic.Engine.create ?config rules) src with
+  | Ok (r, _) -> r
   | Error e -> Alcotest.fail e
 
 let with_jobs jobs =
