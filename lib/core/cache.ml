@@ -10,7 +10,7 @@ type memo_file = ((string * string * Geom.Transform.t) * Interactions.memo_entry
 
 (* Bump when the payload representation changes: old files become
    misses, not crashes. *)
-let magic = "dicache1"
+let magic = "dicache2"
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin

@@ -96,7 +96,7 @@ type site = {
   s_path : int list;
   s_eid : int;
   s_layer : Tech.Layer.t;
-  s_rects : Geom.Rect.t list;
+  s_rects : Geom.Rects.t;  (** packed; never mutated once the site is built *)
   s_bbox : Geom.Rect.t;
   s_device : Tech.Device.kind option;  (** of the owning symbol *)
   s_loc : Cif.Loc.t option;  (** CIF source position of the element *)
@@ -108,33 +108,21 @@ let max_dist rules =
       rules.Tech.Rules.space_metal; rules.Tech.Rules.space_contact;
       rules.Tech.Rules.space_poly_diffusion ]
 
-(* Minimum gap between two rect lists under the metric, with the
-   closest rect pair for error localisation, and whether the sets
-   overlap with positive area (touching alone is not overlap). *)
-let gap2_of cfg (a : Geom.Rect.t list) (b : Geom.Rect.t list) =
-  let best = ref (max_int, None) in
-  let overlap = ref false in
-  List.iter
-    (fun ra ->
-      List.iter
-        (fun rb ->
-          let g2 =
-            match cfg.metric with
-            | Geom.Measure.Orthogonal ->
-              let g = Geom.Rect.chebyshev_gap ra rb in
-              g * g
-            | Geom.Measure.Euclidean -> Geom.Rect.euclidean_gap2 ra rb
-          in
-          if Geom.Rect.overlaps ~a:ra ~b:rb then overlap := true;
-          if g2 < fst !best then best := (g2, Some (ra, rb)))
-        b)
-    a;
-  (fst !best, snd !best, !overlap)
+(* Minimum gap between two packed rect sets under the metric, via the
+   {!Geom.Rects} kernel (sweep in production, the naive oracle under
+   DIC_NAIVE_KERNEL).  [cutoff2] bounds the search: pairs farther apart
+   than the caller cares about are pruned early, and both kernels
+   report the same canonical closest pair for error localisation. *)
+let gap2_of cfg ~cutoff2 ws a b =
+  Geom.Rects.gap2
+    ~euclid:(cfg.metric = Geom.Measure.Euclidean)
+    ~cutoff2 ws a b
 
 (* ------------------------------------------------------------------ *)
 (* Frontier collection                                                 *)
 
 let rec frontier model window tr path (sym : Model.symbol) acc =
+  let identity = Geom.Transform.equal tr Geom.Transform.identity in
   let acc =
     List.fold_left
       (fun acc (e : Model.element) ->
@@ -143,7 +131,10 @@ let rec frontier model window tr path (sym : Model.symbol) acc =
           { s_path = List.rev path;
             s_eid = e.Model.eid;
             s_layer = e.Model.layer;
-            s_rects = List.map (Geom.Transform.apply_rect tr) e.Model.rects;
+            s_rects =
+              (* Untransformed sites share the element's packed set;
+                 both are immutable by contract. *)
+              (if identity then e.Model.packed else Geom.Rects.apply tr e.Model.packed);
             s_bbox = bbox;
             s_device = sym.Model.device;
             s_loc = e.Model.loc }
@@ -238,7 +229,10 @@ let poly_diff_pair la lb =
   Tech.Layer.(
     (equal la Poly && equal lb Diffusion) || (equal la Diffusion && equal lb Poly))
 
-let judge cfg rules stats ~same_net ~related a b =
+(* [same_net] and [related] are thunks: net resolution is the most
+   expensive part of judging a pair, and pairs with no spacing rule at
+   all (a large share of the matrix) never need it. *)
+let judge cfg rules stats ws ~same_net ~related a b =
   if head_equal a b then Skip
   else begin
     let c = cell stats a.s_layer b.s_layer in
@@ -263,11 +257,12 @@ let judge cfg rules stats ~same_net ~related a b =
         (match a.s_device with Some k -> Tech.Device.is_transistor k | None -> false)
         || (match b.s_device with Some k -> Tech.Device.is_transistor k | None -> false)
       in
-      if related && (transistor_pair || poly_diff_pair a.s_layer b.s_layer) then begin
+      if (transistor_pair || poly_diff_pair a.s_layer b.s_layer) && related () then begin
         c.skipped_same_net <- c.skipped_same_net + 1;
         Skip
       end
       else begin
+        let same_net = same_net () in
         let resistor =
           a.s_device = Some Tech.Device.Resistor || b.s_device = Some Tech.Device.Resistor
         in
@@ -279,16 +274,28 @@ let judge cfg rules stats ~same_net ~related a b =
           Skip
         | Some req -> (
           c.checked <- c.checked + 1;
-          let gap2, pair, overlap = gap2_of cfg a.s_rects b.s_rects in
+          (* The geometric model only acts on gaps below the rule, so
+             the kernel may prune beyond req; the exposure model prints
+             and judges the exact minimum, so it gets no cutoff. *)
+          let cutoff2 =
+            match cfg.spacing_model with
+            | Geometric -> req * req
+            | Exposure _ -> max_int
+          in
+          let g = gap2_of cfg ~cutoff2 ws a.s_rects b.s_rects in
+          let gap2 = g.Geom.Rects.g2 in
           let where =
-            match pair with
-            | Some (ra, rb) -> Geom.Rect.hull ra rb
-            | None -> Geom.Rect.hull a.s_bbox b.s_bbox
+            if g.Geom.Rects.ai >= 0 then
+              Geom.Rect.hull
+                (Geom.Rects.get a.s_rects g.Geom.Rects.ai)
+                (Geom.Rects.get b.s_rects g.Geom.Rects.bi)
+            else Geom.Rect.hull a.s_bbox b.s_bbox
           in
           if gap2 = 0 then
             if same_net then Skip
             else if Tech.Layer.equal a.s_layer b.s_layer then Short where
-            else if poly_diff_pair a.s_layer b.s_layer && overlap then Accidental where
+            else if poly_diff_pair a.s_layer b.s_layer && g.Geom.Rects.overlap then
+              Accidental where
             else Violation (where, req, 0)
           else begin
             match cfg.spacing_model with
@@ -301,8 +308,8 @@ let judge cfg rules stats ~same_net ~related a b =
               in
               let verdict =
                 Process_model.Closest.check model ~misalign:mis
-                  (Geom.Region.of_rects a.s_rects)
-                  (Geom.Region.of_rects b.s_rects)
+                  (Geom.Region.of_rects (Geom.Rects.to_list a.s_rects))
+                  (Geom.Region.of_rects (Geom.Rects.to_list b.s_rects))
               in
               if verdict.Process_model.Closest.bridges then Violation (where, req, gap2)
               else Skip
@@ -377,7 +384,7 @@ type cand = {
 
 type memo_key = int * int * Geom.Transform.t
 
-let candidates cfg env dmax (memo : (memo_key, cand list) Hashtbl.t) stats sa sb rel =
+let candidates cfg env dmax (memo : (memo_key, cand list) Hashtbl.t) stats ws sa sb rel =
   let key = (sa, sb, rel) in
   match Hashtbl.find_opt memo key with
   | Some cs ->
@@ -407,8 +414,8 @@ let candidates cfg env dmax (memo : (memo_key, cand list) Hashtbl.t) stats sa sb
                       None
                     end
                     else
-                      let g2, _, _ = gap2_of cfg a.s_rects b.s_rects in
-                      if g2 <= dmax * dmax then
+                      let g = gap2_of cfg ~cutoff2:(dmax * dmax) ws a.s_rects b.s_rects in
+                      if g.Geom.Rects.ai >= 0 then
                         Some
                           { k_a = (a.s_path, a.s_eid);
                             k_b = (b.s_path, b.s_eid);
@@ -425,9 +432,15 @@ let candidates cfg env dmax (memo : (memo_key, cand list) Hashtbl.t) stats sa sb
     Hashtbl.add memo key cs;
     cs
 
-let transform_site tr s =
+(* Instantiate a memoised candidate site into the caller's frame.
+   [dst] is a per-domain scratch set: the transformed geometry lives
+   only for the duration of one judged pair, so nothing is allocated
+   beyond the (small) site record itself. *)
+let transform_site_into ~dst tr s path =
+  Geom.Rects.apply_into tr ~src:s.s_rects ~dst;
   { s with
-    s_rects = List.map (Geom.Transform.apply_rect tr) s.s_rects;
+    s_path = path;
+    s_rects = dst;
     s_bbox = Geom.Transform.apply_rect tr s.s_bbox }
 
 (* ------------------------------------------------------------------ *)
@@ -438,23 +451,33 @@ let transform_site tr s =
    *tasks*: a chunk of local element pairs, one element against the
    instances near it, or one instance pair.  Phase 2 evaluates the
    tasks — either in order on the calling domain ([jobs <= 1], exactly
-   the old serial behaviour) or sharded over [Domain.spawn].
+   the old serial behaviour) or over [Domain.spawn] workers claiming
+   contiguous chunks from a shared queue.
 
    A task only reads shared state (the model, the net structure — both
    frozen after elaboration); everything it mutates lives in the
    per-domain [dctx] below, merged deterministically after the join.
    Because a task's result does not depend on its [dctx] (the memo is a
-   pure cache, the stats are write-only), the concatenated report is
-   identical whatever the domain count. *)
+   pure cache, the stats are write-only) and results are merged by
+   chunk index, the concatenated report is identical whatever the
+   domain count — only the per-domain observability (the memo hit/miss
+   split, bbox reject counts per shard, trace lanes) depends on which
+   domain happened to claim which chunk. *)
 
 type dctx = {
   d_stats : stats;
   d_memo : (memo_key, cand list) Hashtbl.t;
   d_ports : (int * int list, int list) Hashtbl.t;
       (** (sid, site path) -> port nets of the owning device instance *)
+  d_ws : Geom.Rects.ws;  (** sweep-kernel scratch, one per domain *)
+  d_ta : Geom.Rects.t;  (** scratch for instantiating memoised site A… *)
+  d_tb : Geom.Rects.t;  (** …and site B; live only within one judged pair *)
 }
 
-let make_dctx stats memo = { d_stats = stats; d_memo = memo; d_ports = Hashtbl.create 64 }
+let make_dctx stats memo =
+  { d_stats = stats; d_memo = memo; d_ports = Hashtbl.create 64;
+    d_ws = Geom.Rects.make_ws (); d_ta = Geom.Rects.empty ();
+    d_tb = Geom.Rects.empty () }
 
 let net_of env sid (site : site) = resolve env sid site.s_path site.s_eid
 
@@ -486,23 +509,22 @@ let related env dctx sid a b =
 type task = dctx -> Report.violation list
 
 let judge_pair cfg env sid rules dctx a b =
-  judge cfg rules dctx.d_stats ~same_net:(same_net env sid a b)
-    ~related:(related env dctx sid a b) a b
+  judge cfg rules dctx.d_stats dctx.d_ws
+    ~same_net:(fun () -> same_net env sid a b)
+    ~related:(fun () -> related env dctx sid a b)
+    a b
+
+(* Provenance — dotted instance paths and source positions — is string
+   building; render it only for the rare pair that produced a finding. *)
+let emit env sid ~context a b = function
+  | Skip -> []
+  | outcome ->
+    let path, loc = pair_provenance env sid ~context a b in
+    report_outcome ~context ?path ?loc a.s_layer b.s_layer outcome
 
 (* Local element pairs are individually tiny; batch them so a task is
    worth scheduling. *)
 let local_chunk = 32
-
-let rec chunked n = function
-  | [] -> []
-  | l ->
-    let rec take k acc = function
-      | rest when k = 0 -> (List.rev acc, rest)
-      | [] -> (List.rev acc, [])
-      | x :: rest -> take (k - 1) (x :: acc) rest
-    in
-    let chunk, rest = take n [] l in
-    chunk :: chunked n rest
 
 let tasks_of_symbol cfg env (s : Model.symbol) : task list =
   if Model.is_device s then []
@@ -517,24 +539,34 @@ let tasks_of_symbol cfg env (s : Model.symbol) : task list =
           { s_path = [];
             s_eid = e.Model.eid;
             s_layer = e.Model.layer;
-            s_rects = e.Model.rects;
+            s_rects = e.Model.packed;
             s_bbox = e.Model.bbox;
             s_device = s.Model.device;
             s_loc = e.Model.loc })
         s.Model.elements
     in
-    (* Local element pairs, chunked. *)
+    (* Local element pairs, chunked.  Chunks are assembled incrementally
+       inside the iteration: the full pair list is never materialised. *)
     let elt_idx = Geom.Grid_index.create ~cell:(max 1 dmax) () in
     List.iter (fun site -> Geom.Grid_index.add elt_idx site.s_bbox site) local_sites;
     let local_tasks =
-      chunked local_chunk (Geom.Grid_index.pairs_within elt_idx dmax)
-      |> List.map (fun chunk dctx ->
-             List.concat_map
-               (fun ((_, a), (_, b)) ->
-                 let path, loc = pair_provenance env sid ~context a b in
-                 report_outcome ~context ?path ?loc a.s_layer b.s_layer
-                   (judge_pair cfg env sid rules dctx a b))
-               chunk)
+      let chunks = ref [] and cur = ref [] and cur_n = ref 0 in
+      Geom.Grid_index.iter_pairs_within elt_idx dmax (fun (_, a) (_, b) ->
+          cur := (a, b) :: !cur;
+          incr cur_n;
+          if !cur_n = local_chunk then begin
+            chunks := List.rev !cur :: !chunks;
+            cur := [];
+            cur_n := 0
+          end);
+      if !cur <> [] then chunks := List.rev !cur :: !chunks;
+      List.rev_map
+        (fun chunk dctx ->
+          List.concat_map
+            (fun (a, b) ->
+              emit env sid ~context a b (judge_pair cfg env sid rules dctx a b))
+            chunk)
+        !chunks
     in
     (* Calls with their placed bounding boxes. *)
     let placed_calls =
@@ -555,21 +587,23 @@ let tasks_of_symbol cfg env (s : Model.symbol) : task list =
           match Geom.Rect.inflate site.s_bbox dmax with
           | None -> None
           | Some window -> (
-            match Geom.Grid_index.query call_idx window with
+            let near = ref [] in
+            Geom.Grid_index.iter_query call_idx window (fun _ cc ->
+                near := cc :: !near);
+            match List.rev !near with
             | [] -> None
             | near ->
               Some
                 (fun dctx ->
                   List.concat_map
-                    (fun (_, ((c : Model.call), callee)) ->
+                    (fun ((c : Model.call), callee) ->
                       let sites =
                         frontier env.model window c.Model.transform [ c.Model.cidx ]
                           callee []
                       in
                       List.concat_map
                         (fun sub ->
-                          let path, loc = pair_provenance env sid ~context site sub in
-                          report_outcome ~context ?path ?loc site.s_layer sub.s_layer
+                          emit env sid ~context site sub
                             (judge_pair cfg env sid rules dctx site sub))
                         sites)
                     near)))
@@ -580,31 +614,36 @@ let tasks_of_symbol cfg env (s : Model.symbol) : task list =
     let inst_idx = Geom.Grid_index.create ~cell:(max 1 (4 * dmax)) () in
     List.iter (fun (c, callee, bb) -> Geom.Grid_index.add inst_idx bb (c, callee)) placed_calls;
     let inst_tasks =
-      List.map
-        (fun ((_, ((ca : Model.call), _)), (_, ((cb : Model.call), _))) dctx ->
-          let rel =
-            Geom.Transform.compose
-              (Geom.Transform.inverse ca.Model.transform)
-              cb.Model.transform
+      let acc = ref [] in
+      Geom.Grid_index.iter_pairs_within inst_idx dmax
+        (fun (_, ((ca : Model.call), _)) (_, ((cb : Model.call), _)) ->
+          let task dctx =
+            let rel =
+              Geom.Transform.compose
+                (Geom.Transform.inverse ca.Model.transform)
+                cb.Model.transform
+            in
+            let cands =
+              candidates cfg env dmax dctx.d_memo dctx.d_stats dctx.d_ws
+                ca.Model.callee cb.Model.callee rel
+            in
+            List.concat_map
+              (fun cand ->
+                let site_a =
+                  transform_site_into ~dst:dctx.d_ta ca.Model.transform
+                    cand.k_site_a
+                    (ca.Model.cidx :: fst cand.k_a)
+                and site_b =
+                  transform_site_into ~dst:dctx.d_tb ca.Model.transform
+                    cand.k_site_b
+                    (cb.Model.cidx :: fst cand.k_b)
+                in
+                emit env sid ~context site_a site_b
+                  (judge_pair cfg env sid rules dctx site_a site_b))
+              cands
           in
-          let cands =
-            candidates cfg env dmax dctx.d_memo dctx.d_stats ca.Model.callee
-              cb.Model.callee rel
-          in
-          List.concat_map
-            (fun cand ->
-              let site_a =
-                transform_site ca.Model.transform
-                  { cand.k_site_a with s_path = ca.Model.cidx :: fst cand.k_a }
-              and site_b =
-                transform_site ca.Model.transform
-                  { cand.k_site_b with s_path = cb.Model.cidx :: fst cand.k_b }
-              in
-              let path, loc = pair_provenance env sid ~context site_a site_b in
-              report_outcome ~context ?path ?loc site_a.s_layer site_b.s_layer
-                (judge_pair cfg env sid rules dctx site_a site_b))
-            cands)
-        (Geom.Grid_index.pairs_within inst_idx dmax)
+          acc := task :: !acc);
+      List.rev !acc
     in
     local_tasks @ elt_inst_tasks @ inst_tasks
   end
@@ -683,28 +722,73 @@ let check ?(config = default_config) ?memo ?metrics ?trace (nets : Netgen.t) =
           run_span ?metrics tasks 0 n (make_dctx stats master_memo))
     end
     else begin
-      (* Contiguous shards keep the merged report in worklist order, so
-         the output is bit-identical to the serial run.  Each domain
-         records into its own trace buffer (lane [tid = i]); buffers are
-         folded back in shard order, like the stats. *)
-      let bounds i = (i * n / jobs, (i + 1) * n / jobs) in
-      let work i () =
+      (* Balanced scheduling: tasks are cut into contiguous chunks
+         (contiguity keeps the merged report in worklist order), sized
+         so each holds roughly 1/(8*jobs) of the estimated work, and
+         domains claim chunks from an [Atomic] counter until the queue
+         is dry.  The estimate reuses the [symbol.<name>] cost buckets
+         the earlier per-definition sweeps recorded into [metrics]: a
+         definition that was expensive to sweep has bigger geometry and
+         costs more to judge, so its tasks land in smaller chunks.
+         Results are merged by chunk index, so the report is
+         byte-identical to the serial run at every [jobs] value and
+         across repeated runs; which domain evaluated which chunk — and
+         hence each shard's memo hit/miss split — is the only thing
+         that varies. *)
+      let weight =
+        match metrics with
+        | None -> fun _ -> 1
+        | Some m ->
+          let by_name = Hashtbl.create 16 in
+          fun sname ->
+            (match Hashtbl.find_opt by_name sname with
+            | Some w -> w
+            | None ->
+              let c = Metrics.cost_ns m ("symbol." ^ sname) in
+              let w = 1 + Int64.to_int (Int64.div c 1_000_000L) in
+              Hashtbl.add by_name sname w;
+              w)
+      in
+      let total = Array.fold_left (fun acc (sname, _) -> acc + weight sname) 0 tasks in
+      let target = max 1 (total / (jobs * 8)) in
+      let cuts = ref [ 0 ] and acc = ref 0 in
+      for i = 0 to n - 1 do
+        acc := !acc + weight (fst tasks.(i));
+        if !acc >= target && i + 1 < n then begin
+          cuts := (i + 1) :: !cuts;
+          acc := 0
+        end
+      done;
+      let starts = Array.of_list (List.rev (n :: !cuts)) in
+      let nchunks = Array.length starts - 1 in
+      let next = Atomic.make 0 in
+      (* Each cell is written by exactly one domain (the unique claimant
+         of that chunk); [Domain.join] publishes the writes. *)
+      let results = Array.make nchunks [] in
+      let work tid () =
         let dctx = make_dctx (new_stats ()) (Hashtbl.copy master_memo) in
         let dm = Option.map (fun _ -> Metrics.create ()) metrics in
-        let dt = Option.map (fun _ -> Trace.create ~tid:i ()) trace in
-        let lo, hi = bounds i in
-        let name, args = shard_span i lo hi in
-        let vs =
-          Trace.with_span dt ~cat:"shard" ~args name (fun () ->
-              run_span ?metrics:dm tasks lo hi dctx)
+        let dt = Option.map (fun _ -> Trace.create ~tid ()) trace in
+        let args =
+          [ ("tasks", string_of_int n); ("chunks", string_of_int nchunks) ]
         in
-        (vs, dctx, dm, dt)
+        Trace.with_span dt ~cat:"shard" ~args (Printf.sprintf "shard[%d]" tid)
+          (fun () ->
+            let rec drain () =
+              let c = Atomic.fetch_and_add next 1 in
+              if c < nchunks then begin
+                results.(c) <- run_span ?metrics:dm tasks starts.(c) starts.(c + 1) dctx;
+                drain ()
+              end
+            in
+            drain ());
+        (dctx, dm, dt)
       in
       let spawned = List.init (jobs - 1) (fun i -> Domain.spawn (work (i + 1))) in
       let first = work 0 () in
       let shards = first :: List.map Domain.join spawned in
-      List.concat_map
-        (fun (vs, dctx, dm, dt) ->
+      List.iter
+        (fun (dctx, dm, dt) ->
           merge_stats ~into:stats dctx.d_stats;
           Hashtbl.iter
             (fun k v -> if not (Hashtbl.mem master_memo k) then Hashtbl.add master_memo k v)
@@ -714,9 +798,9 @@ let check ?(config = default_config) ?memo ?metrics ?trace (nets : Netgen.t) =
           | _ -> ());
           (match (trace, dt) with
           | Some tr, Some d -> Trace.merge_into ~into:tr d
-          | _ -> ());
-          vs)
-        shards
+          | _ -> ()))
+        shards;
+      List.concat (Array.to_list results)
     end
   in
   Option.iter (fun m -> record_metrics m stats) metrics;

@@ -27,21 +27,29 @@
     The stage is embarrassingly parallel across its worklist: every
     local-pair chunk, element-vs-instance neighbourhood, and instance
     pair is independent of the others.  With {!config.jobs} above 1 the
-    worklist is cut into contiguous shards fanned out over
-    [Domain.spawn]; per-domain error lists, statistics, and memo tables
-    are merged deterministically after the join.
+    worklist is cut into chunks whose boundaries are chosen from the
+    per-symbol cost profile of the previous run (via {!Metrics}, when
+    available) so each chunk carries roughly equal work; the chunks are
+    then drained from a shared [Atomic] counter by [jobs] domains, so a
+    domain that finishes early steals the next unclaimed chunk instead
+    of idling.  Per-domain error lists, statistics, and memo tables are
+    merged after the join; violations are reassembled {e by chunk
+    index}, not by completion order.
 
     {2 Invariants}
 
     - The model and net structure are read-only during the check; all
       mutation is confined to per-domain accumulators.
     - A task's verdicts do not depend on which domain runs it (the memo
-      is a pure cache), so the merged report is {e identical} — same
-      violations, same order — for every [jobs] value, including the
-      serial [jobs = 1].
-    - Only {!stats} totals (memo hit/miss split, never the per-cell
-      pair counts) may vary with [jobs], because each domain warms its
-      own copy of the memo. *)
+      is a pure cache), and results are merged in worklist order, so
+      the report is {e byte-identical} — same violations, same order —
+      for every [jobs] value, including the serial [jobs = 1], even
+      though chunk-to-domain assignment is nondeterministic.
+    - Only {!stats} totals that describe caching effort may vary with
+      [jobs] (the memo hit/miss split and [bbox_rejects] depend on
+      which domain warmed its memo copy first — and, under the queue,
+      on run-to-run scheduling); the per-cell pair counts and every
+      verdict-bearing total are invariant. *)
 
 type spacing_model =
   | Geometric

@@ -43,7 +43,14 @@ val now_ns : unit -> int64
 
 (** [time_stage t name f] runs [f], recording its monotonic wall-clock
     duration as pipeline stage [name].  Stages are kept in call order;
-    timing the same name twice records two entries. *)
+    timing the same name twice records two entries.
+
+    It also charges the words allocated while [f] ran (from
+    {!Gc.quick_stat} deltas, clamped at zero) to the counters
+    [gc.minor_words.<name>] and [gc.major_words.<name>] — the direct
+    measure of the allocation pressure each stage puts on the GC.
+    [Gc.quick_stat] is domain-local under OCaml 5, so for a stage that
+    spawns worker domains the figures cover the calling domain only. *)
 val time_stage : t -> string -> (unit -> 'a) -> 'a
 
 (** Record an externally measured stage duration (seconds). *)

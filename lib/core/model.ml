@@ -9,6 +9,7 @@ type element = {
   shape : shape;
   net_label : string option;
   rects : Geom.Rect.t list;
+  packed : Geom.Rects.t;
   skeleton : Geom.Rect.t list;
   bbox : Geom.Rect.t;
   loc : Cif.Loc.t option;
@@ -120,18 +121,21 @@ let elaborate_element rules ~context eid (e : Cif.Ast.element) :
           shape = S_box rect;
           net_label = net;
           rects = [ rect ];
+          packed = Geom.Rects.of_list [ rect ];
           skeleton = [ Geom.Skeleton.of_rect ~half rect ];
           bbox = rect;
           loc }
     | Cif.Ast.Wire { width; path; net; _ } -> (
       match Geom.Wire.make ~width path with
       | w ->
+        let rects = Geom.Wire.to_rects w in
         Ok
           { eid;
             layer;
             shape = S_wire w;
             net_label = net;
-            rects = Geom.Wire.to_rects w;
+            rects;
+            packed = Geom.Rects.of_list rects;
             skeleton = Geom.Wire.skeleton ~half w;
             bbox = Geom.Wire.bbox w;
             loc }
@@ -143,12 +147,14 @@ let elaborate_element rules ~context eid (e : Cif.Ast.element) :
       | poly -> (
         match Geom.Poly.to_region poly with
         | Some region ->
+          let rects = Geom.Region.rects region in
           Ok
             { eid;
               layer;
               shape = S_poly poly;
               net_label = net;
-              rects = Geom.Region.rects region;
+              rects;
+              packed = Geom.Rects.of_list rects;
               skeleton = poly_skeleton ~half region;
               bbox = Geom.Poly.bbox poly;
               loc }

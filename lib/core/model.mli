@@ -23,6 +23,9 @@ type element = {
   shape : shape;
   net_label : string option;
   rects : Geom.Rect.t list;  (** swept geometry *)
+  packed : Geom.Rects.t;
+      (** [rects] as a packed set, built once here so the interaction
+          kernel never walks boxed lists; treated as immutable *)
   skeleton : Geom.Rect.t list;  (** eroded by half the layer min width *)
   bbox : Geom.Rect.t;
   loc : Cif.Loc.t option;  (** CIF source position, when parsed from text *)

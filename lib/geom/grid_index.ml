@@ -81,3 +81,56 @@ let pairs_within t d =
 
 let fold f acc t =
   List.fold_left (fun acc it -> f acc it.box it.value) acc (List.rev t.items)
+
+(* Callback forms: same hits as [query]/[pairs_within] with a
+   documented canonical order (ascending ids) and no result list.  The
+   per-window candidate sets are tiny, so sorting a scratch buffer of
+   ids costs less than materialising pairs ever did.  [pairs_within]
+   itself is left untouched: its historical order is load-bearing for
+   callers that number things by first encounter. *)
+
+let window_hits t window f =
+  let seen = Hashtbl.create 16 in
+  let hits = ref [] in
+  cells_of t window (fun key ->
+      match Hashtbl.find_opt t.buckets key with
+      | None -> ()
+      | Some l ->
+        List.iter
+          (fun it ->
+            if (not (Hashtbl.mem seen it.id)) && Rect.touches ~a:it.box ~b:window then begin
+              Hashtbl.add seen it.id ();
+              hits := it :: !hits
+            end)
+          !l);
+  List.iter f (List.sort (fun a b -> Int.compare a.id b.id) !hits)
+
+let iter_query t window f = window_hits t window (fun it -> f it.box it.value)
+
+let iter_pairs_within t d f =
+  List.iter
+    (fun a ->
+      match Rect.inflate a.box d with
+      | None -> ()
+      | Some window ->
+        let seen = Hashtbl.create 8 in
+        let near = ref [] in
+        cells_of t window (fun key ->
+            match Hashtbl.find_opt t.buckets key with
+            | None -> ()
+            | Some l ->
+              List.iter
+                (fun b ->
+                  if
+                    b.id < a.id
+                    && (not (Hashtbl.mem seen b.id))
+                    && Rect.chebyshev_gap a.box b.box <= d
+                  then begin
+                    Hashtbl.add seen b.id ();
+                    near := b :: !near
+                  end)
+                !l);
+        List.iter
+          (fun b -> f (a.box, a.value) (b.box, b.value))
+          (List.sort (fun x y -> Int.compare x.id y.id) !near))
+    (List.rev t.items)

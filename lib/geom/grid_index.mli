@@ -20,8 +20,22 @@ val query : 'a t -> Rect.t -> (Rect.t * 'a) list
 
 (** [pairs_within t d] — all unordered pairs of items whose bounding
     boxes come within Chebyshev distance [d] (inclusive), each pair
-    exactly once. *)
+    exactly once.  The pair order is historical (newest item first);
+    prefer {!iter_pairs_within}, which has a canonical order and does
+    not materialise the pair list. *)
 val pairs_within : 'a t -> int -> ((Rect.t * 'a) * (Rect.t * 'a)) list
+
+(** [iter_query t window f] — [f] applied to the items {!query} would
+    return, in ascending insertion order, without building the list. *)
+val iter_query : 'a t -> Rect.t -> (Rect.t -> 'a -> unit) -> unit
+
+(** [iter_pairs_within t d f] — [f a b] for every pair
+    {!pairs_within} would return, in canonical order: [a] ascending by
+    insertion, then [b] ascending among the earlier-inserted items
+    within distance [d] of [a].  Allocation-light: candidate pairs are
+    never materialised as one list. *)
+val iter_pairs_within :
+  'a t -> int -> (Rect.t * 'a -> Rect.t * 'a -> unit) -> unit
 
 (** Left fold over all items. *)
 val fold : ('acc -> Rect.t -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

@@ -159,11 +159,12 @@ let separation2 ~metric a b =
   let ra = Region.rects a and rb = Region.rects b in
   if ra = [] || rb = [] then None
   else
-    Some
-      (List.fold_left
-         (fun acc x ->
-           List.fold_left (fun acc y -> min acc (strip_gap2 ~metric x y)) acc rb)
-         max_int ra)
+    let g =
+      Rects.gap2
+        ~euclid:(metric = Euclidean)
+        ~cutoff2:max_int (Rects.make_ws ()) (Rects.of_list ra) (Rects.of_list rb)
+    in
+    Some g.Rects.g2
 
 let pp_violation ppf v =
   let kind = match v.kind with Width -> "width" | Notch -> "notch" | Spacing -> "spacing" in

@@ -1,0 +1,326 @@
+(* Packed rectangle sets and the minimum-gap kernels.
+
+   One flat int array of (x0,y0,x1,y1) quadruples, kept sorted by
+   Rect.compare order (x0, then y0, x1, y1), with the bounding box
+   cached alongside.  The record is mutable so a set can double as a
+   reusable scratch buffer for [apply_into]; sets that escape into
+   shared structures (elaborated elements, memo entries) are never
+   mutated after construction. *)
+
+type t = {
+  mutable data : int array;  (* quadruples, 4 * count used *)
+  mutable count : int;
+  mutable bx0 : int;
+  mutable by0 : int;
+  mutable bx1 : int;
+  mutable by1 : int;
+}
+
+let empty () = { data = [||]; count = 0; bx0 = 0; by0 = 0; bx1 = 0; by1 = 0 }
+
+let length t = t.count
+let is_empty t = t.count = 0
+
+let get t i =
+  if i < 0 || i >= t.count then invalid_arg "Rects.get: index out of bounds";
+  let o = 4 * i in
+  Rect.make t.data.(o) t.data.(o + 1) t.data.(o + 2) t.data.(o + 3)
+
+let bbox t = if t.count = 0 then None else Some (Rect.make t.bx0 t.by0 t.bx1 t.by1)
+
+(* Lexicographic order on quadruples, matching Rect.compare. *)
+let quad_less d i j =
+  let a = 4 * i and b = 4 * j in
+  let c = Int.compare d.(a) d.(b) in
+  if c <> 0 then c < 0
+  else
+    let c = Int.compare d.(a + 1) d.(b + 1) in
+    if c <> 0 then c < 0
+    else
+      let c = Int.compare d.(a + 2) d.(b + 2) in
+      if c <> 0 then c < 0 else d.(a + 3) < d.(b + 3)
+
+(* Insertion sort over quadruples.  Sets are per-element geometry (a
+   box, the strips of one wire or polygon), so n is small; and the
+   common transform is a translation, which keeps the source order and
+   makes this a single linear pass. *)
+let sort_quads d n =
+  for i = 1 to n - 1 do
+    if quad_less d i (i - 1) then begin
+      let x0 = d.(4 * i)
+      and y0 = d.((4 * i) + 1)
+      and x1 = d.((4 * i) + 2)
+      and y1 = d.((4 * i) + 3) in
+      let j = ref (i - 1) in
+      let less_than_key j =
+        let b = 4 * j in
+        let c = Int.compare x0 d.(b) in
+        if c <> 0 then c < 0
+        else
+          let c = Int.compare y0 d.(b + 1) in
+          if c <> 0 then c < 0
+          else
+            let c = Int.compare x1 d.(b + 2) in
+            if c <> 0 then c < 0 else y1 < d.(b + 3)
+      in
+      while !j >= 0 && less_than_key !j do
+        Array.blit d (4 * !j) d (4 * (!j + 1)) 4;
+        decr j
+      done;
+      let o = 4 * (!j + 1) in
+      d.(o) <- x0;
+      d.(o + 1) <- y0;
+      d.(o + 2) <- x1;
+      d.(o + 3) <- y1
+    end
+  done
+
+let recompute_bbox t =
+  if t.count > 0 then begin
+    let d = t.data in
+    let bx0 = ref d.(0) and by0 = ref d.(1) and bx1 = ref d.(2) and by1 = ref d.(3) in
+    for i = 1 to t.count - 1 do
+      let o = 4 * i in
+      if d.(o) < !bx0 then bx0 := d.(o);
+      if d.(o + 1) < !by0 then by0 := d.(o + 1);
+      if d.(o + 2) > !bx1 then bx1 := d.(o + 2);
+      if d.(o + 3) > !by1 then by1 := d.(o + 3)
+    done;
+    t.bx0 <- !bx0;
+    t.by0 <- !by0;
+    t.bx1 <- !bx1;
+    t.by1 <- !by1
+  end
+
+let of_list rects =
+  let n = List.length rects in
+  let t =
+    { data = Array.make (4 * n) 0; count = n; bx0 = 0; by0 = 0; bx1 = 0; by1 = 0 }
+  in
+  List.iteri
+    (fun i r ->
+      let o = 4 * i in
+      t.data.(o) <- Rect.x0 r;
+      t.data.(o + 1) <- Rect.y0 r;
+      t.data.(o + 2) <- Rect.x1 r;
+      t.data.(o + 3) <- Rect.y1 r)
+    rects;
+  sort_quads t.data n;
+  recompute_bbox t;
+  t
+
+let to_list t =
+  let out = ref [] in
+  for i = t.count - 1 downto 0 do
+    out := get t i :: !out
+  done;
+  !out
+
+let ensure_capacity t n =
+  if Array.length t.data < 4 * n then t.data <- Array.make (4 * n) 0
+
+let apply_into tr ~src ~dst =
+  ensure_capacity dst src.count;
+  dst.count <- src.count;
+  let s = src.data and d = dst.data in
+  for i = 0 to src.count - 1 do
+    let o = 4 * i in
+    let px = Transform.apply_x tr s.(o) s.(o + 1)
+    and py = Transform.apply_y tr s.(o) s.(o + 1)
+    and qx = Transform.apply_x tr s.(o + 2) s.(o + 3)
+    and qy = Transform.apply_y tr s.(o + 2) s.(o + 3) in
+    d.(o) <- (if px < qx then px else qx);
+    d.(o + 1) <- (if py < qy then py else qy);
+    d.(o + 2) <- (if px < qx then qx else px);
+    d.(o + 3) <- (if py < qy then qy else py)
+  done;
+  sort_quads d dst.count;
+  (* Orthogonal transforms map boxes to boxes: the transformed source
+     bbox is exact. *)
+  if src.count > 0 then begin
+    let px = Transform.apply_x tr src.bx0 src.by0
+    and py = Transform.apply_y tr src.bx0 src.by0
+    and qx = Transform.apply_x tr src.bx1 src.by1
+    and qy = Transform.apply_y tr src.bx1 src.by1 in
+    dst.bx0 <- (if px < qx then px else qx);
+    dst.by0 <- (if py < qy then py else qy);
+    dst.bx1 <- (if px < qx then qx else px);
+    dst.by1 <- (if py < qy then qy else py)
+  end
+
+let apply tr src =
+  let dst = empty () in
+  apply_into tr ~src ~dst;
+  dst
+
+(* ------------------------------------------------------------------ *)
+(* Minimum-gap kernels                                                 *)
+
+type gap = { g2 : int; ai : int; bi : int; overlap : bool }
+
+let no_gap = { g2 = max_int; ai = -1; bi = -1; overlap = false }
+
+type ws = { mutable wa : int array; mutable wb : int array }
+
+let make_ws () = { wa = [||]; wb = [||] }
+
+let ensure_ws ws na nb =
+  if Array.length ws.wa < na then ws.wa <- Array.make na 0;
+  if Array.length ws.wb < nb then ws.wb <- Array.make nb 0
+
+(* The oracle: the checker's original list-of-rects brute force, n*m
+   axis gaps with no pruning, kept bit-compatible with the sweep.  The
+   pair reported for a tied minimum gap is the (ai, bi)-lexicographically
+   first over the sorted arrays; [overlap] is exact.  Deliberately left
+   on boxed rectangles (it also serves as the pre-packing cost baseline
+   for the [kernel] bench experiment). *)
+let gap2_naive ~euclid ~cutoff2 a b =
+  if a.count = 0 || b.count = 0 then no_gap
+  else begin
+    let best = ref no_gap in
+    let ra = Array.of_list (to_list a) and rb = Array.of_list (to_list b) in
+    Array.iteri
+      (fun i xa ->
+        Array.iteri
+          (fun j xb ->
+            let xg = Rect.gap_x xa xb and yg = Rect.gap_y xa xb in
+            let ov = !best.overlap || Rect.overlaps ~a:xa ~b:xb in
+            let g2 =
+              if euclid then (xg * xg) + (yg * yg)
+              else
+                let m = if xg > yg then xg else yg in
+                m * m
+            in
+            if g2 <= cutoff2 && g2 < !best.g2 then
+              best := { g2; ai = i; bi = j; overlap = ov }
+            else if ov <> !best.overlap then best := { !best with overlap = ov })
+          rb)
+      ra;
+    !best
+  end
+
+(* The x-sweep.  Rectangles of both sets are visited in ascending x0
+   (merged); each opening rectangle is compared against the other set's
+   active band, from which rectangles are evicted once their x distance
+   alone squared exceeds [min best2 cutoff2].  Eviction uses a strict
+   comparison, so pairs tying the current best survive and the
+   (ai, bi)-lexicographic tie-break below returns exactly the pair the
+   naive kernel finds.  Overlapping pairs have zero x gap and are never
+   evicted, so [overlap] is exact too. *)
+let gap2_sweep ~euclid ~cutoff2 ws a b =
+  if a.count = 0 || b.count = 0 then no_gap
+  else begin
+    ensure_ws ws a.count b.count;
+    let da = a.data and db = b.data in
+    let best2 = ref max_int and bai = ref (-1) and bbi = ref (-1) in
+    let overlap = ref false in
+    let act_a = ws.wa and act_b = ws.wb in
+    let na = ref 0 and nb = ref 0 in
+    let consider ai bi =
+      let oa = 4 * ai and ob = 4 * bi in
+      let ax0 = da.(oa) and ay0 = da.(oa + 1) and ax1 = da.(oa + 2) and ay1 = da.(oa + 3) in
+      let bx0 = db.(ob) and by0 = db.(ob + 1) and bx1 = db.(ob + 2) and by1 = db.(ob + 3) in
+      let xg =
+        let d1 = bx0 - ax1 and d2 = ax0 - bx1 in
+        let m = if d1 > d2 then d1 else d2 in
+        if m > 0 then m else 0
+      in
+      let yg =
+        let d1 = by0 - ay1 and d2 = ay0 - by1 in
+        let m = if d1 > d2 then d1 else d2 in
+        if m > 0 then m else 0
+      in
+      if
+        xg = 0 && yg = 0 && ax0 < bx1 && bx0 < ax1 && ay0 < by1 && by0 < ay1
+      then overlap := true;
+      let g2 =
+        if euclid then (xg * xg) + (yg * yg)
+        else
+          let m = if xg > yg then xg else yg in
+          m * m
+      in
+      if g2 <= cutoff2 then
+        if
+          g2 < !best2
+          || (g2 = !best2 && (ai < !bai || (ai = !bai && bi < !bbi)))
+        then begin
+          best2 := g2;
+          bai := ai;
+          bbi := bi
+        end
+    in
+    let bound2 () = if !best2 < cutoff2 then !best2 else cutoff2 in
+    (* Evict rectangles whose x gap to the sweep position [x] (and to
+       every later opening, since x0 only grows) already exceeds the
+       bound. *)
+    let prune act n d x =
+      let b2 = bound2 () in
+      let k = ref 0 in
+      for i = 0 to !n - 1 do
+        let ri = act.(i) in
+        let dx = x - d.((4 * ri) + 2) in
+        if dx <= 0 || dx * dx <= b2 then begin
+          act.(!k) <- ri;
+          incr k
+        end
+      done;
+      n := !k
+    in
+    let ia = ref 0 and ib = ref 0 in
+    while !ia < a.count || !ib < b.count do
+      let take_a =
+        if !ib >= b.count then true
+        else if !ia >= a.count then false
+        else da.(4 * !ia) <= db.(4 * !ib)
+      in
+      if take_a then begin
+        let i = !ia in
+        prune act_b nb db da.(4 * i);
+        for j = 0 to !nb - 1 do
+          consider i act_b.(j)
+        done;
+        act_a.(!na) <- i;
+        incr na;
+        incr ia
+      end
+      else begin
+        let j = !ib in
+        prune act_a na da db.(4 * j);
+        for i = 0 to !na - 1 do
+          consider act_a.(i) j
+        done;
+        act_b.(!nb) <- j;
+        incr nb;
+        incr ib
+      end
+    done;
+    if !bai < 0 then { no_gap with overlap = !overlap }
+    else { g2 = !best2; ai = !bai; bi = !bbi; overlap = !overlap }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Kernel selection                                                    *)
+
+type kernel = Naive | Sweep
+
+let kernel_of_env () =
+  match Sys.getenv_opt "DIC_NAIVE_KERNEL" with
+  | None | Some "" | Some "0" -> Sweep
+  | Some _ -> Naive
+
+let current = ref (kernel_of_env ())
+let kernel () = !current
+let set_kernel k = current := k
+
+let gap2 ~euclid ~cutoff2 ws a b =
+  match !current with
+  | Sweep -> gap2_sweep ~euclid ~cutoff2 ws a b
+  | Naive -> gap2_naive ~euclid ~cutoff2 a b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>{";
+  for i = 0 to t.count - 1 do
+    if i > 0 then Format.fprintf ppf " ";
+    Rect.pp ppf (get t i)
+  done;
+  Format.fprintf ppf "}@]"

@@ -29,6 +29,9 @@ let apply_pt t (p : Pt.t) =
   Pt.make ((t.a * p.Pt.x) + (t.b * p.Pt.y) + t.tx)
     ((t.c * p.Pt.x) + (t.d * p.Pt.y) + t.ty)
 
+let apply_x t x y = (t.a * x) + (t.b * y) + t.tx
+let apply_y t x y = (t.c * x) + (t.d * y) + t.ty
+
 let apply_rect t r =
   let p = apply_pt t (Pt.make (Rect.x0 r) (Rect.y0 r))
   and q = apply_pt t (Pt.make (Rect.x1 r) (Rect.y1 r)) in

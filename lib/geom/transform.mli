@@ -33,6 +33,14 @@ val seq : t list -> t
 val apply_pt : t -> Pt.t -> Pt.t
 val apply_rect : t -> Rect.t -> Rect.t
 
+(** Scalar forms of {!apply_pt}, for callers that keep coordinates in
+    flat arrays and cannot afford a [Pt.t] allocation per point (the
+    {!Rects} packed kernel).  [apply_x t x y] is the x coordinate of
+    the transformed point, [apply_y t x y] the y coordinate. *)
+val apply_x : t -> int -> int -> int
+
+val apply_y : t -> int -> int -> int
+
 (** [det t] is [+1] for orientation-preserving transforms and [-1] for
     reflections. *)
 val det : t -> int

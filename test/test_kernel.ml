@@ -1,0 +1,172 @@
+(* Kernel equivalence: the sweep gap kernel against the brute-force
+   oracle, property-tested over adversarial rectangle soup (touching,
+   overlapping, coincident, empty), plus end-to-end report identity
+   across kernels and across job counts under the task-queue
+   scheduler. *)
+
+module R = Geom.Rects
+module Rect = Geom.Rect
+module Transform = Geom.Transform
+
+(* Fixed seed by default (QCHECK_SEED still overrides): the CI and any
+   two dev machines explore the same ~1k-case sample, so a failure
+   here reproduces everywhere. *)
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 0x5eed)
+  | None -> 0x5eed
+
+let qsuite name tests =
+  ( name,
+    List.map
+      (fun t ->
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t)
+      tests )
+
+let gap_eq (a : R.gap) (b : R.gap) =
+  a.R.g2 = b.R.g2 && a.R.ai = b.R.ai && a.R.bi = b.R.bi
+  && a.R.overlap = b.R.overlap
+
+let pp_gap ppf (g : R.gap) =
+  Format.fprintf ppf "{g2=%d; ai=%d; bi=%d; overlap=%b}" g.R.g2 g.R.ai g.R.bi
+    g.R.overlap
+
+(* Small coordinates on purpose: touching, overlapping, and coincident
+   rectangles must be common in the sample, not one-in-a-million. *)
+let rect_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((x, y), (w, h)) -> Rect.make x y (x + w) (y + h))
+      (pair
+         (pair (int_range (-20) 20) (int_range (-20) 20))
+         (pair (int_range 1 12) (int_range 1 12))))
+
+let set_gen = QCheck2.Gen.(list_size (int_range 0 7) rect_gen)
+
+(* All the cutoff regimes the checker uses: degenerate (0), binding
+   (small enough to prune most pairs), and unbounded (the exposure
+   model's exact minimum). *)
+let cutoff_gen =
+  QCheck2.Gen.(oneofl [ 0; 9; 25; 100; max_int ])
+
+let case_gen = QCheck2.Gen.(pair (pair set_gen set_gen) (pair bool cutoff_gen))
+
+let prop_sweep_matches_naive =
+  QCheck2.Test.make ~name:"sweep = naive (full gap record)" ~count:1000 case_gen
+    (fun ((la, lb), (euclid, cutoff2)) ->
+      let a = R.of_list la and b = R.of_list lb in
+      let ws = R.make_ws () in
+      let n = R.gap2_naive ~euclid ~cutoff2 a b in
+      let s = R.gap2_sweep ~euclid ~cutoff2 ws a b in
+      if gap_eq n s then true
+      else
+        QCheck2.Test.fail_reportf "cutoff2=%d euclid=%b: naive=%a sweep=%a"
+          cutoff2 euclid pp_gap n pp_gap s)
+
+(* One scratch [ws] reused across calls must not leak state between
+   them — that is exactly how the checker uses its per-domain scratch. *)
+let prop_ws_reuse =
+  QCheck2.Test.make ~name:"ws reuse is stateless" ~count:300
+    QCheck2.Gen.(pair case_gen case_gen)
+    (fun (((la1, lb1), (e1, c1)), ((la2, lb2), (e2, c2))) ->
+      let ws = R.make_ws () in
+      let run (la, lb) euclid cutoff2 =
+        R.gap2_sweep ~euclid ~cutoff2 ws (R.of_list la) (R.of_list lb)
+      in
+      let first = run (la1, lb1) e1 c1 in
+      ignore (run (la2, lb2) e2 c2);
+      gap_eq first (run (la1, lb1) e1 c1))
+
+let transform_gen =
+  let open QCheck2.Gen in
+  let base =
+    oneof
+      [ return (Transform.rotate `East); return (Transform.rotate `North);
+        return (Transform.rotate `West); return (Transform.rotate `South);
+        return Transform.mirror_x; return Transform.mirror_y;
+        map2 Transform.translate (int_range (-50) 50) (int_range (-50) 50) ]
+  in
+  map Transform.seq (list_size (int_range 0 5) base)
+
+let prop_apply_into_matches_list =
+  QCheck2.Test.make ~name:"apply_into = of_list . map apply_rect" ~count:500
+    QCheck2.Gen.(pair transform_gen set_gen)
+    (fun (tr, rects) ->
+      let dst = R.empty () in
+      R.apply_into tr ~src:(R.of_list rects) ~dst;
+      R.to_list dst
+      = R.to_list (R.of_list (List.map (Transform.apply_rect tr) rects)))
+
+let prop_separation2_oracle =
+  QCheck2.Test.make ~name:"separation2 agrees with the oracle" ~count:300
+    QCheck2.Gen.(pair (pair set_gen set_gen) bool)
+    (fun ((la, lb), euclid) ->
+      let ra = Geom.Region.of_rects la and rb = Geom.Region.of_rects lb in
+      let metric =
+        if euclid then Geom.Measure.Euclidean else Geom.Measure.Orthogonal
+      in
+      match Geom.Measure.separation2 ~metric ra rb with
+      | None -> Geom.Region.rects ra = [] || Geom.Region.rects rb = []
+      | Some g2 ->
+        let n =
+          R.gap2_naive ~euclid ~cutoff2:max_int
+            (R.of_list (Geom.Region.rects ra))
+            (R.of_list (Geom.Region.rects rb))
+        in
+        g2 = n.R.g2)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end identity                                                 *)
+
+let rules = Tech.Rules.nmos ()
+let lambda = rules.Tech.Rules.lambda
+
+let run_ok ?config file =
+  match Dic.Engine.check (Dic.Engine.create ?config rules) file with
+  | Ok (r, _) -> r
+  | Error e -> Alcotest.fail e
+
+let with_jobs jobs =
+  { Dic.Engine.default_config with
+    Dic.Engine.interactions =
+      { Dic.Interactions.default_config with Dic.Interactions.jobs } }
+
+let render r = Format.asprintf "%a" Dic.Report.pp r.Dic.Checker.report
+
+let workloads () =
+  [ Layoutgen.Cells.grid ~lambda ~nx:4 ~ny:4;
+    (Layoutgen.Pathology.fig8_accidental ~lambda).Layoutgen.Pathology.file;
+    (Layoutgen.Pathology.fig2_figures_illegal ~lambda).Layoutgen.Pathology.file ]
+
+let test_kernel_report_identity () =
+  let saved = R.kernel () in
+  Fun.protect
+    ~finally:(fun () -> R.set_kernel saved)
+    (fun () ->
+      List.iter
+        (fun file ->
+          R.set_kernel R.Sweep;
+          let sweep = render (run_ok file) in
+          R.set_kernel R.Naive;
+          let naive = render (run_ok file) in
+          Alcotest.(check string) "byte-identical rendered report" sweep naive)
+        (workloads ()))
+
+let test_jobs_byte_identity () =
+  List.iter
+    (fun file ->
+      let serial = render (run_ok ~config:(with_jobs 1) file) in
+      let queued = render (run_ok ~config:(with_jobs 4) file) in
+      Alcotest.(check string) "byte-identical rendered report" serial queued)
+    (workloads ())
+
+let () =
+  Alcotest.run "kernel"
+    [ qsuite "gap2.props"
+        [ prop_sweep_matches_naive; prop_ws_reuse; prop_apply_into_matches_list;
+          prop_separation2_oracle ];
+      ( "end-to-end",
+        [ Alcotest.test_case "sweep vs naive report" `Quick
+            test_kernel_report_identity;
+          Alcotest.test_case "jobs=1 vs jobs=4 report" `Quick
+            test_jobs_byte_identity ] ) ]
