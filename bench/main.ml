@@ -746,6 +746,55 @@ let trace_overhead () =
     (Dic.Trace.length tr)
 
 (* ------------------------------------------------------------------ *)
+(* LN -- Static lint overhead                                          *)
+
+(* The lint passes are advertised as linear-ish in the deck and
+   hierarchy size, cheap enough to leave on (--lint) for every check.
+   Prove it: deck + syntax-tree + model lints on shift-register-1024
+   must cost under 5% of a full cold check of the same design, or the
+   bench aborts. *)
+
+let lint_overhead () =
+  section
+    "LN: static lint overhead\n\
+     (check_deck + check_ast + check_model must stay under 5% of a\n\
+     full cold check on shift-register-1024)";
+  let best n f =
+    let b = ref infinity in
+    for _ = 1 to n do
+      let _, t = wall f in
+      if t < !b then b := t
+    done;
+    !b
+  in
+  let file = Layoutgen.Shift.register ~lambda 1024 in
+  let model =
+    match Dic.Model.elaborate rules file with
+    | Ok (m, _) -> m
+    | Error e -> failwith e
+  in
+  let lint =
+    best 5 (fun () ->
+        let diags =
+          Dic.Lint.check_deck rules @ Dic.Lint.check_ast file
+          @ Dic.Lint.check_model model
+        in
+        if diags <> [] then failwith "shift-register-1024 must lint clean")
+  in
+  let full =
+    best 3 (fun () ->
+        match Dic.Engine.check (Dic.Engine.create rules) file with
+        | Ok r -> ignore r
+        | Error e -> failwith e)
+  in
+  let pct = 100. *. lint /. Float.max 1e-9 full in
+  Printf.printf "%-26s %12s %12s %10s\n" "workload" "lint (s)" "full (s)" "lint/full";
+  Printf.printf "%-26s %12.4f %12.4f %9.2f%%\n" "shift-register-1024" lint full pct;
+  if pct >= 5. then
+    failwith
+      (Printf.sprintf "lint overhead %.2f%% breaches the 5%% budget" pct)
+
+(* ------------------------------------------------------------------ *)
 (* K -- Packed-rect gap kernel: sweep vs brute force                   *)
 
 (* A/B of the interaction gap kernels: the production x-sweep over
@@ -975,7 +1024,8 @@ let experiments =
     ("fig15", fig15_self_sufficiency); ("t1", t1_runtime_scaling);
     ("t3", t3_incremental); ("ablations", ablations);
     ("parallel", parallel_scaling); ("incremental", incremental_recheck);
-    ("trace-overhead", trace_overhead); ("kernel", kernel_bench);
+    ("trace-overhead", trace_overhead); ("lint-overhead", lint_overhead);
+    ("kernel", kernel_bench);
     ("bechamel", bechamel_benches) ]
 
 let () =

@@ -1,8 +1,9 @@
 (* dicheck: the Design Integrity and Immunity Checker, as a command.
 
-   Two subcommands sharing one engine library:
+   Three subcommands sharing one engine library:
 
      dicheck check FILE   (also the default: `dicheck FILE`)
+     dicheck lint [FILE]  static lints only: rule deck + CIF hierarchy
      dicheck serve        JSON-lines request loop on stdio or a socket
 
    `check` reads extended CIF, runs either the hierarchical checker or
@@ -40,8 +41,8 @@ let load_rules ~lambda rules_file =
 (* check                                                               *)
 
 let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
-    ~jobs ~cache ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror ~input
-    rules src =
+    ~jobs ~cache ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror ~lint
+    ~lint_werror ~input rules src =
   match Cif.Parse.file src with
   | Error e ->
     Printf.eprintf "parse error: %s\n" (Cif.Parse.string_of_error e);
@@ -61,6 +62,7 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
       let e = Dic.Engine.create ?cache_dir:cache rules in
       let e = Dic.Engine.with_jobs e jobs in
       let e = Dic.Engine.with_same_net e check_same_net in
+      let e = Dic.Engine.with_lint e (lint || lint_werror) in
       Dic.Engine.with_expected_netlist e expected_netlist
     in
     let trace = match trace_out with None -> None | Some _ -> Some (Dic.Trace.create ()) in
@@ -126,6 +128,10 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
       let count sev = Dic.Report.count ~severity:sev result.Dic.Engine.report in
       if count Dic.Report.Error > 0 then 1
       else if werror && count Dic.Report.Warning > 0 then 1
+      else if
+        lint_werror
+        && Dic.Report.by_rule_prefix result.Dic.Engine.report "lint." <> []
+      then 1
       else 0)
 
 let run_flat ~metric ~poly_diff ~width_algorithm rules src =
@@ -142,7 +148,7 @@ let run_flat ~metric ~poly_diff ~width_algorithm rules src =
 
 let check_main file flat metric polydiff figure_based lambda rules_file show_netlist
     show_stats show_structure check_same_net expect markers jobs cache stats_json
-    trace_out sarif_out top_cost progress werror =
+    trace_out sarif_out top_cost progress werror lint lint_werror =
   let rules = load_rules ~lambda rules_file in
   let src = read_file file in
   if flat then begin
@@ -160,8 +166,66 @@ let check_main file flat metric polydiff figure_based lambda rules_file show_net
   end
   else
     run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
-      ~jobs ~cache ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror
-      ~input:file rules src
+      ~jobs ~cache ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror ~lint
+      ~lint_werror ~input:file rules src
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+
+let lint_main file rules_file lambda explain_code sarif_out werror =
+  match explain_code with
+  | Some code -> (
+    match Dic.Lint.explain code with
+    | Some text ->
+      Printf.printf "%s: %s\n" code text;
+      0
+    | None ->
+      Printf.eprintf "dicheck: unknown lint code %S (codes: %s)\n" code
+        (String.concat " " (List.map fst Dic.Lint.all_codes));
+      2)
+  | None ->
+    let rules_src = Option.value rules_file ~default:"<builtin-rules>" in
+    let deck, deck_diags =
+      match rules_file with
+      | None ->
+        let r = Tech.Rules.nmos ~lambda () in
+        (r, Dic.Lint.check_deck r)
+      | Some path -> (
+        let d, diags = Dic.Lint.check_deck_source (read_file path) in
+        match d with
+        | Some deck -> (deck, diags)
+        | None -> (Tech.Rules.nmos ~lambda (), diags))
+    in
+    let design_diags, design_src =
+      match file with
+      | None -> ([], None)
+      | Some f -> (
+        match Cif.Parse.file (read_file f) with
+        | Error e ->
+          Printf.eprintf "parse error: %s\n" (Cif.Parse.string_of_error e);
+          exit 2
+        | Ok ast -> (Dic.Lint.check_design deck ast, Some f))
+    in
+    List.iter (fun d -> print_endline (Dic.Lint.render ~src:rules_src d)) deck_diags;
+    (match design_src with
+    | Some f -> List.iter (fun d -> print_endline (Dic.Lint.render ~src:f d)) design_diags
+    | None -> ());
+    let all = deck_diags @ design_diags in
+    let errors = List.length (List.filter (fun d -> d.Dic.Lint.severity = Dic.Lint.Error) all) in
+    Printf.printf "%d lint diagnostic(s): %d error(s), %d warning(s)\n" (List.length all)
+      errors
+      (List.length all - errors);
+    (match sarif_out with
+    | None -> ()
+    | Some path ->
+      let uri = match design_src with Some f -> f | None -> rules_src in
+      (* Sarif renders [violations] reversed, so store them reversed to
+         emit results in diagnostic order. *)
+      let report =
+        { Dic.Report.violations = List.rev (Dic.Lint.to_violations all) }
+      in
+      write_output path (Dic.Sarif.of_report ~uri report));
+    if errors > 0 then 1 else if werror && all <> [] then 1 else 0
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -293,16 +357,61 @@ let check_term =
          & info [ "werror" ]
              ~doc:"Exit 1 when the report contains warnings, not only errors.")
   in
+  let lint =
+    Arg.(value & flag
+         & info [ "lint" ]
+             ~doc:"Also run the static lint passes (rule deck + design hierarchy) \
+                   and prepend their $(b,lint.*) diagnostics to the report.")
+  in
+  let lint_werror =
+    Arg.(value & flag
+         & info [ "lint-werror" ]
+             ~doc:"Like $(b,--lint), but exit 1 when any lint diagnostic fires, \
+                   warnings included.")
+  in
   Term.(
     const check_main $ file $ flat $ metric $ polydiff $ figure_based $ lambda_arg
     $ rules_arg $ netlist $ stats $ structure $ same_net $ expect $ markers $ jobs
-    $ cache_arg $ stats_json $ trace_out $ sarif_out $ top_cost $ progress $ werror)
+    $ cache_arg $ stats_json $ trace_out $ sarif_out $ top_cost $ progress $ werror
+    $ lint $ lint_werror)
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~exits
        ~doc:"Check one CIF file and print the report (the default subcommand).")
     check_term
+
+let lint_cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"CIF file to lint (- for stdin); with no FILE \
+                                      only the rule deck is linted.")
+  in
+  let explain =
+    Arg.(value & opt (some string) None
+         & info [ "explain" ] ~docv:"CODE"
+             ~doc:"Print the one-line explanation of a stable lint code (R0xx for \
+                   rule-deck lints, D0xx for design lints) and exit.")
+  in
+  let sarif_out =
+    Arg.(value & opt (some string) None
+         & info [ "sarif" ] ~docv:"FILE"
+             ~doc:"Write the lint diagnostics as SARIF 2.1.0 to FILE (- for stdout), \
+                   one SARIF rule per lint code.")
+  in
+  let werror =
+    Arg.(value & flag
+         & info [ "werror" ]
+             ~doc:"Exit 1 when any diagnostic fires, warnings included.")
+  in
+  Cmd.v
+    (Cmd.info "lint" ~exits
+       ~doc:"Static immunity analysis, before any geometry runs: lint the rule deck \
+             ($(b,--rules), or the built-in NMOS rules) and, when FILE is given, the \
+             CIF symbol hierarchy.  Diagnostics carry stable codes (R0xx / D0xx, see \
+             $(b,--explain)), are sorted by (file, location, code), and exit 1 on any \
+             error-severity finding.")
+    Term.(const lint_main $ file $ rules_arg $ lambda_arg $ explain $ sarif_out $ werror)
 
 let serve_cmd =
   let socket =
@@ -326,7 +435,7 @@ let info =
   Cmd.info "dicheck" ~version:Dic.Version.version ~exits
     ~doc:"Design integrity and immunity checking (McGrath & Whitney, DAC 1980)"
 
-let group = Cmd.group ~default:check_term info [ check_cmd; serve_cmd ]
+let group = Cmd.group ~default:check_term info [ check_cmd; lint_cmd; serve_cmd ]
 
 (* The historical spelling `dicheck FILE` must keep working, but
    cmdliner's command groups reject a first positional that is not a
@@ -339,7 +448,7 @@ let () =
   let use_group =
     Array.length Sys.argv <= 1
     || match Sys.argv.(1) with
-       | "check" | "serve" | "--help" | "-h" | "--version" -> true
+       | "check" | "lint" | "serve" | "--help" | "-h" | "--version" -> true
        | _ -> false
   in
   (* Fold cmdliner's own failure codes (cli errors, internal errors)

@@ -3,6 +3,7 @@ type config = Engine.config = {
   run_erc : bool;
   expected_netlist : Netcompare.expected option;
   relational : Process_model.Exposure.t option;
+  run_lint : bool;
 }
 
 let default_config = Engine.default_config

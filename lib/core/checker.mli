@@ -38,6 +38,7 @@ type config = Engine.config = {
   relational : Process_model.Exposure.t option;
       (** also run the relational gate-overhang check against this
           exposure model (paper Fig 14) *)
+  run_lint : bool;  (** also run the static {!Lint} passes *)
 }
 
 val default_config : config

@@ -3,11 +3,12 @@ type config = {
   run_erc : bool;
   expected_netlist : Netcompare.expected option;
   relational : Process_model.Exposure.t option;
+  run_lint : bool;
 }
 
 let default_config =
   { interactions = Interactions.default_config; run_erc = true; expected_netlist = None;
-    relational = None }
+    relational = None; run_lint = false }
 
 type result = {
   report : Report.t;
@@ -165,6 +166,7 @@ let with_spacing_model t spacing_model =
       interactions = { t.e_config.interactions with Interactions.spacing_model } }
 
 let with_erc t run_erc = with_config t { t.e_config with run_erc }
+let with_lint t run_lint = with_config t { t.e_config with run_lint }
 let with_expected_netlist t expected_netlist = with_config t { t.e_config with expected_netlist }
 let with_relational t relational = with_config t { t.e_config with relational }
 
@@ -284,6 +286,22 @@ let check ?metrics ?trace ?progress t file =
     Metrics.incr ~by:(Model.symbol_count model) m "model.symbols";
     Metrics.incr ~by:(Model.definition_elements model) m "model.definition_elements";
     Metrics.incr ~by:(Model.instantiated_elements model) m "model.instantiated_elements";
+    (* Static lints run before any geometry: the deck pass over the
+       session's rules and the design pass over the syntax tree +
+       model.  Off by default so the default report bytes are
+       untouched; an engine in a new lint config lands on a new
+       environment digest anyway. *)
+    let lint_issues =
+      if not t.e_config.run_lint then []
+      else
+        timed "lint" (fun () ->
+            let diags =
+              Lint.sort
+                (Lint.check_deck t.e_rules @ Lint.check_ast file @ Lint.check_model model)
+            in
+            Lint.record_metrics m diags;
+            Lint.to_violations diags)
+    in
     let subtree = subtree_fingerprints model in
     let memo_loaded = refresh_memo t trace subtree in
     (* Resolve every definition against the session (then disk) cache
@@ -419,7 +437,7 @@ let check ?metrics ?trace ?progress t file =
     in
     let report =
       { Report.violations =
-          parse_issues @ element_issues @ device_issues @ relational_issues
+          lint_issues @ parse_issues @ element_issues @ device_issues @ relational_issues
           @ connection_issues @ interaction_issues @ electrical_issues
           @ consistency_issues @ [ locality_info ] }
     in

@@ -48,6 +48,11 @@ type config = {
   relational : Process_model.Exposure.t option;
       (** also run the relational gate-overhang check against this
           exposure model (paper Fig 14) *)
+  run_lint : bool;
+      (** also run the static {!Lint} passes (deck + design) and
+          prepend their diagnostics, as [lint.*] rules, to the report.
+          Off by default: the default report bytes stay identical to
+          pre-lint versions *)
 }
 
 val default_config : config
@@ -104,6 +109,7 @@ val with_metric : t -> Geom.Measure.metric -> t
 val with_same_net : t -> bool -> t
 val with_spacing_model : t -> Interactions.spacing_model -> t
 val with_erc : t -> bool -> t
+val with_lint : t -> bool -> t
 val with_expected_netlist : t -> Netcompare.expected option -> t
 val with_relational : t -> Process_model.Exposure.t option -> t
 

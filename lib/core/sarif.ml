@@ -43,14 +43,25 @@ let rule_table (report : Report.t) =
   List.mapi (fun i id -> (id, i)) ids
 
 let rule_json (id, _index) =
-  (* The rule family (prefix before the first dot) doubles as a short
-     description; the full semantics live in the stage docs. *)
-  let family = match String.index_opt id '.' with
-    | Some i -> String.sub id 0 i
-    | None -> id
+  (* Lint rules carry their stable-code explanation; for everything
+     else the rule family (prefix before the first dot) doubles as a
+     short description, the full semantics living in the stage docs. *)
+  let lint_explanation =
+    if String.length id > 5 && String.sub id 0 5 = "lint." then
+      Lint.explain (String.sub id 5 (String.length id - 5))
+    else None
   in
-  Printf.sprintf "{\"id\":%s,\"shortDescription\":{\"text\":%s}}" (str id)
-    (str (family ^ " rule " ^ id))
+  let desc =
+    match lint_explanation with
+    | Some text -> text
+    | None ->
+      let family = match String.index_opt id '.' with
+        | Some i -> String.sub id 0 i
+        | None -> id
+      in
+      family ^ " rule " ^ id
+  in
+  Printf.sprintf "{\"id\":%s,\"shortDescription\":{\"text\":%s}}" (str id) (str desc)
 
 let region_json (l : Cif.Loc.t) =
   Printf.sprintf "{\"startLine\":%d,\"startColumn\":%d}" l.Cif.Loc.line l.Cif.Loc.col

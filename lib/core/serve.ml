@@ -60,7 +60,11 @@ let handle_request t req =
             Interactions.check_same_net =
               (match Option.bind (Json.member "check_same_net" req) Json.bool with
               | Some b -> b
-              | None -> t.s_base.Engine.interactions.Interactions.check_same_net) } }
+              | None -> t.s_base.Engine.interactions.Interactions.check_same_net) };
+        Engine.run_lint =
+          (match Option.bind (Json.member "lint" req) Json.bool with
+          | Some b -> b
+          | None -> t.s_base.Engine.run_lint) }
     in
     let engine = engine_for t config in
     match Engine.check_string engine src with

@@ -3,8 +3,7 @@ type entry =
   | Device_checked
   | Space of { same_net : int option; diff_net : int }
 
-let entry rules a b =
-  let l = Layer.(if index a <= index b then (a, b) else (b, a)) in
+let base_entry rules l =
   match l with
   | Layer.Diffusion, Layer.Diffusion ->
     Space { same_net = None; diff_net = rules.Rules.space_diffusion }
@@ -24,6 +23,18 @@ let entry rules a b =
   | Layer.Metal, Layer.Contact ->
     Device_checked
   | _ -> No_rule
+
+let entry rules a b =
+  let ((lo, hi) as l) = Layer.(if index a <= index b then (a, b) else (b, a)) in
+  match base_entry rules l with
+  | Space { same_net; _ } as base when not (Layer.equal lo hi) -> (
+    (* Directed [space_<a>_<b>] deck overrides apply only to reachable
+       cross-layer Space cells; overrides on No_rule / Device_checked
+       cells or same-layer cells are inert (Lint codes R006 / R007). *)
+    match Rules.cell_space_override rules lo hi with
+    | Some d -> Space { same_net = Option.map (fun _ -> d) same_net; diff_net = d }
+    | None -> base)
+  | base -> base
 
 let cells rules =
   let routing = Layer.routing in

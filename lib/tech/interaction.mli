@@ -23,7 +23,12 @@ type entry =
       diff_net : int;  (** spacing required between different nets *)
     }
 
-(** [entry rules a b] — symmetric lookup into the matrix. *)
+(** [entry rules a b] — symmetric lookup into the matrix.  Directed
+    [space_<a>_<b>] overrides from the rule deck
+    ({!Rules.cell_space_override}) replace the spacing of reachable
+    cross-layer [Space] cells; overrides aimed at [No_rule],
+    [Device_checked], or same-layer cells are silently inert — which is
+    exactly what the {!Dic.Lint} rule-deck pass flags (codes R005–R007). *)
 val entry : Rules.t -> Layer.t -> Layer.t -> entry
 
 (** All upper-triangular (layer, layer, entry) cells over the routing

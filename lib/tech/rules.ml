@@ -16,6 +16,7 @@ type t = {
   implant_gate_surround : int;
   buried_overlap : int;
   pad_metal_surround : int;
+  pair_spaces : ((Layer.t * Layer.t) * int) list;
 }
 
 let nmos ?(lambda = 100) () =
@@ -35,7 +36,8 @@ let nmos ?(lambda = 100) () =
     contact_surround = lambda;
     implant_gate_surround = 3 * lambda / 2;
     buried_overlap = 2 * lambda;
-    pad_metal_surround = 2 * lambda }
+    pad_metal_surround = 2 * lambda;
+    pair_spaces = [] }
 
 let min_width t = function
   | Layer.Diffusion -> t.width_diffusion
@@ -61,6 +63,28 @@ let cross_layer_space t a b =
   let pair x y = (min (Layer.index x) (Layer.index y), max (Layer.index x) (Layer.index y)) in
   let key = pair a b in
   if key = pair Layer.Poly Layer.Diffusion then Some t.space_poly_diffusion else None
+
+let layer_name = function
+  | Layer.Diffusion -> "diffusion"
+  | Layer.Poly -> "poly"
+  | Layer.Metal -> "metal"
+  | Layer.Contact -> "contact"
+  | Layer.Implant -> "implant"
+  | Layer.Buried -> "buried"
+  | Layer.Glass -> "glass"
+
+let layer_of_name s = List.find_opt (fun l -> String.equal (layer_name l) s) Layer.all
+
+let pair_key_name (a, b) = Printf.sprintf "space_%s_%s" (layer_name a) (layer_name b)
+
+let pair_space t a b =
+  List.find_map
+    (fun ((x, y), v) -> if Layer.equal x a && Layer.equal y b then Some v else None)
+    t.pair_spaces
+
+let cell_space_override t a b =
+  let lo, hi = if Layer.index a <= Layer.index b then (a, b) else (b, a) in
+  match pair_space t lo hi with Some v -> Some v | None -> pair_space t hi lo
 
 let pp ppf t =
   Format.fprintf ppf "%s (lambda=%d)" t.name t.lambda
@@ -88,55 +112,105 @@ let int_fields =
     ("pad_metal_surround", (fun t -> t.pad_metal_surround),
      fun t v -> { t with pad_metal_surround = v }) ]
 
+let fields t =
+  ("lambda", t.lambda) :: List.map (fun (key, get, _) -> (key, get t)) int_fields
+
+let known_keys = "name" :: "lambda" :: List.map (fun (k, _, _) -> k) int_fields
+
+(* A directed [space_<a>_<b>] key over two layer names.  The canonical
+   field names ([space_poly_diffusion], [space_diffusion], ...) are
+   matched against [int_fields] first, so this only sees the generic
+   directed spellings. *)
+let pair_key key =
+  match String.split_on_char '_' key with
+  | [ "space"; a; b ] -> (
+    match (layer_of_name a, layer_of_name b) with
+    | Some a, Some b -> Some (a, b)
+    | _ -> None)
+  | _ -> None
+
+let compare_pair ((a, b), _) ((c, d), _) =
+  compare (Layer.index a, Layer.index b) (Layer.index c, Layer.index d)
+
 let to_string t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "name %s\nlambda %d\n" t.name t.lambda);
   List.iter
     (fun (key, get, _) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" key (get t)))
     int_fields;
+  List.iter
+    (fun (pair, v) ->
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" (pair_key_name pair) v))
+    (List.sort compare_pair t.pair_spaces);
   Buffer.contents buf
 
-let of_string src =
-  let lines = String.split_on_char '\n' src in
-  let tokens =
-    List.concat_map
-      (fun line ->
-        let line =
-          match String.index_opt line '#' with
-          | Some i -> String.sub line 0 i
-          | None -> line
-        in
-        match
-          String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
-        with
-        | [] -> []
-        | [ k; v ] -> [ Ok (k, v) ]
-        | _ -> [ Error (Printf.sprintf "malformed line: %S" (String.trim line)) ])
-      lines
+type entry_src = { eline : int; key : string; value : string }
+
+let scan src =
+  let entries = ref [] and malformed = ref [] in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+      with
+      | [] -> ()
+      | [ k; v ] -> entries := { eline = ln; key = k; value = v } :: !entries
+      | _ -> malformed := (ln, String.trim line) :: !malformed)
+    (String.split_on_char '\n' src);
+  (List.rev !entries, List.rev !malformed)
+
+let of_entries entries =
+  let rec find_dup seen = function
+    | [] -> None
+    | e :: rest -> (
+      match List.assoc_opt e.key seen with
+      | Some first -> Some (e.eline, e.key, first)
+      | None -> find_dup ((e.key, e.eline) :: seen) rest)
   in
-  match List.find_opt Result.is_error tokens with
-  | Some (Error e) -> Error e
-  | Some (Ok _) -> assert false
+  match find_dup [] entries with
+  | Some (line, key, first) ->
+    Error
+      (Printf.sprintf "line %d: duplicate key %S (first defined on line %d)" line key first)
   | None ->
-    let pairs = List.filter_map Result.to_option tokens in
-    let int_of key v =
+    let int_of ~line key v =
       match int_of_string_opt v with
       | Some n when n > 0 -> Ok n
-      | _ -> Error (Printf.sprintf "%s: expected a positive integer, got %S" key v)
+      | _ ->
+        Error (Printf.sprintf "line %d: %s: expected a positive integer, got %S" line key v)
     in
     (* lambda first: it sets the defaults. *)
     let base =
-      match List.assoc_opt "lambda" pairs with
+      match List.find_opt (fun e -> e.key = "lambda") entries with
       | None -> Ok (nmos ())
-      | Some v -> Result.map (fun lambda -> nmos ~lambda ()) (int_of "lambda" v)
+      | Some e -> Result.map (fun lambda -> nmos ~lambda ()) (int_of ~line:e.eline "lambda" e.value)
     in
-    List.fold_left
-      (fun acc (key, v) ->
-        Result.bind acc (fun t ->
-            if key = "lambda" then Ok t
-            else if key = "name" then Ok { t with name = v }
-            else
-              match List.find_opt (fun (k, _, _) -> k = key) int_fields with
-              | Some (_, _, set) -> Result.map (set t) (int_of key v)
-              | None -> Error (Printf.sprintf "unknown rule key %S" key)))
-      base pairs
+    Result.map
+      (fun t -> { t with pair_spaces = List.sort compare_pair t.pair_spaces })
+      (List.fold_left
+         (fun acc e ->
+           Result.bind acc (fun t ->
+               if e.key = "lambda" then Ok t
+               else if e.key = "name" then Ok { t with name = e.value }
+               else
+                 match List.find_opt (fun (k, _, _) -> k = e.key) int_fields with
+                 | Some (_, _, set) -> Result.map (set t) (int_of ~line:e.eline e.key e.value)
+                 | None -> (
+                   match pair_key e.key with
+                   | Some pair ->
+                     Result.map
+                       (fun v -> { t with pair_spaces = t.pair_spaces @ [ (pair, v) ] })
+                       (int_of ~line:e.eline e.key e.value)
+                   | None ->
+                     Error (Printf.sprintf "line %d: unknown rule key %S" e.eline e.key))))
+         base entries)
+
+let of_string src =
+  match scan src with
+  | _, (line, text) :: _ -> Error (Printf.sprintf "line %d: malformed line: %S" line text)
+  | entries, [] -> of_entries entries

@@ -29,6 +29,12 @@ type t = {
   implant_gate_surround : int;  (** implant past depletion gate, 1.5 lambda *)
   buried_overlap : int;  (** buried window past the poly-diff tie, 2 lambda *)
   pad_metal_surround : int;  (** metal past glass opening, 2 lambda *)
+  pair_spaces : ((Layer.t * Layer.t) * int) list;
+      (** directed cross-layer spacing overrides from [space_<a>_<b>]
+          rule-file keys, sorted by layer-index pair.  The checker
+          consults them through {!cell_space_override} for reachable
+          {!Interaction} matrix cells only; {!Dic.Lint} flags the rest
+          (asymmetric, unreachable, or shadowed entries). *)
 }
 
 (** [nmos ~lambda ()] — the default rule set; [lambda] defaults to
@@ -50,12 +56,44 @@ val cross_layer_space : t -> Layer.t -> Layer.t -> int option
 
 val pp : Format.formatter -> t -> unit
 
+(** {1 Introspection}
+
+    The rule-deck lint ({!Dic.Lint}) walks the rule set generically
+    instead of naming fields one by one. *)
+
+(** Every integer rule with its rule-file key, [lambda] first. *)
+val fields : t -> (string * int) list
+
+(** All canonical rule-file keys ([name], [lambda], and the integer
+    field names) — what {!of_string} accepts besides directed
+    [space_<a>_<b>] pair keys. *)
+val known_keys : string list
+
+(** Lowercase layer name used in pair keys ("diffusion", "poly", ...) *)
+val layer_name : Layer.t -> string
+
+val layer_of_name : string -> Layer.t option
+
+(** Parse a directed [space_<a>_<b>] pair key; [None] if [key] is not
+    of that shape (canonical field names are matched first by
+    {!of_string}, so e.g. [space_poly_diffusion] never reaches this). *)
+val pair_key : string -> (Layer.t * Layer.t) option
+
+(** The directed override exactly as written in the deck, if any. *)
+val pair_space : t -> Layer.t -> Layer.t -> int option
+
+(** Effective override for the unordered layer pair: the
+    ascending-index spelling wins over the descending one.  {!Dic.Lint}
+    code [R005] flags decks where the two directions disagree. *)
+val cell_space_override : t -> Layer.t -> Layer.t -> int option
+
 (** {1 Rule files}
 
     A textual rule description so processes are data, not code: one
     [key value] pair per line, [#] comments.  [lambda] (read first)
     sets the defaults for every other key via {!nmos}; explicit keys
-    override.  Keys are the record field names, plus [name].
+    override.  Keys are the record field names, plus [name] and
+    directed [space_<a>_<b>] pair overrides.
 
     {v
     # a coarser process
@@ -64,4 +102,22 @@ val pp : Format.formatter -> t -> unit
     v} *)
 
 val to_string : t -> string
+
+(** Strict parse.  Malformed lines, unknown keys, duplicate keys, and
+    non-positive values are errors, each reported with its line number
+    ("line N: ..."). *)
 val of_string : string -> (t, string) result
+
+(** One [key value] line of a rule file, with its 1-based line
+    number. *)
+type entry_src = { eline : int; key : string; value : string }
+
+(** Tokenize a rule file without interpreting it: the [key value]
+    entries in file order, plus the (line, text) of every malformed
+    line.  Never fails — the lenient entry point {!Dic.Lint} builds
+    its best-effort deck on. *)
+val scan : string -> entry_src list * (int * string) list
+
+(** Interpret scanned entries strictly (same errors as
+    {!of_string}). *)
+val of_entries : entry_src list -> (t, string) result
