@@ -945,6 +945,141 @@ let kernel_bench () =
   print_endline "wrote BENCH_kernel.json"
 
 (* ------------------------------------------------------------------ *)
+(* S -- Serve daemon under concurrent clients                          *)
+
+(* Mocked concurrent clients against a real [dicheck serve] Unix-domain
+   socket: the daemon runs [Dic.Serve.serve_socket] in its own domain
+   with a 4-worker pool over a persistent cache, and each client is a
+   domain sending sequential inline-CIF requests over its own
+   connection.  Measures sustained requests/sec and p50/p99 per-request
+   latency at 1/2/4/8 clients after a warm-up round, and holds every
+   reply's report to byte-identity with the one-shot text ([identical]
+   in the output).  Writes BENCH_serve.json. *)
+
+let serve_bench () =
+  section
+    "S: serve daemon under concurrent clients\n\
+     (4 worker domains over one Unix socket; each client sends\n\
+     sequential requests on its own connection; identical = every\n\
+     reply's report matched the one-shot bytes)";
+  let src = Cif.Print.to_string (Layoutgen.Cells.grid ~lambda ~nx:4 ~ny:4) in
+  let expected =
+    match Dic.Engine.check_string (Dic.Engine.create rules) src with
+    | Ok (result, _) ->
+      Format.asprintf "%a@." Dic.Report.pp result.Dic.Engine.report
+      ^ Format.asprintf "%a@." Dic.Engine.pp_summary result
+    | Error e -> failwith e
+  in
+  let cache_dir = Filename.temp_file "dic_bench_serve" "" in
+  Sys.remove cache_dir;
+  let sock_path = Filename.temp_file "dic_bench_sock" "" in
+  Sys.remove sock_path;
+  let workers = 4 and reqs_per_client = 25 in
+  let server = Dic.Serve.create ~workers ~cache_dir rules in
+  let srv = Domain.spawn (fun () -> Dic.Serve.serve_socket server ~path:sock_path) in
+  let rec await_socket n =
+    if not (Sys.file_exists sock_path) then
+      if n = 0 then failwith "serve socket never appeared"
+      else begin
+        Unix.sleepf 0.05;
+        await_socket (n - 1)
+      end
+  in
+  await_socket 200;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock_path);
+    (fd, Unix.in_channel_of_descr fd)
+  in
+  let send fd line =
+    let s = line ^ "\n" in
+    let len = String.length s in
+    let off = ref 0 in
+    while !off < len do
+      off := !off + Unix.write_substring fd s !off (len - !off)
+    done
+  in
+  let request id =
+    Dic.Json.to_string (Dic.Json.Obj [ ("id", Dic.Json.Str id); ("cif", Dic.Json.Str src) ])
+  in
+  (* One client conversation: [reqs] sequential request/reply round
+     trips, returning per-request latencies and the mismatch count. *)
+  let run_client name reqs () =
+    let fd, ic = connect () in
+    let lats = Array.make reqs 0. in
+    let mismatches = ref 0 in
+    for i = 0 to reqs - 1 do
+      let t0 = Dic.Metrics.now_ns () in
+      send fd (request (Printf.sprintf "%s-%d" name i));
+      (match In_channel.input_line ic with
+      | None -> incr mismatches
+      | Some line -> (
+        match Dic.Json.parse line with
+        | Ok v
+          when Option.bind (Dic.Json.member "report" v) Dic.Json.str = Some expected ->
+          ()
+        | _ -> incr mismatches));
+      lats.(i) <- Int64.to_float (Int64.sub (Dic.Metrics.now_ns ()) t0) *. 1e-9
+    done;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (lats, !mismatches)
+  in
+  (* Warm-up: populate the cache and every worker's engines so the
+     measured rounds compare steady-state service, not cold parses. *)
+  ignore (run_client "warm" (2 * workers) ());
+  let percentile sorted q =
+    sorted.(min (Array.length sorted - 1)
+              (int_of_float (q *. float_of_int (Array.length sorted - 1))))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"experiment\":\"serve-concurrency\",\"workers\":%d,\"hardware_threads\":%d,\"workload\":\"grid-4x4\",\"requests_per_client\":%d,\"points\":["
+       workers
+       (Domain.recommended_domain_count ())
+       reqs_per_client);
+  Printf.printf "%8s %9s %9s %9s %9s %9s %10s\n" "clients" "requests" "seconds"
+    "rps" "p50_ms" "p99_ms" "identical";
+  let all_identical = ref true in
+  List.iteri
+    (fun i clients ->
+      let results, seconds =
+        wall (fun () ->
+            List.init clients (fun k ->
+                Domain.spawn (run_client (Printf.sprintf "c%d" k) reqs_per_client))
+            |> List.map Domain.join)
+      in
+      let lats = Array.concat (List.map fst results) in
+      Array.sort compare lats;
+      let total = Array.length lats in
+      let mismatches = List.fold_left (fun acc (_, m) -> acc + m) 0 results in
+      let identical = mismatches = 0 in
+      if not identical then all_identical := false;
+      let rps = float_of_int total /. seconds in
+      let p50 = percentile lats 0.5 *. 1e3 and p99 = percentile lats 0.99 *. 1e3 in
+      Printf.printf "%8d %9d %9.3f %9.1f %9.2f %9.2f %10b\n" clients total seconds
+        rps p50 p99 identical;
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"clients\":%d,\"requests\":%d,\"seconds\":%.6f,\"rps\":%.3f,\"p50_ms\":%.4f,\"p99_ms\":%.4f,\"identical\":%b}"
+           clients total seconds rps p50 p99 identical))
+    [ 1; 2; 4; 8 ];
+  Buffer.add_string buf (Printf.sprintf "],\"identical\":%b}" !all_identical);
+  (* Graceful teardown: the shutdown handshake drains and flushes, and
+     serve_socket removes its socket file on the way out. *)
+  let fd, ic = connect () in
+  send fd "{\"id\":\"bye\",\"shutdown\":true}";
+  ignore (In_channel.input_line ic);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Domain.join srv;
+  rm_rf cache_dir;
+  Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf);
+      Out_channel.output_char oc '\n');
+  print_endline "wrote BENCH_serve.json"
+
+(* ------------------------------------------------------------------ *)
 (* T2 and Bechamel micro-benchmarks                                    *)
 
 let bechamel_benches () =
@@ -1025,7 +1160,7 @@ let experiments =
     ("t3", t3_incremental); ("ablations", ablations);
     ("parallel", parallel_scaling); ("incremental", incremental_recheck);
     ("trace-overhead", trace_overhead); ("lint-overhead", lint_overhead);
-    ("kernel", kernel_bench);
+    ("kernel", kernel_bench); ("serve", serve_bench);
     ("bechamel", bechamel_benches) ]
 
 let () =

@@ -4,12 +4,14 @@
 
      dicheck check FILE   (also the default: `dicheck FILE`)
      dicheck lint [FILE]  static lints only: rule deck + CIF hierarchy
-     dicheck serve        JSON-lines request loop on stdio or a socket
+     dicheck serve        concurrent JSON-lines daemon, stdio or socket
 
    `check` reads extended CIF, runs either the hierarchical checker or
    the classical flat baseline, and prints the report; with --cache DIR
    per-definition results and the interaction memo persist across
-   invocations.  `serve` keeps the engine warm in-process instead.
+   invocations.  `serve` keeps engines warm in-process instead: a pool
+   of worker domains (--workers) answers any number of concurrent
+   clients (docs/PROTOCOL.md is the wire reference).
 
    Exit codes: 0 the design checked clean, 1 the checker found errors
    (or warnings, with --werror), 2 usage / parse / input failure. *)
@@ -230,32 +232,22 @@ let lint_main file rules_file lambda explain_code sarif_out werror =
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
-let serve_main lambda rules_file cache socket =
+let serve_main lambda rules_file cache socket workers max_queue =
   let rules = load_rules ~lambda rules_file in
-  let server = Dic.Serve.create ?cache_dir:cache rules in
-  match socket with
-  | None ->
-    Dic.Serve.loop server stdin stdout;
-    0
+  let server = Dic.Serve.create ?cache_dir:cache ~workers ~max_queue rules in
+  (* SIGTERM = graceful drain: the handler only flips a flag (OCaml 5
+     handlers may run on any domain); the transport loops poll it and
+     run the real shutdown — every queued request still gets a reply
+     and the warm state is flushed to the cache. *)
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> Dic.Serve.request_stop server));
+  (match socket with
+  | None -> Dic.Serve.serve_stdio server
   | Some path ->
-    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.unlink path with Unix.Unix_error _ -> ());
-    Unix.bind sock (Unix.ADDR_UNIX path);
-    Unix.listen sock 8;
-    Printf.eprintf "[dicheck] serving on %s\n%!" path;
-    (* Sequential accept loop: one client at a time, each a JSON-lines
-       conversation; the warm engine is shared across clients.  Runs
-       until the process is killed. *)
-    let rec accept_loop () =
-      let client, _ = Unix.accept sock in
-      let ic = Unix.in_channel_of_descr client in
-      let oc = Unix.out_channel_of_descr client in
-      (try Dic.Serve.loop server ic oc with Sys_error _ | End_of_file -> ());
-      (try Out_channel.flush oc with Sys_error _ -> ());
-      (try Unix.close client with Unix.Unix_error _ -> ());
-      accept_loop ()
-    in
-    accept_loop ()
+    Printf.eprintf "[dicheck] serving on %s with %d worker(s)\n%!" path
+      (Dic.Serve.worker_count server);
+    Dic.Serve.serve_socket server ~path);
+  0
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -419,17 +411,35 @@ let serve_cmd =
          & info [ "socket" ] ~docv:"PATH"
              ~doc:"Listen on a Unix domain socket at PATH (unlinked and rebound \
                    at startup) instead of serving the process's stdin/stdout.  \
-                   Clients connect and speak the same JSON-lines protocol; the \
-                   warm engine is shared across connections.")
+                   Clients connect and speak the same JSON-lines protocol; any \
+                   number may be connected at once.")
+  in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Size of the worker-domain pool answering requests (0, the \
+                   default, asks the runtime for the recommended count).  Each \
+                   worker keeps its own warm engines over the shared \
+                   $(b,--cache) directory; reports are byte-identical at every \
+                   worker count.")
+  in
+  let max_queue =
+    Arg.(value & opt int 64
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Bound on the pending-request queue.  Submissions beyond it \
+                   are refused immediately with an \"overloaded\" reply \
+                   instead of queueing without bound.")
   in
   Cmd.v
     (Cmd.info "serve" ~exits
-       ~doc:"Answer JSON-lines check requests from a warm engine.  One request \
-             object per input line (fields: id, path or cif, jobs, \
-             check_same_net, werror, stats, sarif, out), one reply line per \
-             request.  Per-definition results and the interaction memo persist \
-             in memory across requests — and on disk with $(b,--cache).")
-    Term.(const serve_main $ lambda_arg $ rules_arg $ cache_arg $ socket)
+       ~doc:"Answer JSON-lines check requests concurrently from a pool of \
+             worker domains over warm engines.  One request object per input \
+             line, one reply line per request; re-submitting an id supersedes \
+             the previous request with that id, and a shutdown request (or \
+             SIGTERM) drains the queue and flushes the cache before exiting.  \
+             The full wire reference is docs/PROTOCOL.md.")
+    Term.(const serve_main $ lambda_arg $ rules_arg $ cache_arg $ socket
+          $ workers $ max_queue)
 
 let info =
   Cmd.info "dicheck" ~version:Dic.Version.version ~exits

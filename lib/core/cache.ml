@@ -28,10 +28,19 @@ let def_path t ~env ~fp = Filename.concat t.root (Filename.concat "defs" (Filena
 let memo_path t ~env = Filename.concat t.root (Filename.concat "memo" env)
 
 (* [magic ^ MD5(payload) ^ payload], written to a sibling temp name and
-   renamed so a reader never sees a torn file. *)
+   renamed so a reader never sees a torn file.  The temp name carries
+   the pid and a process-wide sequence number: concurrent writers (the
+   serve daemon's worker domains, or two daemons on one cache) must not
+   stage into the same temp file or one rename ships the other's
+   half-written bytes. *)
+let tmp_seq = Atomic.make 0
+
 let write_file path payload =
   mkdir_p (Filename.dirname path);
-  let tmp = path ^ ".tmp" in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)

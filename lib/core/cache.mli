@@ -33,7 +33,18 @@
     cost a recheck but can never crash or change a verdict.  The cache
     stores only inputs to report {e assembly} (violation lists, memo
     candidates), never verdict logic, which is the engine's determinism
-    invariant: cache state changes cost, not results. *)
+    invariant: cache state changes cost, not results.
+
+    {2 Concurrent writers}
+
+    Temp names are unique per writer (pid × sequence number), so any
+    number of domains or processes may store into one cache directory:
+    each rename publishes a complete, self-verifying file, and when two
+    writers race on the same address the last rename wins.  Definition
+    entries are content-addressed — racing writers are writing
+    identical payloads — and a lost memo merge costs at most some
+    warmth on the next load.  Either way the race moves cost, never
+    verdicts. *)
 
 type t
 

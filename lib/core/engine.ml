@@ -118,6 +118,9 @@ type t = {
   (* the on-disk memo (content-addressed keys), loaded at most once per
      environment *)
   mutable e_disk_memo : Cache.memo_file option;
+  (* sid -> subtree fingerprint from the most recent check, kept so
+     [flush] can re-run [save_memo] outside any check *)
+  mutable e_last_subtree : (int, string) Hashtbl.t option;
 }
 
 let create ?(config = default_config) ?cache_dir rules =
@@ -128,7 +131,8 @@ let create ?(config = default_config) ?cache_dir rules =
     e_defs = Hashtbl.create 64;
     e_memo = Interactions.create_memo ();
     e_memo_fps = [];
-    e_disk_memo = None }
+    e_disk_memo = None;
+    e_last_subtree = None }
 
 let rules t = t.e_rules
 let config t = t.e_config
@@ -142,6 +146,7 @@ let with_config t config =
     Interactions.prune_memo t.e_memo ~keep:(fun _ -> false);
     t.e_memo_fps <- [];
     t.e_disk_memo <- None;
+    t.e_last_subtree <- None;
     t.e_env <- env
   end;
   t.e_config <- config;
@@ -443,6 +448,7 @@ let check ?metrics ?trace ?progress t file =
     in
     Metrics.count_report m report;
     save_memo t trace subtree;
+    t.e_last_subtree <- Some subtree;
     Ok
       ( { report;
           netlist;
@@ -455,6 +461,15 @@ let check ?metrics ?trace ?progress t file =
           symbols_reused = !reused;
           defs_from_disk = !defs_from_disk;
           memo_loaded } )
+
+(* Persist whatever warm state the session holds; a no-op before the
+   first check or without a cache directory.  [check] already saves the
+   memo on every run, so this only matters for orderly teardown paths
+   (daemon shutdown) that want an explicit flush point. *)
+let flush t =
+  match t.e_last_subtree with
+  | None -> ()
+  | Some subtree -> save_memo t None subtree
 
 let check_string ?metrics ?trace ?progress t src =
   match Cif.Parse.file src with

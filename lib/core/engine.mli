@@ -138,6 +138,14 @@ val check_string :
   ?metrics:Metrics.t -> ?trace:Trace.t -> ?progress:(string -> unit) ->
   t -> string -> (result * reuse, string) Stdlib.result
 
+(** Persist the session's warm interaction memo to the cache directory
+    now.  {!check} already saves after every run, so this is a no-op in
+    steady state (and always before the first check or without a cache
+    directory); orderly teardown paths — the serve daemon's shutdown —
+    call it so nothing warm is lost even if the last check's write
+    raced a concurrent writer. *)
+val flush : t -> unit
+
 (** One-line summary: error/warning counts and net count. *)
 val pp_summary : Format.formatter -> result -> unit
 

@@ -264,5 +264,9 @@ let parse src =
 let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 let str = function Str s -> Some s | _ -> None
 let num = function Num f -> Some f | _ -> None
+
+let int = function
+  | Num f when Float.is_integer f && Float.abs f <= 1e9 -> Some (int_of_float f)
+  | _ -> None
 let bool = function Bool b -> Some b | _ -> None
 let arr = function Arr vs -> Some vs | _ -> None

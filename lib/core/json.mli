@@ -36,5 +36,9 @@ val quote : string -> string
 val member : string -> t -> t option
 val str : t -> string option
 val num : t -> float option
+
+(** [int] narrows {!num} to integral values (within [±1e9]); [None]
+    for [2.5] rather than a silent truncation. *)
+val int : t -> int option
 val bool : t -> bool option
 val arr : t -> t list option

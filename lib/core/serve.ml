@@ -1,29 +1,86 @@
+(* The [dicheck serve] daemon.  Wire protocol: docs/PROTOCOL.md.
+
+   Shape: any number of connection readers feed one bounded job queue;
+   [s_workers] worker domains drain it.  Engines are per-worker (an
+   Engine.t is mutable and not safe to share across domains) but all
+   workers sit on the same persistent Cache directory, so definition
+   fingerprints and interaction memos written by one worker warm the
+   others — and the next daemon — through disk. *)
+
+type conn = {
+  c_serial : int;  (* cancellation scope: (serial, id) keys p_latest *)
+  c_reply : string -> unit;  (* serialized; never raises *)
+  c_lock : Mutex.t;
+  c_done : Condition.t;
+  mutable c_outstanding : int;  (* jobs enqueued, reply not yet delivered *)
+}
+
+type job = {
+  j_conn : conn;
+  j_req : Json.t;
+  j_id : Json.t;
+  j_key : (int * string) option;  (* None when the request has no id *)
+  j_ticket : int;
+}
+
+type pool = {
+  p_lock : Mutex.t;
+  p_work : Condition.t;  (* queue became non-empty / stop *)
+  p_done : Condition.t;  (* a job finished / queue drained *)
+  p_queue : job Queue.t;
+  p_stop : bool Atomic.t;
+  (* (conn serial, canonical id) -> newest ticket for that id.  A job
+     whose ticket is older than the table's is superseded. *)
+  p_latest : (int * string, int) Hashtbl.t;
+  mutable p_ticket : int;
+  mutable p_inflight : int;
+  mutable p_served : int;
+  mutable p_cancelled : int;
+  mutable p_overloaded : int;
+  mutable p_workers : unit Domain.t list;
+}
+
 type t = {
   s_rules : Tech.Rules.t;
   s_base : Engine.config;
   s_cache_dir : string option;
-  (* environment digest -> warm engine; requests that differ only in
-     [jobs] land on the same engine *)
+  s_workers : int;
+  s_max_queue : int;
+  (* environment digest -> warm engine, for the synchronous
+     [handle_line] path only; worker domains keep their own tables *)
   s_engines : (string, Engine.t) Hashtbl.t;
+  s_lock : Mutex.t;  (* guards pool creation *)
+  mutable s_pool : pool option;
+  s_stop_req : bool Atomic.t;
+  s_conn_seq : int Atomic.t;
 }
 
-let create ?(config = Engine.default_config) ?cache_dir rules =
-  { s_rules = rules; s_base = config; s_cache_dir = cache_dir; s_engines = Hashtbl.create 4 }
+let create ?(config = Engine.default_config) ?cache_dir ?(workers = 0)
+    ?(max_queue = 64) rules =
+  { s_rules = rules;
+    s_base = config;
+    s_cache_dir = cache_dir;
+    s_workers = (if workers <= 0 then Domain.recommended_domain_count () else workers);
+    s_max_queue = max max_queue 1;
+    s_engines = Hashtbl.create 4;
+    s_lock = Mutex.create ();
+    s_pool = None;
+    s_stop_req = Atomic.make false;
+    s_conn_seq = Atomic.make 0 }
 
-let engine_for t config =
-  let env = Engine.env_key t.s_rules config in
-  match Hashtbl.find_opt t.s_engines env with
-  | Some e -> Engine.with_config e config
-  | None ->
-    let e = Engine.create ~config ?cache_dir:t.s_cache_dir t.s_rules in
-    Hashtbl.replace t.s_engines env e;
-    e
+let worker_count t = t.s_workers
 
-let error_reply id msg =
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+
+let refuse ?(status = "error") id msg =
   Json.to_string
     (Json.Obj
-       [ ("id", id); ("ok", Json.Bool false); ("error", Json.Str msg);
-         ("exit", Json.Num 2.) ])
+       [ ("id", id); ("ok", Json.Bool false); ("status", Json.Str status);
+         ("error", Json.Str msg); ("exit", Json.Num 2.) ])
+
+let cancelled_reply id =
+  refuse ~status:"cancelled" id "superseded by a newer request with the same id"
 
 (* Embed an already-rendered JSON document as a subobject of the reply.
    Both emitters are canonical, so the parse cannot fail in practice;
@@ -35,9 +92,34 @@ let read_file path =
   try Ok (In_channel.with_open_text path In_channel.input_all)
   with Sys_error msg -> Error msg
 
-let handle_request t req =
+(* ------------------------------------------------------------------ *)
+(* Checking one request (runs on a worker domain or, via handle_line,
+   on the caller's)                                                    *)
+
+let engine_for t engines config =
+  let env = Engine.env_key t.s_rules config in
+  match Hashtbl.find_opt engines env with
+  | Some e -> Engine.with_config e config
+  | None ->
+    let e = Engine.create ~config ?cache_dir:t.s_cache_dir t.s_rules in
+    Hashtbl.replace engines env e;
+    e
+
+let lint_code rule =
+  let prefix = "lint." in
+  let n = String.length prefix in
+  if String.length rule > n && String.sub rule 0 n = prefix then
+    String.sub rule n (String.length rule - n)
+  else rule
+
+let process t engines req =
   let id = Option.value ~default:Json.Null (Json.member "id" req) in
   let flag name = Option.bind (Json.member name req) Json.bool = Some true in
+  (* Debug aid for exercising cancellation and backpressure
+     deterministically; see PROTOCOL.md. *)
+  (match Option.bind (Json.member "sleep_ms" req) Json.num with
+  | Some ms when ms > 0. -> Unix.sleepf (Float.min ms 10_000. /. 1000.)
+  | _ -> ());
   let source =
     match (Option.bind (Json.member "path" req) Json.str,
            Option.bind (Json.member "cif" req) Json.str)
@@ -47,28 +129,32 @@ let handle_request t req =
     | None, None -> Error "request needs \"path\" or \"cif\""
   in
   match source with
-  | Error msg -> error_reply id msg
+  | Error msg -> refuse id msg
   | Ok (src, uri) -> (
+    let lint_werror = flag "lint_werror" in
+    let run_lint =
+      (match Option.bind (Json.member "lint" req) Json.bool with
+      | Some b -> b
+      | None -> t.s_base.Engine.run_lint)
+      || lint_werror
+    in
     let config =
       { t.s_base with
         Engine.interactions =
           { t.s_base.Engine.interactions with
             Interactions.jobs =
-              (match Option.bind (Json.member "jobs" req) Json.num with
-              | Some j -> int_of_float j
+              (match Option.bind (Json.member "jobs" req) Json.int with
+              | Some j -> j
               | None -> t.s_base.Engine.interactions.Interactions.jobs);
             Interactions.check_same_net =
               (match Option.bind (Json.member "check_same_net" req) Json.bool with
               | Some b -> b
               | None -> t.s_base.Engine.interactions.Interactions.check_same_net) };
-        Engine.run_lint =
-          (match Option.bind (Json.member "lint" req) Json.bool with
-          | Some b -> b
-          | None -> t.s_base.Engine.run_lint) }
+        Engine.run_lint }
     in
-    let engine = engine_for t config in
+    let engine = engine_for t engines config in
     match Engine.check_string engine src with
-    | Error msg -> error_reply id msg
+    | Error msg -> refuse id msg
     | Ok (result, reuse) ->
       (* Exactly the bytes one-shot [dicheck FILE] writes to stdout:
          the report then the one-line summary (the serve smoke diffs
@@ -80,20 +166,45 @@ let handle_request t req =
       (match Option.bind (Json.member "out" req) Json.str with
       | None -> ()
       | Some path ->
-        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc report_text));
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc report_text));
       let count sev = Report.count ~severity:sev result.Engine.report in
       let errors = count Report.Error and warnings = count Report.Warning in
-      let exit_code = if errors > 0 || (flag "werror" && warnings > 0) then 1 else 0 in
+      let lint_hits = Report.by_rule_prefix result.Engine.report "lint." in
+      let exit_code =
+        if errors > 0 || (flag "werror" && warnings > 0)
+           || (lint_werror && lint_hits <> [])
+        then 1
+        else 0
+      in
+      let lint_counts =
+        if not run_lint then []
+        else begin
+          let tbl = Hashtbl.create 8 in
+          List.iter
+            (fun (v : Report.violation) ->
+              let code = lint_code v.Report.rule in
+              Hashtbl.replace tbl code
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl code)))
+            lint_hits;
+          let entries =
+            List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+          in
+          [ ("lint_counts",
+             Json.Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) entries)) ]
+        end
+      in
       let base =
-        [ ("id", id); ("ok", Json.Bool true);
+        [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "ok");
           ("errors", Json.Num (float_of_int errors));
           ("warnings", Json.Num (float_of_int warnings));
           ("exit", Json.Num (float_of_int exit_code));
           ("symbols_total", Json.Num (float_of_int reuse.Engine.symbols_total));
           ("symbols_reused", Json.Num (float_of_int reuse.Engine.symbols_reused));
           ("defs_from_disk", Json.Num (float_of_int reuse.Engine.defs_from_disk));
-          ("memo_loaded", Json.Num (float_of_int reuse.Engine.memo_loaded));
-          ("report", Json.Str report_text) ]
+          ("memo_loaded", Json.Num (float_of_int reuse.Engine.memo_loaded)) ]
+        @ lint_counts
+        @ [ ("report", Json.Str report_text) ]
       in
       let with_metrics =
         if flag "stats" then
@@ -107,26 +218,373 @@ let handle_request t req =
       in
       Json.to_string (Json.Obj with_sarif))
 
-let handle_line t line =
-  match Json.parse line with
-  | Error msg -> error_reply Json.Null ("bad request: " ^ msg)
-  | Ok req -> (
-    try handle_request t req
-    with exn ->
-      error_reply
-        (Option.value ~default:Json.Null (Json.member "id" req))
-        ("internal error: " ^ Printexc.to_string exn))
+let process_safe t engines req =
+  try process t engines req
+  with exn ->
+    refuse
+      (Option.value ~default:Json.Null (Json.member "id" req))
+      ("internal error: " ^ Printexc.to_string exn)
 
-let loop t ic oc =
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let is_stale p job =
+  match job.j_key with
+  | None -> false
+  | Some key -> (
+    match Hashtbl.find_opt p.p_latest key with
+    | Some newest -> newest > job.j_ticket
+    | None -> false)
+
+let deliver job line =
+  job.j_conn.c_reply line;
+  Mutex.lock job.j_conn.c_lock;
+  job.j_conn.c_outstanding <- job.j_conn.c_outstanding - 1;
+  Condition.broadcast job.j_conn.c_done;
+  Mutex.unlock job.j_conn.c_lock
+
+let worker_loop t p () =
+  (* This worker's private engines; warmth crosses workers only
+     through the shared on-disk cache. *)
+  let engines = Hashtbl.create 4 in
   let rec go () =
-    match In_channel.input_line ic with
-    | None -> ()
-    | Some line ->
-      if String.trim line <> "" then begin
-        Out_channel.output_string oc (handle_line t line);
-        Out_channel.output_char oc '\n';
-        Out_channel.flush oc
-      end;
+    Mutex.lock p.p_lock;
+    while Queue.is_empty p.p_queue && not (Atomic.get p.p_stop) do
+      Condition.wait p.p_work p.p_lock
+    done;
+    if Queue.is_empty p.p_queue then begin
+      (* Stop requested and nothing left: flush warm state to disk so a
+         restarted daemon recovers it, then exit. *)
+      Mutex.unlock p.p_lock;
+      Hashtbl.iter (fun _ e -> Engine.flush e) engines
+    end
+    else begin
+      let job = Queue.pop p.p_queue in
+      p.p_inflight <- p.p_inflight + 1;
+      let stale = is_stale p job in
+      if stale then p.p_cancelled <- p.p_cancelled + 1;
+      Mutex.unlock p.p_lock;
+      let line =
+        if stale then cancelled_reply job.j_id
+        else begin
+          let text = process_safe t engines job.j_req in
+          (* A newer submission may have arrived while we were
+             checking: drop the stale result on the floor. *)
+          Mutex.lock p.p_lock;
+          let stale_now = is_stale p job in
+          if stale_now then p.p_cancelled <- p.p_cancelled + 1
+          else p.p_served <- p.p_served + 1;
+          Mutex.unlock p.p_lock;
+          if stale_now then cancelled_reply job.j_id else text
+        end
+      in
+      deliver job line;
+      Mutex.lock p.p_lock;
+      p.p_inflight <- p.p_inflight - 1;
+      Condition.broadcast p.p_done;
+      Mutex.unlock p.p_lock;
       go ()
+    end
   in
   go ()
+
+let start t =
+  Mutex.lock t.s_lock;
+  (match t.s_pool with
+  | Some _ -> ()
+  | None ->
+    let p =
+      { p_lock = Mutex.create ();
+        p_work = Condition.create ();
+        p_done = Condition.create ();
+        p_queue = Queue.create ();
+        p_stop = Atomic.make false;
+        p_latest = Hashtbl.create 16;
+        p_ticket = 0;
+        p_inflight = 0;
+        p_served = 0;
+        p_cancelled = 0;
+        p_overloaded = 0;
+        p_workers = [] }
+    in
+    t.s_pool <- Some p;
+    p.p_workers <-
+      List.init t.s_workers (fun _ -> Domain.spawn (worker_loop t p)));
+  Mutex.unlock t.s_lock
+
+let pool t =
+  match t.s_pool with
+  | Some p -> p
+  | None ->
+    start t;
+    Option.get t.s_pool
+
+let connect t ~reply =
+  let lock = Mutex.create () in
+  let guarded line =
+    Mutex.lock lock;
+    (try reply line with _ -> ());
+    Mutex.unlock lock
+  in
+  { c_serial = Atomic.fetch_and_add t.s_conn_seq 1;
+    c_reply = guarded;
+    c_lock = Mutex.create ();
+    c_done = Condition.create ();
+    c_outstanding = 0 }
+
+let drain t =
+  match t.s_pool with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.p_lock;
+    while not (Queue.is_empty p.p_queue) || p.p_inflight > 0 do
+      Condition.wait p.p_done p.p_lock
+    done;
+    Mutex.unlock p.p_lock
+
+let stopped t =
+  Atomic.get t.s_stop_req
+  || (match t.s_pool with Some p -> Atomic.get p.p_stop | None -> false)
+
+let request_stop t = Atomic.set t.s_stop_req true
+
+let shutdown t =
+  match t.s_pool with
+  | None -> Atomic.set t.s_stop_req true
+  | Some p ->
+    Atomic.set t.s_stop_req true;
+    Mutex.lock p.p_lock;
+    Atomic.set p.p_stop true;
+    Condition.broadcast p.p_work;
+    (* Claim the workers under the lock so concurrent shutdowns join
+       each domain exactly once. *)
+    let workers = p.p_workers in
+    p.p_workers <- [];
+    Mutex.unlock p.p_lock;
+    drain t;
+    List.iter Domain.join workers
+
+type stats = {
+  queued : int;
+  inflight : int;
+  served : int;
+  cancelled : int;
+  overloaded : int;
+  workers : int;
+}
+
+let stats t =
+  match t.s_pool with
+  | None ->
+    { queued = 0; inflight = 0; served = 0; cancelled = 0; overloaded = 0;
+      workers = 0 }
+  | Some p ->
+    Mutex.lock p.p_lock;
+    let s =
+      { queued = Queue.length p.p_queue;
+        inflight = p.p_inflight;
+        served = p.p_served;
+        cancelled = p.p_cancelled;
+        overloaded = p.p_overloaded;
+        workers = List.length p.p_workers }
+    in
+    Mutex.unlock p.p_lock;
+    s
+
+let shutdown_ack t id =
+  let served = match t.s_pool with Some p -> p.p_served | None -> 0 in
+  Json.to_string
+    (Json.Obj
+       [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "shutdown");
+         ("served", Json.Num (float_of_int served)) ])
+
+let submit t conn line =
+  if String.trim line <> "" then begin
+    match Json.parse line with
+    | Error msg -> conn.c_reply (refuse Json.Null ("bad request: " ^ msg))
+    | Ok req ->
+      let id = Option.value ~default:Json.Null (Json.member "id" req) in
+      if Option.bind (Json.member "shutdown" req) Json.bool = Some true then begin
+        shutdown t;
+        conn.c_reply (shutdown_ack t id)
+      end
+      else begin
+        let p = pool t in
+        Mutex.lock p.p_lock;
+        if Atomic.get p.p_stop then begin
+          Mutex.unlock p.p_lock;
+          conn.c_reply (refuse ~status:"shutdown" id "server is shutting down")
+        end
+        else if Queue.length p.p_queue >= t.s_max_queue then begin
+          p.p_overloaded <- p.p_overloaded + 1;
+          Mutex.unlock p.p_lock;
+          conn.c_reply
+            (refuse ~status:"overloaded" id "request queue is full; retry later")
+        end
+        else begin
+          p.p_ticket <- p.p_ticket + 1;
+          let key =
+            match id with
+            | Json.Null -> None
+            | _ -> Some (conn.c_serial, Json.to_string id)
+          in
+          (match key with
+          | Some k -> Hashtbl.replace p.p_latest k p.p_ticket
+          | None -> ());
+          Queue.push
+            { j_conn = conn; j_req = req; j_id = id; j_key = key;
+              j_ticket = p.p_ticket }
+            p.p_queue;
+          Mutex.lock conn.c_lock;
+          conn.c_outstanding <- conn.c_outstanding + 1;
+          Mutex.unlock conn.c_lock;
+          Condition.signal p.p_work;
+          Mutex.unlock p.p_lock
+        end
+      end
+  end
+
+(* All replies owed to this connection have been written. *)
+let conn_drain conn =
+  Mutex.lock conn.c_lock;
+  while conn.c_outstanding > 0 do
+    Condition.wait conn.c_done conn.c_lock
+  done;
+  Mutex.unlock conn.c_lock
+
+(* ------------------------------------------------------------------ *)
+(* Synchronous embedding (tests, one-off scripting)                    *)
+
+let handle_line t line =
+  match Json.parse line with
+  | Error msg -> refuse Json.Null ("bad request: " ^ msg)
+  | Ok req ->
+    if Option.bind (Json.member "shutdown" req) Json.bool = Some true then begin
+      shutdown t;
+      shutdown_ack t (Option.value ~default:Json.Null (Json.member "id" req))
+    end
+    else process_safe t t.s_engines req
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                          *)
+
+(* Raw-fd line reader.  Buffered channels read ahead, which makes them
+   unusable with select; this reader owns its buffer and polls [stop]
+   every [tick] seconds while idle so SIGTERM and protocol shutdowns
+   interrupt a blocked daemon promptly. *)
+type reader = {
+  r_fd : Unix.file_descr;
+  r_buf : Buffer.t;
+  r_lines : string Queue.t;
+  mutable r_eof : bool;
+}
+
+let reader fd =
+  { r_fd = fd; r_buf = Buffer.create 256; r_lines = Queue.create (); r_eof = false }
+
+let reader_feed r chunk =
+  String.iter
+    (fun c ->
+      if c = '\n' then begin
+        Queue.push (Buffer.contents r.r_buf) r.r_lines;
+        Buffer.clear r.r_buf
+      end
+      else Buffer.add_char r.r_buf c)
+    chunk
+
+let rec next_line ~stop r =
+  if not (Queue.is_empty r.r_lines) then Some (Queue.pop r.r_lines)
+  else if r.r_eof || stop () then None
+  else begin
+    let ready =
+      try (match Unix.select [ r.r_fd ] [] [] 0.1 with [], _, _ -> false | _ -> true)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if ready then begin
+      let bytes = Bytes.create 65536 in
+      let n =
+        try Unix.read r.r_fd bytes 0 (Bytes.length bytes)
+        with
+        | Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> -1
+        | Unix.Unix_error (_, _, _) -> 0 (* connection error reads as EOF *)
+      in
+      if n = 0 then begin
+        r.r_eof <- true;
+        if Buffer.length r.r_buf > 0 then begin
+          (* Serve a final unterminated line rather than drop it. *)
+          Queue.push (Buffer.contents r.r_buf) r.r_lines;
+          Buffer.clear r.r_buf
+        end
+      end
+      else if n > 0 then reader_feed r (Bytes.sub_string bytes 0 n)
+    end;
+    next_line ~stop r
+  end
+
+(* Whole lines, serialized per fd, write errors swallowed (the client
+   may be gone; its remaining replies just vanish). *)
+let fd_writer fd =
+  fun line ->
+    try
+      let s = line ^ "\n" in
+      let len = String.length s in
+      let off = ref 0 in
+      while !off < len do
+        off := !off + Unix.write_substring fd s !off (len - !off)
+      done
+    with Unix.Unix_error _ -> ()
+
+let read_loop t conn r =
+  let rec go () =
+    match next_line ~stop:(fun () -> stopped t) r with
+    | None -> ()
+    | Some line ->
+      submit t conn line;
+      if stopped t then () else go ()
+  in
+  go ()
+
+let serve_stdio t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  start t;
+  let conn = connect t ~reply:(fd_writer Unix.stdout) in
+  read_loop t conn (reader Unix.stdin);
+  (* EOF or stop: answer everything still queued, flush, and leave. *)
+  shutdown t;
+  conn_drain conn
+
+let serve_socket t ~path =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  start t;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  let client_loop fd () =
+    let conn = connect t ~reply:(fd_writer fd) in
+    read_loop t conn (reader fd);
+    (* Keep the fd open until every reply owed to this connection is
+       out; workers write replies from their own domains. *)
+    conn_drain conn;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let readers = ref [] in
+  let rec accept_loop () =
+    if stopped t then ()
+    else begin
+      let ready =
+        try (match Unix.select [ sock ] [] [] 0.1 with [], _, _ -> false | _ -> true)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> false
+      in
+      (if ready then
+         match (try Some (Unix.accept sock) with Unix.Unix_error _ -> None) with
+         | Some (fd, _) -> readers := Domain.spawn (client_loop fd) :: !readers
+         | None -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  shutdown t;
+  List.iter Domain.join !readers;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ())
