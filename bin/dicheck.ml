@@ -232,9 +232,29 @@ let lint_main file rules_file lambda explain_code sarif_out werror =
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
-let serve_main lambda rules_file cache socket workers max_queue =
+let serve_main lambda rules_file cache socket workers max_queue trace_out event_log
+    slow_ms =
   let rules = load_rules ~lambda rules_file in
-  let server = Dic.Serve.create ?cache_dir:cache ~workers ~max_queue rules in
+  (* The event log is written line-at-a-time from whichever domain hits
+     a lifecycle transition; the hub serializes sink calls under its
+     lock, and each line is flushed so `tail -f` (and the CI smoke)
+     sees events as they happen. *)
+  let event_oc = Option.map Out_channel.open_text event_log in
+  let event_sink =
+    Option.map
+      (fun oc line ->
+        Out_channel.output_string oc line;
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc)
+      event_oc
+  in
+  let telemetry =
+    Dic.Telemetry.create ?slow_ms ?event_sink
+      ~collect_traces:(trace_out <> None) ()
+  in
+  let server =
+    Dic.Serve.create ?cache_dir:cache ~workers ~max_queue ~telemetry rules
+  in
   (* SIGTERM = graceful drain: the handler only flips a flag (OCaml 5
      handlers may run on any domain); the transport loops poll it and
      run the real shutdown — every queued request still gets a reply
@@ -247,7 +267,111 @@ let serve_main lambda rules_file cache socket workers max_queue =
     Printf.eprintf "[dicheck] serving on %s with %d worker(s)\n%!" path
       (Dic.Serve.worker_count server);
     Dic.Serve.serve_socket server ~path);
+  (* Workers are joined; the collected per-request buffers merge in
+     request order into one service-lifetime timeline. *)
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    write_output path (Dic.Trace.to_chrome_json (Dic.Telemetry.merged_trace telemetry)));
+  Option.iter Out_channel.close event_oc;
   0
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+
+(* One stats round trip on a fresh connection, so `top` keeps working
+   across daemon restarts and never holds a reader hostage. *)
+let fetch_stats path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let req = "{\"admin\":\"stats\",\"id\":\"top\"}\n" in
+      let len = String.length req in
+      let off = ref 0 in
+      while !off < len do
+        off := !off + Unix.write_substring sock req !off (len - !off)
+      done;
+      input_line (Unix.in_channel_of_descr sock))
+
+let top_render path reply =
+  let stats = Option.value ~default:Dic.Json.Null (Dic.Json.member "stats" reply) in
+  let m name = Option.value ~default:Dic.Json.Null (Dic.Json.member name stats) in
+  let numf j name = Option.value ~default:0. (Option.bind (Dic.Json.member name j) Dic.Json.num) in
+  let numi j name = int_of_float (numf j name) in
+  let requests = m "requests" and rps = m "rps" in
+  let queue = m "queue" and cache = m "cache" in
+  Printf.printf "dicheck top — %s   uptime %.1fs   workers %d\n" path
+    (numf stats "uptime_s") (numi stats "workers");
+  Printf.printf
+    "requests   accepted %-6d served %-6d inflight %-4d queued %d/%d\n"
+    (numi requests "accepted") (numi requests "served") (numi requests "inflight")
+    (numi queue "depth") (numi queue "max");
+  Printf.printf "           cancelled %-5d overloaded %-4d rejected %d\n"
+    (numi requests "cancelled") (numi requests "overloaded")
+    (numi requests "rejected");
+  Printf.printf "rps        lifetime %-8.2f window %.2f\n" (numf rps "lifetime")
+    (numf rps "window");
+  List.iter
+    (fun (label, name) ->
+      let w = m name in
+      Printf.printf
+        "%s p50 %8.2f ms   p95 %8.2f ms   p99 %8.2f ms   mean %8.2f ms  (last %d)\n"
+        label (numf w "p50") (numf w "p95") (numf w "p99") (numf w "mean")
+        (numi w "len"))
+    [ ("latency   ", "latency_ms"); ("wait      ", "wait_ms");
+      ("service   ", "service_ms") ];
+  Printf.printf "cache      hit %5.1f%%  (symbols %d/%d)\n"
+    (100. *. numf cache "hit_ratio")
+    (numi cache "symbols_reused") (numi cache "symbols_total");
+  (match Option.bind (Dic.Json.member "workers_busy" stats) Dic.Json.arr with
+  | Some busy ->
+    print_string "busy      ";
+    List.iteri
+      (fun w j ->
+        Printf.printf " w%d %3.0f%%" w (100. *. Option.value ~default:0. (Dic.Json.num j)))
+      busy;
+    print_newline ()
+  | None -> ());
+  flush stdout
+
+let top_main path interval once raw =
+  let tick () =
+    match fetch_stats path with
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "dicheck top: %s: %s\n" path (Unix.error_message err);
+      Error ()
+    | exception End_of_file ->
+      Printf.eprintf "dicheck top: %s: connection closed before reply\n" path;
+      Error ()
+    | line -> (
+      match Dic.Json.parse line with
+      | Error msg ->
+        Printf.eprintf "dicheck top: bad stats reply: %s\n" msg;
+        Error ()
+      | Ok reply ->
+        if raw then (
+          match Dic.Json.member "stats" reply with
+          | Some stats -> print_endline (Dic.Json.to_string stats)
+          | None -> print_endline line)
+        else begin
+          if not once then print_string "\027[2J\027[H";
+          top_render path reply
+        end;
+        Ok ())
+  in
+  if once then match tick () with Ok () -> 0 | Error () -> 2
+  else begin
+    (* Live view: a transient connection failure (daemon restarting)
+       shows as a message, not an exit. *)
+    let rec loop () =
+      ignore (tick ());
+      Unix.sleepf interval;
+      loop ()
+    in
+    loop ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -430,6 +554,33 @@ let serve_cmd =
                    are refused immediately with an \"overloaded\" reply \
                    instead of queueing without bound.")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Collect a per-request span tree for every request served \
+                   (the enqueue-to-dequeue wait plus the engine's stage spans, \
+                   one lane per worker) and write the merged Chrome trace-event \
+                   timeline to FILE (- for stdout) at shutdown.  Requests \
+                   merge in request order, so the file is deterministic for a \
+                   given request history.")
+  in
+  let event_log =
+    Arg.(value & opt (some string) None
+         & info [ "event-log" ] ~docv:"FILE"
+             ~doc:"Append one JSON object per service event to FILE as it \
+                   happens: request lifecycle transitions (accepted, started, \
+                   finished, cancelled, overloaded, rejected), slow-request \
+                   entries (see $(b,--slow-ms)), and daemon lifecycle (start, \
+                   shutdown_begin, shutdown).  Field names are stable; the \
+                   schema is in docs/PROTOCOL.md.")
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"With $(b,--event-log): also write a \"slow\" entry for \
+                   every request whose total latency (wait + service) reaches \
+                   MS milliseconds.")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits
        ~doc:"Answer JSON-lines check requests concurrently from a pool of \
@@ -437,15 +588,52 @@ let serve_cmd =
              line, one reply line per request; re-submitting an id supersedes \
              the previous request with that id, and a shutdown request (or \
              SIGTERM) drains the queue and flushes the cache before exiting.  \
-             The full wire reference is docs/PROTOCOL.md.")
+             Live service stats answer the {\"admin\":\"stats\"} request (see \
+             $(b,dicheck top)); $(b,--event-log) streams the request \
+             lifecycle as JSON lines.  The full wire reference is \
+             docs/PROTOCOL.md.")
     Term.(const serve_main $ lambda_arg $ rules_arg $ cache_arg $ socket
-          $ workers $ max_queue)
+          $ workers $ max_queue $ trace_out $ event_log $ slow_ms)
+
+let top_cmd =
+  let socket =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SOCKET"
+             ~doc:"Unix domain socket of a running $(b,dicheck serve --socket) \
+                   daemon.")
+  in
+  let interval =
+    Arg.(value & opt float 2.
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Refresh period of the live view.")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Print one snapshot and exit instead of refreshing (no \
+                   screen clearing; exit 2 if the daemon is unreachable).")
+  in
+  let raw =
+    Arg.(value & flag
+         & info [ "raw" ]
+             ~doc:"Print the canonical stats JSON instead of the rendered \
+                   view (one object per refresh; combine with $(b,--once) \
+                   for scripting).")
+  in
+  Cmd.v
+    (Cmd.info "top" ~exits
+       ~doc:"Live service view of a running serve daemon: request counters, \
+             queue depth, rolling latency percentiles, cache hit ratio, and \
+             per-worker busy fractions, refreshed every $(b,--interval) \
+             seconds over the daemon's {\"admin\":\"stats\"} request.")
+    Term.(const top_main $ socket $ interval $ once $ raw)
 
 let info =
   Cmd.info "dicheck" ~version:Dic.Version.version ~exits
     ~doc:"Design integrity and immunity checking (McGrath & Whitney, DAC 1980)"
 
-let group = Cmd.group ~default:check_term info [ check_cmd; lint_cmd; serve_cmd ]
+let group =
+  Cmd.group ~default:check_term info [ check_cmd; lint_cmd; serve_cmd; top_cmd ]
 
 (* The historical spelling `dicheck FILE` must keep working, but
    cmdliner's command groups reject a first positional that is not a
@@ -458,7 +646,7 @@ let () =
   let use_group =
     Array.length Sys.argv <= 1
     || match Sys.argv.(1) with
-       | "check" | "lint" | "serve" | "--help" | "-h" | "--version" -> true
+       | "check" | "lint" | "serve" | "top" | "--help" | "-h" | "--version" -> true
        | _ -> false
   in
   (* Fold cmdliner's own failure codes (cli errors, internal errors)

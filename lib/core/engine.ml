@@ -416,6 +416,9 @@ let check ?metrics ?trace ?progress t file =
     Metrics.incr ~by:!defs_from_disk m "cache.defs_from_disk";
     Metrics.incr ~by:(total - !reused) m "cache.defs_computed";
     Metrics.incr ~by:memo_loaded m "cache.memo_loaded";
+    if total > 0 then
+      Metrics.set_gauge m "cache.hit_ratio"
+        (float_of_int !reused /. float_of_int total);
     (* Composite stages always run fresh: they are the hierarchical,
        cheap part, and they stitch the cached pieces together. *)
     let nets, connection_issues = timed "connections+netlist" (fun () -> Netgen.build model) in

@@ -66,8 +66,8 @@ type result = {
           {!Metrics.stage_seconds} *)
   metrics : Metrics.t;
       (** the full observability record: stage timers, work counters
-          (including [cache.*]), per-pair cost histogram, errors by
-          class *)
+          (including [cache.*]), the [cache.hit_ratio] gauge, per-pair
+          cost histogram, errors by class *)
   model : Model.t;
   nets : Netgen.t;
 }

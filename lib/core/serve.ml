@@ -21,6 +21,8 @@ type job = {
   j_id : Json.t;
   j_key : (int * string) option;  (* None when the request has no id *)
   j_ticket : int;
+  j_seq : int;  (* telemetry request id, echoed as the reply's "req" *)
+  j_enq_ns : int64;  (* monotonic enqueue time, for the queued span *)
 }
 
 type pool = {
@@ -53,10 +55,11 @@ type t = {
   mutable s_pool : pool option;
   s_stop_req : bool Atomic.t;
   s_conn_seq : int Atomic.t;
+  s_telemetry : Telemetry.t;
 }
 
 let create ?(config = Engine.default_config) ?cache_dir ?(workers = 0)
-    ?(max_queue = 64) rules =
+    ?(max_queue = 64) ?telemetry rules =
   { s_rules = rules;
     s_base = config;
     s_cache_dir = cache_dir;
@@ -66,21 +69,34 @@ let create ?(config = Engine.default_config) ?cache_dir ?(workers = 0)
     s_lock = Mutex.create ();
     s_pool = None;
     s_stop_req = Atomic.make false;
-    s_conn_seq = Atomic.make 0 }
+    s_conn_seq = Atomic.make 0;
+    s_telemetry =
+      (match telemetry with Some tel -> tel | None -> Telemetry.create ()) }
 
 let worker_count t = t.s_workers
+
+let telemetry t = t.s_telemetry
 
 (* ------------------------------------------------------------------ *)
 (* Replies                                                             *)
 
-let refuse ?(status = "error") id msg =
+let jnum n = Json.Num (float_of_int n)
+
+(* The reply's "req" member: the daemon-assigned request id that also
+   keys the event log and the request's trace spans. *)
+let req_field = function Some seq -> [ ("req", jnum seq) ] | None -> []
+
+let refuse ?(status = "error") ?(extra = []) id msg =
   Json.to_string
     (Json.Obj
-       [ ("id", id); ("ok", Json.Bool false); ("status", Json.Str status);
-         ("error", Json.Str msg); ("exit", Json.Num 2.) ])
+       ([ ("id", id); ("ok", Json.Bool false); ("status", Json.Str status);
+          ("error", Json.Str msg) ]
+       @ extra
+       @ [ ("exit", Json.Num 2.) ]))
 
-let cancelled_reply id =
-  refuse ~status:"cancelled" id "superseded by a newer request with the same id"
+let cancelled_reply ?req id =
+  refuse ~status:"cancelled" ~extra:(req_field req) id
+    "superseded by a newer request with the same id"
 
 (* Embed an already-rendered JSON document as a subobject of the reply.
    Both emitters are canonical, so the parse cannot fail in practice;
@@ -112,9 +128,33 @@ let lint_code rule =
     String.sub rule n (String.length rule - n)
   else rule
 
-let process t engines req =
-  let id = Option.value ~default:Json.Null (Json.member "id" req) in
-  let flag name = Option.bind (Json.member name req) Json.bool = Some true in
+(* What the worker needs to know about a finished check beyond the
+   reply line itself: the telemetry facts. *)
+type outcome = {
+  o_status : string;  (* "ok" | "error" *)
+  o_exit : int;
+  o_errors : int;
+  o_warnings : int;
+  o_reuse : (int * int) option;  (* (symbols_total, symbols_reused) *)
+}
+
+let error_outcome =
+  { o_status = "error"; o_exit = 2; o_errors = 0; o_warnings = 0; o_reuse = None }
+
+let process t engines ?req ?trace reqj =
+  let req_members = req_field req in
+  let id = Option.value ~default:Json.Null (Json.member "id" reqj) in
+  let flag name = Option.bind (Json.member name reqj) Json.bool = Some true in
+  let refuse id msg = (refuse ~extra:req_members id msg, error_outcome) in
+  (* Per-request tracing: the worker passes the daemon's buffer (with
+     the queued span already recorded); the synchronous path makes a
+     fresh one when the request opts in with "trace": true. *)
+  let trace =
+    match trace with
+    | Some _ -> trace
+    | None -> if flag "trace" then Some (Trace.create ()) else None
+  in
+  let req = reqj in
   (* Debug aid for exercising cancellation and backpressure
      deterministically; see PROTOCOL.md. *)
   (match Option.bind (Json.member "sleep_ms" req) Json.num with
@@ -153,7 +193,7 @@ let process t engines req =
         Engine.run_lint }
     in
     let engine = engine_for t engines config in
-    match Engine.check_string engine src with
+    match Engine.check_string ?trace engine src with
     | Error msg -> refuse id msg
     | Ok (result, reuse) ->
       (* Exactly the bytes one-shot [dicheck FILE] writes to stdout:
@@ -195,8 +235,9 @@ let process t engines req =
         end
       in
       let base =
-        [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "ok");
-          ("errors", Json.Num (float_of_int errors));
+        [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "ok") ]
+        @ req_members
+        @ [ ("errors", Json.Num (float_of_int errors));
           ("warnings", Json.Num (float_of_int warnings));
           ("exit", Json.Num (float_of_int exit_code));
           ("symbols_total", Json.Num (float_of_int reuse.Engine.symbols_total));
@@ -216,14 +257,27 @@ let process t engines req =
           with_metrics @ [ ("sarif", embed (Sarif.of_report ~uri result.Engine.report)) ]
         else with_metrics
       in
-      Json.to_string (Json.Obj with_sarif))
+      (* The request-scoped span tree, for callers that asked with
+         "trace": true.  Opt-in per request: the daemon-level --trace
+         collection alone never grows replies. *)
+      let with_trace =
+        match trace with
+        | Some tr when flag "trace" ->
+          with_sarif @ [ ("trace", embed (Trace.to_chrome_json tr)) ]
+        | _ -> with_sarif
+      in
+      ( Json.to_string (Json.Obj with_trace),
+        { o_status = "ok"; o_exit = exit_code; o_errors = errors;
+          o_warnings = warnings;
+          o_reuse = Some (reuse.Engine.symbols_total, reuse.Engine.symbols_reused) } ))
 
-let process_safe t engines req =
-  try process t engines req
+let process_safe t engines ?req ?trace reqj =
+  try process t engines ?req ?trace reqj
   with exn ->
-    refuse
-      (Option.value ~default:Json.Null (Json.member "id" req))
-      ("internal error: " ^ Printexc.to_string exn)
+    ( refuse ~extra:(req_field req)
+        (Option.value ~default:Json.Null (Json.member "id" reqj))
+        ("internal error: " ^ Printexc.to_string exn),
+      error_outcome )
 
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                *)
@@ -243,9 +297,10 @@ let deliver job line =
   Condition.broadcast job.j_conn.c_done;
   Mutex.unlock job.j_conn.c_lock
 
-let worker_loop t p () =
+let worker_loop t p w () =
   (* This worker's private engines; warmth crosses workers only
      through the shared on-disk cache. *)
+  let tel = t.s_telemetry in
   let engines = Hashtbl.create 4 in
   let rec go () =
     Mutex.lock p.p_lock;
@@ -263,11 +318,47 @@ let worker_loop t p () =
       p.p_inflight <- p.p_inflight + 1;
       let stale = is_stale p job in
       if stale then p.p_cancelled <- p.p_cancelled + 1;
+      let depth = Queue.length p.p_queue in
       Mutex.unlock p.p_lock;
+      Telemetry.sample_queue_depth tel depth;
+      let deq_ns = Metrics.now_ns () in
+      let wait_ns =
+        let d = Int64.sub deq_ns job.j_enq_ns in
+        if Int64.compare d 0L < 0 then 0L else d
+      in
       let line =
-        if stale then cancelled_reply job.j_id
+        if stale then begin
+          Telemetry.request_cancelled tel ~req:job.j_seq ~worker:w ();
+          cancelled_reply ~req:job.j_seq job.j_id
+        end
         else begin
-          let text = process_safe t engines job.j_req in
+          Telemetry.request_started tel ~req:job.j_seq ~worker:w ~wait_ns;
+          (* Request-scoped span tree: the queued span (enqueue →
+             dequeue), then the whole service as a "request" span with
+             the engine's stage spans nested inside.  One buffer per
+             request, in this worker's lane. *)
+          let want_trace =
+            Telemetry.collecting_traces tel
+            || Option.bind (Json.member "trace" job.j_req) Json.bool = Some true
+          in
+          let tr = if want_trace then Some (Trace.create ~tid:w ()) else None in
+          (match tr with
+          | Some tr ->
+            Trace.record tr ~cat:"serve"
+              ~args:[ ("req", string_of_int job.j_seq) ]
+              "queued" ~ts_ns:job.j_enq_ns ~dur_ns:wait_ns
+          | None -> ());
+          let text, outcome =
+            Trace.with_span tr ~cat:"serve"
+              ~args:[ ("req", string_of_int job.j_seq) ]
+              "request"
+              (fun () -> process_safe t engines ~req:job.j_seq ?trace:tr job.j_req)
+          in
+          let service_ns = Int64.sub (Metrics.now_ns ()) deq_ns in
+          (match tr with
+          | Some tr when Telemetry.collecting_traces tel ->
+            Telemetry.add_trace tel ~req:job.j_seq tr
+          | _ -> ());
           (* A newer submission may have arrived while we were
              checking: drop the stale result on the floor. *)
           Mutex.lock p.p_lock;
@@ -275,10 +366,25 @@ let worker_loop t p () =
           if stale_now then p.p_cancelled <- p.p_cancelled + 1
           else p.p_served <- p.p_served + 1;
           Mutex.unlock p.p_lock;
-          if stale_now then cancelled_reply job.j_id else text
+          if stale_now then begin
+            Telemetry.request_cancelled tel ~req:job.j_seq ~worker:w ();
+            cancelled_reply ~req:job.j_seq job.j_id
+          end
+          else begin
+            (match outcome.o_reuse with
+            | Some (total, reused) -> Telemetry.record_reuse tel ~total ~reused
+            | None -> ());
+            Telemetry.request_finished tel ~req:job.j_seq ~worker:w
+              ~status:outcome.o_status ~exit_code:outcome.o_exit
+              ~errors:outcome.o_errors ~warnings:outcome.o_warnings ~wait_ns
+              ~service_ns;
+            text
+          end
         end
       in
       deliver job line;
+      Telemetry.worker_busy tel ~worker:w
+        ~ns:(Int64.sub (Metrics.now_ns ()) deq_ns);
       Mutex.lock p.p_lock;
       p.p_inflight <- p.p_inflight - 1;
       Condition.broadcast p.p_done;
@@ -309,7 +415,10 @@ let start t =
     in
     t.s_pool <- Some p;
     p.p_workers <-
-      List.init t.s_workers (fun _ -> Domain.spawn (worker_loop t p)));
+      List.init t.s_workers (fun w -> Domain.spawn (worker_loop t p w));
+    Telemetry.lifecycle t.s_telemetry
+      ~fields:[ ("workers", jnum t.s_workers); ("max_queue", jnum t.s_max_queue) ]
+      "start");
   Mutex.unlock t.s_lock
 
 let pool t =
@@ -354,15 +463,29 @@ let shutdown t =
   | Some p ->
     Atomic.set t.s_stop_req true;
     Mutex.lock p.p_lock;
-    Atomic.set p.p_stop true;
+    (* The caller that flips the stop flag owns the lifecycle events:
+       concurrent shutdowns log begin/end exactly once. *)
+    let first = not (Atomic.exchange p.p_stop true) in
     Condition.broadcast p.p_work;
     (* Claim the workers under the lock so concurrent shutdowns join
        each domain exactly once. *)
     let workers = p.p_workers in
     p.p_workers <- [];
     Mutex.unlock p.p_lock;
+    if first then Telemetry.lifecycle t.s_telemetry "shutdown_begin";
     drain t;
-    List.iter Domain.join workers
+    List.iter Domain.join workers;
+    if first then begin
+      Mutex.lock p.p_lock;
+      let served = p.p_served and cancelled = p.p_cancelled in
+      let overloaded = p.p_overloaded in
+      Mutex.unlock p.p_lock;
+      Telemetry.lifecycle t.s_telemetry
+        ~fields:
+          [ ("served", jnum served); ("cancelled", jnum cancelled);
+            ("overloaded", jnum overloaded) ]
+        "shutdown"
+    end
 
 type stats = {
   queued : int;
@@ -391,17 +514,59 @@ let stats t =
     Mutex.unlock p.p_lock;
     s
 
+(* The satellite view clients were missing: the ack (and every
+   overloaded refusal) carries the pool counters, so a client can see
+   what the daemon did — and why it refused. *)
+let stats_fields s =
+  [ ("served", jnum s.served); ("cancelled", jnum s.cancelled);
+    ("overloaded", jnum s.overloaded); ("queued", jnum s.queued);
+    ("inflight", jnum s.inflight) ]
+
 let shutdown_ack t id =
-  let served = match t.s_pool with Some p -> p.p_served | None -> 0 in
+  let s = stats t in
   Json.to_string
     (Json.Obj
-       [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "shutdown");
-         ("served", Json.Num (float_of_int served)) ])
+       ([ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "shutdown") ]
+       @ stats_fields s))
+
+(* ------------------------------------------------------------------ *)
+(* Admin surface                                                       *)
+
+let stats_snapshot t =
+  let s = stats t in
+  Telemetry.snapshot t.s_telemetry ~queued:s.queued ~inflight:s.inflight
+    ~served:s.served ~cancelled:s.cancelled ~overloaded:s.overloaded
+    ~workers:t.s_workers ~max_queue:t.s_max_queue
+
+(* Answered synchronously — admin requests must not queue behind
+   checks, and must keep answering while the daemon drains. *)
+let admin_reply t id kind =
+  match kind with
+  | "stats" ->
+    Json.to_string
+      (Json.Obj
+         [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "stats");
+           ("stats", stats_snapshot t) ])
+  | "health" ->
+    let s = stats t in
+    let state = if stopped t then "draining" else "ok" in
+    Json.to_string
+      (Json.Obj
+         [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "health");
+           ("health", Json.Str state);
+           ("uptime_s", Json.Num (Telemetry.uptime_s t.s_telemetry));
+           ("workers", jnum t.s_workers); ("queued", jnum s.queued);
+           ("inflight", jnum s.inflight) ])
+  | other -> refuse id (Printf.sprintf "unknown admin request %S" other)
+
+let admin_of req = Option.bind (Json.member "admin" req) Json.str
 
 let submit t conn line =
   if String.trim line <> "" then begin
     match Json.parse line with
-    | Error msg -> conn.c_reply (refuse Json.Null ("bad request: " ^ msg))
+    | Error msg ->
+      Telemetry.request_rejected t.s_telemetry ~error:("bad request: " ^ msg);
+      conn.c_reply (refuse Json.Null ("bad request: " ^ msg))
     | Ok req ->
       let id = Option.value ~default:Json.Null (Json.member "id" req) in
       if Option.bind (Json.member "shutdown" req) Json.bool = Some true then begin
@@ -409,38 +574,60 @@ let submit t conn line =
         conn.c_reply (shutdown_ack t id)
       end
       else begin
-        let p = pool t in
-        Mutex.lock p.p_lock;
-        if Atomic.get p.p_stop then begin
-          Mutex.unlock p.p_lock;
-          conn.c_reply (refuse ~status:"shutdown" id "server is shutting down")
-        end
-        else if Queue.length p.p_queue >= t.s_max_queue then begin
-          p.p_overloaded <- p.p_overloaded + 1;
-          Mutex.unlock p.p_lock;
-          conn.c_reply
-            (refuse ~status:"overloaded" id "request queue is full; retry later")
-        end
-        else begin
-          p.p_ticket <- p.p_ticket + 1;
-          let key =
-            match id with
-            | Json.Null -> None
-            | _ -> Some (conn.c_serial, Json.to_string id)
-          in
-          (match key with
-          | Some k -> Hashtbl.replace p.p_latest k p.p_ticket
-          | None -> ());
-          Queue.push
-            { j_conn = conn; j_req = req; j_id = id; j_key = key;
-              j_ticket = p.p_ticket }
-            p.p_queue;
-          Mutex.lock conn.c_lock;
-          conn.c_outstanding <- conn.c_outstanding + 1;
-          Mutex.unlock conn.c_lock;
-          Condition.signal p.p_work;
-          Mutex.unlock p.p_lock
-        end
+        match admin_of req with
+        | Some kind -> conn.c_reply (admin_reply t id kind)
+        | None ->
+          let p = pool t in
+          let seq = Telemetry.next_request t.s_telemetry in
+          (* Telemetry calls below run under p_lock so the event log
+             orders accepted before the worker's started.  Lock order
+             is always pool → telemetry, never the reverse. *)
+          Mutex.lock p.p_lock;
+          if Atomic.get p.p_stop then begin
+            Telemetry.request_rejected t.s_telemetry
+              ~error:"server is shutting down";
+            Mutex.unlock p.p_lock;
+            conn.c_reply
+              (refuse ~status:"shutdown" ~extra:(req_field (Some seq)) id
+                 "server is shutting down")
+          end
+          else if Queue.length p.p_queue >= t.s_max_queue then begin
+            p.p_overloaded <- p.p_overloaded + 1;
+            let extra =
+              req_field (Some seq)
+              @ [ ("served", jnum p.p_served); ("queued", jnum (Queue.length p.p_queue));
+                  ("inflight", jnum p.p_inflight) ]
+            in
+            Telemetry.request_overloaded t.s_telemetry ~req:seq
+              ~queued:(Queue.length p.p_queue);
+            Mutex.unlock p.p_lock;
+            conn.c_reply
+              (refuse ~status:"overloaded" ~extra id
+                 "request queue is full; retry later")
+          end
+          else begin
+            p.p_ticket <- p.p_ticket + 1;
+            let key =
+              match id with
+              | Json.Null -> None
+              | _ -> Some (conn.c_serial, Json.to_string id)
+            in
+            (match key with
+            | Some k -> Hashtbl.replace p.p_latest k p.p_ticket
+            | None -> ());
+            Queue.push
+              { j_conn = conn; j_req = req; j_id = id; j_key = key;
+                j_ticket = p.p_ticket; j_seq = seq;
+                j_enq_ns = Metrics.now_ns () }
+              p.p_queue;
+            Mutex.lock conn.c_lock;
+            conn.c_outstanding <- conn.c_outstanding + 1;
+            Mutex.unlock conn.c_lock;
+            Telemetry.request_accepted t.s_telemetry ~req:seq ~id
+              ~queued:(Queue.length p.p_queue);
+            Condition.signal p.p_work;
+            Mutex.unlock p.p_lock
+          end
       end
   end
 
@@ -457,13 +644,20 @@ let conn_drain conn =
 
 let handle_line t line =
   match Json.parse line with
-  | Error msg -> refuse Json.Null ("bad request: " ^ msg)
+  | Error msg ->
+    Telemetry.request_rejected t.s_telemetry ~error:("bad request: " ^ msg);
+    refuse Json.Null ("bad request: " ^ msg)
   | Ok req ->
+    let id = Option.value ~default:Json.Null (Json.member "id" req) in
     if Option.bind (Json.member "shutdown" req) Json.bool = Some true then begin
       shutdown t;
-      shutdown_ack t (Option.value ~default:Json.Null (Json.member "id" req))
+      shutdown_ack t id
     end
-    else process_safe t t.s_engines req
+    else begin
+      match admin_of req with
+      | Some kind -> admin_reply t id kind
+      | None -> fst (process_safe t t.s_engines req)
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Transports                                                          *)

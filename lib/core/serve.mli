@@ -19,19 +19,24 @@
       "lint_werror": true,    lint + exit 1 when any lint.* fires
       "stats": true,          embed the metrics JSON
       "sarif": true,          embed the SARIF document
+      "trace": true,          embed this request's span tree
       "out": "report.txt",    also write the report text server-side
       "sleep_ms": 250,        debugging: stall before checking
+      "admin": "stats",       service snapshot (or "health"); no check
       "shutdown": true }      drain the queue and stop the daemon
     v}
 
     A successful reply:
 
     {v
-    { "id": ..., "ok": true, "status": "ok", "errors": N, "warnings": N,
-      "exit": 0|1, "symbols_total": N, "symbols_reused": N,
+    { "id": ..., "ok": true, "status": "ok", "req": N, "errors": N,
+      "warnings": N, "exit": 0|1, "symbols_total": N, "symbols_reused": N,
       "defs_from_disk": N, "memo_loaded": N, "lint_counts": {...}?,
-      "report": "...", "metrics": {...}?, "sarif": {...}? }
+      "report": "...", "metrics": {...}?, "sarif": {...}?, "trace": {...}? }
     v}
+
+    [req] is the daemon-assigned request sequence number — the same id
+    that keys the structured event log and the request's trace spans.
 
     [report] is byte-identical to one-shot [dicheck FILE] stdout
     (report + summary) — for every worker count and every [jobs]
@@ -69,26 +74,42 @@
     {!request_stop} — stops intake, drains the queue (every queued
     request is still answered), flushes each worker's engines to the
     persistent cache, and acknowledges with
-    [{"ok":true,"status":"shutdown","served":N}].  Requests arriving
+    [{"ok":true,"status":"shutdown","served":N,"cancelled":N,
+    "overloaded":N,"queued":N,"inflight":N}].  Requests arriving
     during the drain are refused with [{"ok":false,"status":"shutdown"}].
     A daemon restarted over the same [--cache] directory recovers the
     warm state from disk: the first reply after a restart already
-    reports [defs_from_disk > 0]. *)
+    reports [defs_from_disk > 0].
+
+    {2 Observability}
+
+    A {!Telemetry} hub (pass your own via [create ~telemetry] to turn
+    on the event log, slow-request entries, or trace collection; the
+    default hub keeps metrics only) watches every request: the
+    [{"admin":"stats"}] and [{"admin":"health"}] requests are answered
+    synchronously — never queued, still answered while draining — with
+    the canonical snapshots from {!Telemetry.snapshot}; overloaded
+    refusals carry the pool counters ([served]/[queued]/[inflight]) so
+    a refused client sees why.  None of it touches report bytes. *)
 
 type t
 
-(** [create ?config ?cache_dir ?workers ?max_queue rules].  [workers]
-    is the worker-domain count ([0], the default, asks the runtime via
-    [Domain.recommended_domain_count]); [max_queue] (default [64])
-    bounds the request queue — submissions beyond it are refused
-    immediately with an ["overloaded"] reply rather than queued
-    without bound. *)
+(** [create ?config ?cache_dir ?workers ?max_queue ?telemetry rules].
+    [workers] is the worker-domain count ([0], the default, asks the
+    runtime via [Domain.recommended_domain_count]); [max_queue]
+    (default [64]) bounds the request queue — submissions beyond it are
+    refused immediately with an ["overloaded"] reply rather than queued
+    without bound; [telemetry] is the service hub (defaults to a quiet
+    metrics-only {!Telemetry.create}). *)
 val create :
   ?config:Engine.config -> ?cache_dir:string -> ?workers:int ->
-  ?max_queue:int -> Tech.Rules.t -> t
+  ?max_queue:int -> ?telemetry:Telemetry.t -> Tech.Rules.t -> t
 
 (** The resolved worker-domain count. *)
 val worker_count : t -> int
+
+(** The hub passed to (or created by) {!create}. *)
+val telemetry : t -> Telemetry.t
 
 (** {2 Synchronous embedding}
 
@@ -119,9 +140,10 @@ val connect : t -> reply:(string -> unit) -> conn
 
 (** Hand one request line to the daemon.  Enqueues and returns; the
     reply arrives via the connection's [reply] callback from a worker
-    domain.  Malformed JSON, backpressure ("overloaded"), drain-time
-    refusals and the shutdown acknowledgement are answered
-    synchronously from within [submit].  Blank lines are ignored. *)
+    domain.  Malformed JSON, backpressure ("overloaded"), [admin]
+    requests, drain-time refusals and the shutdown acknowledgement are
+    answered synchronously from within [submit].  Blank lines are
+    ignored. *)
 val submit : t -> conn -> string -> unit
 
 (** Block until the queue is empty and no request is in flight. *)

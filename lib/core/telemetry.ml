@@ -1,0 +1,245 @@
+(* Service-level telemetry for the serve daemon.
+
+   One hub per daemon, shared by the submit path and every worker
+   domain, so everything here is mutex-guarded.  Three concerns share
+   the hub because they share the same per-request facts:
+
+   - rolling service metrics (a Metrics.t of counters, gauges, and
+     sliding windows) answering {"admin":"stats"};
+   - the structured event log: one JSON line per request lifecycle
+     transition, written through a caller-supplied sink;
+   - per-request Trace buffers, collected for the daemon-level
+     --trace file and merged in request order.
+
+   The bar from day one of the metrics work still holds: telemetry
+   changes cost and side-channel output only, never report bytes. *)
+
+type t = {
+  lock : Mutex.t;
+  started_ns : int64;
+  window : int;
+  slow_ms : float option;
+  event_sink : (string -> unit) option;
+  collect_traces : bool;
+  seq : int Atomic.t;
+  metrics : Metrics.t;
+  mutable busy_ns : int64 array;  (* indexed by worker id *)
+  mutable traces_rev : (int * Trace.t) list;
+}
+
+let create ?(window = Metrics.default_window_capacity) ?slow_ms ?event_sink
+    ?(collect_traces = false) () =
+  { lock = Mutex.create ();
+    started_ns = Metrics.now_ns ();
+    window = max 1 window;
+    slow_ms;
+    event_sink;
+    collect_traces;
+    seq = Atomic.make 0;
+    metrics = Metrics.create ();
+    busy_ns = [||];
+    traces_rev = [] }
+
+let next_request t = 1 + Atomic.fetch_and_add t.seq 1
+
+let collecting_traces t = t.collect_traces
+
+let slow_ms t = t.slow_ms
+
+let uptime_s t = Int64.to_float (Int64.sub (Metrics.now_ns ()) t.started_ns) *. 1e-9
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Event log                                                           *)
+
+let num n = Json.Num (float_of_int n)
+let fnum f = Json.Num f
+
+(* Wall-clock, not monotonic: event-log timestamps are for humans and
+   cross-process correlation, never compared for determinism. *)
+let wall_ms () = Unix.gettimeofday () *. 1000.
+
+let event t ?req ?(fields = []) kind =
+  match t.event_sink with
+  | None -> ()
+  | Some sink ->
+    let rq = match req with Some r -> [ ("req", num r) ] | None -> [] in
+    let line =
+      Json.to_string
+        (Json.Obj
+           ((("event", Json.Str kind) :: ("ts_ms", fnum (wall_ms ())) :: rq)
+           @ fields))
+    in
+    (* One line per event, serialized under the hub lock; a throwing
+       sink must not take a worker down. *)
+    locked t (fun () -> try sink line with _ -> ())
+
+let lifecycle t ?fields kind = event t ?fields kind
+
+(* ------------------------------------------------------------------ *)
+(* Request lifecycle                                                   *)
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+let observe t name v = Metrics.observe_window ~capacity:t.window t.metrics name v
+
+let sample_queue_depth t depth =
+  locked t (fun () ->
+      Metrics.set_gauge t.metrics "serve.queue_depth" (float_of_int depth);
+      observe t "serve.queue_depth" (float_of_int depth))
+
+let request_accepted t ~req ~id ~queued =
+  locked t (fun () ->
+      Metrics.incr t.metrics "serve.accepted";
+      Metrics.set_gauge t.metrics "serve.queue_depth" (float_of_int queued);
+      observe t "serve.queue_depth" (float_of_int queued));
+  event t ~req ~fields:[ ("id", id); ("queued", num queued) ] "accepted"
+
+let request_started t ~req ~worker ~wait_ns =
+  let wait_ms = ms_of_ns wait_ns in
+  locked t (fun () ->
+      Metrics.incr t.metrics "serve.started";
+      observe t "serve.wait_ms" wait_ms);
+  event t ~req ~fields:[ ("worker", num worker); ("wait_ms", fnum wait_ms) ] "started"
+
+let request_finished t ~req ~worker ~status ~exit_code ~errors ~warnings ~wait_ns
+    ~service_ns =
+  let wait_ms = ms_of_ns wait_ns and service_ms = ms_of_ns service_ns in
+  let latency_ms = wait_ms +. service_ms in
+  locked t (fun () ->
+      Metrics.incr t.metrics "serve.finished";
+      if status <> "ok" then Metrics.incr t.metrics "serve.check_errors";
+      observe t "serve.service_ms" service_ms;
+      observe t "serve.latency_ms" latency_ms;
+      (* Finish times (seconds since daemon start) feed the windowed
+         requests-per-second figure in the stats snapshot. *)
+      observe t "serve.finish_s" (uptime_s t));
+  event t ~req
+    ~fields:
+      [ ("worker", num worker); ("status", Json.Str status); ("exit", num exit_code);
+        ("errors", num errors); ("warnings", num warnings);
+        ("service_ms", fnum service_ms); ("latency_ms", fnum latency_ms) ]
+    "finished";
+  match t.slow_ms with
+  | Some threshold when latency_ms >= threshold ->
+    event t ~req
+      ~fields:[ ("latency_ms", fnum latency_ms); ("slow_ms", fnum threshold) ]
+      "slow"
+  | _ -> ()
+
+let request_cancelled t ~req ?worker () =
+  locked t (fun () -> Metrics.incr t.metrics "serve.cancelled");
+  let fields = match worker with Some w -> [ ("worker", num w) ] | None -> [] in
+  event t ~req ~fields "cancelled"
+
+let request_overloaded t ~req ~queued =
+  locked t (fun () -> Metrics.incr t.metrics "serve.overloaded");
+  event t ~req ~fields:[ ("queued", num queued) ] "overloaded"
+
+let request_rejected t ~error =
+  locked t (fun () -> Metrics.incr t.metrics "serve.rejected");
+  event t ~fields:[ ("error", Json.Str error) ] "rejected"
+
+let record_reuse t ~total ~reused =
+  locked t (fun () ->
+      Metrics.incr ~by:total t.metrics "serve.cache.symbols_total";
+      Metrics.incr ~by:reused t.metrics "serve.cache.symbols_reused")
+
+let worker_busy t ~worker ~ns =
+  if worker >= 0 then
+    locked t (fun () ->
+        if worker >= Array.length t.busy_ns then begin
+          let grown = Array.make (worker + 1) 0L in
+          Array.blit t.busy_ns 0 grown 0 (Array.length t.busy_ns);
+          t.busy_ns <- grown
+        end;
+        t.busy_ns.(worker) <- Int64.add t.busy_ns.(worker) (max 0L ns))
+
+(* ------------------------------------------------------------------ *)
+(* Per-request traces                                                  *)
+
+let add_trace t ~req trace =
+  locked t (fun () -> t.traces_rev <- (req, trace) :: t.traces_rev)
+
+let merged_trace t =
+  let entries = locked t (fun () -> List.rev t.traces_rev) in
+  (* Workers finish in racy order; request ids give the merge a
+     deterministic event sequence (lanes still carry the worker tid). *)
+  let entries = List.stable_sort (fun (a, _) (b, _) -> compare a b) entries in
+  let into = Trace.create () in
+  List.iter (fun (_, tr) -> Trace.merge_into ~into tr) entries;
+  into
+
+(* ------------------------------------------------------------------ *)
+(* Stats snapshot                                                      *)
+
+(* Canonical member order; every member is always present so clients
+   (and `dicheck top`) never need existence checks. *)
+let window_json t name =
+  match Metrics.window t.metrics name with
+  | None ->
+    Json.Obj
+      [ ("count", num 0); ("len", num 0); ("mean", fnum 0.); ("max", fnum 0.);
+        ("p50", fnum 0.); ("p95", fnum 0.); ("p99", fnum 0.) ]
+  | Some s ->
+    let n = Array.length s.Metrics.w_values in
+    let mean =
+      if n = 0 then 0.
+      else Array.fold_left ( +. ) 0. s.Metrics.w_values /. float_of_int n
+    in
+    Json.Obj
+      [ ("count", num s.Metrics.w_count); ("len", num n); ("mean", fnum mean);
+        ("max", fnum (Array.fold_left Float.max 0. s.Metrics.w_values));
+        ("p50", fnum (Metrics.window_quantile s 0.5));
+        ("p95", fnum (Metrics.window_quantile s 0.95));
+        ("p99", fnum (Metrics.window_quantile s 0.99)) ]
+
+let snapshot t ~queued ~inflight ~served ~cancelled ~overloaded ~workers ~max_queue =
+  locked t (fun () ->
+      let up = uptime_s t in
+      let counter name = Metrics.counter t.metrics name in
+      let rps_lifetime = if up > 0. then float_of_int served /. up else 0. in
+      let rps_window =
+        match Metrics.window t.metrics "serve.finish_s" with
+        | Some s when Array.length s.Metrics.w_values >= 2 ->
+          let vs = s.Metrics.w_values in
+          let n = Array.length vs in
+          let span = vs.(n - 1) -. vs.(0) in
+          if span > 0. then float_of_int (n - 1) /. span else 0.
+        | _ -> 0.
+      in
+      let total = counter "serve.cache.symbols_total" in
+      let reused = counter "serve.cache.symbols_reused" in
+      let hit_ratio =
+        if total > 0 then float_of_int reused /. float_of_int total else 0.
+      in
+      let busy =
+        List.init (max workers (Array.length t.busy_ns)) (fun w ->
+            let ns = if w < Array.length t.busy_ns then t.busy_ns.(w) else 0L in
+            let f = if up > 0. then Int64.to_float ns *. 1e-9 /. up else 0. in
+            fnum (Float.min 1. f))
+      in
+      Json.Obj
+        [ ("uptime_s", fnum up);
+          ("workers", num workers);
+          ("queue", Json.Obj [ ("depth", num queued); ("max", num max_queue) ]);
+          ("requests",
+           Json.Obj
+             [ ("accepted", num (counter "serve.accepted"));
+               ("inflight", num inflight); ("served", num served);
+               ("cancelled", num cancelled); ("overloaded", num overloaded);
+               ("rejected", num (counter "serve.rejected")) ]);
+          ("rps",
+           Json.Obj [ ("lifetime", fnum rps_lifetime); ("window", fnum rps_window) ]);
+          ("latency_ms", window_json t "serve.latency_ms");
+          ("wait_ms", window_json t "serve.wait_ms");
+          ("service_ms", window_json t "serve.service_ms");
+          ("queue_depth", window_json t "serve.queue_depth");
+          ("cache",
+           Json.Obj
+             [ ("symbols_total", num total); ("symbols_reused", num reused);
+               ("hit_ratio", fnum hit_ratio) ]);
+          ("workers_busy", Json.Arr busy) ])

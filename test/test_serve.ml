@@ -401,6 +401,284 @@ let test_lint_counts_and_werror () =
     (Dic.Json.member "lint_counts" clean = Some (Dic.Json.Obj []))
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: the admin surface, stats-bearing refusals and acks,      *)
+(* per-request trace replies, event-log reconciliation, and the        *)
+(* determinism bar with every telemetry feature switched on            *)
+
+let jmem = Dic.Json.member
+
+let test_admin_stats_and_health () =
+  let server = Dic.Serve.create ~workers:1 rules in
+  let c = client () in
+  let conn = mock_conn server c in
+  Dic.Serve.submit server conn
+    (Dic.Json.to_string
+       (Dic.Json.Obj [ ("id", Dic.Json.Num 1.); ("cif", Dic.Json.Str (clean_cif ())) ]));
+  ignore (await c 1);
+  (* stats: answered synchronously, every canonical member present. *)
+  Dic.Serve.submit server conn
+    (Dic.Json.to_string
+       (Dic.Json.Obj [ ("id", Dic.Json.Str "s"); ("admin", Dic.Json.Str "stats") ]));
+  let sr = parse_reply (List.nth (await c 2) 1) in
+  Alcotest.(check string) "stats status" "stats" (status sr);
+  Alcotest.(check (option bool)) "stats ok" (Some true) (jbool "ok" sr);
+  (match jmem "stats" sr with
+  | None -> Alcotest.fail "stats reply has no stats member"
+  | Some snap ->
+    List.iter
+      (fun k -> if jmem k snap = None then Alcotest.failf "snapshot lost %S" k)
+      [ "uptime_s"; "workers"; "queue"; "requests"; "rps"; "latency_ms";
+        "wait_ms"; "service_ms"; "queue_depth"; "cache"; "workers_busy" ];
+    (match jmem "requests" snap with
+    | Some reqs ->
+      Alcotest.(check (option int)) "one request served" (Some 1) (jint "served" reqs);
+      Alcotest.(check (option int)) "one request accepted" (Some 1)
+        (jint "accepted" reqs)
+    | None -> Alcotest.fail "snapshot lost its requests member"));
+  (* health: "ok" while live... *)
+  Dic.Serve.submit server conn
+    (Dic.Json.to_string (Dic.Json.Obj [ ("admin", Dic.Json.Str "health") ]));
+  let hr = parse_reply (List.nth (await c 3) 2) in
+  Alcotest.(check string) "health status" "health" (status hr);
+  Alcotest.(check (option string)) "healthy while live" (Some "ok") (jstr "health" hr);
+  Alcotest.(check bool) "health reports workers" true (field "workers" hr > 0);
+  (* ...unknown admin verbs are refused, not crashed on... *)
+  Dic.Serve.submit server conn
+    (Dic.Json.to_string (Dic.Json.Obj [ ("admin", Dic.Json.Str "reboot") ]));
+  let ur = parse_reply (List.nth (await c 4) 3) in
+  Alcotest.(check string) "unknown admin refused" "error" (status ur);
+  (* ...and health turns "draining" once shutdown has begun: the admin
+     surface outlives the pool. *)
+  Dic.Serve.shutdown server;
+  Dic.Serve.submit server conn
+    (Dic.Json.to_string (Dic.Json.Obj [ ("admin", Dic.Json.Str "health") ]));
+  let dr = parse_reply (List.nth (await c 5) 4) in
+  Alcotest.(check (option string)) "draining after shutdown" (Some "draining")
+    (jstr "health" dr)
+
+let test_refusals_and_ack_carry_stats () =
+  let server = Dic.Serve.create ~workers:1 ~max_queue:1 rules in
+  let c = client () in
+  let conn = mock_conn server c in
+  let req id sleep =
+    Dic.Json.to_string
+      (Dic.Json.Obj
+         [ ("id", Dic.Json.Num (float_of_int id)); ("cif", Dic.Json.Str (clean_cif ()));
+           ("sleep_ms", Dic.Json.Num sleep) ])
+  in
+  Dic.Serve.submit server conn (req 1 300.);
+  await_inflight server 1;
+  Dic.Serve.submit server conn (req 2 0.);
+  Dic.Serve.submit server conn (req 3 0.);
+  (* The refusal is synchronous and explains itself: daemon request id
+     plus the counters that justify the verdict. *)
+  let refusal = parse_reply (List.nth (replies c) 0) in
+  Alcotest.(check string) "refused" "overloaded" (status refusal);
+  Alcotest.(check (option int)) "refusal reports queue depth" (Some 1)
+    (jint "queued" refusal);
+  Alcotest.(check bool) "refusal names its request" true (field "req" refusal > 0);
+  Alcotest.(check bool) "refusal reports served so far" true
+    (field "served" refusal >= 0);
+  ignore (await c 3);
+  (* The shutdown ack reports all five pool counters. *)
+  let ack =
+    parse_reply
+      (Dic.Serve.handle_line server
+         (Dic.Json.to_string (Dic.Json.Obj [ ("shutdown", Dic.Json.Bool true) ])))
+  in
+  Alcotest.(check string) "ack status" "shutdown" (status ack);
+  List.iter
+    (fun k -> if jint k ack = None then Alcotest.failf "ack lost %S" k)
+    [ "served"; "cancelled"; "overloaded"; "queued"; "inflight" ];
+  Alcotest.(check (option int)) "ack served" (Some 2) (jint "served" ack);
+  Alcotest.(check (option int)) "ack overloaded" (Some 1) (jint "overloaded" ack)
+
+let test_trace_flag_embeds_request_trace () =
+  let server = Dic.Serve.create ~workers:1 rules in
+  let c = client () in
+  let conn = mock_conn server c in
+  Dic.Serve.submit server conn
+    (Dic.Json.to_string
+       (Dic.Json.Obj
+          [ ("id", Dic.Json.Num 1.); ("cif", Dic.Json.Str (workload_cif ()));
+            ("trace", Dic.Json.Bool true) ]));
+  let r = parse_reply (List.nth (await c 1) 0) in
+  Alcotest.(check string) "traced request still ok" "ok" (status r);
+  Alcotest.(check bool) "reply names its request" true (field "req" r > 0);
+  (match jmem "trace" r with
+  | None -> Alcotest.fail "opted-in reply has no trace member"
+  | Some tr -> (
+    match jmem "traceEvents" tr with
+    | Some (Dic.Json.Arr events) ->
+      let names = List.filter_map (jstr "name") events in
+      Alcotest.(check bool) "trace records the queued span" true
+        (List.mem "queued" names);
+      (* The engine's stage spans ride along.  (The enclosing "request"
+         span closes only after the reply is serialized, so it lands in
+         the daemon-level merged trace, not the embedded copy.) *)
+      Alcotest.(check bool) "trace carries the engine stages" true
+        (List.length names > 1)
+    | _ -> Alcotest.fail "trace member is not a Chrome trace document"));
+  (* Without the flag the reply stays lean: the daemon-level trace
+     collection never grows replies. *)
+  Dic.Serve.submit server conn
+    (Dic.Json.to_string
+       (Dic.Json.Obj [ ("id", Dic.Json.Num 2.); ("cif", Dic.Json.Str (workload_cif ())) ]));
+  let r2 = parse_reply (List.nth (await c 2) 1) in
+  Alcotest.(check bool) "no trace member without the flag" true
+    (jmem "trace" r2 = None);
+  Dic.Serve.shutdown server
+
+(* Event-log accounting over a mixed history: every accepted request
+   ends in exactly one terminal event, refusals and bad lines are
+   logged without being accepted, and the lifecycle brackets match. *)
+let test_event_log_reconciliation () =
+  let log_lock = Mutex.create () in
+  let log = ref [] in
+  let sink line =
+    Mutex.lock log_lock;
+    log := line :: !log;
+    Mutex.unlock log_lock
+  in
+  let telemetry =
+    Dic.Telemetry.create ~slow_ms:0. ~event_sink:sink ~collect_traces:true ()
+  in
+  let server = Dic.Serve.create ~workers:1 ~max_queue:2 ~telemetry rules in
+  let c = client () in
+  let conn = mock_conn server c in
+  (* A blocker in flight, a queued request superseded into a
+     cancellation, an overload refusal, and a malformed line. *)
+  Dic.Serve.submit server conn
+    (Dic.Json.to_string
+       (Dic.Json.Obj
+          [ ("cif", Dic.Json.Str (clean_cif ())); ("sleep_ms", Dic.Json.Num 300.) ]));
+  await_inflight server 1;
+  let named () =
+    Dic.Json.to_string
+      (Dic.Json.Obj [ ("id", Dic.Json.Str "x"); ("cif", Dic.Json.Str (workload_cif ())) ])
+  in
+  Dic.Serve.submit server conn (named ());
+  Dic.Serve.submit server conn (named ());
+  Dic.Serve.submit server conn
+    (Dic.Json.to_string
+       (Dic.Json.Obj [ ("id", Dic.Json.Str "y"); ("cif", Dic.Json.Str (clean_cif ())) ]));
+  Dic.Serve.submit server conn "{oops";
+  ignore (await c 5);
+  Dic.Serve.shutdown server;
+  let events =
+    Mutex.lock log_lock;
+    let lines = List.rev !log in
+    Mutex.unlock log_lock;
+    List.map
+      (fun line ->
+        match Dic.Json.parse line with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "unparseable event line %S: %s" line e)
+      lines
+  in
+  (* Schema floor: every entry has "event" and "ts_ms". *)
+  List.iter
+    (fun e ->
+      if jstr "event" e = None then Alcotest.fail "event line without event kind";
+      if jmem "ts_ms" e = None then Alcotest.fail "event line without timestamp")
+    events;
+  let kind e = Option.value ~default:"?" (jstr "event" e) in
+  let count k = List.length (List.filter (fun e -> kind e = k) events) in
+  (* Reconciliation: accepted == finished + cancelled. *)
+  Alcotest.(check int) "three accepted" 3 (count "accepted");
+  Alcotest.(check int) "accepted = finished + cancelled" (count "accepted")
+    (count "finished" + count "cancelled");
+  Alcotest.(check int) "one cancellation logged" 1 (count "cancelled");
+  Alcotest.(check int) "one overload logged" 1 (count "overloaded");
+  Alcotest.(check int) "the bad line was logged as rejected" 1 (count "rejected");
+  (* slow_ms 0.: every finished request also writes a slow entry. *)
+  Alcotest.(check int) "slow entries at slow_ms 0" (count "finished") (count "slow");
+  (* Per-request ordering: each accepted req has exactly one terminal
+     event, and acceptance precedes it. *)
+  let reqs_of k =
+    List.filter_map (fun e -> if kind e = k then jint "req" e else None) events
+  in
+  let terminals = List.sort compare (reqs_of "finished" @ reqs_of "cancelled") in
+  Alcotest.(check (list int)) "every accepted req terminates once"
+    (List.sort compare (reqs_of "accepted")) terminals;
+  List.iter
+    (fun req ->
+      let index k =
+        let rec go i = function
+          | [] -> Alcotest.failf "req %d lost its %S event" req k
+          | e :: rest ->
+            if kind e = k && jint "req" e = Some req then i else go (i + 1) rest
+        in
+        go 0 events
+      in
+      let accepted = index "accepted" in
+      let terminal =
+        List.length events
+        - 1
+        - (let rec go i = function
+             | [] -> Alcotest.failf "req %d never terminated" req
+             | e :: rest ->
+               if (kind e = "finished" || kind e = "cancelled")
+                  && jint "req" e = Some req
+               then i
+               else go (i + 1) rest
+           in
+           go 0 (List.rev events))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "req %d accepted before terminal" req)
+        true (accepted < terminal))
+    terminals;
+  (* Lifecycle bracket: shutdown_begin then shutdown, once each. *)
+  Alcotest.(check int) "one shutdown_begin" 1 (count "shutdown_begin");
+  Alcotest.(check int) "one shutdown" 1 (count "shutdown");
+  (* The daemon-level trace collected something, starting from the
+     queued span. *)
+  (match Dic.Json.parse (Dic.Trace.to_chrome_json (Dic.Telemetry.merged_trace telemetry)) with
+  | Ok doc -> (
+    match jmem "traceEvents" doc with
+    | Some (Dic.Json.Arr evs) ->
+      Alcotest.(check bool) "merged trace is non-empty" true (evs <> []);
+      Alcotest.(check bool) "merged trace has queued spans" true
+        (List.exists (fun e -> jstr "name" e = Some "queued") evs)
+    | _ -> Alcotest.fail "merged trace lost traceEvents")
+  | Error e -> Alcotest.failf "merged trace is not JSON: %s" e)
+
+(* The determinism bar with everything on: event log, trace collection,
+   slow threshold 0, and per-request trace embedding — report bytes
+   stay byte-identical to one-shot dicheck at every worker count. *)
+let test_reports_invariant_under_telemetry () =
+  let src = workload_cif () in
+  let expected = one_shot_text src in
+  List.iter
+    (fun workers ->
+      let telemetry =
+        Dic.Telemetry.create ~slow_ms:0. ~event_sink:(fun _ -> ())
+          ~collect_traces:true ()
+      in
+      let server = Dic.Serve.create ~workers ~telemetry rules in
+      let c = client () in
+      let conn = mock_conn server c in
+      let req i =
+        Dic.Json.to_string
+          (Dic.Json.Obj
+             [ ("id", Dic.Json.Num (float_of_int i)); ("cif", Dic.Json.Str src);
+               ("trace", Dic.Json.Bool true) ])
+      in
+      List.iter (fun i -> Dic.Serve.submit server conn (req i)) [ 1; 2; 3; 4 ];
+      let got = await c 4 in
+      List.iter
+        (fun line ->
+          let v = parse_reply line in
+          Alcotest.(check string) "telemetry-on request ok" "ok" (status v);
+          Alcotest.(check (option string))
+            (Printf.sprintf "telemetry-on report bytes at workers=%d" workers)
+            (Some expected) (jstr "report" v))
+        got;
+      Dic.Serve.shutdown server)
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serve"
@@ -421,4 +699,15 @@ let () =
             test_crash_and_restart_recovers_warm_cache ] );
       ( "lint",
         [ Alcotest.test_case "lint counts and werror" `Quick
-            test_lint_counts_and_werror ] ) ]
+            test_lint_counts_and_werror ] );
+      ( "telemetry",
+        [ Alcotest.test_case "admin stats and health" `Quick
+            test_admin_stats_and_health;
+          Alcotest.test_case "refusals and ack carry stats" `Quick
+            test_refusals_and_ack_carry_stats;
+          Alcotest.test_case "trace flag embeds request trace" `Quick
+            test_trace_flag_embeds_request_trace;
+          Alcotest.test_case "event log reconciles" `Quick
+            test_event_log_reconciliation;
+          Alcotest.test_case "reports invariant under telemetry" `Quick
+            test_reports_invariant_under_telemetry ] ) ]
