@@ -27,7 +27,7 @@ let section title =
    configurations, so nothing may leak between runs.  [configure] is an
    [Engine.with_*] chain. *)
 let dic_outcome ?(configure = fun e -> e) truths file =
-  match Dic.Engine.check (configure (Dic.Engine.create rules)) file with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (configure (Dic.Engine.create rules)) file with
   | Error e -> failwith e
   | Ok (result, _) ->
     Dic.Classify.classify ~tolerance truths (Dic.Classify.of_report result.Dic.Engine.report)
@@ -276,7 +276,7 @@ let fig09_hierarchy () =
 let fig10_pipeline () =
   section "F10 / Fig 10: per-stage cost of the checking pipeline (8x8 grid)";
   let file = Layoutgen.Cells.grid ~lambda ~nx:8 ~ny:8 in
-  match Dic.Engine.check (Dic.Engine.create rules) file with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) file with
   | Error e -> failwith e
   | Ok (result, _) ->
     List.iter
@@ -323,7 +323,7 @@ let fig12_matrix () =
     "F12 / Fig 12: interaction-rule matrix coverage on an 8x4 grid\n\
      (most cells need no check: no rule, device-checked, or same-net)";
   let file = Layoutgen.Cells.grid ~lambda ~nx:8 ~ny:4 in
-  match Dic.Engine.check (Dic.Engine.create rules) file with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) file with
   | Error e -> failwith e
   | Ok (result, _) ->
     Format.printf "%a@." Dic.Interactions.pp_stats result.Dic.Engine.interaction_stats;
@@ -435,14 +435,14 @@ let t1_runtime_scaling () =
       let file = Layoutgen.Cells.grid ~lambda ~nx:n ~ny:n in
       let dic_result, dic_t =
         time_once (fun () ->
-            match Dic.Engine.check (Dic.Engine.create rules) file with
+            match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) file with
             | Ok (r, _) -> r
             | Error e -> failwith e)
       in
       let flat_errors, flat_t =
         time_once (fun () -> Flatdrc.Classic.check flat_orth_ignore rules file)
       in
-      let stats = dic_result.Dic.Checker.interaction_stats in
+      let stats = dic_result.Dic.Engine.interaction_stats in
       let hits = stats.Dic.Interactions.memo_hits
       and misses = stats.Dic.Interactions.memo_misses in
       let rects = Flatdrc.Flatten.rect_count (Flatdrc.Flatten.file file) in
@@ -466,7 +466,7 @@ let t3_incremental () =
   let run_inc label f =
     let (_, (reuse : Dic.Engine.reuse)), t =
       time_once (fun () ->
-          match Dic.Engine.check engine f with Ok r -> r | Error e -> failwith e)
+          match Result.map Dic.Engine.primary @@ Dic.Engine.check engine f with Ok r -> r | Error e -> failwith e)
     in
     Printf.printf "%-34s %8.3f s   (%d/%d definitions reused)\n" label t
       reuse.Dic.Engine.symbols_reused reuse.Dic.Engine.symbols_total;
@@ -665,7 +665,7 @@ let incremental_recheck () =
       let check f =
         let (result, reuse), t =
           wall (fun () ->
-              match Dic.Engine.check (Dic.Engine.create ~cache_dir:dir rules) f with
+              match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create ~cache_dir:dir rules) f with
               | Ok r -> r
               | Error e -> failwith e)
         in
@@ -743,7 +743,7 @@ let trace_overhead () =
      symbols, shards). *)
   let file = Layoutgen.Cells.grid ~lambda ~nx:12 ~ny:12 in
   let run trace () =
-    match Dic.Engine.check ?trace (Dic.Engine.create rules) file with
+    match Result.map Dic.Engine.primary @@ Dic.Engine.check ?trace (Dic.Engine.create rules) file with
     | Ok r -> ignore r
     | Error e -> failwith e
   in
@@ -793,7 +793,7 @@ let lint_overhead () =
   in
   let full =
     best 3 (fun () ->
-        match Dic.Engine.check (Dic.Engine.create rules) file with
+        match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) file with
         | Ok r -> ignore r
         | Error e -> failwith e)
   in
@@ -935,7 +935,7 @@ let kernel_bench () =
         base
       in
       let check () =
-        match Dic.Engine.check (Dic.Engine.create ~cache_dir rules) file with
+        match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create ~cache_dir rules) file with
         | Ok (r, reuse) ->
           (Format.asprintf "%a" Dic.Report.pp r.Dic.Engine.report, reuse)
         | Error e -> failwith e
@@ -976,7 +976,7 @@ let serve_bench () =
      reply's report matched the one-shot bytes)";
   let src = Cif.Print.to_string (Layoutgen.Cells.grid ~lambda ~nx:4 ~ny:4) in
   let expected =
-    match Dic.Engine.check_string (Dic.Engine.create rules) src with
+    match Result.map Dic.Engine.primary @@ Dic.Engine.check_string (Dic.Engine.create rules) src with
     | Ok (result, _) ->
       Format.asprintf "%a@." Dic.Report.pp result.Dic.Engine.report
       ^ Format.asprintf "%a@." Dic.Engine.pp_summary result
@@ -1271,14 +1271,14 @@ let bechamel_benches () =
           (Staged.stage (fun () -> Geom.Region.union a b));
         Test.make ~name:"dic-check-grid4x4"
           (Staged.stage (fun () ->
-               match Dic.Engine.check (Dic.Engine.create rules) grid4 with
+               match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) grid4 with
                | Ok (r, _) -> r
                | Error e -> failwith e));
         Test.make ~name:"flat-check-grid4x4"
           (Staged.stage (fun () -> Flatdrc.Classic.check flat_orth_ignore rules grid4));
         Test.make ~name:"dic-check-fig8-kit"
           (Staged.stage (fun () ->
-               match Dic.Engine.check (Dic.Engine.create rules) kit.Layoutgen.Pathology.file with
+               match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) kit.Layoutgen.Pathology.file with
                | Ok (r, _) -> r
                | Error e -> failwith e)) ]
   in
@@ -1314,6 +1314,103 @@ let bechamel_benches () =
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* M -- Multi-deck checking in one elaboration                         *)
+
+(* The deck-set engine's economy claim: checking one design under N
+   rule decks shares the parse, elaboration, packed geometry, nets, and
+   (for decks agreeing on max_dist) the interaction worklist; only rule
+   evaluation runs N times.  Measured against the baseline of N
+   independent single-deck runs, cold and warm, with the per-deck
+   reports asserted byte-identical between the two shapes.  Writes
+   BENCH_multideck.json. *)
+let multideck_bench () =
+  section
+    "M: Multi-deck checking in one elaboration\n\
+     (three spacing variants of the NMOS deck over pla-48x96; one\n\
+     deck-set engine vs three independent engines, cold and warm;\n\
+     median of five runs after a warm-up)";
+  let file =
+    Layoutgen.Pla.plane ~lambda (Layoutgen.Pla.random_program ~rows:48 ~cols:96 ~seed:7)
+  in
+  (* Spacing variants below space_diffusion, so every deck has the same
+     max_dist and the set shares one interaction plan and memo. *)
+  let deck sp =
+    let name = Printf.sprintf "sp%d" sp in
+    Dic.Engine.deck ~label:name
+      { rules with Tech.Rules.space_poly = sp; Tech.Rules.name = name }
+  in
+  let decks = List.map deck [ 200; 220; 240 ] in
+  let n = List.length decks in
+  let report_text (result : Dic.Engine.result) =
+    Format.asprintf "%a@." Dic.Report.pp result.Dic.Engine.report
+  in
+  let run_independent engines =
+    List.map
+      (fun e ->
+        match Result.map Dic.Engine.primary @@ Dic.Engine.check e file with
+        | Ok (r, _) -> report_text r
+        | Error e -> failwith e)
+      engines
+  in
+  let run_set engine =
+    match Dic.Engine.check engine file with
+    | Ok m ->
+      List.map
+        (fun (dr : Dic.Engine.deck_result) -> report_text dr.Dic.Engine.dr_result)
+        m.Dic.Engine.results
+    | Error e -> failwith e
+  in
+  let fresh_independent () =
+    List.map (fun (d : Dic.Engine.deck) -> Dic.Engine.create d.Dic.Engine.dk_rules) decks
+  in
+  let fresh_set () =
+    Dic.Engine.create ~decks (List.hd decks).Dic.Engine.dk_rules
+  in
+  (* Cold: engine construction inside the timed region — every run
+     starts from nothing. *)
+  let ind_cold_reports, ind_cold =
+    median_wall (fun () -> run_independent (fresh_independent ()))
+  in
+  let set_cold_reports, set_cold = median_wall (fun () -> run_set (fresh_set ())) in
+  let cold_identical = ind_cold_reports = set_cold_reports in
+  (* Warm: long-lived engines, the serve shape.  median_wall's warm-up
+     run fills the sessions before anything is timed. *)
+  let ind_engines = fresh_independent () in
+  let set_engine = fresh_set () in
+  let ind_warm_reports, ind_warm =
+    median_wall (fun () -> run_independent ind_engines)
+  in
+  let set_warm_reports, set_warm = median_wall (fun () -> run_set set_engine) in
+  let warm_identical =
+    ind_warm_reports = set_warm_reports
+    && ind_warm_reports = ind_cold_reports
+  in
+  let speedup_cold = ind_cold /. set_cold in
+  let speedup_warm = ind_warm /. set_warm in
+  Printf.printf "%-6s %14s %12s %10s %12s\n" "phase" "independent_s" "deckset_s"
+    "speedup" "identical";
+  Printf.printf "%-6s %14.3f %12.3f %9.2fx %12b\n" "cold" ind_cold set_cold
+    speedup_cold cold_identical;
+  Printf.printf "%-6s %14.3f %12.3f %9.2fx %12b\n" "warm" ind_warm set_warm
+    speedup_warm warm_identical;
+  if not (cold_identical && warm_identical) then
+    print_endline "WARNING: deck-set reports diverged from independent runs";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"experiment\":\"multideck\",%s,\"workload\":\"pla-48x96\",\"decks\":%d,\
+        \"cold\":{\"independent_s\":%.6f,\"deckset_s\":%.6f,\"speedup\":%.3f,\
+        \"identical\":%b},\
+        \"warm\":{\"independent_s\":%.6f,\"deckset_s\":%.6f,\"speedup\":%.3f,\
+        \"identical\":%b}}"
+       (provenance_fields ()) n ind_cold set_cold speedup_cold cold_identical
+       ind_warm set_warm speedup_warm warm_identical);
+  Out_channel.with_open_text "BENCH_multideck.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf);
+      Out_channel.output_char oc '\n');
+  print_endline "wrote BENCH_multideck.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig1", fig01_error_venn); ("fig2", fig02_figure_pathologies);
@@ -1328,7 +1425,8 @@ let experiments =
     ("parallel", parallel_scaling); ("incremental", incremental_recheck);
     ("trace-overhead", trace_overhead); ("lint-overhead", lint_overhead);
     ("kernel", kernel_bench); ("serve", serve_bench);
-    ("telemetry", telemetry_overhead); ("bechamel", bechamel_benches) ]
+    ("telemetry", telemetry_overhead); ("multideck", multideck_bench);
+    ("bechamel", bechamel_benches) ]
 
 let () =
   match Array.to_list Sys.argv with

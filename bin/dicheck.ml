@@ -42,9 +42,18 @@ let load_rules ~lambda rules_file =
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 
+(* Exit policy of one deck's report; a multi-deck check exits with the
+   worst deck's code. *)
+let deck_exit ~werror ~lint_werror (report : Dic.Report.t) =
+  let count sev = Dic.Report.count ~severity:sev report in
+  if count Dic.Report.Error > 0 then 1
+  else if werror && count Dic.Report.Warning > 0 then 1
+  else if lint_werror && Dic.Report.by_rule_prefix report "lint." <> [] then 1
+  else 0
+
 let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
     ~jobs ~cache ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror ~lint
-    ~lint_werror ~input rules src =
+    ~lint_werror ~input decks src =
   match Cif.Parse.file src with
   | Error e ->
     Printf.eprintf "parse error: %s\n" (Cif.Parse.string_of_error e);
@@ -61,7 +70,10 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
           exit 2)
     in
     let engine =
-      let e = Dic.Engine.create ?cache_dir:cache rules in
+      let e =
+        Dic.Engine.create ?cache_dir:cache ~decks
+          (List.hd decks).Dic.Engine.dk_rules
+      in
       let e = Dic.Engine.with_jobs e jobs in
       let e = Dic.Engine.with_same_net e check_same_net in
       let e = Dic.Engine.with_lint e (lint || lint_werror) in
@@ -76,7 +88,11 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       2
-    | Ok (result, reuse) ->
+    | Ok multi ->
+      let result, _reuse = Dic.Engine.primary multi in
+      let single =
+        match multi.Dic.Engine.results with [ _ ] -> true | _ -> false
+      in
       (* When any structured output claims stdout, the human report
          moves to stderr so the JSON stream stays parseable. *)
       let on_stdout = function Some "-" -> true | _ -> false in
@@ -85,16 +101,31 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
           Format.err_formatter
         else Format.std_formatter
       in
-      Format.fprintf out "%a@." Dic.Report.pp result.Dic.Engine.report;
-      Format.fprintf out "%a@." Dic.Engine.pp_summary result;
+      (* A single deck prints exactly the historical report; several
+         decks print the merged view with deck-membership annotations
+         and the compliant-intersection verdict. *)
+      if single then begin
+        Format.fprintf out "%a@." Dic.Report.pp result.Dic.Engine.report;
+        Format.fprintf out "%a@." Dic.Engine.pp_summary result
+      end
+      else begin
+        Format.fprintf out "%a@." Dic.Multireport.pp multi.Dic.Engine.merged;
+        Format.fprintf out "%a@." Dic.Multireport.pp_summary multi.Dic.Engine.merged
+      end;
       (* Reuse goes to stderr: a warm run's stdout must stay
          byte-identical to the cold run's. *)
       if cache <> None then
-        Printf.eprintf
-          "[dicheck] cache: %d/%d definition(s) reused (%d from disk), %d memo entr%s loaded\n"
-          reuse.Dic.Engine.symbols_reused reuse.Dic.Engine.symbols_total
-          reuse.Dic.Engine.defs_from_disk reuse.Dic.Engine.memo_loaded
-          (if reuse.Dic.Engine.memo_loaded = 1 then "y" else "ies");
+        List.iter
+          (fun (dr : Dic.Engine.deck_result) ->
+            let reuse = dr.Dic.Engine.dr_reuse in
+            Printf.eprintf
+              "[dicheck] cache%s: %d/%d definition(s) reused (%d from disk), %d memo entr%s loaded\n"
+              (if single then ""
+               else "[" ^ dr.Dic.Engine.dr_deck.Dic.Engine.dk_label ^ "]")
+              reuse.Dic.Engine.symbols_reused reuse.Dic.Engine.symbols_total
+              reuse.Dic.Engine.defs_from_disk reuse.Dic.Engine.memo_loaded
+              (if reuse.Dic.Engine.memo_loaded = 1 then "y" else "ies"))
+          multi.Dic.Engine.results;
       if show_netlist then
         Format.fprintf out "@.--- net list ---@.%a@." Netlist.Net.pp
           result.Dic.Engine.netlist;
@@ -114,8 +145,18 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
       (match markers with
       | None -> ()
       | Some path ->
+        (* Multi-deck markers cover the merged view: every violation any
+           deck flagged, once. *)
+        let marker_report =
+          if single then result.Dic.Engine.report
+          else
+            { Dic.Report.violations =
+                List.rev_map
+                  (fun (e : Dic.Multireport.entry) -> e.Dic.Multireport.violation)
+                  multi.Dic.Engine.merged.Dic.Multireport.entries }
+        in
         Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc (Dic.Markers.to_cif result.Dic.Engine.report)));
+            Out_channel.output_string oc (Dic.Markers.to_cif marker_report)));
       (match stats_json with
       | None -> ()
       | Some path -> write_output path (Dic.Metrics.to_json result.Dic.Engine.metrics));
@@ -126,15 +167,22 @@ let run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~m
       | None -> ()
       | Some path ->
         let uri = if input = "-" then "stdin" else input in
-        write_output path (Dic.Sarif.of_report ~uri result.Dic.Engine.report));
-      let count sev = Dic.Report.count ~severity:sev result.Dic.Engine.report in
-      if count Dic.Report.Error > 0 then 1
-      else if werror && count Dic.Report.Warning > 0 then 1
-      else if
-        lint_werror
-        && Dic.Report.by_rule_prefix result.Dic.Engine.report "lint." <> []
-      then 1
-      else 0)
+        if single then
+          write_output path (Dic.Sarif.of_report ~uri result.Dic.Engine.report)
+        else
+          write_output path
+            (Dic.Sarif.of_reports ~uri
+               (List.map
+                  (fun (dr : Dic.Engine.deck_result) ->
+                    ( dr.Dic.Engine.dr_deck.Dic.Engine.dk_label,
+                      dr.Dic.Engine.dr_deck.Dic.Engine.dk_rules,
+                      dr.Dic.Engine.dr_result.Dic.Engine.report ))
+                  multi.Dic.Engine.results)));
+      List.fold_left
+        (fun acc (dr : Dic.Engine.deck_result) ->
+          max acc
+            (deck_exit ~werror ~lint_werror dr.Dic.Engine.dr_result.Dic.Engine.report))
+        0 multi.Dic.Engine.results)
 
 let run_flat ~metric ~poly_diff ~width_algorithm rules src =
   match Cif.Parse.file src with
@@ -148,10 +196,20 @@ let run_flat ~metric ~poly_diff ~width_algorithm rules src =
     Printf.printf "%d error(s)\n" (List.length errors);
     if errors = [] then 0 else 1
 
-let check_main file flat metric polydiff figure_based lambda rules_file show_netlist
+let check_main file flat metric polydiff figure_based lambda rules_files show_netlist
     show_stats show_structure check_same_net expect markers jobs cache stats_json
     trace_out sarif_out top_cost progress werror lint lint_werror =
-  let rules = load_rules ~lambda rules_file in
+  let decks =
+    match rules_files with
+    | [] -> [ Dic.Engine.deck (Tech.Rules.nmos ~lambda ()) ]
+    | paths ->
+      Dic.Engine.dedupe_labels
+        (List.map
+           (fun p ->
+             Dic.Engine.deck ~label:(Filename.basename p)
+               (load_rules ~lambda (Some p)))
+           paths)
+  in
   let src = read_file file in
   if flat then begin
     List.iter
@@ -161,15 +219,20 @@ let check_main file flat metric polydiff figure_based lambda rules_file show_net
             "dicheck: %s applies to the hierarchical checker; ignored with --flat\n" name)
       [ (stats_json, "--stats-json"); (trace_out, "--trace"); (sarif_out, "--sarif");
         (cache, "--cache") ];
+    (match decks with
+    | _ :: _ :: _ ->
+      Printf.eprintf
+        "dicheck: --flat checks one deck; using the first --rules only\n"
+    | _ -> ());
     run_flat ~metric
       ~poly_diff:(if polydiff then `Flag_all else `Ignore)
       ~width_algorithm:(if figure_based then `Figure_based else `Shrink_expand_compare)
-      rules src
+      (List.hd decks).Dic.Engine.dk_rules src
   end
   else
     run_dic ~show_netlist ~show_stats ~show_structure ~check_same_net ~expect ~markers
       ~jobs ~cache ~stats_json ~trace_out ~sarif_out ~top_cost ~progress ~werror ~lint
-      ~lint_werror ~input:file rules src
+      ~lint_werror ~input:file decks src
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
@@ -281,13 +344,12 @@ let serve_main lambda rules_file cache socket workers max_queue trace_out event_
 
 (* One stats round trip on a fresh connection, so `top` keeps working
    across daemon restarts and never holds a reader hostage. *)
-let fetch_stats path =
+let fetch_stats ?(req = "{\"admin\":\"stats\",\"id\":\"top\"}\n") path =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect sock (Unix.ADDR_UNIX path);
-      let req = "{\"admin\":\"stats\",\"id\":\"top\"}\n" in
       let len = String.length req in
       let off = ref 0 in
       while !off < len do
@@ -336,9 +398,15 @@ let top_render path reply =
   | None -> ());
   flush stdout
 
-let top_main path interval once raw =
+let top_main path interval once raw metrics_format =
+  let prom = metrics_format = `Prom in
+  let req =
+    if prom then
+      "{\"admin\":\"stats\",\"format\":\"prometheus\",\"id\":\"top\"}\n"
+    else "{\"admin\":\"stats\",\"id\":\"top\"}\n"
+  in
   let tick () =
-    match fetch_stats path with
+    match fetch_stats ~req path with
     | exception Unix.Unix_error (err, _, _) ->
       Printf.eprintf "dicheck top: %s: %s\n" path (Unix.error_message err);
       Error ()
@@ -351,7 +419,12 @@ let top_main path interval once raw =
         Printf.eprintf "dicheck top: bad stats reply: %s\n" msg;
         Error ()
       | Ok reply ->
-        if raw then (
+        if prom then (
+          match Option.bind (Dic.Json.member "prometheus" reply) Dic.Json.str with
+          | Some text -> print_string text; flush stdout
+          | None ->
+            Printf.eprintf "dicheck top: daemon did not return prometheus text\n")
+        else if raw then (
           match Dic.Json.member "stats" reply with
           | Some stats -> print_endline (Dic.Json.to_string stats)
           | None -> print_endline line)
@@ -383,6 +456,18 @@ let lambda_arg = Arg.(value & opt int 100 & info [ "lambda" ] ~doc:"Lambda in la
 
 let rules_arg =
   Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"FILE" ~doc:"Load the rule set from a rule file instead of the built-in NMOS rules.")
+
+(* check accepts the flag repeatedly: each use adds a rule deck, and
+   several decks share one elaboration of the design. *)
+let rules_many_arg =
+  Arg.(value & opt_all string []
+       & info [ "rules" ] ~docv:"FILE"
+           ~doc:"Load a rule deck from FILE instead of the built-in NMOS rules.  \
+                 Repeatable: with several decks the design is elaborated once \
+                 and checked against every deck, the report merges all decks' \
+                 violations with deck-membership annotations, and the summary \
+                 states which decks the design complies with.  Exit status is \
+                 the worst deck's.")
 
 let cache_arg =
   Arg.(value & opt (some string) None
@@ -487,7 +572,7 @@ let check_term =
   in
   Term.(
     const check_main $ file $ flat $ metric $ polydiff $ figure_based $ lambda_arg
-    $ rules_arg $ netlist $ stats $ structure $ same_net $ expect $ markers $ jobs
+    $ rules_many_arg $ netlist $ stats $ structure $ same_net $ expect $ markers $ jobs
     $ cache_arg $ stats_json $ trace_out $ sarif_out $ top_cost $ progress $ werror
     $ lint $ lint_werror)
 
@@ -620,13 +705,25 @@ let top_cmd =
                    view (one object per refresh; combine with $(b,--once) \
                    for scripting).")
   in
+  let metrics_format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("prom", `Prom) ]) `Text
+         & info [ "metrics-format" ] ~docv:"FORMAT"
+             ~doc:"Output format of the stats snapshot: $(b,text) (default) \
+                   renders the live view, $(b,prom) prints the Prometheus \
+                   text exposition of the same snapshot (combine with \
+                   $(b,--once) to feed a scrape pipeline or node-exporter \
+                   textfile collector).")
+  in
   Cmd.v
     (Cmd.info "top" ~exits
        ~doc:"Live service view of a running serve daemon: request counters, \
              queue depth, rolling latency percentiles, cache hit ratio, and \
              per-worker busy fractions, refreshed every $(b,--interval) \
-             seconds over the daemon's {\"admin\":\"stats\"} request.")
-    Term.(const top_main $ socket $ interval $ once $ raw)
+             seconds over the daemon's {\"admin\":\"stats\"} request.  \
+             $(b,--metrics-format prom) prints the same snapshot as \
+             Prometheus text exposition instead.")
+    Term.(const top_main $ socket $ interval $ once $ raw $ metrics_format)
 
 let info =
   Cmd.info "dicheck" ~version:Dic.Version.version ~exits

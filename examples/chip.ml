@@ -49,7 +49,7 @@ let () =
         @ [ Layoutgen.Builder.call ~at:(0, l 2) Layoutgen.Cells.id_pad;
             Layoutgen.Builder.call ~at:(l 20, l 7) Layoutgen.Cells.id_conp ] }
   in
-  match Dic.Engine.check (Dic.Engine.create rules) chip with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) chip with
   | Error e -> failwith e
   | Ok (result, _) ->
     Format.printf "--- chip ---@.%a@.@." Dic.Engine.pp_summary result;
@@ -57,10 +57,10 @@ let () =
       (fun (v : Dic.Report.violation) ->
         if v.Dic.Report.severity = Dic.Report.Error then
           Format.printf "%a@." Dic.Report.pp_violation v)
-      result.Dic.Checker.report.Dic.Report.violations;
+      result.Dic.Engine.report.Dic.Report.violations;
     Format.printf "--- structure ---@.%a@.@." Dic.Structure.pp
-      (Dic.Structure.compute result.Dic.Checker.nets);
-    (match Netlist.Net.find_by_name result.Dic.Checker.netlist "PADIN" with
+      (Dic.Structure.compute result.Dic.Engine.nets);
+    (match Netlist.Net.find_by_name result.Dic.Engine.netlist "PADIN" with
     | Some net ->
       Format.printf "pad net: %d terminal(s): %s@." (List.length net.Netlist.Net.terminals)
         (String.concat ", "

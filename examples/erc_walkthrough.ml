@@ -16,11 +16,11 @@ let engine = Dic.Engine.create rules
 
 let show title file =
   Printf.printf "--- %s ---\n" title;
-  match Dic.Engine.check engine file with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check engine file with
   | Error e -> Printf.printf "checker failed: %s\n\n" e
   | Ok (result, _) ->
     let electrical =
-      Dic.Report.by_stage result.Dic.Checker.report Dic.Report.Electrical
+      Dic.Report.by_stage result.Dic.Engine.report Dic.Report.Electrical
     in
     if electrical = [] then print_endline "(electrically clean)"
     else List.iter (fun v -> Format.printf "%a@." Dic.Report.pp_violation v) electrical;

@@ -27,18 +27,18 @@ let () =
   let engine = Dic.Engine.create rules in
 
   (* --- clean run --- *)
-  (match Dic.Engine.check engine clean with
+  (match Result.map Dic.Engine.primary @@ Dic.Engine.check engine clean with
   | Error e -> failwith e
   | Ok (result, _) ->
     Printf.printf "--- clean array (%dx%d cells) ---\n" nx ny;
     Format.printf "%a@." Dic.Engine.pp_summary result;
-    let local, crossing = Dic.Netgen.locality result.Dic.Checker.nets in
+    let local, crossing = Dic.Netgen.locality result.Dic.Engine.nets in
     Printf.printf "net locality: %d local / %d crossing\n" local crossing;
     Format.printf "memoisation: %a@.@."
       (fun ppf (s : Dic.Interactions.stats) ->
         Format.fprintf ppf "%d hits / %d misses" s.Dic.Interactions.memo_hits
           s.Dic.Interactions.memo_misses)
-      result.Dic.Checker.interaction_stats);
+      result.Dic.Engine.interaction_stats);
 
   (* --- salted run: known defects, both checkers --- *)
   let margin_x = (nx * Layoutgen.Cells.pitch_x * lambda) + (6 * lambda) in
@@ -50,7 +50,7 @@ let () =
   in
   let salted, truths = Layoutgen.Inject.apply clean injections in
   let tolerance = 2 * lambda in
-  (match Dic.Engine.check engine salted with
+  (match Result.map Dic.Engine.primary @@ Dic.Engine.check engine salted with
   | Error e -> failwith e
   | Ok (result, reuse) ->
     Printf.printf "(reused %d/%d definitions from the clean run)\n"

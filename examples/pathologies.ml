@@ -10,7 +10,7 @@
    Run with: dune exec examples/pathologies.exe *)
 
 let run_dic rules file =
-  match Dic.Engine.check (Dic.Engine.create rules) file with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) file with
   | Ok (result, _) -> Dic.Classify.of_report result.Dic.Engine.report
   | Error msg -> failwith msg
 

@@ -17,7 +17,7 @@ let () =
   let plane = Layoutgen.Pla.plane ~lambda program in
   Printf.printf "--- 3 products x 4 inputs (# poly, = metal, + diff, X cut) ---\n";
   print_string (Layoutgen.Render.file ~cell:100 rules plane);
-  match Dic.Engine.check (Dic.Engine.create rules) plane with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) plane with
   | Error e -> failwith e
   | Ok (result, _) ->
     Format.printf "@.%a@.@." Dic.Engine.pp_summary result;
@@ -25,7 +25,7 @@ let () =
     Array.iteri
       (fun r _ ->
         let name = Printf.sprintf "P%d" r in
-        match Netlist.Net.find_by_name result.Dic.Checker.netlist name with
+        match Netlist.Net.find_by_name result.Dic.Engine.netlist name with
         | Some net ->
           let pulldowns =
             List.filter

@@ -29,7 +29,7 @@ let () =
      builds a session (reusable across designs, optionally backed by an
      on-disk cache); [Engine.check] runs one design through it. *)
   let engine = Dic.Engine.create rules in
-  match Dic.Engine.check engine design with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check engine design with
   | Error msg ->
     Printf.eprintf "checker failed: %s\n" msg;
     exit 1

@@ -16,14 +16,14 @@ let () =
   let engine = Dic.Engine.create rules in
 
   (* Geometric + electrical check. *)
-  (match Dic.Engine.check engine design with
+  (match Result.map Dic.Engine.primary @@ Dic.Engine.check engine design with
   | Error e -> failwith e
   | Ok (result, _) ->
     Format.printf "--- %d-bit shift register ---@.%a@." bits Dic.Engine.pp_summary result;
     Format.printf "clock nets merge globally:@.";
     List.iter
       (fun name ->
-        match Netlist.Net.find_by_name result.Dic.Checker.netlist name with
+        match Netlist.Net.find_by_name result.Dic.Engine.netlist name with
         | Some net ->
           Format.printf "  %s: %d pass-gate terminal(s)@." name
             (List.length net.Netlist.Net.terminals)
@@ -44,10 +44,10 @@ let () =
     | Ok e -> e
     | Error msg -> failwith msg
   in
-  (match Dic.Engine.check (Dic.Engine.with_expected_netlist engine (Some expected)) design with
+  (match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.with_expected_netlist engine (Some expected)) design with
   | Error e -> failwith e
   | Ok (result, _) ->
-    let mismatches = Dic.Report.by_rule_prefix result.Dic.Checker.report "netcmp" in
+    let mismatches = Dic.Report.by_rule_prefix result.Dic.Engine.report "netcmp" in
     Format.printf "@.--- net list vs intent (correct design) ---@.";
     if List.exists (fun (v : Dic.Report.violation) -> v.Dic.Report.severity = Dic.Report.Error) mismatches
     then List.iter (fun v -> Format.printf "%a@." Dic.Report.pp_violation v) mismatches
@@ -59,10 +59,10 @@ let () =
     | Ok e -> e
     | Error msg -> failwith msg
   in
-  match Dic.Engine.check (Dic.Engine.with_expected_netlist engine (Some wrong)) design with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.with_expected_netlist engine (Some wrong)) design with
   | Error e -> failwith e
   | Ok (result, _) ->
     Format.printf "@.--- net list vs a wrong intent ---@.";
     List.iter
       (fun v -> Format.printf "%a@." Dic.Report.pp_violation v)
-      (Dic.Report.by_rule_prefix result.Dic.Checker.report "netcmp")
+      (Dic.Report.by_rule_prefix result.Dic.Engine.report "netcmp")

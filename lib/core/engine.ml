@@ -10,11 +10,31 @@ let default_config =
   { interactions = Interactions.default_config; run_erc = true; expected_netlist = None;
     relational = None; run_lint = false }
 
+type deck = {
+  dk_label : string;
+  dk_rules : Tech.Rules.t;
+}
+
+let deck ?label rules =
+  { dk_label = (match label with Some l -> l | None -> rules.Tech.Rules.name);
+    dk_rules = rules }
+
+(* Labels key the merged report's membership annotations and the SARIF
+   run ids, so collisions (two decks from files of the same basename)
+   get a positional suffix rather than aliasing each other. *)
+let dedupe_labels decks =
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun d ->
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt seen d.dk_label) in
+      Hashtbl.replace seen d.dk_label n;
+      if n = 1 then d else { d with dk_label = Printf.sprintf "%s#%d" d.dk_label n })
+    decks
+
 type result = {
   report : Report.t;
   netlist : Netlist.Net.t;
   interaction_stats : Interactions.stats;
-  stage_seconds : (string * float) list;
   metrics : Metrics.t;
   model : Model.t;
   nets : Netgen.t;
@@ -26,6 +46,21 @@ type reuse = {
   defs_from_disk : int;
   memo_loaded : int;
 }
+
+type deck_result = {
+  dr_deck : deck;
+  dr_result : result;
+  dr_reuse : reuse;
+}
+
+type multi = {
+  results : deck_result list;
+  merged : Multireport.t;
+}
+
+let primary m =
+  let dr = List.hd m.results in
+  (dr.dr_result, dr.dr_reuse)
 
 let erc_violations netlist =
   List.map
@@ -95,57 +130,91 @@ let subtree_fingerprints (model : Model.t) =
   fps
 
 (* Parallelism never affects results, so the environment digest — the
-   cache address — normalises [jobs] away.  Everything else in the
-   config (and the whole rule set) is folded in. *)
+   cache address — normalises [jobs] away.  The rule set enters through
+   its canonical textual form, not its in-memory record: source
+   positions (and any other provenance that never reaches a verdict)
+   must not split the cache, and two decks that print the same are the
+   same deck. *)
 let env_key rules (config : config) =
   let c = { config with interactions = { config.interactions with Interactions.jobs = 1 } } in
-  Digest.to_hex (Digest.string (Marshal.to_string (rules, c) []))
+  Digest.to_hex (Digest.string (Marshal.to_string (Tech.Rules.to_string rules, c) []))
+
+(* The interaction memo's own address.  A memoised candidate list
+   depends only on the geometry, the candidate cutoff [max_dist], and
+   the distance metric — never on the individual spacing values — so
+   decks agreeing on those share one memo, on disk and warm. *)
+let memo_env_key rules (config : config) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (Interactions.max_dist rules, config.interactions.Interactions.metric)
+          []))
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)
 
-type t = {
-  e_rules : Tech.Rules.t;
-  mutable e_config : config;
-  e_cache : Cache.t option;
-  mutable e_env : string;
-  (* fingerprint -> per-definition results, valid within [e_env] *)
-  e_defs : (string, Cache.def_entry) Hashtbl.t;
-  e_memo : Interactions.memo;
+(* Warm interaction-memo state for one memo environment (one [dmax] ×
+   metric class of decks). *)
+type memo_slot = {
+  ms_env : string;
+  ms_memo : Interactions.memo;
   (* sid -> subtree fingerprint from the previous check, for memo
      invalidation across edits *)
-  mutable e_memo_fps : (int * string) list;
-  (* the on-disk memo (content-addressed keys), loaded at most once per
-     environment *)
-  mutable e_disk_memo : Cache.memo_file option;
+  mutable ms_fps : (int * string) list;
+  (* the on-disk memo (content-addressed keys), loaded at most once *)
+  mutable ms_disk : Cache.memo_file option;
+}
+
+type t = {
+  mutable e_decks : deck list;
+  mutable e_config : config;
+  e_cache : Cache.t option;
+  (* the primary deck's environment digest *)
+  mutable e_env : string;
+  (* env -> fingerprint -> per-definition results.  One table per deck
+     environment, so warming deck A never touches deck B's entries. *)
+  e_defs : (string, (string, Cache.def_entry) Hashtbl.t) Hashtbl.t;
+  (* memo-env -> slot, ditto for the interaction memo *)
+  e_memos : (string, memo_slot) Hashtbl.t;
   (* sid -> subtree fingerprint from the most recent check, kept so
-     [flush] can re-run [save_memo] outside any check *)
+     [flush] can re-run the memo save outside any check *)
   mutable e_last_subtree : (int, string) Hashtbl.t option;
 }
 
-let create ?(config = default_config) ?cache_dir rules =
-  { e_rules = rules;
+let create ?(config = default_config) ?cache_dir ?decks rules =
+  let decks =
+    match decks with
+    | Some [] -> invalid_arg "Engine.create: empty deck list"
+    | Some ds -> ds
+    | None -> [ deck rules ]
+  in
+  { e_decks = decks;
     e_config = config;
     e_cache = Option.map Cache.open_dir cache_dir;
-    e_env = env_key rules config;
-    e_defs = Hashtbl.create 64;
-    e_memo = Interactions.create_memo ();
-    e_memo_fps = [];
-    e_disk_memo = None;
+    e_env = env_key (List.hd decks).dk_rules config;
+    e_defs = Hashtbl.create 4;
+    e_memos = Hashtbl.create 4;
     e_last_subtree = None }
 
-let rules t = t.e_rules
+let rules t = (List.hd t.e_decks).dk_rules
+let decks t = t.e_decks
 let config t = t.e_config
 let same_env t rules config = String.equal (env_key rules config) t.e_env
 
+let with_decks t decks =
+  (match decks with [] -> invalid_arg "Engine.with_decks: empty deck list" | _ -> ());
+  t.e_decks <- decks;
+  t.e_env <- env_key (List.hd decks).dk_rules t.e_config;
+  t
+
 let with_config t config =
-  let env = env_key t.e_rules config in
+  let env = env_key (rules t) config in
   if not (String.equal env t.e_env) then begin
-    (* New environment: none of the warm state can be trusted. *)
+    (* New environment: none of the warm state can be trusted (the
+       per-env tables could survive, but a config change invalidates
+       every deck's address at once, so a clean slate is simpler). *)
     Hashtbl.reset t.e_defs;
-    Interactions.prune_memo t.e_memo ~keep:(fun _ -> false);
-    t.e_memo_fps <- [];
-    t.e_disk_memo <- None;
+    Hashtbl.reset t.e_memos;
     t.e_last_subtree <- None;
     t.e_env <- env
   end;
@@ -175,12 +244,32 @@ let with_lint t run_lint = with_config t { t.e_config with run_lint }
 let with_expected_netlist t expected_netlist = with_config t { t.e_config with expected_netlist }
 let with_relational t relational = with_config t { t.e_config with relational }
 
+let defs_for t env =
+  match Hashtbl.find_opt t.e_defs env with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 64 in
+    Hashtbl.add t.e_defs env h;
+    h
+
+let slot_for t rules =
+  let env = memo_env_key rules t.e_config in
+  match Hashtbl.find_opt t.e_memos env with
+  | Some s -> s
+  | None ->
+    let s =
+      { ms_env = env; ms_memo = Interactions.create_memo (); ms_fps = []; ms_disk = None }
+    in
+    Hashtbl.add t.e_memos env s;
+    s
+
 (* ------------------------------------------------------------------ *)
 (* Checking                                                            *)
 
-(* One per symbol occurrence in the model: either the cached entry to
-   replay, or the freshly computed pieces accumulated stage by stage so
-   they can be stored as one entry afterwards. *)
+(* One per symbol occurrence in the model, per deck environment: either
+   the cached entry to replay, or the freshly computed pieces
+   accumulated stage by stage so they can be stored as one entry
+   afterwards. *)
 type slot = {
   sl_sym : Model.symbol;
   sl_fp : string;
@@ -194,24 +283,24 @@ type slot = {
    since the previous check, then pull in any surviving entries from
    the on-disk memo (remapping its content-addressed keys to this
    model's symbol ids).  Returns the number of entries imported. *)
-let refresh_memo t trace subtree =
+let refresh_slot t trace subtree slot =
   let unchanged sid =
-    match (List.assoc_opt sid t.e_memo_fps, Hashtbl.find_opt subtree sid) with
+    match (List.assoc_opt sid slot.ms_fps, Hashtbl.find_opt subtree sid) with
     | Some old_fp, Some new_fp -> String.equal old_fp new_fp
     | _ -> false
   in
-  Interactions.prune_memo t.e_memo ~keep:unchanged;
-  t.e_memo_fps <- Hashtbl.fold (fun sid fp acc -> (sid, fp) :: acc) subtree [];
+  Interactions.prune_memo slot.ms_memo ~keep:unchanged;
+  slot.ms_fps <- Hashtbl.fold (fun sid fp acc -> (sid, fp) :: acc) subtree [];
   match t.e_cache with
   | None -> 0
   | Some cache ->
     Trace.with_span trace ~cat:"cache" "memo-load" (fun () ->
         let disk =
-          match t.e_disk_memo with
+          match slot.ms_disk with
           | Some d -> d
           | None ->
-            let d = Cache.load_memo cache ~env:t.e_env in
-            t.e_disk_memo <- Some d;
+            let d = Cache.load_memo cache ~env:slot.ms_env in
+            slot.ms_disk <- Some d;
             d
         in
         if disk = [] then 0
@@ -225,7 +314,7 @@ let refresh_memo t trace subtree =
           let present = Hashtbl.create 64 in
           List.iter
             (fun (key, _) -> Hashtbl.replace present key ())
-            (Interactions.export_memo t.e_memo);
+            (Interactions.export_memo slot.ms_memo);
           let imported = ref [] in
           List.iter
             (fun ((fpa, fpb, tr), entry) ->
@@ -244,7 +333,7 @@ let refresh_memo t trace subtree =
                   sas
               | _ -> ())
             disk;
-          Interactions.import_memo t.e_memo !imported;
+          Interactions.import_memo slot.ms_memo !imported;
           List.length !imported
         end)
 
@@ -255,13 +344,13 @@ let refresh_memo t trace subtree =
    the current model (another design checked by the same server, or a
    pre-edit version of this one) are still content-valid, so dropping
    them would throw warmth away. *)
-let save_memo t trace subtree =
+let save_slot t trace subtree slot =
   match t.e_cache with
   | None -> ()
   | Some cache ->
     Trace.with_span trace ~cat:"cache" "memo-save" (fun () ->
         let dedup = Hashtbl.create 64 in
-        (match t.e_disk_memo with
+        (match slot.ms_disk with
         | Some old -> List.iter (fun (k, e) -> Hashtbl.replace dedup k e) old
         | None -> ());
         List.iter
@@ -269,80 +358,121 @@ let save_memo t trace subtree =
             match (Hashtbl.find_opt subtree sa, Hashtbl.find_opt subtree sb) with
             | Some fa, Some fb -> Hashtbl.replace dedup (fa, fb, tr) entry
             | _ -> ())
-          (Interactions.export_memo t.e_memo);
+          (Interactions.export_memo slot.ms_memo);
         let entries = Hashtbl.fold (fun k e acc -> (k, e) :: acc) dedup [] in
         let entries = List.sort (fun (ka, _) (kb, _) -> compare ka kb) entries in
-        t.e_disk_memo <- Some entries;
-        Cache.store_memo cache ~env:t.e_env entries)
+        slot.ms_disk <- Some entries;
+        Cache.store_memo cache ~env:slot.ms_env entries)
+
+(* Distinct memo slots of the current deck list, in first-use order;
+   decks agreeing on [memo_env_key] share a slot. *)
+let distinct_slots slots_by_deck =
+  List.rev
+    (List.fold_left
+       (fun acc s -> if List.memq s acc then acc else s :: acc)
+       [] slots_by_deck)
 
 let check ?metrics ?trace ?progress t file =
   let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let decks = t.e_decks in
+  let prim = List.hd decks in
   let tick name = match progress with None -> () | Some f -> f name in
   (* Each stage is announced to [progress], timed into the metrics, and
      recorded as a ["stage"]-category trace span — one wrapper so the
-     three views always agree on stage names. *)
+     three views always agree on stage names.  With several decks the
+     per-deck work loops {e inside} each stage, so the stage sequence —
+     and, for the primary deck, the report bytes — are identical to a
+     single-deck run. *)
   let timed name f =
     tick name;
     Trace.with_span trace ~cat:"stage" name (fun () -> Metrics.time_stage m name f)
   in
-  match timed "elaborate" (fun () -> Model.elaborate t.e_rules file) with
+  match timed "elaborate" (fun () -> Model.elaborate prim.dk_rules file) with
   | Error e -> Error e
   | Ok (model, parse_issues) ->
     Metrics.incr ~by:(Model.symbol_count model) m "model.symbols";
     Metrics.incr ~by:(Model.definition_elements model) m "model.definition_elements";
     Metrics.incr ~by:(Model.instantiated_elements model) m "model.instantiated_elements";
-    (* Static lints run before any geometry: the deck pass over the
-       session's rules and the design pass over the syntax tree +
-       model.  Off by default so the default report bytes are
-       untouched; an engine in a new lint config lands on a new
-       environment digest anyway. *)
-    let lint_issues =
-      if not t.e_config.run_lint then []
+    (* Static lints run before any geometry: one deck pass per deck,
+       one design pass (syntax tree + model) shared by all.  Off by
+       default so the default report bytes are untouched. *)
+    let lint_by_deck =
+      if not t.e_config.run_lint then List.map (fun _ -> []) decks
       else
         timed "lint" (fun () ->
-            let diags =
-              Lint.sort
-                (Lint.check_deck t.e_rules @ Lint.check_ast file @ Lint.check_model model)
-            in
-            Lint.record_metrics m diags;
-            Lint.to_violations diags)
+            let design = Lint.check_ast file @ Lint.check_model model in
+            List.mapi
+              (fun i d ->
+                let diags = Lint.sort (Lint.check_deck d.dk_rules @ design) in
+                if i = 0 then Lint.record_metrics m diags;
+                Lint.to_violations diags)
+              decks)
     in
     let subtree = subtree_fingerprints model in
-    let memo_loaded = refresh_memo t trace subtree in
-    (* Resolve every definition against the session (then disk) cache
-       before the sweeps start, so each stage below just replays or
-       computes. *)
-    let defs_from_disk = ref 0 and reused = ref 0 in
-    let slots =
+    let slots_by_deck_memo = List.map (fun d -> slot_for t d.dk_rules) decks in
+    let memo_loaded_by_slot =
+      List.map
+        (fun s -> (s.ms_env, refresh_slot t trace subtree s))
+        (distinct_slots slots_by_deck_memo)
+    in
+    (* Imported entries are credited to the first deck using each slot,
+       so totals across decks match what actually moved. *)
+    let memo_loaded_by_deck =
+      let credited = Hashtbl.create 4 in
+      List.map
+        (fun s ->
+          if Hashtbl.mem credited s.ms_env then 0
+          else begin
+            Hashtbl.add credited s.ms_env ();
+            List.assoc s.ms_env memo_loaded_by_slot
+          end)
+        slots_by_deck_memo
+    in
+    (* Resolve every definition against each deck's session (then disk)
+       cache before the sweeps start, so each stage below just replays
+       or computes.  Fingerprints are deck-independent and computed
+       once. *)
+    let fps =
+      List.map (fun (s : Model.symbol) -> (s, fingerprint s)) model.Model.symbols
+    in
+    let env_by_deck = List.map (fun d -> env_key d.dk_rules t.e_config) decks in
+    let lookups =
       Trace.with_span trace ~cat:"cache" "defs-lookup" (fun () ->
           List.map
-            (fun (s : Model.symbol) ->
-              let fp = fingerprint s in
-              let hit =
-                match Hashtbl.find_opt t.e_defs fp with
-                | Some e -> Some e
-                | None -> (
-                  match t.e_cache with
-                  | None -> None
-                  | Some cache -> (
-                    match Cache.find_def cache ~env:t.e_env ~fp with
-                    | Some e ->
-                      incr defs_from_disk;
-                      Hashtbl.replace t.e_defs fp e;
-                      Some e
-                    | None -> None))
+            (fun env_d ->
+              let defs = defs_for t env_d in
+              let defs_from_disk = ref 0 and reused = ref 0 in
+              let slots =
+                List.map
+                  (fun ((s : Model.symbol), fp) ->
+                    let hit =
+                      match Hashtbl.find_opt defs fp with
+                      | Some e -> Some e
+                      | None -> (
+                        match t.e_cache with
+                        | None -> None
+                        | Some cache -> (
+                          match Cache.find_def cache ~env:env_d ~fp with
+                          | Some e ->
+                            incr defs_from_disk;
+                            Hashtbl.replace defs fp e;
+                            Some e
+                          | None -> None))
+                    in
+                    if Option.is_some hit then incr reused;
+                    { sl_sym = s; sl_fp = fp; sl_hit = hit; sl_el = []; sl_dv = [];
+                      sl_rel = [] })
+                  fps
               in
-              if Option.is_some hit then incr reused;
-              { sl_sym = s; sl_fp = fp; sl_hit = hit; sl_el = []; sl_dv = []; sl_rel = [] })
-            model.Model.symbols)
+              (slots, !reused, !defs_from_disk))
+            env_by_deck)
     in
     (* Per-definition sweep: replayed slots contribute their cached
        list in place, computed slots get the ["symbol"] span and
-       [symbol.<name>] cost charge — so a cold engine's trace and
-       metrics match the historical Checker.run exactly, and the
-       report ordering (all elements, then all devices, …) is the same
-       either way. *)
-    let per_symbol stage compute replay =
+       [symbol.<name>] cost charge — so a cold single-deck engine's
+       trace and metrics are unchanged, and the report ordering (all
+       elements, then all devices, …) is the same either way. *)
+    let per_symbol slots stage compute replay =
       List.concat_map
         (fun sl ->
           match sl.sl_hit with
@@ -357,76 +487,110 @@ let check ?metrics ?trace ?progress t file =
                 vs))
         slots
     in
-    let element_issues =
+    let elements_by_deck =
       timed "elements" (fun () ->
-          per_symbol "elements"
-            (fun sl ->
-              let vs = Element_checks.check_symbol model.Model.rules sl.sl_sym in
-              sl.sl_el <- vs;
-              vs)
-            (fun e -> e.Cache.de_elements))
+          List.map2
+            (fun d (slots, _, _) ->
+              per_symbol slots "elements"
+                (fun sl ->
+                  let vs = Element_checks.check_symbol d.dk_rules sl.sl_sym in
+                  sl.sl_el <- vs;
+                  vs)
+                (fun e -> e.Cache.de_elements))
+            decks lookups)
     in
-    let device_issues =
+    let devices_by_deck =
       timed "devices" (fun () ->
-          per_symbol "devices"
-            (fun sl ->
-              let vs = Devices.check_symbol model.Model.rules sl.sl_sym in
-              sl.sl_dv <- vs;
-              vs)
-            (fun e -> e.Cache.de_devices))
+          List.map2
+            (fun d (slots, _, _) ->
+              per_symbol slots "devices"
+                (fun sl ->
+                  let vs = Devices.check_symbol d.dk_rules sl.sl_sym in
+                  sl.sl_dv <- vs;
+                  vs)
+                (fun e -> e.Cache.de_devices))
+            decks lookups)
     in
-    let relational_issues =
+    let relational_by_deck =
       match t.e_config.relational with
-      | None -> []
+      | None -> List.map (fun _ -> []) decks
       | Some exposure ->
         timed "devices-relational" (fun () ->
-            List.concat_map
-              (fun sl ->
-                match sl.sl_hit with
-                | Some e -> e.Cache.de_relational
-                | None ->
-                  let vs = Devices.check_relational exposure model.Model.rules sl.sl_sym in
-                  sl.sl_rel <- vs;
-                  vs)
-              slots)
+            List.map2
+              (fun d (slots, _, _) ->
+                List.concat_map
+                  (fun sl ->
+                    match sl.sl_hit with
+                    | Some e -> e.Cache.de_relational
+                    | None ->
+                      let vs = Devices.check_relational exposure d.dk_rules sl.sl_sym in
+                      sl.sl_rel <- vs;
+                      vs)
+                  slots)
+              decks lookups)
     in
     (* Freshly computed definitions become cache entries (session +
-       disk).  When [relational] is off the stored list is empty, which
-       is sound: the environment digest separates the two configs. *)
+       disk), under their deck's environment.  When [relational] is off
+       the stored list is empty, which is sound: the environment digest
+       separates the two configs. *)
     Trace.with_span trace ~cat:"cache" "defs-save" (fun () ->
-        let stored = Hashtbl.create 16 in
-        List.iter
-          (fun sl ->
-            if Option.is_none sl.sl_hit && not (Hashtbl.mem stored sl.sl_fp) then begin
-              Hashtbl.replace stored sl.sl_fp ();
-              let entry =
-                { Cache.de_elements = sl.sl_el;
-                  de_devices = sl.sl_dv;
-                  de_relational = sl.sl_rel }
-              in
-              Hashtbl.replace t.e_defs sl.sl_fp entry;
-              match t.e_cache with
-              | None -> ()
-              | Some cache -> Cache.store_def cache ~env:t.e_env ~fp:sl.sl_fp entry
-            end)
-          slots);
-    let total = List.length slots in
+        List.iter2
+          (fun env_d (slots, _, _) ->
+            let defs = defs_for t env_d in
+            let stored = Hashtbl.create 16 in
+            List.iter
+              (fun sl ->
+                if Option.is_none sl.sl_hit && not (Hashtbl.mem stored sl.sl_fp) then begin
+                  Hashtbl.replace stored sl.sl_fp ();
+                  let entry =
+                    { Cache.de_elements = sl.sl_el;
+                      de_devices = sl.sl_dv;
+                      de_relational = sl.sl_rel }
+                  in
+                  Hashtbl.replace defs sl.sl_fp entry;
+                  match t.e_cache with
+                  | None -> ()
+                  | Some cache -> Cache.store_def cache ~env:env_d ~fp:sl.sl_fp entry
+                end)
+              slots)
+          env_by_deck lookups);
+    let total_one = List.length fps in
+    let total = total_one * List.length decks in
+    let reused = List.fold_left (fun acc (_, r, _) -> acc + r) 0 lookups in
+    let defs_from_disk = List.fold_left (fun acc (_, _, d) -> acc + d) 0 lookups in
+    let memo_loaded = List.fold_left ( + ) 0 memo_loaded_by_deck in
     Metrics.incr ~by:total m "cache.symbols_total";
-    Metrics.incr ~by:!reused m "cache.symbols_reused";
-    Metrics.incr ~by:!defs_from_disk m "cache.defs_from_disk";
-    Metrics.incr ~by:(total - !reused) m "cache.defs_computed";
+    Metrics.incr ~by:reused m "cache.symbols_reused";
+    Metrics.incr ~by:defs_from_disk m "cache.defs_from_disk";
+    Metrics.incr ~by:(total - reused) m "cache.defs_computed";
     Metrics.incr ~by:memo_loaded m "cache.memo_loaded";
     if total > 0 then
-      Metrics.set_gauge m "cache.hit_ratio"
-        (float_of_int !reused /. float_of_int total);
-    (* Composite stages always run fresh: they are the hierarchical,
-       cheap part, and they stitch the cached pieces together. *)
+      Metrics.set_gauge m "cache.hit_ratio" (float_of_int reused /. float_of_int total);
+    (* Composite stages always run fresh and are deck-independent: they
+       are the hierarchical, cheap part, and they stitch the cached
+       pieces together. *)
     let nets, connection_issues = timed "connections+netlist" (fun () -> Netgen.build model) in
     let netlist = timed "netlist-export" (fun () -> Netgen.netlist nets) in
-    let interaction_issues, interaction_stats =
+    (* The interaction sweep diverges per deck, but its worklist — the
+       expensive plan — depends only on the candidate cutoff, so decks
+       agreeing on [max_dist] share one plan (and their memo slot). *)
+    let interactions_by_deck =
       timed "interactions" (fun () ->
-          Interactions.check ~config:t.e_config.interactions ~memo:t.e_memo ~metrics:m
-            ?trace nets)
+          let plans = Hashtbl.create 4 in
+          let plan_for dk_rules =
+            let dmax = Interactions.max_dist dk_rules in
+            match Hashtbl.find_opt plans dmax with
+            | Some p -> p
+            | None ->
+              let p = Interactions.plan ~dmax nets in
+              Hashtbl.add plans dmax p;
+              p
+          in
+          List.map2
+            (fun d slot ->
+              Interactions.run ~config:t.e_config.interactions ~rules:d.dk_rules
+                ~memo:slot.ms_memo ~metrics:m ?trace (plan_for d.dk_rules))
+            decks slots_by_deck_memo)
     in
     let electrical_issues =
       if t.e_config.run_erc then timed "electrical" (fun () -> erc_violations netlist)
@@ -443,36 +607,51 @@ let check ?metrics ?trace ?progress t file =
         (Printf.sprintf "%d net(s) local to one definition, %d crossing boundaries" local
            crossing)
     in
-    let report =
-      { Report.violations =
-          lint_issues @ parse_issues @ element_issues @ device_issues @ relational_issues
-          @ connection_issues @ interaction_issues @ electrical_issues
-          @ consistency_issues @ [ locality_info ] }
+    let rec zip5 a b c d e =
+      match (a, b, c, d, e) with
+      | x :: a, y :: b, z :: c, u :: d, v :: e -> (x, y, z, u, v) :: zip5 a b c d e
+      | _ -> []
     in
-    Metrics.count_report m report;
-    save_memo t trace subtree;
+    let deck_results =
+      List.map2
+        (fun ((d, lint_issues, element_issues, device_issues, relational_issues),
+              (interaction_issues, interaction_stats))
+             ((_, deck_reused, deck_from_disk), deck_memo_loaded) ->
+          let report =
+            { Report.violations =
+                lint_issues @ parse_issues @ element_issues @ device_issues
+                @ relational_issues @ connection_issues @ interaction_issues
+                @ electrical_issues @ consistency_issues @ [ locality_info ] }
+          in
+          { dr_deck = d;
+            dr_result = { report; netlist; interaction_stats; metrics = m; model; nets };
+            dr_reuse =
+              { symbols_total = total_one;
+                symbols_reused = deck_reused;
+                defs_from_disk = deck_from_disk;
+                memo_loaded = deck_memo_loaded } })
+        (List.combine
+           (zip5 decks lint_by_deck elements_by_deck devices_by_deck relational_by_deck)
+           interactions_by_deck)
+        (List.combine lookups memo_loaded_by_deck)
+    in
+    let merged =
+      Multireport.make
+        (List.map (fun dr -> (dr.dr_deck.dk_label, dr.dr_result.report)) deck_results)
+    in
+    Metrics.count_report m (List.hd deck_results).dr_result.report;
+    List.iter (save_slot t trace subtree) (distinct_slots slots_by_deck_memo);
     t.e_last_subtree <- Some subtree;
-    Ok
-      ( { report;
-          netlist;
-          interaction_stats;
-          stage_seconds = Metrics.stage_seconds m;
-          metrics = m;
-          model;
-          nets },
-        { symbols_total = total;
-          symbols_reused = !reused;
-          defs_from_disk = !defs_from_disk;
-          memo_loaded } )
+    Ok { results = deck_results; merged }
 
 (* Persist whatever warm state the session holds; a no-op before the
    first check or without a cache directory.  [check] already saves the
-   memo on every run, so this only matters for orderly teardown paths
-   (daemon shutdown) that want an explicit flush point. *)
+   memo slots on every run, so this only matters for orderly teardown
+   paths (daemon shutdown) that want an explicit flush point. *)
 let flush t =
   match t.e_last_subtree with
   | None -> ()
-  | Some subtree -> save_memo t None subtree
+  | Some subtree -> Hashtbl.iter (fun _ slot -> save_slot t None subtree slot) t.e_memos
 
 let check_string ?metrics ?trace ?progress t src =
   match Cif.Parse.file src with

@@ -102,11 +102,19 @@ type site = {
   s_loc : Cif.Loc.t option;  (** CIF source position of the element *)
 }
 
+(* The widest spacing any rule in the deck can demand — the candidate
+   cutoff and grid cell size.  Directed [space_<a>_<b>] overrides are
+   folded in too: an override larger than every base space would
+   otherwise put violating pairs beyond the collection window (a missed
+   violation, the paper's Fig 1 bottom region). *)
 let max_dist rules =
-  List.fold_left max 0
-    [ rules.Tech.Rules.space_diffusion; rules.Tech.Rules.space_poly;
-      rules.Tech.Rules.space_metal; rules.Tech.Rules.space_contact;
-      rules.Tech.Rules.space_poly_diffusion ]
+  List.fold_left
+    (fun acc (_, v) -> max acc v)
+    (List.fold_left max 0
+       [ rules.Tech.Rules.space_diffusion; rules.Tech.Rules.space_poly;
+         rules.Tech.Rules.space_metal; rules.Tech.Rules.space_contact;
+         rules.Tech.Rules.space_poly_diffusion ])
+    rules.Tech.Rules.pair_spaces
 
 (* Minimum gap between two packed rect sets under the metric, via the
    {!Geom.Rects} kernel (sweep in production, the naive oracle under
@@ -506,7 +514,11 @@ let related env dctx sid a b =
         | Some n -> List.mem n (port_nets env dctx sid b)
         | None -> false)
 
-type task = dctx -> Report.violation list
+(* A task is closed over the worklist geometry but takes the judging
+   environment — config and rule deck — at evaluation time, so one
+   worklist (and one candidate memo) can be evaluated under several
+   decks: the plan depends only on [dmax]. *)
+type task = config -> Tech.Rules.t -> dctx -> Report.violation list
 
 let judge_pair cfg env sid rules dctx a b =
   judge cfg rules dctx.d_stats dctx.d_ws
@@ -526,13 +538,11 @@ let emit env sid ~context a b = function
    worth scheduling. *)
 let local_chunk = 32
 
-let tasks_of_symbol cfg env (s : Model.symbol) : task list =
+let tasks_of_symbol env ~dmax (s : Model.symbol) : task list =
   if Model.is_device s then []
   else begin
     let context = s.Model.sname in
     let sid = s.Model.sid in
-    let rules = env.model.Model.rules in
-    let dmax = max_dist rules in
     let local_sites =
       List.map
         (fun (e : Model.element) ->
@@ -561,7 +571,7 @@ let tasks_of_symbol cfg env (s : Model.symbol) : task list =
           end);
       if !cur <> [] then chunks := List.rev !cur :: !chunks;
       List.rev_map
-        (fun chunk dctx ->
+        (fun chunk cfg rules dctx ->
           List.concat_map
             (fun (a, b) ->
               emit env sid ~context a b (judge_pair cfg env sid rules dctx a b))
@@ -594,7 +604,7 @@ let tasks_of_symbol cfg env (s : Model.symbol) : task list =
             | [] -> None
             | near ->
               Some
-                (fun dctx ->
+                (fun cfg rules dctx ->
                   List.concat_map
                     (fun ((c : Model.call), callee) ->
                       let sites =
@@ -617,7 +627,7 @@ let tasks_of_symbol cfg env (s : Model.symbol) : task list =
       let acc = ref [] in
       Geom.Grid_index.iter_pairs_within inst_idx dmax
         (fun (_, ((ca : Model.call), _)) (_, ((cb : Model.call), _)) ->
-          let task dctx =
+          let task cfg rules dctx =
             let rel =
               Geom.Transform.compose
                 (Geom.Transform.inverse ca.Model.transform)
@@ -677,16 +687,16 @@ let import_memo (memo : memo) entries =
 (* Tasks are tagged with the symbol definition they came from, so the
    per-task clock feeds both the pair-check histogram and that
    definition's [symbol.<name>] cost bucket (the [--top-cost] view). *)
-let run_span ?metrics (tasks : (string * task) array) lo hi dctx =
+let run_span ?metrics cfg rules (tasks : (string * task) array) lo hi dctx =
   let out = ref [] in
   for i = lo to hi - 1 do
     let sname, task = tasks.(i) in
     let vs =
       match metrics with
-      | None -> task dctx
+      | None -> task cfg rules dctx
       | Some m ->
         let t0 = Metrics.now_ns () in
-        let vs = task dctx in
+        let vs = task cfg rules dctx in
         let dt = Int64.sub (Metrics.now_ns ()) t0 in
         Metrics.observe_ns m "interactions.pair_check_ns" dt;
         Metrics.add_cost_ns m ("symbol." ^ sname) dt;
@@ -699,17 +709,40 @@ let run_span ?metrics (tasks : (string * task) array) lo hi dctx =
 let effective_jobs jobs =
   if jobs <= 0 then Domain.recommended_domain_count () else jobs
 
-let check ?(config = default_config) ?memo ?metrics ?trace (nets : Netgen.t) =
+(* A plan is the deck-independent half of the sweep: the net structure,
+   the resolution environment, and the ordered worklist, all built for a
+   candidate cutoff of [pl_dmax].  [run] evaluates it under a concrete
+   (config, rules) pair; several decks whose [max_dist] agree can share
+   one plan (and one candidate memo) because the worklist geometry —
+   grid cell sizes, collection windows, pair enumeration order — depends
+   only on the cutoff, never on the individual spacing values. *)
+type plan = {
+  pl_nets : Netgen.t;
+  pl_env : env;
+  pl_dmax : int;
+  pl_tasks : (string * task) array;
+}
+
+let plan ?dmax (nets : Netgen.t) =
   let env = make_env nets in
-  let stats = new_stats () in
-  let master_memo = match memo with Some m -> m | None -> create_memo () in
+  let dmax =
+    match dmax with Some d -> d | None -> max_dist env.model.Model.rules
+  in
   let tasks =
     Array.of_list
       (List.concat_map
          (fun (s : Model.symbol) ->
-           List.map (fun t -> (s.Model.sname, t)) (tasks_of_symbol config env s))
+           List.map (fun t -> (s.Model.sname, t)) (tasks_of_symbol env ~dmax s))
          env.model.Model.symbols)
   in
+  { pl_nets = nets; pl_env = env; pl_dmax = dmax; pl_tasks = tasks }
+
+let run ?(config = default_config) ?rules ?memo ?metrics ?trace (p : plan) =
+  let env = p.pl_env in
+  let rules = match rules with Some r -> r | None -> env.model.Model.rules in
+  let stats = new_stats () in
+  let master_memo = match memo with Some m -> m | None -> create_memo () in
+  let tasks = p.pl_tasks in
   let n = Array.length tasks in
   let jobs = max 1 (min (effective_jobs config.jobs) (max 1 n)) in
   let shard_span i lo hi =
@@ -719,7 +752,7 @@ let check ?(config = default_config) ?memo ?metrics ?trace (nets : Netgen.t) =
     if jobs = 1 then begin
       let name, args = shard_span 0 0 n in
       Trace.with_span trace ~cat:"shard" ~args name (fun () ->
-          run_span ?metrics tasks 0 n (make_dctx stats master_memo))
+          run_span ?metrics config rules tasks 0 n (make_dctx stats master_memo))
     end
     else begin
       (* Balanced scheduling: tasks are cut into contiguous chunks
@@ -777,7 +810,8 @@ let check ?(config = default_config) ?memo ?metrics ?trace (nets : Netgen.t) =
             let rec drain () =
               let c = Atomic.fetch_and_add next 1 in
               if c < nchunks then begin
-                results.(c) <- run_span ?metrics:dm tasks starts.(c) starts.(c + 1) dctx;
+                results.(c) <-
+                  run_span ?metrics:dm config rules tasks starts.(c) starts.(c + 1) dctx;
                 drain ()
               end
             in
@@ -805,3 +839,6 @@ let check ?(config = default_config) ?memo ?metrics ?trace (nets : Netgen.t) =
   in
   Option.iter (fun m -> record_metrics m stats) metrics;
   (violations, stats)
+
+let check ?config ?memo ?metrics ?trace (nets : Netgen.t) =
+  run ?config ?memo ?metrics ?trace (plan nets)

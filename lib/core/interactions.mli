@@ -104,7 +104,7 @@ val record_metrics : Metrics.t -> stats -> unit
 (** A reusable instance-pair candidate cache.  Keyed by (callee,
     callee, relative transform), so it stays valid across checker runs
     as long as the rule set and the involved symbol definitions do not
-    change — {!Incremental} passes one in. *)
+    change — {!Engine} passes one in per deck. *)
 type memo
 
 val create_memo : unit -> memo
@@ -137,13 +137,41 @@ val export_memo : memo -> ((int * int * Geom.Transform.t) * memo_entry) list
     keys are overwritten. *)
 val import_memo : memo -> ((int * int * Geom.Transform.t) * memo_entry) list -> unit
 
-(** Run the stage.  When [metrics] is given, per-task wall-clock costs
-    are recorded into the [interactions.pair_check_ns] histogram and
-    charged to the owning definition's [symbol.<name>] cost bucket, and
-    the {!stats} totals are exported as counters.  When [trace] is
-    given, one ["shard[i]"] span (category ["shard"]) is recorded per
-    worklist shard — per-domain buffers in the parallel case, merged
-    into [trace] in shard order after the join. *)
+(** The widest spacing any rule in [rules] can demand — the candidate
+    cutoff and grid cell size of a {!plan} built for that deck.
+    Directed [space_<a>_<b>] overrides are included. *)
+val max_dist : Tech.Rules.t -> int
+
+(** {2 Plan / run}
+
+    The sweep splits into a deck-independent {e plan} — the resolution
+    environment and ordered worklist, built for a candidate cutoff
+    [dmax] — and the deck-dependent {e run} that judges the worklist
+    under a concrete (config, rules) pair.  Decks whose {!max_dist}
+    agree can share one plan (and one candidate {!memo}): worklist
+    geometry and enumeration order depend only on the cutoff, never on
+    the individual spacing values, which is what keeps multi-deck
+    reports byte-identical to their single-deck counterparts. *)
+
+type plan
+
+(** Build the worklist.  [dmax] defaults to [max_dist] of the model's
+    own rule deck. *)
+val plan : ?dmax:int -> Netgen.t -> plan
+
+(** Judge a plan's worklist.  [rules] defaults to the model's own deck.
+    When [metrics] is given, per-task wall-clock costs are recorded into
+    the [interactions.pair_check_ns] histogram and charged to the owning
+    definition's [symbol.<name>] cost bucket, and the {!stats} totals
+    are exported as counters.  When [trace] is given, one ["shard[i]"]
+    span (category ["shard"]) is recorded per worklist shard —
+    per-domain buffers in the parallel case, merged into [trace] in
+    shard order after the join. *)
+val run :
+  ?config:config -> ?rules:Tech.Rules.t -> ?memo:memo -> ?metrics:Metrics.t ->
+  ?trace:Trace.t -> plan -> Report.violation list * stats
+
+(** [check nets] = [run (plan nets)] — the single-deck entry point. *)
 val check :
   ?config:config -> ?memo:memo -> ?metrics:Metrics.t -> ?trace:Trace.t ->
   Netgen.t -> Report.violation list * stats

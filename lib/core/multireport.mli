@@ -1,0 +1,58 @@
+(** Merged cross-deck report.
+
+    Checking one design under N rule decks yields N per-deck
+    {!Report.t}s over the same geometry.  This module folds them into
+    one view: each distinct violation appears once, tagged with the
+    {e deck-membership vector} — which decks flagged it — plus a
+    per-deck summary and the compliant-intersection verdict (the
+    multiple-lithography-compliance question: which decks does the
+    design satisfy?).
+
+    Merging is purely structural and deterministic: violations are
+    grouped by equality of the full {!Report.violation} record
+    (location, rule, message, provenance), ordered as the first deck
+    prints them, with violations unique to later decks appended in
+    deck order.  Equal per-deck reports therefore always merge to equal
+    bytes, whatever the [jobs]/worker count or cache warmth that
+    produced them. *)
+
+(** One merged violation with the decks that flagged it (ascending
+    indices into {!t.summaries}). *)
+type entry = {
+  violation : Report.violation;
+  decks : int list;
+}
+
+type deck_summary = {
+  ds_label : string;
+  ds_errors : int;
+  ds_warnings : int;
+}
+
+type t = {
+  entries : entry list;
+  summaries : deck_summary list;
+}
+
+(** [make [(label, report); ...]] — merge per-deck reports, first deck
+    first.  Labels are echoed in membership annotations and summaries;
+    they should be distinct. *)
+val make : (string * Report.t) list -> t
+
+(** Distinct merged violations with severity [Error] / [Warning]. *)
+val errors : t -> int
+
+val warnings : t -> int
+
+(** Labels of the decks the design complies with (zero errors), in
+    deck order. *)
+val compliant : t -> string list
+
+val all_compliant : t -> bool
+
+(** The merged violation list, one line per entry:
+    [<violation> [decks: a,b]]. *)
+val pp : Format.formatter -> t -> unit
+
+(** Per-deck verdict lines plus the compliant-intersection verdict. *)
+val pp_summary : Format.formatter -> t -> unit

@@ -42,7 +42,59 @@ let rule_table (report : Report.t) =
   in
   List.mapi (fun i id -> (id, i)) ids
 
-let rule_json (id, _index) =
+(* The rules-file key a rule id is parameterised by, when there is one:
+   [width.NP] reads [width_poly], [spacing.ND] reads [space_diffusion],
+   [spacing.ND-NP] reads a directed [space_<a>_<b>] override or
+   [space_poly_diffusion].  The mappings mirror
+   {!Tech.Rules.min_width} / {!Tech.Rules.same_layer_space}. *)
+let width_key = function
+  | Tech.Layer.Diffusion -> "width_diffusion"
+  | Tech.Layer.Poly | Tech.Layer.Implant -> "width_poly"
+  | Tech.Layer.Metal -> "width_metal"
+  | Tech.Layer.Contact | Tech.Layer.Buried | Tech.Layer.Glass -> "contact_size"
+
+let space_key = function
+  | Tech.Layer.Diffusion -> "space_diffusion"
+  | Tech.Layer.Poly | Tech.Layer.Implant -> "space_poly"
+  | Tech.Layer.Metal | Tech.Layer.Glass -> "space_metal"
+  | Tech.Layer.Contact | Tech.Layer.Buried -> "space_contact"
+
+(* [(key, line)] of the deck entry a rule id came from, when the deck
+   was loaded from text and the id maps to a rules-file key. *)
+let deck_position deck_rules id =
+  let strip p =
+    let n = String.length p in
+    if String.length id > n && String.sub id 0 n = p then
+      Some (String.sub id n (String.length id - n))
+    else None
+  in
+  let with_pos key =
+    Option.map (fun line -> (key, line)) (Tech.Rules.position deck_rules key)
+  in
+  let first_pos keys = List.find_map with_pos keys in
+  match strip "width." with
+  | Some cif ->
+    Option.bind (Tech.Layer.of_cif cif) (fun l -> with_pos (width_key l))
+  | None -> (
+    match strip "spacing." with
+    | None -> None
+    | Some pair -> (
+      match String.index_opt pair '-' with
+      | None ->
+        Option.bind (Tech.Layer.of_cif pair) (fun l -> with_pos (space_key l))
+      | Some i -> (
+        let ca = String.sub pair 0 i in
+        let cb = String.sub pair (i + 1) (String.length pair - i - 1) in
+        match (Tech.Layer.of_cif ca, Tech.Layer.of_cif cb) with
+        | Some a, Some b ->
+          let directed x y =
+            Printf.sprintf "space_%s_%s" (Tech.Rules.layer_name x)
+              (Tech.Rules.layer_name y)
+          in
+          first_pos [ directed a b; directed b a; "space_poly_diffusion" ]
+        | _ -> None)))
+
+let rule_json ?deck_rules (id, _index) =
   (* Lint rules carry their stable-code explanation; for everything
      else the rule family (prefix before the first dot) doubles as a
      short description, the full semantics living in the stage docs. *)
@@ -61,7 +113,17 @@ let rule_json (id, _index) =
       in
       family ^ " rule " ^ id
   in
-  Printf.sprintf "{\"id\":%s,\"shortDescription\":{\"text\":%s}}" (str id) (str desc)
+  let deck_props =
+    (* Point the rule back at its defining line in this run's deck, so
+       a multi-deck SARIF log distinguishes which deck's parameter each
+       run is enforcing. *)
+    match Option.bind deck_rules (fun r -> deck_position r id) with
+    | Some (key, line) ->
+      Printf.sprintf ",\"properties\":{\"deckKey\":%s,\"deckLine\":%d}" (str key) line
+    | None -> ""
+  in
+  Printf.sprintf "{\"id\":%s,\"shortDescription\":{\"text\":%s}%s}" (str id)
+    (str desc) deck_props
 
 let region_json (l : Cif.Loc.t) =
   Printf.sprintf "{\"startLine\":%d,\"startColumn\":%d}" l.Cif.Loc.line l.Cif.Loc.col
@@ -103,20 +165,24 @@ let result_json ~uri rules (v : Report.violation) =
     (str v.Report.message)
     (location_json ~uri v) region_props
 
-let of_report ?(uri = "design.cif") ?(tool_version = Version.version) (report : Report.t) =
+(* One [runs[]] entry.  With neither [automation_id] nor [deck_rules]
+   the bytes are exactly the historical single-run body — [of_report]
+   output must not change shape. *)
+let add_run buf ?automation_id ?deck_rules ~uri ~tool_version (report : Report.t) =
   let rules = rule_table report in
-  let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
-  add "{\"$schema\":";
-  add (str schema);
-  add ",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"dicheck\"";
+  add "{";
+  (match automation_id with
+  | Some id -> add (Printf.sprintf "\"automationDetails\":{\"id\":%s}," (str id))
+  | None -> ());
+  add "\"tool\":{\"driver\":{\"name\":\"dicheck\"";
   add (Printf.sprintf ",\"version\":%s" (str tool_version));
   add
     ",\"informationUri\":\"https://doi.org/10.1145/800139.804577\",\"rules\":[";
   List.iteri
     (fun i r ->
       if i > 0 then add ",";
-      add (rule_json r))
+      add (rule_json ?deck_rules r))
     rules;
   add "]}},\"results\":[";
   List.iteri
@@ -124,5 +190,29 @@ let of_report ?(uri = "design.cif") ?(tool_version = Version.version) (report : 
       if i > 0 then add ",";
       add (result_json ~uri rules v))
     (List.rev report.Report.violations);
-  add "]}]}";
+  add "]}"
+
+let of_report ?(uri = "design.cif") ?(tool_version = Version.version) (report : Report.t) =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\"$schema\":";
+  add (str schema);
+  add ",\"version\":\"2.1.0\",\"runs\":[";
+  add_run buf ~uri ~tool_version report;
+  add "]}";
+  Buffer.contents buf
+
+let of_reports ?(uri = "design.cif") ?(tool_version = Version.version)
+    (decks : (string * Tech.Rules.t * Report.t) list) =
+  let buf = Buffer.create 8192 in
+  let add = Buffer.add_string buf in
+  add "{\"$schema\":";
+  add (str schema);
+  add ",\"version\":\"2.1.0\",\"runs\":[";
+  List.iteri
+    (fun i (label, deck_rules, report) ->
+      if i > 0 then add ",";
+      add_run buf ~automation_id:label ~deck_rules ~uri ~tool_version report)
+    decks;
+  add "]}";
   Buffer.contents buf

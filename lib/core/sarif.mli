@@ -24,3 +24,16 @@
     locations — pass the CIF input path; defaults to ["design.cif"].
     [tool_version] defaults to {!Version.version}. *)
 val of_report : ?uri:string -> ?tool_version:string -> Report.t -> string
+
+(** [of_reports [(label, deck_rules, report); ...]] renders a
+    multi-deck check as one SARIF log with {e one [run] per deck}.
+    Each run carries [automationDetails.id = label] so viewers keep the
+    decks apart, and every rule whose parameter comes from a rules-file
+    key the deck defines in text gets
+    [properties.deckKey]/[properties.deckLine] pointing at the defining
+    line in {e that} deck (via {!Tech.Rules.position}).  Run order is
+    deck order; within a run, bytes follow the same deterministic
+    layout as {!of_report}. *)
+val of_reports :
+  ?uri:string -> ?tool_version:string ->
+  (string * Tech.Rules.t * Report.t) list -> string

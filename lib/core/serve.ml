@@ -112,14 +112,72 @@ let read_file path =
 (* Checking one request (runs on a worker domain or, via handle_line,
    on the caller's)                                                    *)
 
-let engine_for t engines config =
-  let env = Engine.env_key t.s_rules config in
-  match Hashtbl.find_opt engines env with
-  | Some e -> Engine.with_config e config
+(* Engines are keyed by the concatenated per-deck environment digests:
+   a single-deck request lands on the same key (and the same warm
+   engine) as before deck sets existed, and two requests naming the
+   same deck set in the same order share a session. *)
+let engine_for t engines config decks =
+  let key =
+    String.concat "+"
+      (List.map (fun (d : Engine.deck) -> Engine.env_key d.Engine.dk_rules config) decks)
+  in
+  match Hashtbl.find_opt engines key with
+  | Some e -> Engine.with_config (Engine.with_decks e decks) config
   | None ->
-    let e = Engine.create ~config ?cache_dir:t.s_cache_dir t.s_rules in
-    Hashtbl.replace engines env e;
+    let e = Engine.create ~config ?cache_dir:t.s_cache_dir ~decks t.s_rules in
+    Hashtbl.replace engines key e;
     e
+
+(* The optional "decks" request member: an array of rule-file paths
+   (labelled by basename) or [{"label":..., "path":...|"rules":...}]
+   objects with inline rule text.  [Ok None] when absent — the
+   single-deck path, whose reply bytes must not change. *)
+let parse_decks req =
+  match Json.member "decks" req with
+  | None -> Ok None
+  | Some (Json.Arr []) -> Error "\"decks\" must not be empty"
+  | Some (Json.Arr specs) ->
+    let deck_of i spec =
+      let load ?label path =
+        match read_file path with
+        | Error msg -> Error msg
+        | Ok src -> (
+          match Tech.Rules.of_string src with
+          | Ok rules ->
+            Ok
+              (Engine.deck
+                 ~label:(Option.value ~default:(Filename.basename path) label)
+                 rules)
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+      in
+      match spec with
+      | Json.Str path -> load path
+      | Json.Obj _ -> (
+        let label = Option.bind (Json.member "label" spec) Json.str in
+        match
+          ( Option.bind (Json.member "path" spec) Json.str,
+            Option.bind (Json.member "rules" spec) Json.str )
+        with
+        | Some path, _ -> load ?label path
+        | None, Some src -> (
+          match Tech.Rules.of_string src with
+          | Ok rules ->
+            Ok
+              (Engine.deck
+                 ~label:(Option.value ~default:(Printf.sprintf "deck%d" i) label)
+                 rules)
+          | Error msg -> Error (Printf.sprintf "deck %d: %s" i msg))
+        | None, None -> Error (Printf.sprintf "deck %d needs \"path\" or \"rules\"" i))
+      | _ -> Error (Printf.sprintf "deck %d must be a path string or an object" i)
+    in
+    let rec go i = function
+      | [] -> Ok []
+      | s :: rest ->
+        Result.bind (deck_of i s) (fun d ->
+            Result.map (fun ds -> d :: ds) (go (i + 1) rest))
+    in
+    Result.map (fun ds -> Some (Engine.dedupe_labels ds)) (go 0 specs)
+  | Some _ -> Error "\"decks\" must be an array"
 
 let lint_code rule =
   let prefix = "lint." in
@@ -192,32 +250,14 @@ let process t engines ?req ?trace reqj =
               | None -> t.s_base.Engine.interactions.Interactions.check_same_net) };
         Engine.run_lint }
     in
-    let engine = engine_for t engines config in
-    match Engine.check_string ?trace engine src with
+    match parse_decks req with
     | Error msg -> refuse id msg
-    | Ok (result, reuse) ->
-      (* Exactly the bytes one-shot [dicheck FILE] writes to stdout:
-         the report then the one-line summary (the serve smoke diffs
-         against that). *)
-      let report_text =
-        Format.asprintf "%a@." Report.pp result.Engine.report
-        ^ Format.asprintf "%a@." Engine.pp_summary result
+    | Ok decks_opt -> (
+      let decks =
+        match decks_opt with Some ds -> ds | None -> [ Engine.deck t.s_rules ]
       in
-      (match Option.bind (Json.member "out" req) Json.str with
-      | None -> ()
-      | Some path ->
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc report_text));
-      let count sev = Report.count ~severity:sev result.Engine.report in
-      let errors = count Report.Error and warnings = count Report.Warning in
-      let lint_hits = Report.by_rule_prefix result.Engine.report "lint." in
-      let exit_code =
-        if errors > 0 || (flag "werror" && warnings > 0)
-           || (lint_werror && lint_hits <> [])
-        then 1
-        else 0
-      in
-      let lint_counts =
+      let engine = engine_for t engines config decks in
+      let lint_counts_of report =
         if not run_lint then []
         else begin
           let tbl = Hashtbl.create 8 in
@@ -226,7 +266,7 @@ let process t engines ?req ?trace reqj =
               let code = lint_code v.Report.rule in
               Hashtbl.replace tbl code
                 (1 + Option.value ~default:0 (Hashtbl.find_opt tbl code)))
-            lint_hits;
+            (Report.by_rule_prefix report "lint.");
           let entries =
             List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
           in
@@ -234,42 +274,158 @@ let process t engines ?req ?trace reqj =
              Json.Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) entries)) ]
         end
       in
-      let base =
-        [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "ok") ]
-        @ req_members
-        @ [ ("errors", Json.Num (float_of_int errors));
-          ("warnings", Json.Num (float_of_int warnings));
-          ("exit", Json.Num (float_of_int exit_code));
-          ("symbols_total", Json.Num (float_of_int reuse.Engine.symbols_total));
-          ("symbols_reused", Json.Num (float_of_int reuse.Engine.symbols_reused));
-          ("defs_from_disk", Json.Num (float_of_int reuse.Engine.defs_from_disk));
-          ("memo_loaded", Json.Num (float_of_int reuse.Engine.memo_loaded)) ]
-        @ lint_counts
-        @ [ ("report", Json.Str report_text) ]
+      let exit_of report =
+        let errors = Report.count ~severity:Report.Error report in
+        let warnings = Report.count ~severity:Report.Warning report in
+        let lint_hits = Report.by_rule_prefix report "lint." in
+        if errors > 0 || (flag "werror" && warnings > 0)
+           || (lint_werror && lint_hits <> [])
+        then 1
+        else 0
       in
-      let with_metrics =
-        if flag "stats" then
-          base @ [ ("metrics", embed (Metrics.to_json result.Engine.metrics)) ]
-        else base
-      in
-      let with_sarif =
-        if flag "sarif" then
-          with_metrics @ [ ("sarif", embed (Sarif.of_report ~uri result.Engine.report)) ]
-        else with_metrics
+      let write_out report_text =
+        match Option.bind (Json.member "out" req) Json.str with
+        | None -> ()
+        | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc report_text)
       in
       (* The request-scoped span tree, for callers that asked with
          "trace": true.  Opt-in per request: the daemon-level --trace
          collection alone never grows replies. *)
-      let with_trace =
+      let with_trace members =
         match trace with
         | Some tr when flag "trace" ->
-          with_sarif @ [ ("trace", embed (Trace.to_chrome_json tr)) ]
-        | _ -> with_sarif
+          members @ [ ("trace", embed (Trace.to_chrome_json tr)) ]
+        | _ -> members
       in
-      ( Json.to_string (Json.Obj with_trace),
-        { o_status = "ok"; o_exit = exit_code; o_errors = errors;
-          o_warnings = warnings;
-          o_reuse = Some (reuse.Engine.symbols_total, reuse.Engine.symbols_reused) } ))
+      match Engine.check_string ?trace engine src with
+      | Error msg -> refuse id msg
+      | Ok multi -> (
+        match decks_opt with
+        | None ->
+          (* Single-deck request: exactly the bytes one-shot
+             [dicheck FILE] writes to stdout — the report then the
+             one-line summary (the serve smoke diffs against that). *)
+          let result, reuse = Engine.primary multi in
+          let report_text =
+            Format.asprintf "%a@." Report.pp result.Engine.report
+            ^ Format.asprintf "%a@." Engine.pp_summary result
+          in
+          write_out report_text;
+          let count sev = Report.count ~severity:sev result.Engine.report in
+          let errors = count Report.Error and warnings = count Report.Warning in
+          let exit_code = exit_of result.Engine.report in
+          let base =
+            [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "ok") ]
+            @ req_members
+            @ [ ("errors", Json.Num (float_of_int errors));
+              ("warnings", Json.Num (float_of_int warnings));
+              ("exit", Json.Num (float_of_int exit_code));
+              ("symbols_total", Json.Num (float_of_int reuse.Engine.symbols_total));
+              ("symbols_reused", Json.Num (float_of_int reuse.Engine.symbols_reused));
+              ("defs_from_disk", Json.Num (float_of_int reuse.Engine.defs_from_disk));
+              ("memo_loaded", Json.Num (float_of_int reuse.Engine.memo_loaded)) ]
+            @ lint_counts_of result.Engine.report
+            @ [ ("report", Json.Str report_text) ]
+          in
+          let with_metrics =
+            if flag "stats" then
+              base @ [ ("metrics", embed (Metrics.to_json result.Engine.metrics)) ]
+            else base
+          in
+          let with_sarif =
+            if flag "sarif" then
+              with_metrics
+              @ [ ("sarif", embed (Sarif.of_report ~uri result.Engine.report)) ]
+            else with_metrics
+          in
+          ( Json.to_string (Json.Obj (with_trace with_sarif)),
+            { o_status = "ok"; o_exit = exit_code; o_errors = errors;
+              o_warnings = warnings;
+              o_reuse = Some (reuse.Engine.symbols_total, reuse.Engine.symbols_reused) } )
+        | Some _ ->
+          (* Deck-set request: merged report text (the multi-deck CLI's
+             stdout bytes), per-deck detail under "decks", and the
+             compliant-intersection verdict.  The top-level exit is the
+             worst per-deck exit. *)
+          let merged = multi.Engine.merged in
+          let report_text =
+            Format.asprintf "%a@." Multireport.pp merged
+            ^ Format.asprintf "%a@." Multireport.pp_summary merged
+          in
+          write_out report_text;
+          let deck_fields (dr : Engine.deck_result) =
+            let report = dr.Engine.dr_result.Engine.report in
+            let reuse = dr.Engine.dr_reuse in
+            Json.Obj
+              ([ ("label", Json.Str dr.Engine.dr_deck.Engine.dk_label);
+                 ("errors", jnum (Report.count ~severity:Report.Error report));
+                 ("warnings", jnum (Report.count ~severity:Report.Warning report));
+                 ("exit", jnum (exit_of report));
+                 ("symbols_total", jnum reuse.Engine.symbols_total);
+                 ("symbols_reused", jnum reuse.Engine.symbols_reused);
+                 ("defs_from_disk", jnum reuse.Engine.defs_from_disk);
+                 ("memo_loaded", jnum reuse.Engine.memo_loaded) ]
+              @ lint_counts_of report)
+          in
+          let exit_code =
+            List.fold_left
+              (fun acc (dr : Engine.deck_result) ->
+                max acc (exit_of dr.Engine.dr_result.Engine.report))
+              0 multi.Engine.results
+          in
+          let errors = Multireport.errors merged in
+          let warnings = Multireport.warnings merged in
+          let sum f =
+            List.fold_left
+              (fun acc (dr : Engine.deck_result) -> acc + f dr.Engine.dr_reuse)
+              0 multi.Engine.results
+          in
+          let base =
+            [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "ok") ]
+            @ req_members
+            @ [ ("errors", jnum errors);
+              ("warnings", jnum warnings);
+              ("exit", jnum exit_code);
+              ("symbols_total", jnum (sum (fun r -> r.Engine.symbols_total)));
+              ("symbols_reused", jnum (sum (fun r -> r.Engine.symbols_reused)));
+              ("defs_from_disk", jnum (sum (fun r -> r.Engine.defs_from_disk)));
+              ("memo_loaded", jnum (sum (fun r -> r.Engine.memo_loaded)));
+              ("decks", Json.Arr (List.map deck_fields multi.Engine.results));
+              ("compliant",
+               Json.Arr
+                 (List.map (fun l -> Json.Str l) (Multireport.compliant merged)));
+              ("all_compliant", Json.Bool (Multireport.all_compliant merged));
+              ("report", Json.Str report_text) ]
+          in
+          let with_metrics =
+            if flag "stats" then
+              let result, _ = Engine.primary multi in
+              base @ [ ("metrics", embed (Metrics.to_json result.Engine.metrics)) ]
+            else base
+          in
+          let with_sarif =
+            if flag "sarif" then
+              with_metrics
+              @ [ ("sarif",
+                   embed
+                     (Sarif.of_reports ~uri
+                        (List.map
+                           (fun (dr : Engine.deck_result) ->
+                             ( dr.Engine.dr_deck.Engine.dk_label,
+                               dr.Engine.dr_deck.Engine.dk_rules,
+                               dr.Engine.dr_result.Engine.report ))
+                           multi.Engine.results))) ]
+            else with_metrics
+          in
+          ( Json.to_string (Json.Obj (with_trace with_sarif)),
+            { o_status = "ok"; o_exit = exit_code; o_errors = errors;
+              o_warnings = warnings;
+              o_reuse =
+                Some
+                  ( sum (fun r -> r.Engine.symbols_total),
+                    sum (fun r -> r.Engine.symbols_reused) ) } ))))
 
 let process_safe t engines ?req ?trace reqj =
   try process t engines ?req ?trace reqj
@@ -540,13 +696,24 @@ let stats_snapshot t =
 
 (* Answered synchronously — admin requests must not queue behind
    checks, and must keep answering while the daemon drains. *)
-let admin_reply t id kind =
+let admin_reply t id req kind =
   match kind with
-  | "stats" ->
-    Json.to_string
-      (Json.Obj
-         [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "stats");
-           ("stats", stats_snapshot t) ])
+  | "stats" -> (
+    match Option.bind (Json.member "format" req) Json.str with
+    | Some "prometheus" ->
+      (* Text exposition for scrapers that can't walk the JSON shape;
+         the snapshot is the same either way. *)
+      Json.to_string
+        (Json.Obj
+           [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "stats");
+             ("prometheus", Json.Str (Telemetry.prometheus (stats_snapshot t))) ])
+    | Some fmt when fmt <> "json" ->
+      refuse id (Printf.sprintf "unknown stats format %S" fmt)
+    | _ ->
+      Json.to_string
+        (Json.Obj
+           [ ("id", id); ("ok", Json.Bool true); ("status", Json.Str "stats");
+             ("stats", stats_snapshot t) ]))
   | "health" ->
     let s = stats t in
     let state = if stopped t then "draining" else "ok" in
@@ -575,7 +742,7 @@ let submit t conn line =
       end
       else begin
         match admin_of req with
-        | Some kind -> conn.c_reply (admin_reply t id kind)
+        | Some kind -> conn.c_reply (admin_reply t id req kind)
         | None ->
           let p = pool t in
           let seq = Telemetry.next_request t.s_telemetry in
@@ -655,7 +822,7 @@ let handle_line t line =
     end
     else begin
       match admin_of req with
-      | Some kind -> admin_reply t id kind
+      | Some kind -> admin_reply t id req kind
       | None -> fst (process_safe t t.s_engines req)
     end
 

@@ -22,6 +22,7 @@
       "trace": true,          embed this request's span tree
       "out": "report.txt",    also write the report text server-side
       "sleep_ms": 250,        debugging: stall before checking
+      "decks": [...],         check under several rule decks at once
       "admin": "stats",       service snapshot (or "health"); no check
       "shutdown": true }      drain the queue and stop the daemon
     v}
@@ -45,6 +46,33 @@
     ["cancelled"] (superseded, see below), ["overloaded"] (queue
     full), or ["shutdown"] (daemon is draining).  The daemon never
     dies on bad input.
+
+    {2 Multi-deck requests}
+
+    ["decks"] is a non-empty array of rule decks: each entry is a path
+    string, or an object [{"label": ...?, "path": ...}] /
+    [{"label": ...?, "rules": "<rule file text>"}].  The design is
+    elaborated {e once} and checked under every deck (see
+    {!Engine.create} with [~decks]); the reply's [report] becomes the
+    merged cross-deck view ({!Multireport}: deck-membership annotations
+    plus the per-deck and compliant-intersection summary), [errors] /
+    [warnings] count distinct merged violations, [exit] is the worst
+    deck's, [symbols_total]/[symbols_reused] sum over decks, and three
+    members are added: ["decks"] (per-deck label, errors, warnings,
+    exit, reuse counters, and [lint_counts] when linting), ["compliant"]
+    (labels of zero-error decks), and ["all_compliant"].  ["sarif"]
+    embeds one run per deck ({!Sarif.of_reports}).  Requests without
+    ["decks"] reply byte-identically to the single-deck protocol above.
+    Engines are keyed by the deck set's joined environment digests, so
+    alternating deck sets keeps every deck's session warm.
+
+    {2 Admin formats}
+
+    [{"admin":"stats"}] answers with the canonical JSON snapshot; with
+    ["format":"prometheus"] the reply instead carries a ["prometheus"]
+    string member holding the {!Telemetry.prometheus} text exposition
+    of the same snapshot (scrape it via [dicheck top --once
+    --metrics-format prom]).  Unknown formats are refused.
 
     {2 Concurrency model}
 

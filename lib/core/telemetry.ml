@@ -243,3 +243,86 @@ let snapshot t ~queued ~inflight ~served ~cancelled ~overloaded ~workers ~max_qu
              [ ("symbols_total", num total); ("symbols_reused", num reused);
                ("hit_ratio", fnum hit_ratio) ]);
           ("workers_busy", Json.Arr busy) ])
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+
+(* A pure rendering of the snapshot above: same figures, flat
+   [dicheck_*] families, so a scraper and a JSON client can never
+   disagree.  Numbers print via %.12g — integral values come out
+   without a decimal point, which keeps the output stable and easy to
+   diff in tests. *)
+let prometheus snap =
+  let buf = Buffer.create 2048 in
+  let pnum v = Printf.sprintf "%.12g" v in
+  let get path =
+    List.fold_left (fun acc name -> Option.bind acc (Json.member name)) (Some snap) path
+  in
+  let getf path = match Option.bind (get path) Json.num with Some v -> v | None -> 0. in
+  let header name kind help =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" name help name kind)
+  in
+  let line ?(labels = []) name v =
+    let l =
+      match labels with
+      | [] -> ""
+      | ls ->
+        "{"
+        ^ String.concat "," (List.map (fun (k, s) -> Printf.sprintf "%s=%S" k s) ls)
+        ^ "}"
+    in
+    Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name l (pnum v))
+  in
+  let simple name kind help path =
+    header name kind help;
+    line name (getf path)
+  in
+  simple "dicheck_uptime_seconds" "gauge" "Daemon uptime." [ "uptime_s" ];
+  simple "dicheck_workers" "gauge" "Worker domains." [ "workers" ];
+  simple "dicheck_queue_depth" "gauge" "Requests queued." [ "queue"; "depth" ];
+  simple "dicheck_queue_max" "gauge" "Queue capacity." [ "queue"; "max" ];
+  header "dicheck_requests_total" "counter" "Requests by final state.";
+  List.iter
+    (fun state ->
+      line ~labels:[ ("state", state) ] "dicheck_requests_total"
+        (getf [ "requests"; state ]))
+    [ "accepted"; "served"; "cancelled"; "overloaded"; "rejected" ];
+  simple "dicheck_requests_inflight" "gauge" "Requests being checked."
+    [ "requests"; "inflight" ];
+  header "dicheck_requests_per_second" "gauge" "Throughput (lifetime and recent window).";
+  line ~labels:[ ("window", "lifetime") ] "dicheck_requests_per_second"
+    (getf [ "rps"; "lifetime" ]);
+  line ~labels:[ ("window", "recent") ] "dicheck_requests_per_second"
+    (getf [ "rps"; "window" ]);
+  List.iter
+    (fun (member, unit_help) ->
+      let name = "dicheck_" ^ member in
+      header name "summary" unit_help;
+      List.iter
+        (fun (q, key) -> line ~labels:[ ("quantile", q) ] name (getf [ member; key ]))
+        [ ("0.5", "p50"); ("0.95", "p95"); ("0.99", "p99") ];
+      line (name ^ "_count") (getf [ member; "count" ]);
+      header (name ^ "_mean") "gauge" (unit_help ^ " (window mean)");
+      line (name ^ "_mean") (getf [ member; "mean" ]);
+      header (name ^ "_max") "gauge" (unit_help ^ " (window max)");
+      line (name ^ "_max") (getf [ member; "max" ]))
+    [ ("latency_ms", "Enqueue-to-reply latency, ms.");
+      ("wait_ms", "Queue wait, ms.");
+      ("service_ms", "Check service time, ms.");
+      ("queue_depth", "Queue depth sampled at dequeue.") ];
+  simple "dicheck_cache_symbols_total" "counter" "Definitions resolved."
+    [ "cache"; "symbols_total" ];
+  simple "dicheck_cache_symbols_reused" "counter" "Definitions replayed from cache."
+    [ "cache"; "symbols_reused" ];
+  simple "dicheck_cache_hit_ratio" "gauge" "Definition cache hit ratio."
+    [ "cache"; "hit_ratio" ];
+  header "dicheck_worker_busy_ratio" "gauge" "Fraction of uptime each worker spent busy.";
+  (match Option.bind (get [ "workers_busy" ]) Json.arr with
+  | Some vs ->
+    List.iteri
+      (fun w v ->
+        line ~labels:[ ("worker", string_of_int w) ] "dicheck_worker_busy_ratio"
+          (Option.value ~default:0. (Json.num v)))
+      vs
+  | None -> ());
+  Buffer.contents buf

@@ -110,3 +110,11 @@ val merged_trace : t -> Trace.t
 val snapshot :
   t -> queued:int -> inflight:int -> served:int -> cancelled:int ->
   overloaded:int -> workers:int -> max_queue:int -> Json.t
+
+(** Render a {!snapshot} in Prometheus text exposition format
+    ([dicheck_*] metric families with [# HELP]/[# TYPE] headers), for
+    [{"admin":"stats","format":"prometheus"}] and
+    [dicheck top --once --metrics-format prom].  Pure conversion: the
+    figures are exactly the snapshot's, so the two formats never
+    disagree. *)
+val prometheus : Json.t -> string

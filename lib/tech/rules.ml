@@ -17,6 +17,7 @@ type t = {
   buried_overlap : int;
   pad_metal_surround : int;
   pair_spaces : ((Layer.t * Layer.t) * int) list;
+  key_positions : (string * int) list;
 }
 
 let nmos ?(lambda = 100) () =
@@ -37,7 +38,10 @@ let nmos ?(lambda = 100) () =
     implant_gate_surround = 3 * lambda / 2;
     buried_overlap = 2 * lambda;
     pad_metal_surround = 2 * lambda;
-    pair_spaces = [] }
+    pair_spaces = [];
+    key_positions = [] }
+
+let position t key = List.assoc_opt key t.key_positions
 
 let min_width t = function
   | Layer.Diffusion -> t.width_diffusion
@@ -191,7 +195,13 @@ let of_entries entries =
       | Some e -> Result.map (fun lambda -> nmos ~lambda ()) (int_of ~line:e.eline "lambda" e.value)
     in
     Result.map
-      (fun t -> { t with pair_spaces = List.sort compare_pair t.pair_spaces })
+      (fun t ->
+        { t with
+          pair_spaces = List.sort compare_pair t.pair_spaces;
+          (* Source positions ride along so diagnostics (and SARIF) can
+             point at the defining line in this deck; they never affect
+             checking semantics or the canonical [to_string] form. *)
+          key_positions = List.map (fun e -> (e.key, e.eline)) entries })
       (List.fold_left
          (fun acc e ->
            Result.bind acc (fun t ->

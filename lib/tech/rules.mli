@@ -35,6 +35,13 @@ type t = {
           consults them through {!cell_space_override} for reachable
           {!Interaction} matrix cells only; {!Dic.Lint} flags the rest
           (asymmetric, unreachable, or shadowed entries). *)
+  key_positions : (string * int) list;
+      (** 1-based source line of every [key value] entry when the rule
+          set came from {!of_string}/{!of_entries} (file order); [[]]
+          for programmatic rule sets.  Provenance only: never part of
+          checking semantics, never emitted by {!to_string}, so two
+          decks differing only in comments or line layout are the same
+          environment. *)
 }
 
 (** [nmos ~lambda ()] — the default rule set; [lambda] defaults to
@@ -81,6 +88,10 @@ val pair_key : string -> (Layer.t * Layer.t) option
 
 (** The directed override exactly as written in the deck, if any. *)
 val pair_space : t -> Layer.t -> Layer.t -> int option
+
+(** [position t key] — the 1-based line where [key] was defined, when
+    the rule set was loaded from text (see [key_positions]). *)
+val position : t -> string -> int option
 
 (** Effective override for the unordered layer pair: the
     ascending-index spelling wins over the descending one.  {!Dic.Lint}

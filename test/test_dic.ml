@@ -17,18 +17,18 @@ let elaborate_ok file =
   | Error e -> Alcotest.failf "elaborate: %s" e
 
 let run_ok ?config file =
-  match Dic.Engine.check (Dic.Engine.create ?config rules) file with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create ?config rules) file with
   | Ok (r, _) -> r
   | Error e -> Alcotest.failf "checker: %s" e
 
-let errors_of result = Dic.Report.errors result.Dic.Checker.report
+let errors_of result = Dic.Report.errors result.Dic.Engine.report
 
 let error_rules result =
   List.map (fun (v : Dic.Report.violation) -> v.Dic.Report.rule) (errors_of result)
   |> List.sort_uniq String.compare
 
 let has_rule prefix result =
-  Dic.Report.by_rule_prefix result.Dic.Checker.report prefix
+  Dic.Report.by_rule_prefix result.Dic.Engine.report prefix
   |> List.exists (fun (v : Dic.Report.violation) -> v.Dic.Report.severity = Dic.Report.Error)
 
 (* ------------------------------------------------------------------ *)
@@ -334,10 +334,10 @@ let test_resistor_interface () =
 
 let test_netgen_chain_nets () =
   let result = run_ok (Layoutgen.Cells.chain ~lambda 4) in
-  let nets = result.Dic.Checker.netlist.Netlist.Net.nets in
+  let nets = result.Dic.Engine.netlist.Netlist.Net.nets in
   (* GND, VDD, one input, four stage outputs. *)
   Alcotest.(check int) "net count" 7 (List.length nets);
-  let find n = Netlist.Net.find_by_name result.Dic.Checker.netlist n in
+  let find n = Netlist.Net.find_by_name result.Dic.Engine.netlist n in
   (match find "GND!" with
   | Some net ->
     Alcotest.(check int) "GND terminals: 2 per cell" 8 (List.length net.Netlist.Net.terminals)
@@ -353,7 +353,7 @@ let test_netgen_dot_notation () =
   let names =
     List.concat_map
       (fun (n : Netlist.Net.net) -> n.Netlist.Net.names)
-      result.Dic.Checker.netlist.Netlist.Net.nets
+      result.Dic.Engine.netlist.Netlist.Net.nets
   in
   Alcotest.(check bool) "dot-qualified names" true (List.mem "1:inv.out" names)
 
@@ -380,9 +380,9 @@ let test_netgen_resolve () =
 
 let test_netgen_locality () =
   let result = run_ok (Layoutgen.Cells.grid ~lambda ~nx:2 ~ny:2) in
-  let local, crossing = Dic.Netgen.locality result.Dic.Checker.nets in
+  let local, crossing = Dic.Netgen.locality result.Dic.Engine.nets in
   Alcotest.(check bool) "some crossing nets" true (crossing > 0);
-  Alcotest.(check int) "total is net count" (List.length result.Dic.Checker.netlist.Netlist.Net.nets)
+  Alcotest.(check int) "total is net count" (List.length result.Dic.Engine.netlist.Netlist.Net.nets)
     (local + crossing)
 
 (* ------------------------------------------------------------------ *)
@@ -442,14 +442,14 @@ let test_interactions_poly_diff_touch_not_accidental () =
 
 let test_interactions_memoisation () =
   let result = run_ok (Layoutgen.Cells.grid ~lambda ~nx:6 ~ny:6) in
-  let s = result.Dic.Checker.interaction_stats in
+  let s = result.Dic.Engine.interaction_stats in
   Alcotest.(check bool) "memo hits dominate" true
     (s.Dic.Interactions.memo_hits > s.Dic.Interactions.memo_misses)
 
 let test_interactions_net_blind_ablation () =
   let config =
-    { Dic.Checker.default_config with
-      Dic.Checker.interactions =
+    { Dic.Engine.default_config with
+      Dic.Engine.interactions =
         { Dic.Interactions.default_config with Dic.Interactions.check_same_net = true } }
   in
   let kit = Layoutgen.Pathology.fig5_equivalent ~lambda in
@@ -483,7 +483,7 @@ let test_e2e_injections_all_found_no_false () =
   let result = run_ok salted in
   let outcome =
     Dic.Classify.classify ~tolerance:(2 * lambda) truths
-      (Dic.Classify.of_report result.Dic.Checker.report)
+      (Dic.Classify.of_report result.Dic.Engine.report)
   in
   Alcotest.(check int) "all real defects flagged" (List.length truths)
     (List.length outcome.Dic.Classify.flagged);
@@ -495,7 +495,7 @@ let test_e2e_pathology_kits () =
       let result = run_ok kit.Layoutgen.Pathology.file in
       let outcome =
         Dic.Classify.classify ~tolerance:(2 * lambda) kit.Layoutgen.Pathology.truths
-          (Dic.Classify.of_report result.Dic.Checker.report)
+          (Dic.Classify.of_report result.Dic.Engine.report)
       in
       Alcotest.(check int)
         (kit.Layoutgen.Pathology.kit_name ^ ": all truths flagged")
@@ -519,14 +519,14 @@ let test_e2e_supply_short_erc () =
 let test_e2e_stage_times_present () =
   let result = run_ok (Layoutgen.Cells.chain ~lambda 2) in
   Alcotest.(check bool) "stages timed" true
-    (List.length (Dic.Metrics.stage_seconds result.Dic.Checker.metrics) >= 6)
+    (List.length (Dic.Metrics.stage_seconds result.Dic.Engine.metrics) >= 6)
 
 let prop_chain_nets =
   QCheck2.Test.make ~name:"e2e: chain of n has n+3 nets and no errors" ~count:8
     QCheck2.Gen.(int_range 1 8)
     (fun n ->
       let result = run_ok (Layoutgen.Cells.chain ~lambda n) in
-      List.length result.Dic.Checker.netlist.Netlist.Net.nets = n + 3
+      List.length result.Dic.Engine.netlist.Netlist.Net.nets = n + 3
       && errors_of result = [])
 
 let prop_grid_clean =
@@ -572,18 +572,18 @@ let test_relational_standard_cell_passes () =
 
 let test_relational_via_checker () =
   let config =
-    { Dic.Checker.default_config with Dic.Checker.relational = Some exposure_model }
+    { Dic.Engine.default_config with Dic.Engine.relational = Some exposure_model }
   in
   let result = run_ok ~config (Layoutgen.Cells.chain ~lambda 2) in
   Alcotest.(check bool) "relational stage timed" true
     (List.mem_assoc "devices-relational"
-       (Dic.Metrics.stage_seconds result.Dic.Checker.metrics));
+       (Dic.Metrics.stage_seconds result.Dic.Engine.metrics));
   Alcotest.(check int) "still clean" 0
-    (Dic.Report.count ~severity:Dic.Report.Error result.Dic.Checker.report)
+    (Dic.Report.count ~severity:Dic.Report.Error result.Dic.Engine.report)
 
 let exposure_config =
-  { Dic.Checker.default_config with
-    Dic.Checker.interactions =
+  { Dic.Engine.default_config with
+    Dic.Engine.interactions =
       { Dic.Interactions.default_config with
         Dic.Interactions.spacing_model =
           Dic.Interactions.Exposure { model = exposure_model; misalign = 0 } } }
@@ -633,9 +633,9 @@ let netcmp_run expected_src file =
     match Dic.Netcompare.parse expected_src with Ok e -> e | Error m -> Alcotest.fail m
   in
   let config =
-    { Dic.Checker.default_config with Dic.Checker.expected_netlist = Some expected }
+    { Dic.Engine.default_config with Dic.Engine.expected_netlist = Some expected }
   in
-  Dic.Report.by_rule_prefix (run_ok ~config file).Dic.Checker.report "netcmp"
+  Dic.Report.by_rule_prefix (run_ok ~config file).Dic.Engine.report "netcmp"
 
 let test_netcmp_consistent () =
   (* The chain's GND carries both pull-down sources. *)
@@ -707,7 +707,7 @@ let test_rotated_device_connectivity () =
       ()
   in
   let result = run_ok f in
-  match Netlist.Net.find_by_name result.Dic.Checker.netlist "s" with
+  match Netlist.Net.find_by_name result.Dic.Engine.netlist "s" with
   | Some net ->
     Alcotest.(check int) "wire reaches the rotated stub" 1
       (List.length net.Netlist.Net.terminals)
@@ -747,8 +747,8 @@ let test_far_mirrored_instances_clean () =
 let test_empty_design () =
   let result = run_ok (parse "E") in
   Alcotest.(check int) "no errors" 0
-    (Dic.Report.count ~severity:Dic.Report.Error result.Dic.Checker.report);
-  Alcotest.(check int) "no nets" 0 (List.length result.Dic.Checker.netlist.Netlist.Net.nets)
+    (Dic.Report.count ~severity:Dic.Report.Error result.Dic.Engine.report);
+  Alcotest.(check int) "no nets" 0 (List.length result.Dic.Engine.netlist.Netlist.Net.nets)
 
 let test_uncalled_symbols_still_checked () =
   (* A defective definition with no instances is still a defect: the
@@ -779,15 +779,15 @@ let test_deep_hierarchy () =
   in
   let result = run_ok f in
   Alcotest.(check int) "clean" 0
-    (Dic.Report.count ~severity:Dic.Report.Error result.Dic.Checker.report);
-  Alcotest.(check int) "depth 11" 11 (Dic.Model.depth result.Dic.Checker.model)
+    (Dic.Report.count ~severity:Dic.Report.Error result.Dic.Engine.report);
+  Alcotest.(check int) "depth 11" 11 (Dic.Model.depth result.Dic.Engine.model)
 
 (* ------------------------------------------------------------------ *)
 (* Structure report                                                    *)
 
 let test_structure_grid_blocks () =
   let result = run_ok (Layoutgen.Cells.grid_blocks ~lambda ~nx:4 ~ny:4) in
-  let s = Dic.Structure.compute result.Dic.Checker.nets in
+  let s = Dic.Structure.compute result.Dic.Engine.nets in
   Alcotest.(check int) "depth" 4 s.Dic.Structure.depth;
   Alcotest.(check int) "definition elements" 18 s.Dic.Structure.definition_elements;
   Alcotest.(check int) "instantiated" 336 s.Dic.Structure.instantiated_elements;
@@ -808,83 +808,81 @@ let test_structure_shared_symbols_counted_once () =
       "DS 1; L NM; B 300 300 150 150; DF; DS 2; C 1; C 1 T 1000 0; DF; C 2; C 2 T 0 1000; C 1 T 5000 5000; E"
   in
   let result = run_ok f in
-  let s = Dic.Structure.compute result.Dic.Checker.nets in
+  let s = Dic.Structure.compute result.Dic.Engine.nets in
   let leaf = List.find (fun x -> x.Dic.Structure.ss_name = "s1") s.Dic.Structure.symbols in
   (* 2 per instance of symbol 2 (x2) + 1 direct = 5. *)
   Alcotest.(check int) "multiplicity" 5 leaf.Dic.Structure.ss_instances
 
 (* ------------------------------------------------------------------ *)
-(* Incremental rechecking                                              *)
+(* Incremental rechecking (a warm engine session)                      *)
 
-let violation_set (r : Dic.Checker.result) =
+let violation_set (r : Dic.Engine.result) =
   List.map
     (fun (v : Dic.Report.violation) -> (v.Dic.Report.rule, v.Dic.Report.context, v.Dic.Report.message))
-    r.Dic.Checker.report.Dic.Report.violations
+    r.Dic.Engine.report.Dic.Report.violations
   |> List.sort Stdlib.compare
 
+let engine_run e file =
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check e file with
+  | Error e -> Alcotest.failf "engine: %s" e
+  | Ok (result, reuse) -> (result, reuse)
+
 let test_incremental_matches_fresh () =
-  let inc = Dic.Incremental.create () in
+  let e = Dic.Engine.create rules in
   let file = Layoutgen.Cells.grid ~lambda ~nx:3 ~ny:2 in
-  match Dic.Incremental.run inc rules file with
-  | Error e -> Alcotest.fail e
-  | Ok (result, stats) ->
-    Alcotest.(check int) "first run computes everything" 0
-      stats.Dic.Incremental.symbols_reused;
-    let fresh = run_ok file in
-    Alcotest.(check bool) "same violations as a fresh run" true
-      (violation_set result = violation_set fresh)
+  let result, reuse = engine_run e file in
+  Alcotest.(check int) "first run computes everything" 0
+    reuse.Dic.Engine.symbols_reused;
+  let fresh = run_ok file in
+  Alcotest.(check bool) "same violations as a fresh run" true
+    (violation_set result = violation_set fresh)
 
 let test_incremental_reuses_everything_unchanged () =
-  let inc = Dic.Incremental.create () in
+  let e = Dic.Engine.create rules in
   let file = Layoutgen.Cells.grid ~lambda ~nx:3 ~ny:2 in
-  (match Dic.Incremental.run inc rules file with Ok _ -> () | Error e -> Alcotest.fail e);
-  match Dic.Incremental.run inc rules file with
-  | Error e -> Alcotest.fail e
-  | Ok (_, stats) ->
-    Alcotest.(check int) "all definitions reused" stats.Dic.Incremental.symbols_total
-      stats.Dic.Incremental.symbols_reused
+  let _ = engine_run e file in
+  let _, reuse = engine_run e file in
+  Alcotest.(check int) "all definitions reused" reuse.Dic.Engine.symbols_total
+    reuse.Dic.Engine.symbols_reused
 
 let test_incremental_recheck_only_the_edit () =
-  let inc = Dic.Incremental.create () in
+  let e = Dic.Engine.create rules in
   let file = Layoutgen.Cells.chain ~lambda 3 in
-  (match Dic.Incremental.run inc rules file with Ok _ -> () | Error e -> Alcotest.fail e);
+  let _ = engine_run e file in
   (* Edit the top level: drop a narrow wire in the margin. *)
   let salted, _ =
     Layoutgen.Inject.apply file
       [ Layoutgen.Inject.narrow_poly_wire ~lambda ~at:(0, -20 * lambda) ]
   in
-  match Dic.Incremental.run inc rules salted with
-  | Error e -> Alcotest.fail e
-  | Ok (result, stats) ->
-    (* Only the root definition changed. *)
-    Alcotest.(check int) "all but the root reused"
-      (stats.Dic.Incremental.symbols_total - 1)
-      stats.Dic.Incremental.symbols_reused;
-    Alcotest.(check bool) "the new defect is found" true (has_rule "width" result);
-    let fresh = run_ok salted in
-    Alcotest.(check bool) "same as fresh" true (violation_set result = violation_set fresh)
+  let result, reuse = engine_run e salted in
+  (* Only the root definition changed. *)
+  Alcotest.(check int) "all but the root reused"
+    (reuse.Dic.Engine.symbols_total - 1)
+    reuse.Dic.Engine.symbols_reused;
+  Alcotest.(check bool) "the new defect is found" true (has_rule "width" result);
+  let fresh = run_ok salted in
+  Alcotest.(check bool) "same as fresh" true (violation_set result = violation_set fresh)
 
 let test_incremental_fingerprint_sensitivity () =
   let m, _ = elaborate_ok (Layoutgen.Cells.chain ~lambda 2) in
   let inv = Dic.Model.find m Layoutgen.Cells.id_inv in
   let enh = Dic.Model.find m Layoutgen.Cells.id_enh in
   Alcotest.(check bool) "distinct symbols differ" true
-    (Dic.Incremental.fingerprint inv <> Dic.Incremental.fingerprint enh);
+    (Dic.Engine.fingerprint inv <> Dic.Engine.fingerprint enh);
   Alcotest.(check bool) "stable" true
-    (Dic.Incremental.fingerprint inv = Dic.Incremental.fingerprint inv)
+    (Dic.Engine.fingerprint inv = Dic.Engine.fingerprint inv)
 
 let test_incremental_rules_change_invalidates () =
-  let inc = Dic.Incremental.create () in
+  let e = Dic.Engine.create rules in
   let file = Layoutgen.Cells.chain ~lambda 2 in
-  (match Dic.Incremental.run inc rules file with Ok _ -> () | Error e -> Alcotest.fail e);
-  (* Tighter metal width: everything must be rechecked, and the rails
-     (3 lambda) now violate. *)
+  let _ = engine_run e file in
+  (* Tighter metal width: a new deck means a new per-deck environment,
+     so nothing warm applies, and the rails (3 lambda) now violate. *)
   let strict = { rules with Tech.Rules.width_metal = 4 * lambda } in
-  match Dic.Incremental.run inc strict file with
-  | Error e -> Alcotest.fail e
-  | Ok (result, stats) ->
-    Alcotest.(check int) "cache invalidated" 0 stats.Dic.Incremental.symbols_reused;
-    Alcotest.(check bool) "new rule enforced" true (has_rule "width" result)
+  let e = Dic.Engine.with_decks e [ Dic.Engine.deck strict ] in
+  let result, reuse = engine_run e file in
+  Alcotest.(check int) "cache invalidated" 0 reuse.Dic.Engine.symbols_reused;
+  Alcotest.(check bool) "new rule enforced" true (has_rule "width" result)
 
 (* ------------------------------------------------------------------ *)
 (* Markers                                                             *)
@@ -892,7 +890,7 @@ let test_incremental_rules_change_invalidates () =
 let test_markers_roundtrip () =
   let kit = Layoutgen.Pathology.fig8_accidental ~lambda in
   let result = run_ok kit.Layoutgen.Pathology.file in
-  let text = Dic.Markers.to_cif result.Dic.Checker.report in
+  let text = Dic.Markers.to_cif result.Dic.Engine.report in
   match Cif.Parse.file text with
   | Error e -> Alcotest.fail (Cif.Parse.string_of_error e)
   | Ok f ->
@@ -912,7 +910,7 @@ let test_markers_skip_unlocated () =
   in
   let result = run_ok salted in
   Alcotest.(check int) "no located errors, no markers" 0
-    (List.length (Dic.Markers.of_file (Dic.Markers.to_file result.Dic.Checker.report)))
+    (List.length (Dic.Markers.of_file (Dic.Markers.to_file result.Dic.Engine.report)))
 
 (* ------------------------------------------------------------------ *)
 (* Classify                                                            *)

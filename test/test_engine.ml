@@ -24,7 +24,7 @@ let with_cache_dir f =
 (* Helpers                                                             *)
 
 let check_ok engine file =
-  match Dic.Engine.check engine file with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check engine file with
   | Ok (result, reuse) -> (result, reuse)
   | Error e -> Alcotest.fail e
 
@@ -146,6 +146,109 @@ let test_in_memory_session_reuse () =
   Alcotest.(check string) "same bytes" (report_text cold) (report_text warm)
 
 (* ------------------------------------------------------------------ *)
+(* Multi-deck sessions                                                 *)
+
+let multi_ok engine file =
+  match Dic.Engine.check engine file with
+  | Ok m -> m
+  | Error e -> Alcotest.fail e
+
+let merged_text (m : Dic.Engine.multi) =
+  Format.asprintf "%a@." Dic.Multireport.pp m.Dic.Engine.merged
+  ^ Format.asprintf "%a@." Dic.Multireport.pp_summary m.Dic.Engine.merged
+
+(* A second deck with a tighter metal width: the 3-lambda rails violate
+   it, so the two decks genuinely disagree. *)
+let strict_deck () =
+  Dic.Engine.deck ~label:"strict"
+    { rules with Tech.Rules.width_metal = 4 * lambda; Tech.Rules.name = "strict" }
+
+let base_deck () = Dic.Engine.deck ~label:"base" rules
+
+let test_multideck_n1_matches_single () =
+  let file = workload () in
+  let plain, _ = check_ok (Dic.Engine.create rules) file in
+  let m = multi_ok (Dic.Engine.create ~decks:[ base_deck () ] rules) file in
+  let viaset, _ = Dic.Engine.primary m in
+  Alcotest.(check string) "decks:[d] = plain engine, byte for byte"
+    (report_text plain) (report_text viaset);
+  Alcotest.(check int) "one summary" 1
+    (List.length m.Dic.Engine.merged.Dic.Multireport.summaries)
+
+let test_multideck_per_deck_matches_alone () =
+  let file = workload () in
+  let decks = [ base_deck (); strict_deck () ] in
+  let m = multi_ok (Dic.Engine.create ~decks rules) file in
+  List.iter2
+    (fun (d : Dic.Engine.deck) (dr : Dic.Engine.deck_result) ->
+      let alone, _ = check_ok (Dic.Engine.create d.Dic.Engine.dk_rules) file in
+      Alcotest.(check string)
+        (d.Dic.Engine.dk_label ^ " in the set = checked alone")
+        (report_text alone)
+        (report_text dr.Dic.Engine.dr_result))
+    decks m.Dic.Engine.results;
+  (* The strict deck flags the rails; the base deck does not — the
+     verdict distinguishes them. *)
+  Alcotest.(check (list string)) "compliant decks" []
+    (List.filter (fun l -> l = "strict")
+       (Dic.Multireport.compliant m.Dic.Engine.merged))
+
+let test_multideck_merged_bytes_across_jobs () =
+  let file = workload () in
+  let decks = [ base_deck (); strict_deck () ] in
+  let m1 =
+    multi_ok (Dic.Engine.with_jobs (Dic.Engine.create ~decks rules) 1) file
+  in
+  let m4 =
+    multi_ok (Dic.Engine.with_jobs (Dic.Engine.create ~decks rules) 4) file
+  in
+  Alcotest.(check string) "merged report identical at jobs 1 and 4"
+    (merged_text m1) (merged_text m4)
+
+let test_multideck_cache_independence () =
+  with_cache_dir (fun dir ->
+      let file = workload () in
+      (* Warm deck A alone, then check the pair over the same cache:
+         A replays fully, B computes fully — warming A never primed B. *)
+      let cold_a, _ = check_ok (Dic.Engine.create ~cache_dir:dir rules) file in
+      let decks = [ base_deck (); strict_deck () ] in
+      let m = multi_ok (Dic.Engine.create ~cache_dir:dir ~decks rules) file in
+      (match m.Dic.Engine.results with
+      | [ a; b ] ->
+        Alcotest.(check int) "deck A fully reused"
+          a.Dic.Engine.dr_reuse.Dic.Engine.symbols_total
+          a.Dic.Engine.dr_reuse.Dic.Engine.symbols_reused;
+        Alcotest.(check int) "deck B untouched by A's warmth" 0
+          b.Dic.Engine.dr_reuse.Dic.Engine.symbols_reused;
+        Alcotest.(check string) "A's warm report = A's cold report"
+          (report_text cold_a)
+          (report_text a.Dic.Engine.dr_result)
+      | _ -> Alcotest.fail "expected two deck results");
+      (* Round three: both decks warm now. *)
+      let m2 = multi_ok (Dic.Engine.create ~cache_dir:dir ~decks rules) file in
+      List.iter
+        (fun (dr : Dic.Engine.deck_result) ->
+          Alcotest.(check int)
+            (dr.Dic.Engine.dr_deck.Dic.Engine.dk_label ^ " fully warm")
+            dr.Dic.Engine.dr_reuse.Dic.Engine.symbols_total
+            dr.Dic.Engine.dr_reuse.Dic.Engine.symbols_reused)
+        m2.Dic.Engine.results;
+      Alcotest.(check string) "merged bytes cold = warm" (merged_text m)
+        (merged_text m2))
+
+let test_multideck_label_dedupe () =
+  match
+    Dic.Engine.dedupe_labels
+      [ Dic.Engine.deck ~label:"x" rules; Dic.Engine.deck ~label:"x" rules;
+        Dic.Engine.deck ~label:"x" rules ]
+  with
+  | [ a; b; c ] ->
+    Alcotest.(check string) "first keeps the name" "x" a.Dic.Engine.dk_label;
+    Alcotest.(check string) "second suffixed" "x#2" b.Dic.Engine.dk_label;
+    Alcotest.(check string) "third suffixed" "x#3" c.Dic.Engine.dk_label
+  | _ -> Alcotest.fail "dedupe dropped decks"
+
+(* ------------------------------------------------------------------ *)
 (* Serve protocol                                                      *)
 
 let reply_field reply name =
@@ -201,7 +304,7 @@ let test_serve_matches_engine_bytes () =
      a transport, not a different checker.  (Text, not the AST — parsing
      attaches source positions that show up in the report.) *)
   let direct =
-    match Dic.Engine.check_string (Dic.Engine.create rules) src with
+    match Result.map Dic.Engine.primary @@ Dic.Engine.check_string (Dic.Engine.create rules) src with
     | Ok (r, _) -> r
     | Error e -> Alcotest.fail e
   in
@@ -221,6 +324,81 @@ let test_serve_malformed_request () =
   Alcotest.(check int) "id echoed on error" 7 (num_field missing "id");
   Alcotest.(check (option bool)) "missing source rejected" (Some false)
     (Option.bind (reply_field missing "ok") Dic.Json.bool)
+
+let test_serve_decks_round_trip () =
+  let server = Dic.Serve.create rules in
+  let src = Cif.Print.to_string (workload ()) in
+  let strict =
+    { rules with Tech.Rules.width_metal = 4 * lambda; Tech.Rules.name = "strict" }
+  in
+  let deck_obj label r =
+    Dic.Json.Obj
+      [ ("label", Dic.Json.Str label);
+        ("rules", Dic.Json.Str (Tech.Rules.to_string r)) ]
+  in
+  let request =
+    Dic.Json.to_string
+      (Dic.Json.Obj
+         [ ("id", Dic.Json.Num 1.); ("cif", Dic.Json.Str src);
+           ("decks",
+            Dic.Json.Arr [ deck_obj "base" rules; deck_obj "strict" strict ]) ])
+  in
+  let reply = Dic.Serve.handle_line server request in
+  Alcotest.(check (option bool)) "ok" (Some true)
+    (Option.bind (reply_field reply "ok") Dic.Json.bool);
+  (* Per-deck summaries ride in the reply, in deck order. *)
+  (match Option.bind (reply_field reply "decks") Dic.Json.arr with
+  | Some [ a; b ] ->
+    let label j = Option.bind (Dic.Json.member "label" j) Dic.Json.str in
+    let exit j =
+      Option.map int_of_float (Option.bind (Dic.Json.member "exit" j) Dic.Json.num)
+    in
+    Alcotest.(check (option string)) "first label" (Some "base") (label a);
+    Alcotest.(check (option string)) "second label" (Some "strict") (label b);
+    (* The strict deck flags the rails: its exit differs from base's. *)
+    Alcotest.(check (option int)) "strict deck fails" (Some 1) (exit b)
+  | _ -> Alcotest.fail "reply must carry two deck summaries");
+  (match Option.bind (reply_field reply "compliant") Dic.Json.arr with
+  | Some labels ->
+    Alcotest.(check bool) "strict not compliant" false
+      (List.exists (fun j -> Dic.Json.str j = Some "strict") labels)
+  | None -> Alcotest.fail "reply must carry the compliant list");
+  (* The merged report annotates deck membership. *)
+  (match Option.bind (reply_field reply "report") Dic.Json.str with
+  | Some text ->
+    Alcotest.(check bool) "membership annotations present" true
+      (Astring_contains.contains text "[decks:")
+  | None -> Alcotest.fail "no report in reply");
+  Alcotest.(check int) "exit is the worst deck's" 1 (num_field reply "exit");
+  (* A deckless request on the same server keeps the historical single-
+     deck reply shape: no "decks" member at all. *)
+  let plain =
+    Dic.Serve.handle_line server
+      (Dic.Json.to_string (Dic.Json.Obj [ ("cif", Dic.Json.Str src) ]))
+  in
+  Alcotest.(check bool) "single-deck reply has no decks member" true
+    (reply_field plain "decks" = None)
+
+let test_serve_prometheus_stats () =
+  let server = Dic.Serve.create rules in
+  let reply =
+    Dic.Serve.handle_line server
+      "{\"admin\":\"stats\",\"format\":\"prometheus\",\"id\":\"p\"}"
+  in
+  (match Option.bind (reply_field reply "prometheus") Dic.Json.str with
+  | Some text ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) needle true (Astring_contains.contains text needle))
+      [ "# HELP dicheck_uptime_seconds"; "# TYPE dicheck_requests_total counter";
+        "dicheck_workers"; "quantile=\"0.99\"" ]
+  | None -> Alcotest.fail "no prometheus text in reply");
+  (* Unknown formats are refused, not silently defaulted. *)
+  let bad =
+    Dic.Serve.handle_line server "{\"admin\":\"stats\",\"format\":\"xml\"}"
+  in
+  Alcotest.(check (option bool)) "unknown format refused" (Some false)
+    (Option.bind (reply_field bad "ok") Dic.Json.bool)
 
 let test_serve_bad_cif_is_an_error_reply () =
   let server = Dic.Serve.create rules in
@@ -280,10 +458,23 @@ let () =
           Alcotest.test_case "corrupted cache falls back to cold" `Quick
             test_corrupted_cache_falls_back_to_cold;
           Alcotest.test_case "in-memory session reuse" `Quick test_in_memory_session_reuse ] );
+      ( "multideck",
+        [ Alcotest.test_case "N=1 deck set = single engine bytes" `Quick
+            test_multideck_n1_matches_single;
+          Alcotest.test_case "each deck = checked alone" `Quick
+            test_multideck_per_deck_matches_alone;
+          Alcotest.test_case "merged bytes stable across jobs" `Quick
+            test_multideck_merged_bytes_across_jobs;
+          Alcotest.test_case "per-deck cache independence" `Quick
+            test_multideck_cache_independence;
+          Alcotest.test_case "label dedupe" `Quick test_multideck_label_dedupe ] );
       ( "serve",
         [ Alcotest.test_case "round trip" `Quick test_serve_round_trip;
           Alcotest.test_case "serve report = engine report" `Quick
             test_serve_matches_engine_bytes;
+          Alcotest.test_case "decks round trip" `Quick test_serve_decks_round_trip;
+          Alcotest.test_case "prometheus stats format" `Quick
+            test_serve_prometheus_stats;
           Alcotest.test_case "malformed request" `Quick test_serve_malformed_request;
           Alcotest.test_case "bad CIF is an error reply" `Quick
             test_serve_bad_cif_is_an_error_reply ] );

@@ -122,7 +122,7 @@ let rules = Tech.Rules.nmos ()
 let lambda = rules.Tech.Rules.lambda
 
 let run_ok ?config file =
-  match Dic.Engine.check (Dic.Engine.create ?config rules) file with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create ?config rules) file with
   | Ok (r, _) -> r
   | Error e -> Alcotest.fail e
 
@@ -131,7 +131,7 @@ let with_jobs jobs =
     Dic.Engine.interactions =
       { Dic.Interactions.default_config with Dic.Interactions.jobs } }
 
-let render r = Format.asprintf "%a" Dic.Report.pp r.Dic.Checker.report
+let render r = Format.asprintf "%a" Dic.Report.pp r.Dic.Engine.report
 
 let workloads () =
   [ Layoutgen.Cells.grid ~lambda ~nx:4 ~ny:4;

@@ -6,11 +6,11 @@ let rules = Tech.Rules.nmos ()
 let lambda = rules.Tech.Rules.lambda
 
 let run file =
-  match Dic.Engine.check (Dic.Engine.create rules) file with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) file with
   | Ok (r, _) -> r
   | Error e -> Alcotest.failf "checker: %s" e
 
-let error_count file = Dic.Report.count ~severity:Dic.Report.Error (run file).Dic.Checker.report
+let error_count file = Dic.Report.count ~severity:Dic.Report.Error (run file).Dic.Engine.report
 
 (* ------------------------------------------------------------------ *)
 (* Cells                                                               *)
@@ -50,14 +50,14 @@ let test_lambda_independence () =
     (fun lam ->
       let f = Layoutgen.Cells.chain ~lambda:lam 2 in
       let r =
-        match Dic.Engine.check (Dic.Engine.create (Tech.Rules.nmos ~lambda:lam ())) f with
+        match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create (Tech.Rules.nmos ~lambda:lam ())) f with
         | Ok (r, _) -> r
         | Error e -> Alcotest.failf "checker: %s" e
       in
       Alcotest.(check int)
         (Printf.sprintf "lambda %d clean" lam)
         0
-        (Dic.Report.count ~severity:Dic.Report.Error r.Dic.Checker.report))
+        (Dic.Report.count ~severity:Dic.Report.Error r.Dic.Engine.report))
     [ 50; 100; 200 ]
 
 (* ------------------------------------------------------------------ *)
@@ -70,7 +70,7 @@ let test_shift_register_clocks () =
   let result = run (Layoutgen.Shift.register ~lambda 3) in
   List.iter
     (fun clock ->
-      match Netlist.Net.find_by_name result.Dic.Checker.netlist clock with
+      match Netlist.Net.find_by_name result.Dic.Engine.netlist clock with
       | Some net ->
         Alcotest.(check int) (clock ^ " gates") 3 (List.length net.Netlist.Net.terminals)
       | None -> Alcotest.failf "%s missing" clock)
@@ -81,7 +81,7 @@ let test_shift_register_stage_count () =
      stage output net carries pass sd + T1 gate (inverter input) or
      inverter internals; just check net count scales linearly. *)
   let nets n =
-    List.length (run (Layoutgen.Shift.register ~lambda n)).Dic.Checker.netlist.Netlist.Net.nets
+    List.length (run (Layoutgen.Shift.register ~lambda n)).Dic.Engine.netlist.Netlist.Net.nets
   in
   Alcotest.(check int) "linear growth" (nets 2 + (nets 3 - nets 2)) (nets 3)
 
@@ -100,15 +100,15 @@ let test_pla_connectivity () =
   let f = Layoutgen.Pla.plane ~lambda (full_program 2 3) in
   let result = run f in
   (* Each input column gates one transistor per row. *)
-  (match Netlist.Net.find_by_name result.Dic.Checker.netlist "in0" with
+  (match Netlist.Net.find_by_name result.Dic.Engine.netlist "in0" with
   | Some net -> Alcotest.(check int) "in0 gates" 2 (List.length net.Netlist.Net.terminals)
   | None -> Alcotest.fail "in0 missing");
   (* Each product row collects one drain and one contact via per column. *)
-  (match Netlist.Net.find_by_name result.Dic.Checker.netlist "P1" with
+  (match Netlist.Net.find_by_name result.Dic.Engine.netlist "P1" with
   | Some net -> Alcotest.(check int) "P1 drains" 6 (List.length net.Netlist.Net.terminals)
   | None -> Alcotest.fail "P1 missing");
   (* Ground collects every source. *)
-  match Netlist.Net.find_by_name result.Dic.Checker.netlist "GND!" with
+  match Netlist.Net.find_by_name result.Dic.Engine.netlist "GND!" with
   | Some net -> Alcotest.(check int) "GND sources" 6 (List.length net.Netlist.Net.terminals)
   | None -> Alcotest.fail "GND missing"
 
@@ -131,7 +131,7 @@ let test_each_injection_detected () =
       let result = run salted in
       let outcome =
         Dic.Classify.classify ~tolerance:(2 * lambda) truths
-          (Dic.Classify.of_report result.Dic.Checker.report)
+          (Dic.Classify.of_report result.Dic.Engine.report)
       in
       Alcotest.(check int)
         (inj.Layoutgen.Inject.label ^ " detected")

@@ -392,7 +392,7 @@ let test_engine_lint_flag () =
   let dirty = { rules with Tech.Rules.width_metal = 301 } in
   let run lint =
     let e = Dic.Engine.with_lint (Dic.Engine.create dirty) lint in
-    match Dic.Engine.check e file with
+    match Result.map Dic.Engine.primary @@ Dic.Engine.check e file with
     | Ok (result, _) -> Dic.Report.by_rule_prefix result.Dic.Engine.report "lint."
     | Error msg -> Alcotest.fail msg
   in

@@ -10,7 +10,7 @@ module Json = Tjson
 (* ------------------------------------------------------------------ *)
 
 let run_ok ?config file =
-  match Dic.Engine.check (Dic.Engine.create ?config rules) file with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create ?config rules) file with
   | Ok (r, _) -> r
   | Error e -> Alcotest.fail e
 
@@ -18,7 +18,7 @@ let workload () = Layoutgen.Cells.grid ~lambda ~nx:4 ~ny:4
 
 let test_json_roundtrip () =
   let result = run_ok (workload ()) in
-  let json = Dic.Metrics.to_json result.Dic.Checker.metrics in
+  let json = Dic.Metrics.to_json result.Dic.Engine.metrics in
   let v = try Json.parse json with Json.Bad m -> Alcotest.fail ("bad JSON: " ^ m) in
   (* Stages: present, in pipeline order, with non-negative seconds. *)
   (match Json.member "stages" v with
@@ -228,7 +228,7 @@ let test_gauge_window_json () =
       [ "capacity"; "count"; "len"; "mean"; "max"; "p50"; "p95"; "p99" ]
   | _ -> Alcotest.fail "window missing from JSON");
   let result = run_ok (workload ()) in
-  match Json.member "gauges" (Json.parse (Dic.Metrics.to_json result.Dic.Checker.metrics)) with
+  match Json.member "gauges" (Json.parse (Dic.Metrics.to_json result.Dic.Engine.metrics)) with
   | Some (Json.Obj kvs) ->
     Alcotest.(check bool) "engine records cache.hit_ratio" true
       (List.mem_assoc "cache.hit_ratio" kvs)
@@ -237,8 +237,8 @@ let test_gauge_window_json () =
 (* ------------------------------------------------------------------ *)
 (* Parallel determinism                                                *)
 
-let canonical_errors (r : Dic.Checker.result) =
-  Dic.Report.errors r.Dic.Checker.report
+let canonical_errors (r : Dic.Engine.result) =
+  Dic.Report.errors r.Dic.Engine.report
   |> List.map (fun (v : Dic.Report.violation) ->
          (v.Dic.Report.rule, v.Dic.Report.context,
           Option.map
@@ -248,8 +248,8 @@ let canonical_errors (r : Dic.Checker.result) =
   |> List.sort compare
 
 let with_jobs jobs =
-  { Dic.Checker.default_config with
-    Dic.Checker.interactions =
+  { Dic.Engine.default_config with
+    Dic.Engine.interactions =
       { Dic.Interactions.default_config with Dic.Interactions.jobs } }
 
 let salted_workload () =
@@ -278,7 +278,7 @@ let test_jobs_deterministic () =
       (* Stronger than the acceptance criterion: the raw report lists
          are identical, not merely equal as sets. *)
       Alcotest.(check bool) "identical report order" true
-        (serial.Dic.Checker.report = parallel.Dic.Checker.report))
+        (serial.Dic.Engine.report = parallel.Dic.Engine.report))
     [ salted_workload ();
       (Layoutgen.Pathology.fig8_accidental ~lambda).Layoutgen.Pathology.file;
       (Layoutgen.Pathology.fig2_figures_illegal ~lambda).Layoutgen.Pathology.file ]
@@ -287,13 +287,13 @@ let test_jobs_auto () =
   (* jobs = 0 resolves to the runtime's recommendation and still runs. *)
   let r = run_ok ~config:(with_jobs 0) (workload ()) in
   Alcotest.(check bool) "completed" true
-    (Dic.Report.count r.Dic.Checker.report >= 0)
+    (Dic.Report.count r.Dic.Engine.report >= 0)
 
 let test_stats_merge_totals () =
   (* Per-cell pair totals are independent of the domain count (only the
      memo hit/miss split may shift). *)
-  let totals (r : Dic.Checker.result) =
-    let s = r.Dic.Checker.interaction_stats in
+  let totals (r : Dic.Engine.result) =
+    let s = r.Dic.Engine.interaction_stats in
     Hashtbl.fold
       (fun (la, lb) (c : Dic.Interactions.cell_stats) acc ->
         ((Tech.Layer.index la, Tech.Layer.index lb),

@@ -58,7 +58,7 @@ let orphan_cif () =
    determinism bar every daemon reply is held to.  Parsed like the
    CLI parses its input file, so source locations match. *)
 let one_shot_text src =
-  match Dic.Engine.check_string (Dic.Engine.create rules) src with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check_string (Dic.Engine.create rules) src with
   | Ok (result, _) ->
     Format.asprintf "%a@." Dic.Report.pp result.Dic.Engine.report
     ^ Format.asprintf "%a@." Dic.Engine.pp_summary result
@@ -160,6 +160,62 @@ let test_concurrent_clients_match_one_shot () =
       Dic.Serve.shutdown server;
       Alcotest.(check int) "workers joined" 0 (Dic.Serve.stats server).Dic.Serve.workers)
     [ 1; 4 ]
+
+(* The merged multi-deck report is held to the same bar: identical
+   bytes from every worker count, and from concurrent clients. *)
+let test_multideck_replies_match_at_every_worker_count () =
+  let src = workload_cif () in
+  let strict =
+    { rules with Tech.Rules.width_metal = 4 * lambda; Tech.Rules.name = "strict" }
+  in
+  let deck_obj label r =
+    Dic.Json.Obj
+      [ ("label", Dic.Json.Str label);
+        ("rules", Dic.Json.Str (Tech.Rules.to_string r)) ]
+  in
+  let request =
+    Dic.Json.to_string
+      (Dic.Json.Obj
+         [ ("id", Dic.Json.Num 1.); ("cif", Dic.Json.Str src);
+           ("decks",
+            Dic.Json.Arr [ deck_obj "base" rules; deck_obj "strict" strict ]) ])
+  in
+  let reports =
+    List.map
+      (fun workers ->
+        let server = Dic.Serve.create ~workers rules in
+        let clients = List.init 3 (fun _ -> client ()) in
+        let conns = List.map (mock_conn server) clients in
+        List.iter (fun conn -> Dic.Serve.submit server conn request) conns;
+        let texts =
+          List.map
+            (fun c ->
+              match await c 1 with
+              | [ line ] ->
+                let v = parse_reply line in
+                Alcotest.(check string) "status ok" "ok" (status v);
+                Option.value ~default:"" (jstr "report" v)
+              | other -> Alcotest.failf "expected 1 reply, got %d" (List.length other))
+            clients
+        in
+        Dic.Serve.shutdown server;
+        (match texts with
+        | first :: rest ->
+          List.iter
+            (Alcotest.(check string)
+               (Printf.sprintf "clients agree at workers=%d" workers)
+               first)
+            rest;
+          first
+        | [] -> Alcotest.fail "no replies"))
+      [ 1; 4 ]
+  in
+  match reports with
+  | [ w1; w4 ] ->
+    Alcotest.(check string) "merged report identical at workers 1 and 4" w1 w4;
+    Alcotest.(check bool) "membership annotations present" true
+      (Astring_contains.contains w1 "[decks:")
+  | _ -> Alcotest.fail "expected two worker counts"
 
 (* ------------------------------------------------------------------ *)
 (* Warm-cache state transitions across requests                        *)
@@ -686,7 +742,9 @@ let () =
         [ Alcotest.test_case "clients match one-shot" `Quick
             test_concurrent_clients_match_one_shot;
           Alcotest.test_case "warm transitions" `Quick
-            test_warm_transitions_across_requests ] );
+            test_warm_transitions_across_requests;
+          Alcotest.test_case "multi-deck replies match at every worker count"
+            `Quick test_multideck_replies_match_at_every_worker_count ] );
       ( "cancellation",
         [ Alcotest.test_case "superseded in flight" `Quick test_superseded_id_inflight;
           Alcotest.test_case "superseded while queued" `Quick test_superseded_id_queued ] );

@@ -7,13 +7,13 @@ let lambda = rules.Tech.Rules.lambda
 module Json = Tjson
 
 let run_ok ?config ?trace src =
-  match Dic.Engine.check_string ?trace (Dic.Engine.create ?config rules) src with
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check_string ?trace (Dic.Engine.create ?config rules) src with
   | Ok (r, _) -> r
   | Error e -> Alcotest.fail e
 
 let with_jobs jobs =
-  { Dic.Checker.default_config with
-    Dic.Checker.interactions =
+  { Dic.Engine.default_config with
+    Dic.Engine.interactions =
       { Dic.Interactions.default_config with Dic.Interactions.jobs } }
 
 (* A pathology with a known violation, as CIF *text*, so the parser
@@ -171,7 +171,7 @@ let test_parse_locations_reach_report () =
      statement, and that line must actually exist in the source. *)
   let src = fig8_src () in
   let r = run_ok src in
-  let errs = Dic.Report.errors r.Dic.Checker.report in
+  let errs = Dic.Report.errors r.Dic.Engine.report in
   Alcotest.(check bool) "fig8 has errors" true (errs <> []);
   let with_loc =
     List.filter_map (fun (v : Dic.Report.violation) -> v.Dic.Report.loc) errs
@@ -192,7 +192,7 @@ let test_parse_locations_reach_report () =
 let test_sarif_structure () =
   let src = fig8_src () in
   let r = run_ok src in
-  let sarif = Dic.Sarif.of_report ~uri:"fig8.cif" r.Dic.Checker.report in
+  let sarif = Dic.Sarif.of_report ~uri:"fig8.cif" r.Dic.Engine.report in
   let v = try Json.parse sarif with Json.Bad m -> Alcotest.fail ("bad JSON: " ^ m) in
   (match Json.member "version" v with
   | Some (Json.Str ver) -> Alcotest.(check string) "sarif version" "2.1.0" ver
@@ -237,7 +237,7 @@ let test_sarif_structure () =
     | _ -> Alcotest.fail "no results array"
   in
   Alcotest.(check int) "one result per violation"
-    (List.length r.Dic.Checker.report.Dic.Report.violations)
+    (List.length r.Dic.Engine.report.Dic.Report.violations)
     (List.length results);
   let accidental =
     List.find_opt
@@ -284,8 +284,8 @@ let test_sarif_deterministic () =
   let src = fig8_src () in
   let a = run_ok src and b = run_ok src in
   Alcotest.(check string) "equal reports render identically"
-    (Dic.Sarif.of_report ~uri:"x.cif" a.Dic.Checker.report)
-    (Dic.Sarif.of_report ~uri:"x.cif" b.Dic.Checker.report)
+    (Dic.Sarif.of_report ~uri:"x.cif" a.Dic.Engine.report)
+    (Dic.Sarif.of_report ~uri:"x.cif" b.Dic.Engine.report)
 
 (* ------------------------------------------------------------------ *)
 (* Cost attribution                                                    *)
@@ -310,7 +310,7 @@ let test_cost_attribution () =
 
 let test_checker_charges_symbols () =
   let r = run_ok (fig8_src ()) in
-  let costs = Dic.Metrics.costs r.Dic.Checker.metrics in
+  let costs = Dic.Metrics.costs r.Dic.Engine.metrics in
   let symbol_costs = List.filter (fun (k, _) -> String.length k > 7 && String.sub k 0 7 = "symbol.") costs in
   Alcotest.(check bool) "per-definition costs recorded" true (symbol_costs <> [])
 
