@@ -508,11 +508,16 @@ let ablations () =
      the geometric rules carry the process margin instead)"
 
 (* ------------------------------------------------------------------ *)
-(* P -- Domain-parallel interaction checking                           *)
+(* P -- Domain-parallel whole-pipeline checking                        *)
 
-(* Wall-clock scaling of the interaction stage over Domain.spawn, on
-   the two regular workloads the paper's hierarchy argument targets.
-   Writes BENCH_parallel.json next to the working directory. *)
+(* Wall-clock scaling of a complete [Engine.check] over Domain.spawn —
+   element sweeps, device recognition, and the interaction worklist all
+   drain the same chunk queue — on the regular workloads the paper's
+   hierarchy argument targets, up to the production-size pla-512x1024
+   (over a million instantiated rectangles).  Per-stage seconds are
+   broken out per point so the serial stages (elaboration, net
+   construction) are visibly excluded from any scaling claim.  Writes
+   BENCH_parallel.json next to the working directory. *)
 
 let wall f =
   let t0 = Dic.Metrics.now_ns () in
@@ -544,16 +549,27 @@ let median_wall ?(warmup = 1) ?(runs = 5) f =
   in
   (Option.get !last, List.nth (List.sort compare ts) (runs / 2))
 
+(* Stage seconds as a JSON object, pipeline order preserved. *)
+let stages_json stages =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (s, t) -> Printf.sprintf "%S:%.6f" s t) stages)
+  ^ "}"
+
 let parallel_scaling () =
   section
-    "P: Domain-parallel interaction checking\n\
-     (task worklist over a shared chunk queue; the report is identical\n\
-     at every domain count; median of five runs after a warm-up)";
+    "P: Domain-parallel whole-pipeline checking\n\
+     (element, device and interaction sweeps drain one cost-balanced\n\
+     chunk queue; the full report is byte-identical at every domain\n\
+     count; per-stage seconds come from the run behind each timing)";
   let workloads =
-    [ ("shift-register-256", Layoutgen.Shift.register ~lambda 256);
-      ("pla-48x96",
-       Layoutgen.Pla.plane ~lambda
-         (Layoutgen.Pla.random_program ~rows:48 ~cols:96 ~seed:7)) ]
+    [ ("shift-register-256", lazy (Layoutgen.Shift.register ~lambda 256), 1, 5);
+      ("pla-48x96", lazy (Layoutgen.Pla.tier ~lambda ~rows:48 ~cols:96), 1, 5);
+      (* The production-size point: half a million crosspoints, over a
+         million instantiated rectangles.  A full cold check is around a
+         minute of work, so one run per domain count — the identity
+         assertion is on report bytes, not on time. *)
+      ("pla-512x1024", lazy (Layoutgen.Pla.million_rect ~lambda), 0, 1) ]
   in
   let job_counts = [ 1; 2; 4; 8 ] in
   let cores = Domain.recommended_domain_count () in
@@ -566,52 +582,90 @@ let parallel_scaling () =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"experiment\":\"parallel-interaction-scaling\",%s,\"scaling_meaningful\":%b,\"workloads\":["
+       "{\"experiment\":\"parallel-pipeline-scaling\",%s,\"scaling_meaningful\":%b,\"workloads\":["
        (provenance_fields ()) (cores > 1));
   List.iteri
-    (fun wi (name, file) ->
+    (fun wi (name, file, warmup, runs) ->
       if wi > 0 then Buffer.add_string buf ",";
+      let file = Lazy.force file in
       let model =
         match Dic.Model.elaborate rules file with
         | Ok (m, _) -> m
         | Error e -> failwith e
       in
-      let nets, _ = Dic.Netgen.build model in
-      Printf.printf "[%s] %d symbol(s), %d instantiated element(s)\n" name
+      Printf.printf "[%s] %d symbol(s), %d instantiated element(s), %d run(s)\n" name
         (Dic.Model.symbol_count model)
-        (Dic.Model.instantiated_elements model);
+        (Dic.Model.instantiated_elements model)
+        runs;
+      (* A fresh engine (no cache directory) per run: every timing is a
+         cold full pipeline, so stage seconds are comparable across
+         domain counts. *)
+      let check jobs () =
+        let config =
+          { Dic.Engine.default_config with
+            Dic.Engine.interactions =
+              { Dic.Interactions.default_config with Dic.Interactions.jobs } }
+        in
+        let m = Dic.Metrics.create () in
+        match
+          Result.map Dic.Engine.primary
+          @@ Dic.Engine.check ~metrics:m (Dic.Engine.create ~config rules) file
+        with
+        | Error e -> failwith e
+        | Ok (r, _) ->
+          ( Format.asprintf "%a" Dic.Report.pp r.Dic.Engine.report,
+            Dic.Metrics.stage_seconds m )
+      in
       if cores = 1 then Printf.printf "%8s %12s %12s\n" "jobs" "seconds" "identical"
       else Printf.printf "%8s %12s %10s %12s\n" "jobs" "seconds" "speedup" "identical";
-      let reference = ref [] in
+      let reference = ref "" in
       let base = ref 0. in
+      let base_stages = ref [] in
       Buffer.add_string buf (Printf.sprintf "{\"name\":\"%s\",\"points\":[" name);
       List.iteri
         (fun ji jobs ->
           if ji > 0 then Buffer.add_string buf ",";
-          let config = { Dic.Interactions.default_config with Dic.Interactions.jobs } in
-          let vs, med =
-            median_wall (fun () -> fst (Dic.Interactions.check ~config nets))
-          in
+          let (report, stages), med = median_wall ~warmup ~runs (check jobs) in
           if jobs = 1 then begin
-            reference := vs;
-            base := med
+            reference := report;
+            base := med;
+            base_stages := stages
           end;
-          let identical = vs = !reference in
+          let identical = String.equal report !reference in
+          (* Per-stage speedup against the jobs=1 stage seconds — the
+             scaling story is per stage: elaboration and net
+             construction are serial, the three sweeps are not. *)
+          let stage_speedup =
+            List.filter_map
+              (fun (s, t) ->
+                match List.assoc_opt s !base_stages with
+                | Some b when t > 0. && b > 0. -> Some (s, b /. t)
+                | _ -> None)
+              stages
+          in
           (* On a one-core host the "speedup" would only measure domain
              time-slicing noise; report time and the identity check. *)
           if cores = 1 then begin
             Printf.printf "%8d %12.3f %12b\n" jobs med identical;
             Buffer.add_string buf
-              (Printf.sprintf "{\"jobs\":%d,\"seconds\":%.6f,\"identical\":%b}" jobs med
-                 identical)
+              (Printf.sprintf
+                 "{\"jobs\":%d,\"seconds\":%.6f,\"identical\":%b,\"stages\":%s}" jobs
+                 med identical (stages_json stages))
           end
           else begin
             Printf.printf "%8d %12.3f %9.2fx %12b\n" jobs med (!base /. med) identical;
             Buffer.add_string buf
               (Printf.sprintf
-                 "{\"jobs\":%d,\"seconds\":%.6f,\"speedup\":%.3f,\"identical\":%b}" jobs
-                 med (!base /. med) identical)
-          end)
+                 "{\"jobs\":%d,\"seconds\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"stages\":%s,\"stage_speedup\":%s}"
+                 jobs med (!base /. med) identical (stages_json stages)
+                 (stages_json stage_speedup))
+          end;
+          let big =
+            List.filter (fun (_, t) -> t >= 0.01) stages
+            |> List.map (fun (s, t) -> Printf.sprintf "%s %.2fs" s t)
+          in
+          if big <> [] then
+            Printf.printf "%8s stages: %s\n" "" (String.concat ", " big))
         job_counts;
       Buffer.add_string buf "]}")
     workloads;
@@ -809,30 +863,34 @@ let lint_overhead () =
 
 (* A/B of the interaction gap kernels: the production x-sweep over
    packed rectangle arrays against the boxed n*m oracle (which is also
-   the pre-packing cost baseline).  Two measurements per workload:
+   the pre-packing cost baseline).  Measurements per workload:
 
    - the kernel proper, as ns/call over the workload's real element
      geometry (round-robin pairing, the checker's own cutoff) — this is
      where "sweep vs naive" is answerable, and [speedup] reports it;
    - the serial interaction stage end to end under each kernel, with
-     GC pressure — on these regular workloads per-site sets are tiny
-     and the stage is dominated by net resolution and frontier work,
-     so the end-to-end delta is small by design.
+     GC pressure: the sweep kernel runs out of a caller-owned workspace
+     and allocates nothing per call, so [sweep_minor_mwords] is the
+     number the CI allocation guard watches;
+   - the same two measurements with the packed stores moved off-heap
+     (Bigarray backing, [Geom.Rects.set_storage Offheap]) — the
+     off-heap report must match the heap sweep report byte for byte.
 
-   The two reports must be byte-identical -- the bench aborts if not --
+   All reports must be byte-identical -- the bench aborts if not --
    and the warm-vs-cold engine cache identity is re-proven with the
    packed memo payloads.  Writes BENCH_kernel.json. *)
 
 let kernel_bench () =
   section
-    "K: gap kernel, sweep vs brute force\n\
+    "K: gap kernel, sweep vs brute force, heap vs off-heap\n\
      (packed sweep kernel against the boxed n*m oracle, on real element\n\
      geometry and end-to-end serial checking; byte-identical reports)";
   let workloads =
-    [ ("shift-register-1024", Layoutgen.Shift.register ~lambda 1024);
-      ("pla-96x192",
-       Layoutgen.Pla.plane ~lambda
-         (Layoutgen.Pla.random_program ~rows:96 ~cols:192 ~seed:7)) ]
+    [ ("shift-register-1024", lazy (Layoutgen.Shift.register ~lambda 1024), 1, 5);
+      ("pla-96x192", lazy (Layoutgen.Pla.tier ~lambda ~rows:96 ~cols:192), 1, 5);
+      (* Production size: one end-to-end run per (kernel, storage) —
+         the interaction stage alone is ~20 s of work per run here. *)
+      ("pla-512x1024", lazy (Layoutgen.Pla.million_rect ~lambda), 0, 1) ]
   in
   let dmax =
     List.fold_left max 0
@@ -848,81 +906,119 @@ let kernel_bench () =
   Printf.printf "%-22s %10s %10s %8s %10s %10s %10s %14s\n" "workload" "sweep ns"
     "naive ns" "speedup" "stage s(s)" "stage s(n)" "identical" "minor Mw (s/n)";
   let saved = Geom.Rects.kernel () in
+  let saved_storage = Geom.Rects.storage () in
+  let with_storage st f =
+    Geom.Rects.set_storage st;
+    Fun.protect ~finally:(fun () -> Geom.Rects.set_storage saved_storage) f
+  in
   Fun.protect
     ~finally:(fun () -> Geom.Rects.set_kernel saved)
     (fun () ->
       List.iteri
-        (fun wi (name, file) ->
+        (fun wi (name, file, warmup, runs) ->
           if wi > 0 then Buffer.add_string buf ",";
-          let model =
-            match Dic.Model.elaborate rules file with
-            | Ok (m, _) -> m
-            | Error e -> failwith e
-          in
-          (* Kernel ns/call over the design's own element sets. *)
-          let sets =
-            List.concat_map
-              (fun (s : Dic.Model.symbol) ->
-                List.map
-                  (fun (e : Dic.Model.element) -> e.Dic.Model.packed)
-                  s.Dic.Model.elements)
-              model.Dic.Model.symbols
-            |> Array.of_list
-          in
-          let nsets = Array.length sets in
+          let file = Lazy.force file in
           let cutoff2 = dmax * dmax in
-          let ws = Geom.Rects.make_ws () in
           let iters = 1_000_000 in
-          let ns_per_call f =
-            let loop () =
-              let acc = ref 0 in
-              for k = 0 to iters - 1 do
-                let a = sets.(k mod nsets) and b = sets.((k * 7 + 1) mod nsets) in
-                acc := !acc + (f a b).Geom.Rects.g2
-              done;
-              !acc
-            in
-            let _, med = median_wall loop in
-            med *. 1e9 /. float_of_int iters
+          (* Everything below is re-done per storage backing: [of_list]
+             consults the storage switch when the model is elaborated,
+             so heap and off-heap numbers come from separately packed
+             models checked under that backing end to end. *)
+          let under_storage storage =
+            with_storage storage (fun () ->
+                let model =
+                  match Dic.Model.elaborate rules file with
+                  | Ok (m, _) -> m
+                  | Error e -> failwith e
+                in
+                (* Kernel ns/call over the design's own element sets. *)
+                let sets =
+                  List.concat_map
+                    (fun (s : Dic.Model.symbol) ->
+                      List.map
+                        (fun (e : Dic.Model.element) -> e.Dic.Model.packed)
+                        s.Dic.Model.elements)
+                    model.Dic.Model.symbols
+                  |> Array.of_list
+                in
+                let nsets = Array.length sets in
+                let ws = Geom.Rects.make_ws () in
+                let ns_per_call f =
+                  let loop () =
+                    let acc = ref 0 in
+                    for k = 0 to iters - 1 do
+                      let a = sets.(k mod nsets)
+                      and b = sets.((k * 7 + 1) mod nsets) in
+                      acc := !acc + (f a b).Geom.Rects.g2
+                    done;
+                    !acc
+                  in
+                  let _, med = median_wall loop in
+                  med *. 1e9 /. float_of_int iters
+                in
+                let sweep_ns =
+                  ns_per_call (fun a b ->
+                      Geom.Rects.gap2_sweep ~euclid:false ~cutoff2 ws a b)
+                in
+                let naive_ns =
+                  if storage <> Geom.Rects.Heap then 0.
+                  else
+                    ns_per_call (fun a b ->
+                        Geom.Rects.gap2_naive ~euclid:false ~cutoff2 a b)
+                in
+                (* End-to-end serial interaction stage under each kernel. *)
+                let nets, _ = Dic.Netgen.build model in
+                let measure kernel =
+                  Geom.Rects.set_kernel kernel;
+                  let g0 = Gc.quick_stat () in
+                  let vs, med =
+                    median_wall ~warmup ~runs (fun () ->
+                        fst (Dic.Interactions.check nets))
+                  in
+                  let g1 = Gc.quick_stat () in
+                  (* warmup + runs checks ran: per-run Mwords. *)
+                  let per_run w = w /. float_of_int (warmup + runs) /. 1e6 in
+                  ( render vs,
+                    med,
+                    per_run (g1.Gc.minor_words -. g0.Gc.minor_words),
+                    per_run (g1.Gc.major_words -. g0.Gc.major_words) )
+                in
+                (sweep_ns, naive_ns,
+                 List.map measure
+                   (if storage = Geom.Rects.Heap then
+                      [ Geom.Rects.Sweep; Geom.Rects.Naive ]
+                    else [ Geom.Rects.Sweep ])))
           in
-          let sweep_ns =
-            ns_per_call (fun a b ->
-                Geom.Rects.gap2_sweep ~euclid:false ~cutoff2 ws a b)
-          in
-          let naive_ns =
-            ns_per_call (fun a b -> Geom.Rects.gap2_naive ~euclid:false ~cutoff2 a b)
-          in
-          (* End-to-end serial interaction stage under each kernel. *)
-          let nets, _ = Dic.Netgen.build model in
-          let measure kernel =
-            Geom.Rects.set_kernel kernel;
-            let g0 = Gc.quick_stat () in
-            let vs, med = median_wall (fun () -> fst (Dic.Interactions.check nets)) in
-            let g1 = Gc.quick_stat () in
-            (* 6 checks ran (one warm-up + five timed): per-run Mwords. *)
-            let per_run w = w /. 6. /. 1e6 in
-            ( render vs,
-              med,
-              per_run (g1.Gc.minor_words -. g0.Gc.minor_words),
-              per_run (g1.Gc.major_words -. g0.Gc.major_words) )
-          in
-          let sweep_r, sweep_t, sweep_min, sweep_maj = measure Geom.Rects.Sweep in
-          let naive_r, naive_t, naive_min, naive_maj = measure Geom.Rects.Naive in
+          let sweep_ns, naive_ns, heap_measures = under_storage Geom.Rects.Heap in
+          let sweep_r, sweep_t, sweep_min, sweep_maj = List.nth heap_measures 0 in
+          let naive_r, naive_t, naive_min, naive_maj = List.nth heap_measures 1 in
           let identical = String.equal sweep_r naive_r in
           if not identical then
             failwith (name ^ ": sweep and naive kernel reports differ");
+          let off_ns, _, off_measures = under_storage Geom.Rects.Offheap in
+          let off_r, off_t, off_min, off_maj = List.hd off_measures in
+          let off_identical = String.equal sweep_r off_r in
+          if not off_identical then
+            failwith (name ^ ": off-heap report differs from heap");
           Printf.printf "%-22s %10.1f %10.1f %7.2fx %10.3f %10.3f %10b %6.1f /%6.1f\n"
             name sweep_ns naive_ns (naive_ns /. sweep_ns) sweep_t naive_t identical
             sweep_min naive_min;
+          Printf.printf
+            "%-22s %10.1f %10s %8s %10.3f %10s %10b %6.1f\n"
+            "  `- off-heap" off_ns "-" "-" off_t "-" off_identical off_min;
           Buffer.add_string buf
             (Printf.sprintf
                "{\"name\":\"%s\",\"kernel_ns_sweep\":%.1f,\"kernel_ns_naive\":%.1f,\
                 \"speedup\":%.3f,\"check_sweep_s\":%.6f,\"check_naive_s\":%.6f,\
                 \"check_speedup\":%.3f,\"identical\":%b,\
                 \"sweep_minor_mwords\":%.3f,\"naive_minor_mwords\":%.3f,\
-                \"sweep_major_mwords\":%.3f,\"naive_major_mwords\":%.3f}"
+                \"sweep_major_mwords\":%.3f,\"naive_major_mwords\":%.3f,\
+                \"kernel_ns_sweep_offheap\":%.1f,\"offheap_check_s\":%.6f,\
+                \"offheap_minor_mwords\":%.3f,\"offheap_major_mwords\":%.3f,\
+                \"offheap_identical\":%b}"
                name sweep_ns naive_ns (naive_ns /. sweep_ns) sweep_t naive_t
-               (naive_t /. sweep_t) identical sweep_min naive_min sweep_maj naive_maj))
+               (naive_t /. sweep_t) identical sweep_min naive_min sweep_maj naive_maj
+               off_ns off_t off_min off_maj off_identical))
         workloads;
       (* Warm-vs-cold cache identity with the packed memo payloads: a
          fresh engine over a cache directory a previous engine filled

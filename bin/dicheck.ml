@@ -296,20 +296,38 @@ let lint_main file rules_file lambda explain_code sarif_out werror =
 (* serve                                                               *)
 
 let serve_main lambda rules_file cache socket workers max_queue trace_out event_log
-    slow_ms =
+    event_log_max_bytes slow_ms =
   let rules = load_rules ~lambda rules_file in
   (* The event log is written line-at-a-time from whichever domain hits
      a lifecycle transition; the hub serializes sink calls under its
      lock, and each line is flushed so `tail -f` (and the CI smoke)
-     sees events as they happen. *)
-  let event_oc = Option.map Out_channel.open_text event_log in
+     sees events as they happen.
+
+     Long-lived daemons bound the log with [--event-log-max-bytes]:
+     when a line would push the file past the limit, the current log
+     rotates to [<path>.1] (replacing any previous rotation) and a
+     fresh file takes over — one generation of history, never more
+     than ~2x the limit on disk.  Rotation happens between lines, under
+     the hub's lock, so lines are never split across files. *)
+  let event_state =
+    Option.map (fun path -> (path, ref (Out_channel.open_text path), ref 0)) event_log
+  in
   let event_sink =
     Option.map
-      (fun oc line ->
-        Out_channel.output_string oc line;
-        Out_channel.output_char oc '\n';
-        Out_channel.flush oc)
-      event_oc
+      (fun (path, oc, written) line ->
+        (match event_log_max_bytes with
+        | Some limit
+          when !written > 0 && !written + String.length line + 1 > limit ->
+          Out_channel.close !oc;
+          (try Sys.rename path (path ^ ".1") with Sys_error _ -> ());
+          oc := Out_channel.open_text path;
+          written := 0
+        | _ -> ());
+        Out_channel.output_string !oc line;
+        Out_channel.output_char !oc '\n';
+        Out_channel.flush !oc;
+        written := !written + String.length line + 1)
+      event_state
   in
   let telemetry =
     Dic.Telemetry.create ?slow_ms ?event_sink
@@ -336,7 +354,7 @@ let serve_main lambda rules_file cache socket workers max_queue trace_out event_
   | None -> ()
   | Some path ->
     write_output path (Dic.Trace.to_chrome_json (Dic.Telemetry.merged_trace telemetry)));
-  Option.iter Out_channel.close event_oc;
+  Option.iter (fun (_, oc, _) -> Out_channel.close !oc) event_state;
   0
 
 (* ------------------------------------------------------------------ *)
@@ -659,6 +677,18 @@ let serve_cmd =
                    shutdown_begin, shutdown).  Field names are stable; the \
                    schema is in docs/PROTOCOL.md.")
   in
+  let event_log_max_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "event-log-max-bytes" ] ~docv:"BYTES"
+             ~doc:"With $(b,--event-log): rotate the log once appending a line \
+                   would push it past BYTES.  The current file moves to \
+                   $(i,FILE).1 (replacing any previous rotation) and logging \
+                   continues in a fresh $(i,FILE) — a long-lived daemon keeps \
+                   at most one generation of history, never more than about \
+                   twice BYTES on disk.  Lines are never split across the \
+                   rotation.  Without this option the log grows without \
+                   bound.")
+  in
   let slow_ms =
     Arg.(value & opt (some float) None
          & info [ "slow-ms" ] ~docv:"MS"
@@ -678,7 +708,8 @@ let serve_cmd =
              lifecycle as JSON lines.  The full wire reference is \
              docs/PROTOCOL.md.")
     Term.(const serve_main $ lambda_arg $ rules_arg $ cache_arg $ socket
-          $ workers $ max_queue $ trace_out $ event_log $ slow_ms)
+          $ workers $ max_queue $ trace_out $ event_log $ event_log_max_bytes
+          $ slow_ms)
 
 let top_cmd =
   let socket =

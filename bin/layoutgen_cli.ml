@@ -15,9 +15,7 @@ let main workload nx ny lambda salt out =
     | `Grid -> Layoutgen.Cells.grid ~lambda ~nx ~ny
     | `Grid_blocks -> Layoutgen.Cells.grid_blocks ~lambda ~nx ~ny
     | `Shift -> Layoutgen.Shift.register ~lambda nx
-    | `Pla ->
-      Layoutgen.Pla.plane ~lambda
-        (Layoutgen.Pla.random_program ~rows:ny ~cols:nx ~seed:7)
+    | `Pla -> Layoutgen.Pla.tier ~lambda ~rows:ny ~cols:nx
     | `Pathology name -> (
       match
         List.find_opt

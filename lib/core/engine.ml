@@ -174,6 +174,10 @@ type t = {
   (* env -> fingerprint -> per-definition results.  One table per deck
      environment, so warming deck A never touches deck B's entries. *)
   e_defs : (string, (string, Cache.def_entry) Hashtbl.t) Hashtbl.t;
+  (* env -> fingerprint -> that definition's model-pass lints.  D-codes
+     are per-definition facts, so warm sessions replay them like check
+     results instead of re-running the skeleton-erosion pass. *)
+  e_lints : (string, (string, Lint.diagnostic list) Hashtbl.t) Hashtbl.t;
   (* memo-env -> slot, ditto for the interaction memo *)
   e_memos : (string, memo_slot) Hashtbl.t;
   (* sid -> subtree fingerprint from the most recent check, kept so
@@ -193,6 +197,7 @@ let create ?(config = default_config) ?cache_dir ?decks rules =
     e_cache = Option.map Cache.open_dir cache_dir;
     e_env = env_key (List.hd decks).dk_rules config;
     e_defs = Hashtbl.create 4;
+    e_lints = Hashtbl.create 4;
     e_memos = Hashtbl.create 4;
     e_last_subtree = None }
 
@@ -214,6 +219,7 @@ let with_config t config =
        per-env tables could survive, but a config change invalidates
        every deck's address at once, so a clean slate is simpler). *)
     Hashtbl.reset t.e_defs;
+    Hashtbl.reset t.e_lints;
     Hashtbl.reset t.e_memos;
     t.e_last_subtree <- None;
     t.e_env <- env
@@ -244,13 +250,16 @@ let with_lint t run_lint = with_config t { t.e_config with run_lint }
 let with_expected_netlist t expected_netlist = with_config t { t.e_config with expected_netlist }
 let with_relational t relational = with_config t { t.e_config with relational }
 
-let defs_for t env =
-  match Hashtbl.find_opt t.e_defs env with
+let subtbl tbl env =
+  match Hashtbl.find_opt tbl env with
   | Some h -> h
   | None ->
     let h = Hashtbl.create 64 in
-    Hashtbl.add t.e_defs env h;
+    Hashtbl.add tbl env h;
     h
+
+let defs_for t env = subtbl t.e_defs env
+let lints_for t env = subtbl t.e_lints env
 
 let slot_for t rules =
   let env = memo_env_key rules t.e_config in
@@ -393,14 +402,45 @@ let check ?metrics ?trace ?progress t file =
     Metrics.incr ~by:(Model.symbol_count model) m "model.symbols";
     Metrics.incr ~by:(Model.definition_elements model) m "model.definition_elements";
     Metrics.incr ~by:(Model.instantiated_elements model) m "model.instantiated_elements";
+    (* Definition fingerprints are deck-independent and computed once;
+       they address the session caches for both the lint pass below and
+       the per-definition check sweeps. *)
+    let fps =
+      List.map (fun (s : Model.symbol) -> (s, fingerprint s)) model.Model.symbols
+    in
     (* Static lints run before any geometry: one deck pass per deck,
        one design pass (syntax tree + model) shared by all.  Off by
-       default so the default report bytes are untouched. *)
+       default so the default report bytes are untouched.
+
+       The model pass is per-definition, so warm sessions replay it
+       from the fingerprint-keyed table instead of re-eroding every
+       skeleton.  The syntax-tree pass stays live: duplicate ids,
+       cycles and unreachability are facts about the raw tree that
+       elaboration erases — no per-definition fingerprint can address
+       them — and the walk is cheap. *)
     let lint_by_deck =
       if not t.e_config.run_lint then List.map (fun _ -> []) decks
       else
         timed "lint" (fun () ->
-            let design = Lint.check_ast file @ Lint.check_model model in
+            let lints = lints_for t t.e_env in
+            let replayed = ref 0 in
+            let model_diags =
+              Lint.sort
+                (List.concat_map
+                   (fun ((s : Model.symbol), fp) ->
+                     match Hashtbl.find_opt lints fp with
+                     | Some ds ->
+                       incr replayed;
+                       ds
+                     | None ->
+                       let ds = Lint.check_model_symbol model s in
+                       Hashtbl.replace lints fp ds;
+                       ds)
+                   fps)
+            in
+            Metrics.incr ~by:!replayed m "lint.defs_replayed";
+            Metrics.incr ~by:(List.length fps - !replayed) m "lint.defs_computed";
+            let design = Lint.check_ast file @ model_diags in
             List.mapi
               (fun i d ->
                 let diags = Lint.sort (Lint.check_deck d.dk_rules @ design) in
@@ -430,11 +470,7 @@ let check ?metrics ?trace ?progress t file =
     in
     (* Resolve every definition against each deck's session (then disk)
        cache before the sweeps start, so each stage below just replays
-       or computes.  Fingerprints are deck-independent and computed
-       once. *)
-    let fps =
-      List.map (fun (s : Model.symbol) -> (s, fingerprint s)) model.Model.symbols
-    in
+       or computes. *)
     let env_by_deck = List.map (fun d -> env_key d.dk_rules t.e_config) decks in
     let lookups =
       Trace.with_span trace ~cat:"cache" "defs-lookup" (fun () ->
@@ -487,47 +523,119 @@ let check ?metrics ?trace ?progress t file =
                 vs))
         slots
     in
+    (* The per-definition sweeps are embarrassingly parallel — each
+       fresh slot is one independent (deck rules × definition) task —
+       so they run on the same cost-balanced scheduler as the
+       interaction sweep.  The worklist flattens every deck's fresh
+       slots in deck-major definition order (the serial visit order);
+       workers store each result into its slot and emit the same
+       ["symbol"] spans and [symbol.<name>] cost charges as the serial
+       path, into per-domain buffers that merge in tid order.  The
+       caller then assembles each deck's violations in definition order
+       from the slots, so the report bytes match the serial path at
+       every [jobs] value. *)
+    let stage_jobs =
+      Interactions.effective_jobs t.e_config.interactions.Interactions.jobs
+    in
+    let fresh_work =
+      Array.of_list
+        (List.concat
+           (List.map2
+              (fun d (slots, _, _) ->
+                List.filter_map
+                  (fun sl -> if Option.is_none sl.sl_hit then Some (d, sl) else None)
+                  slots)
+              decks lookups))
+    in
+    let stage_parallel = stage_jobs > 1 && Array.length fresh_work > 1 in
+    let per_symbol_parallel stage compute =
+      ignore
+        (Parallel.run ~metrics:m ?trace ~jobs:stage_jobs ~stage
+           ~weight:(fun i ->
+             let _, sl = fresh_work.(i) in
+             1 + List.length sl.sl_sym.Model.elements)
+           ~n:(Array.length fresh_work)
+           ~worker:(fun _tid -> ())
+           ~chunk:(fun () dm dt ~lo ~hi ->
+             for i = lo to hi - 1 do
+               let d, sl = fresh_work.(i) in
+               Trace.with_span dt ~cat:"symbol" ~args:[ ("stage", stage) ]
+                 sl.sl_sym.Model.sname (fun () ->
+                   let t0 = Metrics.now_ns () in
+                   compute d sl;
+                   Option.iter
+                     (fun dm ->
+                       Metrics.add_cost_ns dm ("symbol." ^ sl.sl_sym.Model.sname)
+                         (Int64.sub (Metrics.now_ns ()) t0))
+                     dm)
+             done)
+           ~merge:(fun () -> ())
+           ())
+    in
+    let assemble fresh_of replay =
+      List.map
+        (fun (slots, _, _) ->
+          List.concat_map
+            (fun sl -> match sl.sl_hit with Some e -> replay e | None -> fresh_of sl)
+            slots)
+        lookups
+    in
     let elements_by_deck =
       timed "elements" (fun () ->
-          List.map2
-            (fun d (slots, _, _) ->
-              per_symbol slots "elements"
-                (fun sl ->
-                  let vs = Element_checks.check_symbol d.dk_rules sl.sl_sym in
-                  sl.sl_el <- vs;
-                  vs)
-                (fun e -> e.Cache.de_elements))
-            decks lookups)
+          if stage_parallel then begin
+            per_symbol_parallel "elements" (fun d sl ->
+                sl.sl_el <- Element_checks.check_symbol d.dk_rules sl.sl_sym);
+            assemble (fun sl -> sl.sl_el) (fun e -> e.Cache.de_elements)
+          end
+          else
+            List.map2
+              (fun d (slots, _, _) ->
+                per_symbol slots "elements"
+                  (fun sl ->
+                    let vs = Element_checks.check_symbol d.dk_rules sl.sl_sym in
+                    sl.sl_el <- vs;
+                    vs)
+                  (fun e -> e.Cache.de_elements))
+              decks lookups)
     in
     let devices_by_deck =
       timed "devices" (fun () ->
-          List.map2
-            (fun d (slots, _, _) ->
-              per_symbol slots "devices"
-                (fun sl ->
-                  let vs = Devices.check_symbol d.dk_rules sl.sl_sym in
-                  sl.sl_dv <- vs;
-                  vs)
-                (fun e -> e.Cache.de_devices))
-            decks lookups)
+          if stage_parallel then begin
+            per_symbol_parallel "devices" (fun d sl ->
+                sl.sl_dv <- Devices.check_symbol d.dk_rules sl.sl_sym);
+            assemble (fun sl -> sl.sl_dv) (fun e -> e.Cache.de_devices)
+          end
+          else
+            List.map2
+              (fun d (slots, _, _) ->
+                per_symbol slots "devices"
+                  (fun sl ->
+                    let vs = Devices.check_symbol d.dk_rules sl.sl_sym in
+                    sl.sl_dv <- vs;
+                    vs)
+                  (fun e -> e.Cache.de_devices))
+              decks lookups)
     in
     let relational_by_deck =
       match t.e_config.relational with
       | None -> List.map (fun _ -> []) decks
       | Some exposure ->
         timed "devices-relational" (fun () ->
-            List.map2
-              (fun d (slots, _, _) ->
-                List.concat_map
-                  (fun sl ->
-                    match sl.sl_hit with
-                    | Some e -> e.Cache.de_relational
-                    | None ->
+            if stage_parallel then begin
+              per_symbol_parallel "devices-relational" (fun d sl ->
+                  sl.sl_rel <- Devices.check_relational exposure d.dk_rules sl.sl_sym);
+              assemble (fun sl -> sl.sl_rel) (fun e -> e.Cache.de_relational)
+            end
+            else
+              List.map2
+                (fun d (slots, _, _) ->
+                  per_symbol slots "devices-relational"
+                    (fun sl ->
                       let vs = Devices.check_relational exposure d.dk_rules sl.sl_sym in
                       sl.sl_rel <- vs;
                       vs)
-                  slots)
-              decks lookups)
+                    (fun e -> e.Cache.de_relational))
+                decks lookups)
     in
     (* Freshly computed definitions become cache entries (session +
        disk), under their deck's environment.  When [relational] is off

@@ -31,6 +31,20 @@ type stats = {
 let new_stats () =
   { cells = Hashtbl.create 16; memo_hits = 0; memo_misses = 0; bbox_rejects = 0 }
 
+(* Layer indices are dense (0 .. nlayers-1, in [Tech.Layer.all] order),
+   so the per-pair hot path counts into a flat [cell_stats array] and
+   looks rules up in a precomputed entry matrix — no tuple keys, no
+   hashing, no option boxing per pair.  The Hashtbl-shaped [stats]
+   above stays the public, mergeable view; the flat counters are folded
+   into it once per run (see [fold_cells]). *)
+let nlayers = List.length Tech.Layer.all
+let layer_of_index = Array.of_list Tech.Layer.all
+
+let new_cells () =
+  Array.init (nlayers * nlayers) (fun _ ->
+      { pairs = 0; checked = 0; skipped_same_net = 0; skipped_no_rule = 0;
+        skipped_device = 0 })
+
 let cell stats la lb =
   let key = if Tech.Layer.index la <= Tech.Layer.index lb then (la, lb) else (lb, la) in
   match Hashtbl.find_opt stats.cells key with
@@ -92,14 +106,20 @@ let record_metrics metrics stats =
 (* A geometry site participating in an interaction: an element reached
    through [path] (call indices from the symbol being checked), with
    its geometry already mapped into that symbol's coordinates. *)
+(* Fields are mutable solely so the instance-pair evaluator can reuse
+   two per-domain scratch sites instead of allocating a record, a bbox
+   and a path copy for every judged candidate (see
+   [transform_site_into]); sites built by [frontier] or stored in the
+   candidate memo are never mutated. *)
 type site = {
-  s_path : int list;
-  s_eid : int;
-  s_layer : Tech.Layer.t;
-  s_rects : Geom.Rects.t;  (** packed; never mutated once the site is built *)
-  s_bbox : Geom.Rect.t;
-  s_device : Tech.Device.kind option;  (** of the owning symbol *)
-  s_loc : Cif.Loc.t option;  (** CIF source position of the element *)
+  mutable s_path : int list;
+  mutable s_eid : int;
+  mutable s_layer : Tech.Layer.t;
+  mutable s_rects : Geom.Rects.t;
+      (** packed; never mutated once the site is built *)
+  mutable s_bbox : Geom.Rect.t;
+  mutable s_device : Tech.Device.kind option;  (** of the owning symbol *)
+  mutable s_loc : Cif.Loc.t option;  (** CIF source position of the element *)
 }
 
 (* The widest spacing any rule in the deck can demand — the candidate
@@ -237,93 +257,18 @@ let poly_diff_pair la lb =
   Tech.Layer.(
     (equal la Poly && equal lb Diffusion) || (equal la Diffusion && equal lb Poly))
 
-(* [same_net] and [related] are thunks: net resolution is the most
-   expensive part of judging a pair, and pairs with no spacing rule at
-   all (a large share of the matrix) never need it. *)
-let judge cfg rules stats ws ~same_net ~related a b =
-  if head_equal a b then Skip
-  else begin
-    let c = cell stats a.s_layer b.s_layer in
-    c.pairs <- c.pairs + 1;
-    match Tech.Interaction.entry rules a.s_layer b.s_layer with
-    | Tech.Interaction.No_rule ->
-      c.skipped_no_rule <- c.skipped_no_rule + 1;
-      Skip
-    | Tech.Interaction.Device_checked ->
-      c.skipped_device <- c.skipped_device + 1;
-      Skip
-    | Tech.Interaction.Space { same_net = sreq; diff_net = dreq } -> (
-      (* "If the element is part of a transistor, the subcases depend on
-         whether or not the elements are related."  A transistor's own
-         diffusion spans both source and drain nets and its gate poly is
-         device geometry, so any check against an element on one of the
-         transistor's port nets is waived.  For non-transistor devices
-         (contacts), whose elements have well-defined nets, the waiver
-         applies only to the poly/diffusion cross-layer rule (the wires
-         feeding a butting or buried contact overlap its other layer). *)
-      let transistor_pair =
-        (match a.s_device with Some k -> Tech.Device.is_transistor k | None -> false)
-        || (match b.s_device with Some k -> Tech.Device.is_transistor k | None -> false)
-      in
-      if (transistor_pair || poly_diff_pair a.s_layer b.s_layer) && related () then begin
-        c.skipped_same_net <- c.skipped_same_net + 1;
-        Skip
-      end
-      else begin
-        let same_net = same_net () in
-        let resistor =
-          a.s_device = Some Tech.Device.Resistor || b.s_device = Some Tech.Device.Resistor
-        in
-        let use_same_net_rule = same_net && (not resistor) && not cfg.check_same_net in
-        let required = if use_same_net_rule then sreq else Some dreq in
-        match required with
-        | None ->
-          c.skipped_same_net <- c.skipped_same_net + 1;
-          Skip
-        | Some req -> (
-          c.checked <- c.checked + 1;
-          (* The geometric model only acts on gaps below the rule, so
-             the kernel may prune beyond req; the exposure model prints
-             and judges the exact minimum, so it gets no cutoff. *)
-          let cutoff2 =
-            match cfg.spacing_model with
-            | Geometric -> req * req
-            | Exposure _ -> max_int
-          in
-          let g = gap2_of cfg ~cutoff2 ws a.s_rects b.s_rects in
-          let gap2 = g.Geom.Rects.g2 in
-          let where =
-            if g.Geom.Rects.ai >= 0 then
-              Geom.Rect.hull
-                (Geom.Rects.get a.s_rects g.Geom.Rects.ai)
-                (Geom.Rects.get b.s_rects g.Geom.Rects.bi)
-            else Geom.Rect.hull a.s_bbox b.s_bbox
-          in
-          if gap2 = 0 then
-            if same_net then Skip
-            else if Tech.Layer.equal a.s_layer b.s_layer then Short where
-            else if poly_diff_pair a.s_layer b.s_layer && g.Geom.Rects.overlap then
-              Accidental where
-            else Violation (where, req, 0)
-          else begin
-            match cfg.spacing_model with
-            | Geometric -> if gap2 < req * req then Violation (where, req, gap2) else Skip
-            | Exposure { model; misalign } ->
-              (* The line-of-closest-approach test: same-layer pairs see
-                 bias only; cross-layer pairs add misalignment. *)
-              let mis =
-                if Tech.Layer.equal a.s_layer b.s_layer then 0 else misalign
-              in
-              let verdict =
-                Process_model.Closest.check model ~misalign:mis
-                  (Geom.Region.of_rects (Geom.Rects.to_list a.s_rects))
-                  (Geom.Region.of_rects (Geom.Rects.to_list b.s_rects))
-              in
-              if verdict.Process_model.Closest.bridges then Violation (where, req, gap2)
-              else Skip
-          end)
-      end)
-  end
+(* Error-localisation bbox of the judged pair: the hull of the kernel's
+   canonical closest rectangles (or of the site bboxes when the kernel
+   pruned everything past the cutoff).  Called only on the rare branch
+   that actually emits a finding — the overwhelmingly common Skip path
+   allocates no rectangles.  [judge_pair], the pair check itself, lives
+   below with the per-domain context it reads from. *)
+let[@inline] where_of (g : Geom.Rects.gap) a b =
+  if g.Geom.Rects.ai >= 0 then
+    Geom.Rect.hull
+      (Geom.Rects.get a.s_rects g.Geom.Rects.ai)
+      (Geom.Rects.get b.s_rects g.Geom.Rects.bi)
+  else Geom.Rect.hull a.s_bbox b.s_bbox
 
 let report_outcome ~context ?path ?loc la lb outcome =
   let pair_name =
@@ -441,15 +386,20 @@ let candidates cfg env dmax (memo : (memo_key, cand list) Hashtbl.t) stats ws sa
     cs
 
 (* Instantiate a memoised candidate site into the caller's frame.
-   [dst] is a per-domain scratch set: the transformed geometry lives
-   only for the duration of one judged pair, so nothing is allocated
-   beyond the (small) site record itself. *)
-let transform_site_into ~dst tr s path =
+   [dst] is a per-domain scratch rect set and [into] a per-domain
+   scratch site record: the transformed geometry and the site itself
+   live only for the duration of one judged pair, so a candidate
+   evaluation allocates nothing but its path spine and bbox. *)
+let transform_site_into ~dst ~into tr s path =
   Geom.Rects.apply_into tr ~src:s.s_rects ~dst;
-  { s with
-    s_path = path;
-    s_rects = dst;
-    s_bbox = Geom.Transform.apply_rect tr s.s_bbox }
+  into.s_path <- path;
+  into.s_eid <- s.s_eid;
+  into.s_layer <- s.s_layer;
+  into.s_rects <- dst;
+  into.s_bbox <- Geom.Transform.apply_rect tr s.s_bbox;
+  into.s_device <- s.s_device;
+  into.s_loc <- s.s_loc;
+  into
 
 (* ------------------------------------------------------------------ *)
 (* The worklist                                                        *)
@@ -480,12 +430,53 @@ type dctx = {
   d_ws : Geom.Rects.ws;  (** sweep-kernel scratch, one per domain *)
   d_ta : Geom.Rects.t;  (** scratch for instantiating memoised site A… *)
   d_tb : Geom.Rects.t;  (** …and site B; live only within one judged pair *)
+  d_sa : site;  (** scratch site records over [d_ta]/[d_tb], same lifetime *)
+  d_sb : site;
+  d_cells : cell_stats array;
+      (** flat per-layer-pair counters ([ia * nlayers + ib], ia <= ib);
+          folded into [d_stats.cells] after the run *)
+  d_entry : Tech.Interaction.entry array;
+      (** the run's rule deck, resolved per layer pair once — indexing
+          it allocates nothing, unlike re-deriving the entry per pair *)
 }
 
-let make_dctx stats memo =
+let make_dctx rules stats memo =
+  let ta = Geom.Rects.empty () and tb = Geom.Rects.empty () in
+  let scratch_site rects =
+    { s_path = []; s_eid = -1; s_layer = Tech.Layer.Diffusion; s_rects = rects;
+      s_bbox = Geom.Rect.make 0 0 0 0; s_device = None; s_loc = None }
+  in
   { d_stats = stats; d_memo = memo; d_ports = Hashtbl.create 64;
-    d_ws = Geom.Rects.make_ws (); d_ta = Geom.Rects.empty ();
-    d_tb = Geom.Rects.empty () }
+    d_ws = Geom.Rects.make_ws (); d_ta = ta; d_tb = tb;
+    d_sa = scratch_site ta; d_sb = scratch_site tb; d_cells = new_cells ();
+    d_entry =
+      Array.init (nlayers * nlayers) (fun i ->
+          Tech.Interaction.entry rules
+            layer_of_index.(i / nlayers)
+            layer_of_index.(i mod nlayers)) }
+
+let[@inline] dcell dctx la lb =
+  let ia = Tech.Layer.index la and ib = Tech.Layer.index lb in
+  dctx.d_cells.(if ia <= ib then (ia * nlayers) + ib else (ib * nlayers) + ia)
+
+(* A cell is touched iff its [pairs] counter moved ([judge_pair] bumps
+   it before anything else), so folding only those keeps the Hashtbl
+   key set — and hence [pp_stats] output — identical to the old
+   count-in-place representation. *)
+let fold_cells dctx =
+  for ia = 0 to nlayers - 1 do
+    for ib = ia to nlayers - 1 do
+      let c = dctx.d_cells.((ia * nlayers) + ib) in
+      if c.pairs > 0 then begin
+        let d = cell dctx.d_stats layer_of_index.(ia) layer_of_index.(ib) in
+        d.pairs <- d.pairs + c.pairs;
+        d.checked <- d.checked + c.checked;
+        d.skipped_same_net <- d.skipped_same_net + c.skipped_same_net;
+        d.skipped_no_rule <- d.skipped_no_rule + c.skipped_no_rule;
+        d.skipped_device <- d.skipped_device + c.skipped_device
+      end
+    done
+  done
 
 let net_of env sid (site : site) = resolve env sid site.s_path site.s_eid
 
@@ -520,11 +511,95 @@ let related env dctx sid a b =
    decks: the plan depends only on [dmax]. *)
 type task = config -> Tech.Rules.t -> dctx -> Report.violation list
 
-let judge_pair cfg env sid rules dctx a b =
-  judge cfg rules dctx.d_stats dctx.d_ws
-    ~same_net:(fun () -> same_net env sid a b)
-    ~related:(fun () -> related env dctx sid a b)
-    a b
+(* The pair check proper.  Net resolution ([same_net]/[related]) is the
+   most expensive part of judging a pair, and pairs with no spacing rule
+   at all (a large share of the matrix) never reach it — the calls sit
+   directly on the branches that need them, so the common path allocates
+   neither closures nor rectangles. *)
+let judge_pair cfg env sid dctx a b =
+  if head_equal a b then Skip
+  else begin
+    let c = dcell dctx a.s_layer b.s_layer in
+    c.pairs <- c.pairs + 1;
+    match
+      dctx.d_entry.((Tech.Layer.index a.s_layer * nlayers)
+                    + Tech.Layer.index b.s_layer)
+    with
+    | Tech.Interaction.No_rule ->
+      c.skipped_no_rule <- c.skipped_no_rule + 1;
+      Skip
+    | Tech.Interaction.Device_checked ->
+      c.skipped_device <- c.skipped_device + 1;
+      Skip
+    | Tech.Interaction.Space { same_net = sreq; diff_net = dreq } -> (
+      (* "If the element is part of a transistor, the subcases depend on
+         whether or not the elements are related."  A transistor's own
+         diffusion spans both source and drain nets and its gate poly is
+         device geometry, so any check against an element on one of the
+         transistor's port nets is waived.  For non-transistor devices
+         (contacts), whose elements have well-defined nets, the waiver
+         applies only to the poly/diffusion cross-layer rule (the wires
+         feeding a butting or buried contact overlap its other layer). *)
+      let transistor_pair =
+        (match a.s_device with Some k -> Tech.Device.is_transistor k | None -> false)
+        || (match b.s_device with Some k -> Tech.Device.is_transistor k | None -> false)
+      in
+      if (transistor_pair || poly_diff_pair a.s_layer b.s_layer)
+         && related env dctx sid a b
+      then begin
+        c.skipped_same_net <- c.skipped_same_net + 1;
+        Skip
+      end
+      else begin
+        let same_net = same_net env sid a b in
+        let resistor =
+          a.s_device = Some Tech.Device.Resistor || b.s_device = Some Tech.Device.Resistor
+        in
+        let use_same_net_rule = same_net && (not resistor) && not cfg.check_same_net in
+        let required = if use_same_net_rule then sreq else Some dreq in
+        match required with
+        | None ->
+          c.skipped_same_net <- c.skipped_same_net + 1;
+          Skip
+        | Some req -> (
+          c.checked <- c.checked + 1;
+          (* The geometric model only acts on gaps below the rule, so
+             the kernel may prune beyond req; the exposure model prints
+             and judges the exact minimum, so it gets no cutoff. *)
+          let cutoff2 =
+            match cfg.spacing_model with
+            | Geometric -> req * req
+            | Exposure _ -> max_int
+          in
+          let g = gap2_of cfg ~cutoff2 dctx.d_ws a.s_rects b.s_rects in
+          let gap2 = g.Geom.Rects.g2 in
+          if gap2 = 0 then
+            if same_net then Skip
+            else if Tech.Layer.equal a.s_layer b.s_layer then Short (where_of g a b)
+            else if poly_diff_pair a.s_layer b.s_layer && g.Geom.Rects.overlap then
+              Accidental (where_of g a b)
+            else Violation (where_of g a b, req, 0)
+          else begin
+            match cfg.spacing_model with
+            | Geometric ->
+              if gap2 < req * req then Violation (where_of g a b, req, gap2) else Skip
+            | Exposure { model; misalign } ->
+              (* The line-of-closest-approach test: same-layer pairs see
+                 bias only; cross-layer pairs add misalignment. *)
+              let mis =
+                if Tech.Layer.equal a.s_layer b.s_layer then 0 else misalign
+              in
+              let verdict =
+                Process_model.Closest.check model ~misalign:mis
+                  (Geom.Region.of_rects (Geom.Rects.to_list a.s_rects))
+                  (Geom.Region.of_rects (Geom.Rects.to_list b.s_rects))
+              in
+              if verdict.Process_model.Closest.bridges then
+                Violation (where_of g a b, req, gap2)
+              else Skip
+          end)
+      end)
+  end
 
 (* Provenance — dotted instance paths and source positions — is string
    building; render it only for the rare pair that produced a finding. *)
@@ -571,10 +646,10 @@ let tasks_of_symbol env ~dmax (s : Model.symbol) : task list =
           end);
       if !cur <> [] then chunks := List.rev !cur :: !chunks;
       List.rev_map
-        (fun chunk cfg rules dctx ->
+        (fun chunk cfg _rules dctx ->
           List.concat_map
             (fun (a, b) ->
-              emit env sid ~context a b (judge_pair cfg env sid rules dctx a b))
+              emit env sid ~context a b (judge_pair cfg env sid dctx a b))
             chunk)
         !chunks
     in
@@ -604,7 +679,7 @@ let tasks_of_symbol env ~dmax (s : Model.symbol) : task list =
             | [] -> None
             | near ->
               Some
-                (fun cfg rules dctx ->
+                (fun cfg _rules dctx ->
                   List.concat_map
                     (fun ((c : Model.call), callee) ->
                       let sites =
@@ -614,7 +689,7 @@ let tasks_of_symbol env ~dmax (s : Model.symbol) : task list =
                       List.concat_map
                         (fun sub ->
                           emit env sid ~context site sub
-                            (judge_pair cfg env sid rules dctx site sub))
+                            (judge_pair cfg env sid dctx site sub))
                         sites)
                     near)))
         local_sites
@@ -627,7 +702,7 @@ let tasks_of_symbol env ~dmax (s : Model.symbol) : task list =
       let acc = ref [] in
       Geom.Grid_index.iter_pairs_within inst_idx dmax
         (fun (_, ((ca : Model.call), _)) (_, ((cb : Model.call), _)) ->
-          let task cfg rules dctx =
+          let task cfg _rules dctx =
             let rel =
               Geom.Transform.compose
                 (Geom.Transform.inverse ca.Model.transform)
@@ -640,16 +715,16 @@ let tasks_of_symbol env ~dmax (s : Model.symbol) : task list =
             List.concat_map
               (fun cand ->
                 let site_a =
-                  transform_site_into ~dst:dctx.d_ta ca.Model.transform
-                    cand.k_site_a
+                  transform_site_into ~dst:dctx.d_ta ~into:dctx.d_sa
+                    ca.Model.transform cand.k_site_a
                     (ca.Model.cidx :: fst cand.k_a)
                 and site_b =
-                  transform_site_into ~dst:dctx.d_tb ca.Model.transform
-                    cand.k_site_b
+                  transform_site_into ~dst:dctx.d_tb ~into:dctx.d_sb
+                    ca.Model.transform cand.k_site_b
                     (cb.Model.cidx :: fst cand.k_b)
                 in
                 emit env sid ~context site_a site_b
-                  (judge_pair cfg env sid rules dctx site_a site_b))
+                  (judge_pair cfg env sid dctx site_a site_b))
               cands
           in
           acc := task :: !acc);
@@ -751,24 +826,26 @@ let run ?(config = default_config) ?rules ?memo ?metrics ?trace (p : plan) =
   let violations =
     if jobs = 1 then begin
       let name, args = shard_span 0 0 n in
-      Trace.with_span trace ~cat:"shard" ~args name (fun () ->
-          run_span ?metrics config rules tasks 0 n (make_dctx stats master_memo))
+      let dctx = make_dctx rules stats master_memo in
+      let vs =
+        Trace.with_span trace ~cat:"shard" ~args name (fun () ->
+            run_span ?metrics config rules tasks 0 n dctx)
+      in
+      fold_cells dctx;
+      vs
     end
     else begin
-      (* Balanced scheduling: tasks are cut into contiguous chunks
-         (contiguity keeps the merged report in worklist order), sized
-         so each holds roughly 1/(8*jobs) of the estimated work, and
-         domains claim chunks from an [Atomic] counter until the queue
-         is dry.  The estimate reuses the [symbol.<name>] cost buckets
-         the earlier per-definition sweeps recorded into [metrics]: a
-         definition that was expensive to sweep has bigger geometry and
-         costs more to judge, so its tasks land in smaller chunks.
-         Results are merged by chunk index, so the report is
-         byte-identical to the serial run at every [jobs] value and
-         across repeated runs; which domain evaluated which chunk — and
-         hence each shard's memo hit/miss split — is the only thing
-         that varies. *)
-      let weight =
+      (* Balanced scheduling via the shared {!Parallel} queue (which
+         this code originated).  The weight estimate reuses the
+         [symbol.<name>] cost buckets the earlier per-definition sweeps
+         recorded into [metrics]: a definition that was expensive to
+         sweep has bigger geometry and costs more to judge, so its
+         tasks land in smaller chunks.  Chunk results come back in
+         worklist order, so the report is byte-identical to the serial
+         run at every [jobs] value and across repeated runs; which
+         domain evaluated which chunk — and hence each shard's memo
+         hit/miss split — is the only thing that varies. *)
+      let weight_of_name =
         match metrics with
         | None -> fun _ -> 1
         | Some m ->
@@ -782,59 +859,23 @@ let run ?(config = default_config) ?rules ?memo ?metrics ?trace (p : plan) =
               Hashtbl.add by_name sname w;
               w)
       in
-      let total = Array.fold_left (fun acc (sname, _) -> acc + weight sname) 0 tasks in
-      let target = max 1 (total / (jobs * 8)) in
-      let cuts = ref [ 0 ] and acc = ref 0 in
-      for i = 0 to n - 1 do
-        acc := !acc + weight (fst tasks.(i));
-        if !acc >= target && i + 1 < n then begin
-          cuts := (i + 1) :: !cuts;
-          acc := 0
-        end
-      done;
-      let starts = Array.of_list (List.rev (n :: !cuts)) in
-      let nchunks = Array.length starts - 1 in
-      let next = Atomic.make 0 in
-      (* Each cell is written by exactly one domain (the unique claimant
-         of that chunk); [Domain.join] publishes the writes. *)
-      let results = Array.make nchunks [] in
-      let work tid () =
-        let dctx = make_dctx (new_stats ()) (Hashtbl.copy master_memo) in
-        let dm = Option.map (fun _ -> Metrics.create ()) metrics in
-        let dt = Option.map (fun _ -> Trace.create ~tid ()) trace in
-        let args =
-          [ ("tasks", string_of_int n); ("chunks", string_of_int nchunks) ]
-        in
-        Trace.with_span dt ~cat:"shard" ~args (Printf.sprintf "shard[%d]" tid)
-          (fun () ->
-            let rec drain () =
-              let c = Atomic.fetch_and_add next 1 in
-              if c < nchunks then begin
-                results.(c) <-
-                  run_span ?metrics:dm config rules tasks starts.(c) starts.(c + 1) dctx;
-                drain ()
-              end
-            in
-            drain ());
-        (dctx, dm, dt)
+      let chunks =
+        Parallel.run ?metrics ?trace ~jobs ~stage:"interactions"
+          ~weight:(fun i -> weight_of_name (fst tasks.(i)))
+          ~n
+          ~worker:(fun _tid -> make_dctx rules (new_stats ()) (Hashtbl.copy master_memo))
+          ~chunk:(fun dctx dm _dt ~lo ~hi ->
+            run_span ?metrics:dm config rules tasks lo hi dctx)
+          ~merge:(fun dctx ->
+            fold_cells dctx;
+            merge_stats ~into:stats dctx.d_stats;
+            Hashtbl.iter
+              (fun k v ->
+                if not (Hashtbl.mem master_memo k) then Hashtbl.add master_memo k v)
+              dctx.d_memo)
+          ()
       in
-      let spawned = List.init (jobs - 1) (fun i -> Domain.spawn (work (i + 1))) in
-      let first = work 0 () in
-      let shards = first :: List.map Domain.join spawned in
-      List.iter
-        (fun (dctx, dm, dt) ->
-          merge_stats ~into:stats dctx.d_stats;
-          Hashtbl.iter
-            (fun k v -> if not (Hashtbl.mem master_memo k) then Hashtbl.add master_memo k v)
-            dctx.d_memo;
-          (match (metrics, dm) with
-          | Some m, Some d -> Metrics.merge_into ~into:m d
-          | _ -> ());
-          (match (trace, dt) with
-          | Some tr, Some d -> Trace.merge_into ~into:tr d
-          | _ -> ()))
-        shards;
-      List.concat (Array.to_list results)
+      List.concat chunks
     end
   in
   Option.iter (fun m -> record_metrics m stats) metrics;

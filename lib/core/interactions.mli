@@ -142,6 +142,12 @@ val import_memo : memo -> ((int * int * Geom.Transform.t) * memo_entry) list -> 
     Directed [space_<a>_<b>] overrides are included. *)
 val max_dist : Tech.Rules.t -> int
 
+(** The domain count a [jobs] setting resolves to: [jobs] itself when
+    positive, [Domain.recommended_domain_count ()] when [<= 0].  Shared
+    by every parallel stage so "auto" means the same thing
+    pipeline-wide. *)
+val effective_jobs : int -> int
+
 (** {2 Plan / run}
 
     The sweep splits into a deck-independent {e plan} — the resolution

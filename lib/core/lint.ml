@@ -439,13 +439,16 @@ let required_layers = function
   | Tech.Device.Pad -> [ Tech.Layer.Glass; Tech.Layer.Metal ]
   | Tech.Device.Checked -> []
 
-let check_model (model : Model.t) =
+(* The model pass is a per-definition fact: each D-code below looks at
+   one symbol's own elements (plus the deck rules the model was
+   elaborated under), never at its callers or callees' geometry — which
+   is what lets the engine cache these diagnostics under per-definition
+   fingerprints and replay them in warm sessions. *)
+let check_model_symbol (model : Model.t) (s : Model.symbol) =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let rules = model.Model.rules in
-  List.iter
-    (fun (s : Model.symbol) ->
-      let has l =
+  (let has l =
         List.exists (fun (e : Model.element) -> Tech.Layer.equal e.Model.layer l)
           s.Model.elements
       in
@@ -569,9 +572,11 @@ let check_model (model : Model.t) =
               end)
             keys
         end
-      end)
-    model.Model.symbols;
+      end);
   sort !diags
+
+let check_model (model : Model.t) =
+  sort (List.concat_map (check_model_symbol model) model.Model.symbols)
 
 let check_design rules file =
   let ast_diags = check_ast file in

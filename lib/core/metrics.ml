@@ -60,21 +60,28 @@ let incr ?(by = 1) t name =
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
-(* Defined here (not with the other stage-timer code) because it feeds
+(* Defined here (not with the other stage-timer code) because they feed
    the GC deltas into counters.  [Gc.quick_stat] is domain-local in
-   OCaml 5, so for a parallel stage these figures cover the calling
-   domain only; worker-domain churn shows up in wall-clock, not here. *)
-let time_stage t name f =
+   OCaml 5, so [count_gc] only sees the calling domain's churn — a
+   parallel stage has each worker domain wrap its own slice in
+   [count_gc] against its own per-domain [t], and [merge_into] then
+   sums the [gc.*_words.<stage>] counters so the stage total covers
+   every domain's allocation. *)
+let count_gc t name f =
   let g0 = Gc.quick_stat () in
-  let t0 = now_ns () in
   let v = f () in
-  let dt = Int64.sub (now_ns ()) t0 in
   let g1 = Gc.quick_stat () in
-  add_stage_seconds t name (Int64.to_float dt *. 1e-9);
   incr ~by:(max 0 (int_of_float (g1.Gc.minor_words -. g0.Gc.minor_words)))
     t ("gc.minor_words." ^ name);
   incr ~by:(max 0 (int_of_float (g1.Gc.major_words -. g0.Gc.major_words)))
     t ("gc.major_words." ^ name);
+  v
+
+let time_stage t name f =
+  let t0 = now_ns () in
+  let v = count_gc t name f in
+  let dt = Int64.sub (now_ns ()) t0 in
+  add_stage_seconds t name (Int64.to_float dt *. 1e-9);
   v
 
 let counters t =

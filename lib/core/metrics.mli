@@ -45,13 +45,23 @@ val now_ns : unit -> int64
     duration as pipeline stage [name].  Stages are kept in call order;
     timing the same name twice records two entries.
 
-    It also charges the words allocated while [f] ran (from
-    {!Gc.quick_stat} deltas, clamped at zero) to the counters
-    [gc.minor_words.<name>] and [gc.major_words.<name>] — the direct
-    measure of the allocation pressure each stage puts on the GC.
-    [Gc.quick_stat] is domain-local under OCaml 5, so for a stage that
-    spawns worker domains the figures cover the calling domain only. *)
+    It also charges the words allocated while [f] ran (via
+    {!count_gc}) to the counters [gc.minor_words.<name>] and
+    [gc.major_words.<name>] — the direct measure of the allocation
+    pressure each stage puts on the GC. *)
 val time_stage : t -> string -> (unit -> 'a) -> 'a
+
+(** [count_gc t name f] runs [f] and charges the words it allocated
+    (from {!Gc.quick_stat} deltas, clamped at zero) to the counters
+    [gc.minor_words.<name>] and [gc.major_words.<name>], without
+    recording a stage timing.
+
+    [Gc.quick_stat] is domain-local under OCaml 5, so one call covers
+    one domain.  A parallel stage gets honest totals by having every
+    worker wrap its slice in [count_gc] against its own per-domain [t]:
+    {!merge_into} sums the counters, so the stage figure ends up
+    covering all domains' allocation. *)
+val count_gc : t -> string -> (unit -> 'a) -> 'a
 
 (** Record an externally measured stage duration (seconds). *)
 val add_stage_seconds : t -> string -> float -> unit

@@ -94,6 +94,14 @@ type node_src =
 let compose model rules (s : Model.symbol) child_nets =
   let context = s.Model.sname in
   let issues = ref [] in
+  (* Instance labels are needed once per (call, child group) node below;
+     an association scan over [s.calls] there would be quadratic in the
+     instance count — at a million rectangles TOP has half a million
+     calls, and that scan, not the geometry, was the whole stage cost. *)
+  let call_by_cidx = Hashtbl.create (List.length s.Model.calls) in
+  List.iter
+    (fun (c : Model.call) -> Hashtbl.replace call_by_cidx c.Model.cidx c)
+    s.Model.calls;
   let nodes = ref [] in
   (* Element nodes. *)
   List.iter
@@ -226,10 +234,7 @@ let compose model rules (s : Model.symbol) child_nets =
         counts.(gid) <- counts.(gid) + 1;
         elt_group.(e.Model.eid) <- Some gid
       | N_sub (cidx, child_gid, g) ->
-        let inst =
-          instance_label model
-            (List.find (fun (c : Model.call) -> c.Model.cidx = cidx) s.Model.calls)
-        in
+        let inst = instance_label model (Hashtbl.find call_by_cidx cidx) in
         skels.(gid) <- g.skels @ skels.(gid);
         labels.(gid) <- List.map (qualify inst) g.labels @ labels.(gid);
         terminals.(gid) <-

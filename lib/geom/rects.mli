@@ -5,13 +5,15 @@
     come?  This module gives that question a representation and two
     kernels.
 
-    {b Representation.}  A set is one flat [int array] of
+    {b Representation.}  A set is one flat buffer of
     [(x0, y0, x1, y1)] quadruples sorted by {!Rect.compare} order
     (min-x first), with the bounding box precomputed.  Packing removes
     the per-rectangle boxing of a [Rect.t list] — walking a set is a
     cache-friendly scan, and an orthogonal {!Transform.t} can be
     applied with {!apply_into} into a caller-owned scratch set without
-    allocating.
+    allocating.  The buffer itself lives either on the OCaml heap
+    ([int array]) or off-heap ([Bigarray], never scanned or moved by
+    the GC) — see {!section-storage}.
 
     {b Mutability contract.}  [t] is mutable only so it can serve as a
     reusable scratch buffer for {!apply_into}.  A set that escapes into
@@ -83,8 +85,11 @@ type gap = {
 
 val no_gap : gap
 
-(** Reusable scratch for the sweep's active bands.  One per domain:
-    not thread-safe, but freely reusable across calls. *)
+(** Reusable scratch for the sweep: the active-band index arrays plus
+    the entire per-call mutable state (best pair, overlap flag, band
+    lengths), so a {!gap2_sweep} call allocates nothing but its result.
+    One per domain: not thread-safe, but freely reusable across
+    calls. *)
 type ws
 
 val make_ws : unit -> ws
@@ -117,5 +122,29 @@ val set_kernel : kernel -> unit
 
 (** [gap2 ~euclid ~cutoff2 ws a b] — whichever kernel is selected. *)
 val gap2 : euclid:bool -> cutoff2:int -> ws -> t -> t -> gap
+
+(** {2:storage Storage selection}
+
+    Like the kernel switch, the backing store is a process-wide switch,
+    initialised from the [DIC_RECTS_STORAGE] environment variable
+    (["offheap"], ["bigarray"], or ["big"] select {!Offheap}; anything
+    else, or unset, selects {!Heap}) and adjustable programmatically
+    for A/B measurements.  It applies to sets created after the switch
+    is flipped; existing sets keep their store, and the gap kernels
+    accept mixed-store pairs (via a generic, slightly slower driver).
+    Both stores produce bit-identical results.
+
+    {!Heap} sets are ordinary [int array]s; {!Offheap} sets keep their
+    payload in [Bigarray] memory that the minor GC neither scans nor
+    copies — on large decks this takes the packed geometry out of the
+    GC's working set entirely. *)
+
+type storage = Heap | Offheap
+
+val storage : unit -> storage
+val set_storage : storage -> unit
+
+(** The store backing one particular set (for tests and benchmarks). *)
+val storage_of : t -> storage
 
 val pp : Format.formatter -> t -> unit

@@ -71,3 +71,12 @@ let random_program ~rows ~cols ~seed =
     !state
   in
   Array.init rows (fun _ -> Array.init cols (fun _ -> next () land 1 = 1))
+
+(* The measurement tiers share one seed so every harness (bench, CI
+   smoke, tests) means the same plane by "pla-<rows>x<cols>". *)
+let tier_seed = 7
+
+let tier ~lambda ~rows ~cols =
+  plane ~lambda (random_program ~rows ~cols ~seed:tier_seed)
+
+let million_rect ~lambda = tier ~lambda ~rows:512 ~cols:1024

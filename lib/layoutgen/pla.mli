@@ -27,3 +27,12 @@ val plane : lambda:int -> bool array array -> Cif.Ast.file
 (** Deterministic pseudo-random program (linear congruential, seeded) —
     roughly half the crosspoints active. *)
 val random_program : rows:int -> cols:int -> seed:int -> bool array array
+
+(** [tier ~lambda ~rows ~cols] is the canonical benchmark plane
+    "pla-<rows>x<cols>": a {!random_program} under one fixed seed, so
+    bench, CI smoke and tests all mean the same layout by that name. *)
+val tier : lambda:int -> rows:int -> cols:int -> Cif.Ast.file
+
+(** The production-scale tier, "pla-512x1024": half a million
+    crosspoints, over a million instantiated rectangles. *)
+val million_rect : lambda:int -> Cif.Ast.file

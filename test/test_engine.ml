@@ -146,6 +146,102 @@ let test_in_memory_session_reuse () =
   Alcotest.(check string) "same bytes" (report_text cold) (report_text warm)
 
 (* ------------------------------------------------------------------ *)
+(* Whole-pipeline parallelism: byte-identity across jobs               *)
+
+module Json = Tjson
+
+(* Enough distinct definitions with real element work that the
+   per-definition stages genuinely fan out (stage parallelism wants at
+   least two fresh definitions), plus an injected defect so the report
+   compared for identity is not empty. *)
+let stage_workload () =
+  fst
+    (Layoutgen.Inject.apply
+       (Layoutgen.Pla.tier ~lambda ~rows:4 ~cols:6)
+       [ Layoutgen.Inject.narrow_poly_wire ~lambda ~at:(-40 * lambda, -40 * lambda) ])
+
+(* The stats JSON *shape*: every number zeroed and the timing-dependent
+   histogram bucket lists emptied, leaving stage names and order,
+   counter keys, histogram/gauge/cost keys.  Counter values may
+   legitimately vary with [jobs] (the memo hit/miss split); the shape
+   may not. *)
+let stats_shape m =
+  let rec zero = function
+    | Json.Num _ -> Json.Num 0.
+    | Json.Arr l -> Json.Arr (List.map zero l)
+    | Json.Obj kvs ->
+      Json.Obj
+        (List.map
+           (fun (k, v) -> (k, if k = "buckets" then Json.Arr [] else zero v))
+           kvs)
+    | v -> v
+  in
+  let rec render = function
+    | Json.Null -> "null"
+    | Json.Bool b -> string_of_bool b
+    | Json.Num f -> Printf.sprintf "%g" f
+    | Json.Str s -> Printf.sprintf "%S" s
+    | Json.Arr l -> "[" ^ String.concat "," (List.map render l) ^ "]"
+    | Json.Obj kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k (render v)) kvs)
+      ^ "}"
+  in
+  render (zero (Json.parse (Dic.Metrics.to_json m)))
+
+let check_with_metrics engine file =
+  let m = Dic.Metrics.create () in
+  match Result.map Dic.Engine.primary @@ Dic.Engine.check ~metrics:m engine file with
+  | Ok (result, _) -> (result, m)
+  | Error e -> Alcotest.fail e
+
+let test_pipeline_bytes_across_jobs () =
+  let file = stage_workload () in
+  let run jobs =
+    let e = Dic.Engine.with_jobs (Dic.Engine.create rules) jobs in
+    let cold, mc = check_with_metrics e file in
+    let warm, mw = check_with_metrics e file in
+    ( report_text cold,
+      Dic.Sarif.of_report cold.Dic.Engine.report,
+      stats_shape mc, report_text warm, stats_shape mw )
+  in
+  let r1, s1, j1, w1, jw1 = run 1 in
+  Alcotest.(check bool) "workload has the injected violation" true
+    (Astring_contains.contains r1 "width");
+  List.iter
+    (fun jobs ->
+      let r, s, j, w, jw = run jobs in
+      let name what = Printf.sprintf "%s at jobs=%d" what jobs in
+      Alcotest.(check string) (name "cold report bytes") r1 r;
+      Alcotest.(check string) (name "SARIF bytes") s1 s;
+      Alcotest.(check string) (name "stats JSON shape") j1 j;
+      Alcotest.(check string) (name "warm report bytes") w1 w;
+      Alcotest.(check string) (name "warm stats shape") jw1 jw)
+    [ 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental lint in sessions                                        *)
+
+let test_lint_replayed_in_session () =
+  let e = Dic.Engine.with_lint (Dic.Engine.create rules) true in
+  let file = stage_workload () in
+  let cold, mc = check_with_metrics e file in
+  let warm, mw = check_with_metrics e file in
+  Alcotest.(check bool) "cold run computes the model pass" true
+    (Dic.Metrics.counter mc "lint.defs_computed" > 0);
+  Alcotest.(check int) "cold run replays nothing" 0
+    (Dic.Metrics.counter mc "lint.defs_replayed");
+  Alcotest.(check int) "warm run computes nothing"
+    0
+    (Dic.Metrics.counter mw "lint.defs_computed");
+  Alcotest.(check int) "warm run replays every definition"
+    (Dic.Metrics.counter mc "lint.defs_computed")
+    (Dic.Metrics.counter mw "lint.defs_replayed");
+  Alcotest.(check string) "lint-bearing report byte-identical"
+    (report_text cold) (report_text warm)
+
+(* ------------------------------------------------------------------ *)
 (* Multi-deck sessions                                                 *)
 
 let multi_ok engine file =
@@ -204,6 +300,29 @@ let test_multideck_merged_bytes_across_jobs () =
   in
   Alcotest.(check string) "merged report identical at jobs 1 and 4"
     (merged_text m1) (merged_text m4)
+
+let test_multideck_sarif_across_jobs () =
+  let file = stage_workload () in
+  let decks = [ base_deck (); strict_deck () ] in
+  let sarif jobs =
+    let m =
+      multi_ok (Dic.Engine.with_jobs (Dic.Engine.create ~decks rules) jobs) file
+    in
+    Dic.Sarif.of_reports
+      (List.map2
+         (fun (d : Dic.Engine.deck) (dr : Dic.Engine.deck_result) ->
+           ( d.Dic.Engine.dk_label, d.Dic.Engine.dk_rules,
+             dr.Dic.Engine.dr_result.Dic.Engine.report ))
+         decks m.Dic.Engine.results)
+  in
+  let base = sarif 1 in
+  Alcotest.(check bool) "SARIF is substantial" true (String.length base > 100);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "multi-deck SARIF bytes at jobs=%d" jobs)
+        base (sarif jobs))
+    [ 2; 4; 8 ]
 
 let test_multideck_cache_independence () =
   with_cache_dir (fun dir ->
@@ -458,6 +577,11 @@ let () =
           Alcotest.test_case "corrupted cache falls back to cold" `Quick
             test_corrupted_cache_falls_back_to_cold;
           Alcotest.test_case "in-memory session reuse" `Quick test_in_memory_session_reuse ] );
+      ( "parallel",
+        [ Alcotest.test_case "report/SARIF/stats bytes across jobs" `Quick
+            test_pipeline_bytes_across_jobs;
+          Alcotest.test_case "lint replayed within a session" `Quick
+            test_lint_replayed_in_session ] );
       ( "multideck",
         [ Alcotest.test_case "N=1 deck set = single engine bytes" `Quick
             test_multideck_n1_matches_single;
@@ -465,6 +589,8 @@ let () =
             test_multideck_per_deck_matches_alone;
           Alcotest.test_case "merged bytes stable across jobs" `Quick
             test_multideck_merged_bytes_across_jobs;
+          Alcotest.test_case "multi-deck SARIF bytes across jobs" `Quick
+            test_multideck_sarif_across_jobs;
           Alcotest.test_case "per-deck cache independence" `Quick
             test_multideck_cache_independence;
           Alcotest.test_case "label dedupe" `Quick test_multideck_label_dedupe ] );

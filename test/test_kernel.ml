@@ -116,6 +116,66 @@ let prop_separation2_oracle =
         g2 = n.R.g2)
 
 (* ------------------------------------------------------------------ *)
+(* Off-heap (Bigarray) storage                                         *)
+
+let with_storage st f =
+  let saved = R.storage () in
+  R.set_storage st;
+  Fun.protect ~finally:(fun () -> R.set_storage saved) f
+
+(* Bigarray-backed sets must be indistinguishable from int-array ones:
+   same sweep verdicts (against the boxed oracle), and the same for a
+   deliberately mixed pair — one backing per side — which exercises the
+   generic driver instead of the specialized ones. *)
+let prop_offheap_matches_oracle =
+  QCheck2.Test.make ~name:"offheap sweep = naive oracle" ~count:1000 case_gen
+    (fun ((la, lb), (euclid, cutoff2)) ->
+      with_storage R.Offheap (fun () ->
+          let a = R.of_list la and b = R.of_list lb in
+          if R.storage_of a <> R.Offheap || R.storage_of b <> R.Offheap then
+            QCheck2.Test.fail_reportf "of_list ignored the storage switch";
+          let ws = R.make_ws () in
+          let n = R.gap2_naive ~euclid ~cutoff2 a b in
+          let s = R.gap2_sweep ~euclid ~cutoff2 ws a b in
+          if gap_eq n s then true
+          else
+            QCheck2.Test.fail_reportf
+              "offheap: cutoff2=%d euclid=%b: naive=%a sweep=%a" cutoff2 euclid
+              pp_gap n pp_gap s))
+
+let prop_mixed_backing_matches =
+  QCheck2.Test.make ~name:"mixed heap/offheap pair = heap pair" ~count:500
+    QCheck2.Gen.(pair case_gen bool)
+    (fun (((la, lb), (euclid, cutoff2)), a_offheap) ->
+      let heap_a = with_storage R.Heap (fun () -> R.of_list la)
+      and heap_b = with_storage R.Heap (fun () -> R.of_list lb)
+      and off_a = with_storage R.Offheap (fun () -> R.of_list la)
+      and off_b = with_storage R.Offheap (fun () -> R.of_list lb) in
+      let a, b = if a_offheap then (off_a, heap_b) else (heap_a, off_b) in
+      let ws = R.make_ws () in
+      let expect = R.gap2_sweep ~euclid ~cutoff2 ws heap_a heap_b in
+      let got = R.gap2_sweep ~euclid ~cutoff2 ws a b in
+      if gap_eq expect got then true
+      else
+        QCheck2.Test.fail_reportf
+          "mixed backing: cutoff2=%d euclid=%b: heap=%a mixed=%a" cutoff2
+          euclid pp_gap expect pp_gap got)
+
+(* [apply_into] adopts the source's backing, so transformed scratch
+   sets stay in the same store as their definition geometry. *)
+let prop_offheap_apply_into =
+  QCheck2.Test.make ~name:"offheap apply_into = of_list . map" ~count:500
+    QCheck2.Gen.(pair transform_gen set_gen)
+    (fun (tr, rects) ->
+      with_storage R.Offheap (fun () ->
+          let src = R.of_list rects in
+          let dst = R.empty () in
+          R.apply_into tr ~src ~dst;
+          (rects = [] || R.storage_of dst = R.Offheap)
+          && R.to_list dst
+             = R.to_list (R.of_list (List.map (Transform.apply_rect tr) rects))))
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end identity                                                 *)
 
 let rules = Tech.Rules.nmos ()
@@ -160,13 +220,24 @@ let test_jobs_byte_identity () =
       Alcotest.(check string) "byte-identical rendered report" serial queued)
     (workloads ())
 
+let test_storage_report_identity () =
+  List.iter
+    (fun file ->
+      let heap = with_storage R.Heap (fun () -> render (run_ok file)) in
+      let off = with_storage R.Offheap (fun () -> render (run_ok file)) in
+      Alcotest.(check string) "heap = off-heap rendered report" heap off)
+    (workloads ())
+
 let () =
   Alcotest.run "kernel"
     [ qsuite "gap2.props"
         [ prop_sweep_matches_naive; prop_ws_reuse; prop_apply_into_matches_list;
-          prop_separation2_oracle ];
+          prop_separation2_oracle; prop_offheap_matches_oracle;
+          prop_mixed_backing_matches; prop_offheap_apply_into ];
       ( "end-to-end",
         [ Alcotest.test_case "sweep vs naive report" `Quick
             test_kernel_report_identity;
           Alcotest.test_case "jobs=1 vs jobs=4 report" `Quick
-            test_jobs_byte_identity ] ) ]
+            test_jobs_byte_identity;
+          Alcotest.test_case "heap vs off-heap report" `Quick
+            test_storage_report_identity ] ) ]

@@ -99,6 +99,19 @@ let shard_names trace =
       if e.Dic.Trace.e_cat = "shard" then Some e.Dic.Trace.e_name else None)
     (Dic.Trace.events trace)
 
+(* Shard spans come in one run per parallel stage (elements, devices,
+   and interactions can each fan out); within every run the names must
+   be consecutively numbered from shard[0]. *)
+let check_shard_runs label names =
+  let ok, _ =
+    List.fold_left
+      (fun (ok, next) name ->
+        if name = "shard[0]" then (ok, 1)
+        else (ok && name = Printf.sprintf "shard[%d]" next, next + 1))
+      (true, 0) names
+  in
+  Alcotest.(check bool) label true ok
+
 let test_shape_jobs_invariant () =
   let src = fig8_src () in
   let t1 = Dic.Trace.create () in
@@ -111,8 +124,37 @@ let test_shape_jobs_invariant () =
     (shard_names t1);
   let s4 = shard_names t4 in
   Alcotest.(check bool) "parallel run has shards" true (List.length s4 >= 1);
-  Alcotest.(check (list string)) "shards in order"
-    (List.mapi (fun i _ -> Printf.sprintf "shard[%d]" i) s4) s4
+  check_shard_runs "shards in order" s4
+
+(* Same invariant on a workload with enough distinct definitions that
+   the per-definition stages genuinely fan out, plus the symbol spans:
+   their multiset is jobs-invariant even though per-domain completion
+   order is not. *)
+let symbol_names trace =
+  List.filter_map
+    (fun e ->
+      if e.Dic.Trace.e_cat = "symbol" then Some e.Dic.Trace.e_name else None)
+    (Dic.Trace.events trace)
+  |> List.sort String.compare
+
+let test_stage_parallel_shape () =
+  let src =
+    Cif.Print.to_string (Layoutgen.Pla.tier ~lambda ~rows:4 ~cols:6)
+  in
+  let t1 = Dic.Trace.create () in
+  let _ = run_ok ~config:(with_jobs 1) ~trace:t1 src in
+  let t4 = Dic.Trace.create () in
+  let _ = run_ok ~config:(with_jobs 4) ~trace:t4 src in
+  Alcotest.(check (list string)) "stage spans identical across jobs"
+    (stage_names t1) (stage_names t4);
+  Alcotest.(check (list string)) "symbol span multiset identical across jobs"
+    (symbol_names t1) (symbol_names t4);
+  let s4 = shard_names t4 in
+  (* elements, devices and interactions each fan out: at least three
+     per-stage shard runs, i.e. shard[0] appears at least three times. *)
+  Alcotest.(check bool) "one shard run per parallel stage" true
+    (List.length (List.filter (( = ) "shard[0]") s4) >= 3);
+  check_shard_runs "each stage's shards consecutively numbered" s4
 
 let test_chrome_json_parses () =
   let trace = Dic.Trace.create () in
@@ -322,7 +364,9 @@ let () =
          Alcotest.test_case "merge keeps order" `Quick test_merge_order;
          Alcotest.test_case "nesting well-formed" `Quick test_nesting_well_formed;
          Alcotest.test_case "shape invariant across jobs" `Quick
-           test_shape_jobs_invariant ]);
+           test_shape_jobs_invariant;
+         Alcotest.test_case "stage-parallel shape invariant" `Quick
+           test_stage_parallel_shape ]);
       ("chrome",
        [ Alcotest.test_case "export parses" `Quick test_chrome_json_parses ]);
       ("provenance",
