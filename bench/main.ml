@@ -1507,6 +1507,137 @@ let multideck_bench () =
   print_endline "wrote BENCH_multideck.json"
 
 (* ------------------------------------------------------------------ *)
+(* DC -- Deck semantic analysis + certificate pruning                  *)
+
+(* Two claims, both gated:
+
+   - the constraint-graph closure over a deck (R012+ derivations,
+     {!Dic.Deckcheck.check_deck}) is a micro-cost — microseconds per
+     deck, so `lint` and `serve` can run it on every request;
+   - the static immunity certificates prune a nonzero fraction of rule
+     evaluations on the replicated PLA workloads while the analysis
+     itself (certify + guard prepass) stays under 5% of check time,
+     and the pruned report is byte-identical to the unpruned one
+     (DIC_NO_CERTS).  Writes BENCH_deckcheck.json. *)
+
+let deckcheck_bench () =
+  section
+    "DC: deck constraint-graph analysis and certificate pruning\n\
+     (closure micro-cost per deck; certificate-pruned checks must be\n\
+     byte-identical to unpruned, skip a nonzero fraction of rule\n\
+     evaluations, and keep analysis cost under 5% of check time)";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{%s,\"decks\":[" (provenance_fields ()));
+  let contradictory_src =
+    "name contradictory\nlambda 100\npad_metal_surround 40\nwidth_poly 200\n\
+     space_diffusion_poly 80\nspace_poly_diffusion 150\n"
+  in
+  let decks =
+    [ ("builtin-nmos", rules);
+      ("contradictory",
+       match Tech.Rules.of_string contradictory_src with
+       | Ok r -> r
+       | Error e -> failwith e) ]
+  in
+  Printf.printf "%-18s %14s %8s\n" "deck" "closure (us)" "diags";
+  let first = ref true in
+  List.iter
+    (fun (name, r) ->
+      let diags = ref [] in
+      let _, t =
+        wall (fun () ->
+            for _ = 1 to 1000 do
+              diags := Dic.Deckcheck.check_deck r
+            done)
+      in
+      let us = t /. 1000. *. 1e6 in
+      Printf.printf "%-18s %14.2f %8d\n" name us (List.length !diags);
+      if not !first then Buffer.add_string buf ",";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf "{\"deck\":%S,\"closure_us\":%.3f,\"diags\":%d}" name us
+           (List.length !diags)))
+    decks;
+  Buffer.add_string buf "],\"workloads\":[";
+  let check_once ~certs file =
+    let saved = Dic.Deckcheck.enabled () in
+    Dic.Deckcheck.set_enabled certs;
+    Fun.protect
+      ~finally:(fun () -> Dic.Deckcheck.set_enabled saved)
+      (fun () ->
+        let m = Dic.Metrics.create () in
+        let bytes_, t =
+          wall (fun () ->
+              match
+                Result.map Dic.Engine.primary
+                @@ Dic.Engine.check ~metrics:m (Dic.Engine.create rules) file
+              with
+              | Ok (r, _) ->
+                Format.asprintf "%a@." Dic.Report.pp r.Dic.Engine.report
+                ^ Format.asprintf "%a@." Dic.Engine.pp_summary r
+              | Error e -> failwith e)
+        in
+        (bytes_, t, m))
+  in
+  let workloads =
+    [ ("pla-48x96", lazy (Layoutgen.Pla.tier ~lambda ~rows:48 ~cols:96));
+      ("pla-96x192", lazy (Layoutgen.Pla.tier ~lambda ~rows:96 ~cols:192)) ]
+  in
+  Printf.printf "\n%-14s %9s %9s %9s %11s %10s %9s\n" "workload" "on (s)"
+    "off (s)" "skips" "evals-cut" "analysis" "identical";
+  let first = ref true in
+  List.iter
+    (fun (name, file) ->
+      let file = Lazy.force file in
+      let on_bytes, t_on, m_on = check_once ~certs:true file in
+      let off_bytes, t_off, m_off = check_once ~certs:false file in
+      let identical = on_bytes = off_bytes in
+      let skips = Dic.Metrics.counter m_on "analysis.certified_skips" in
+      let pairs_on = Dic.Metrics.counter m_on "interactions.pairs" in
+      let pairs_off = Dic.Metrics.counter m_off "interactions.pairs" in
+      let evals_cut =
+        if pairs_off > 0 then
+          1. -. (float_of_int pairs_on /. float_of_int pairs_off)
+        else 0.
+      in
+      let certify_s =
+        Int64.to_float (Dic.Metrics.cost_ns m_on "analysis.certify") *. 1e-9
+      in
+      let guard_s =
+        Int64.to_float (Dic.Metrics.cost_ns m_on "analysis.guard") *. 1e-9
+      in
+      let analysis_s = certify_s +. guard_s in
+      let overhead_pct = 100. *. analysis_s /. Float.max 1e-9 t_on in
+      Printf.printf
+        "%-14s %9.3f %9.3f %9d %10.1f%% %9.2f%% %9b  (certify %.1fms, guard %.1fms)\n"
+        name t_on t_off skips (100. *. evals_cut) overhead_pct identical
+        (certify_s *. 1e3) (guard_s *. 1e3);
+      if not !first then Buffer.add_string buf ",";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"workload\":%S,\"seconds_on\":%.6f,\"seconds_off\":%.6f,\
+            \"identical\":%b,\"certified_skips\":%d,\"pairs_on\":%d,\
+            \"pairs_off\":%d,\"eval_skip_fraction\":%.4f,\
+            \"analysis_seconds\":%.6f,\"analysis_overhead_pct\":%.3f}"
+           name t_on t_off identical skips pairs_on pairs_off evals_cut
+           analysis_s overhead_pct);
+      if not identical then
+        failwith (name ^ ": certificate-pruned report differs from unpruned");
+      if skips = 0 then
+        failwith (name ^ ": certificates pruned nothing on a PLA tier");
+      if overhead_pct >= 5. then
+        failwith
+          (Printf.sprintf "%s: analysis overhead %.2f%% breaches the 5%% budget"
+             name overhead_pct))
+    workloads;
+  Buffer.add_string buf "]}";
+  Out_channel.with_open_text "BENCH_deckcheck.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf);
+      Out_channel.output_char oc '\n');
+  print_endline "wrote BENCH_deckcheck.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig1", fig01_error_venn); ("fig2", fig02_figure_pathologies);
@@ -1522,7 +1653,7 @@ let experiments =
     ("trace-overhead", trace_overhead); ("lint-overhead", lint_overhead);
     ("kernel", kernel_bench); ("serve", serve_bench);
     ("telemetry", telemetry_overhead); ("multideck", multideck_bench);
-    ("bechamel", bechamel_benches) ]
+    ("deckcheck", deckcheck_bench); ("bechamel", bechamel_benches) ]
 
 let () =
   match Array.to_list Sys.argv with

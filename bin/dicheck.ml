@@ -237,7 +237,7 @@ let check_main file flat metric polydiff figure_based lambda rules_files show_ne
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 
-let lint_main file rules_file lambda explain_code sarif_out werror =
+let lint_main file rules_files lambda explain_code sarif_out werror =
   match explain_code with
   | Some code -> (
     match Dic.Lint.explain code with
@@ -249,47 +249,126 @@ let lint_main file rules_file lambda explain_code sarif_out werror =
         (String.concat " " (List.map fst Dic.Lint.all_codes));
       2)
   | None ->
-    let rules_src = Option.value rules_file ~default:"<builtin-rules>" in
-    let deck, deck_diags =
-      match rules_file with
-      | None ->
+    (* Each --rules FILE is one deck; none means the built-in NMOS
+       rules.  Deck lint (R001–R011) and the constraint-graph analysis
+       (R012–R014) run per deck; with two or more decks the pairwise
+       subsumption verdicts (R015) print as "deck relation" lines after
+       the diagnostics. *)
+    let decks =
+      match rules_files with
+      | [] ->
         let r = Tech.Rules.nmos ~lambda () in
-        (r, Dic.Lint.check_deck r)
-      | Some path -> (
-        let d, diags = Dic.Lint.check_deck_source (read_file path) in
-        match d with
-        | Some deck -> (deck, diags)
-        | None -> (Tech.Rules.nmos ~lambda (), diags))
+        [ ("<builtin-rules>", Some r,
+           Dic.Lint.sort (Dic.Lint.check_deck r @ Dic.Deckcheck.check_deck r)) ]
+      | paths ->
+        List.map
+          (fun path ->
+            let d, diags = Dic.Lint.check_deck_source (read_file path) in
+            let diags =
+              match d with
+              | Some deck -> Dic.Lint.sort (diags @ Dic.Deckcheck.check_deck deck)
+              | None -> diags
+            in
+            (path, d, diags))
+          paths
     in
-    let design_diags, design_src =
+    let primary_rules =
+      match decks with
+      | (_, Some r, _) :: _ -> r
+      | _ -> Tech.Rules.nmos ~lambda ()
+    in
+    let design_diags, design_src, file_waivers =
       match file with
-      | None -> ([], None)
+      | None -> ([], None, [])
       | Some f -> (
         match Cif.Parse.file (read_file f) with
         | Error e ->
           Printf.eprintf "parse error: %s\n" (Cif.Parse.string_of_error e);
           exit 2
-        | Ok ast -> (Dic.Lint.check_design deck ast, Some f))
+        | Ok ast ->
+          (Dic.Lint.check_design primary_rules ast, Some f, ast.Cif.Ast.waivers))
     in
-    List.iter (fun d -> print_endline (Dic.Lint.render ~src:rules_src d)) deck_diags;
+    (* Waivers: each deck's own [# lint: allow] comments plus the
+       design's [4L] commands filter that deck's diagnostics; the
+       design diagnostics are filtered once, under the primary deck. *)
+    let deck_out =
+      List.map
+        (fun (path, d, diags) ->
+          let dw = match d with Some r -> r.Tech.Rules.waivers | None -> [] in
+          let kept, supp =
+            Dic.Lint.partition_waived ~waivers:(dw @ file_waivers) diags
+          in
+          (path, d, kept, supp))
+        decks
+    in
+    let design_kept, design_supp =
+      Dic.Lint.partition_waived
+        ~waivers:(primary_rules.Tech.Rules.waivers @ file_waivers)
+        design_diags
+    in
+    List.iter
+      (fun (path, _, kept, _) ->
+        List.iter (fun d -> print_endline (Dic.Lint.render ~src:path d)) kept)
+      deck_out;
     (match design_src with
-    | Some f -> List.iter (fun d -> print_endline (Dic.Lint.render ~src:f d)) design_diags
+    | Some f ->
+      List.iter (fun d -> print_endline (Dic.Lint.render ~src:f d)) design_kept
     | None -> ());
-    let all = deck_diags @ design_diags in
+    let parsed =
+      List.filter_map (fun (p, d, _, _) -> Option.map (fun r -> (p, r)) d) deck_out
+    in
+    let relations =
+      if List.length parsed >= 2 then Dic.Deckcheck.relation_lines parsed else []
+    in
+    List.iter (fun line -> Printf.printf "deck relation: %s\n" line) relations;
+    let all = List.concat_map (fun (_, _, kept, _) -> kept) deck_out @ design_kept in
+    let suppressed =
+      List.concat_map (fun (_, _, _, s) -> s) deck_out @ design_supp
+    in
     let errors = List.length (List.filter (fun d -> d.Dic.Lint.severity = Dic.Lint.Error) all) in
     Printf.printf "%d lint diagnostic(s): %d error(s), %d warning(s)\n" (List.length all)
       errors
       (List.length all - errors);
+    (match Dic.Lint.suppressed_counts suppressed with
+    | [] -> ()
+    | counts ->
+      Printf.printf "%d suppressed by waivers: %s\n" (List.length suppressed)
+        (String.concat " "
+           (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) counts)));
     (match sarif_out with
     | None -> ()
     | Some path ->
-      let uri = match design_src with Some f -> f | None -> rules_src in
+      let uri =
+        match design_src with
+        | Some f -> f
+        | None -> (match rules_files with p :: _ -> p | [] -> "<builtin-rules>")
+      in
       (* Sarif renders [violations] reversed, so store them reversed to
          emit results in diagnostic order. *)
-      let report =
-        { Dic.Report.violations = List.rev (Dic.Lint.to_violations all) }
+      let report_of diags =
+        { Dic.Report.violations = List.rev (Dic.Lint.to_violations diags) }
       in
-      write_output path (Dic.Sarif.of_report ~uri report));
+      match deck_out with
+      | [ (_, _, kept, supp) ] ->
+        write_output path
+          (Dic.Sarif.of_report ~uri
+             ~suppressed:(Dic.Lint.to_violations (supp @ design_supp))
+             (report_of (kept @ design_kept)))
+      | _ ->
+        let runs =
+          List.mapi
+            (fun i (p, d, kept, _) ->
+              let rules = match d with Some r -> r | None -> primary_rules in
+              (p, rules, report_of (if i = 0 then kept @ design_kept else kept)))
+            deck_out
+        in
+        let supp =
+          List.mapi
+            (fun i (p, _, _, s) ->
+              (p, Dic.Lint.to_violations (if i = 0 then s @ design_supp else s)))
+            deck_out
+        in
+        write_output path (Dic.Sarif.of_reports ~uri ~suppressed:supp ~relations runs));
     if errors > 0 then 1 else if werror && all <> [] then 1 else 0
 
 (* ------------------------------------------------------------------ *)
@@ -416,7 +495,30 @@ let top_render path reply =
   | None -> ());
   flush stdout
 
-let top_main path interval once raw metrics_format =
+let top_main path interval once raw metrics_format event_log =
+  match event_log with
+  | Some log_path -> (
+    (* Offline post-mortem: no socket, no daemon — replay the event-log
+       file through the lifecycle invariants and render the snapshot the
+       daemon would have answered at its last entry. *)
+    match Dic.Telemetry.replay (read_file log_path) with
+    | Error msg ->
+      Printf.eprintf "dicheck top: %s: %s\n" log_path msg;
+      2
+    | Ok snap ->
+      (match metrics_format with
+      | `Prom -> print_string (Dic.Telemetry.prometheus snap)
+      | `Text ->
+        if raw then print_endline (Dic.Json.to_string snap)
+        else top_render log_path (Dic.Json.Obj [ ("stats", snap) ]));
+      flush stdout;
+      0)
+  | None ->
+  match path with
+  | None ->
+    Printf.eprintf "dicheck top: SOCKET is required unless --event-log FILE is given\n";
+    2
+  | Some path ->
   let prom = metrics_format = `Prom in
   let req =
     if prom then
@@ -627,10 +729,15 @@ let lint_cmd =
     (Cmd.info "lint" ~exits
        ~doc:"Static immunity analysis, before any geometry runs: lint the rule deck \
              ($(b,--rules), or the built-in NMOS rules) and, when FILE is given, the \
-             CIF symbol hierarchy.  Diagnostics carry stable codes (R0xx / D0xx, see \
-             $(b,--explain)), are sorted by (file, location, code), and exit 1 on any \
+             CIF symbol hierarchy, including the constraint-graph analysis \
+             (unsatisfiable combinations, shadowed entries, non-monotone \
+             overrides).  Repeat $(b,--rules) to compare decks pairwise: \
+             subsumption verdicts print as deck-relation lines.  Diagnostics \
+             carry stable codes (R0xx / D0xx, see $(b,--explain)), are sorted \
+             by (file, location, code), honor $(b,# lint: allow CODE) deck \
+             comments and CIF $(b,4L CODE;) waivers, and exit 1 on any \
              error-severity finding.")
-    Term.(const lint_main $ file $ rules_arg $ lambda_arg $ explain $ sarif_out $ werror)
+    Term.(const lint_main $ file $ rules_many_arg $ lambda_arg $ explain $ sarif_out $ werror)
 
 let serve_cmd =
   let socket =
@@ -713,10 +820,23 @@ let serve_cmd =
 
 let top_cmd =
   let socket =
-    Arg.(required & pos 0 (some string) None
+    Arg.(value & pos 0 (some string) None
          & info [] ~docv:"SOCKET"
              ~doc:"Unix domain socket of a running $(b,dicheck serve --socket) \
-                   daemon.")
+                   daemon.  Required unless $(b,--event-log) replays a log \
+                   file instead.")
+  in
+  let event_log =
+    Arg.(value & opt (some string) None
+         & info [ "event-log" ] ~docv:"FILE"
+             ~doc:"Offline post-mortem: instead of querying a live daemon, \
+                   replay a $(b,dicheck serve --event-log) file through the \
+                   request-lifecycle invariants (every accepted request ends \
+                   in exactly one terminal entry, only after acceptance; \
+                   shutdown figures match the replayed counts) and render the \
+                   final stats snapshot.  Combines with $(b,--raw) and \
+                   $(b,--metrics-format prom); exits 2 naming the offending \
+                   line when the log violates an invariant.")
   in
   let interval =
     Arg.(value & opt float 2.
@@ -753,8 +873,10 @@ let top_cmd =
              per-worker busy fractions, refreshed every $(b,--interval) \
              seconds over the daemon's {\"admin\":\"stats\"} request.  \
              $(b,--metrics-format prom) prints the same snapshot as \
-             Prometheus text exposition instead.")
-    Term.(const top_main $ socket $ interval $ once $ raw $ metrics_format)
+             Prometheus text exposition instead, and $(b,--event-log FILE) \
+             replays a finished daemon's event log offline.")
+    Term.(const top_main $ socket $ interval $ once $ raw $ metrics_format
+          $ event_log)
 
 let info =
   Cmd.info "dicheck" ~version:Dic.Version.version ~exits

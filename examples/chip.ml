@@ -47,7 +47,8 @@ let () =
       top_calls =
         shift_calls @ pla_calls
         @ [ Layoutgen.Builder.call ~at:(0, l 2) Layoutgen.Cells.id_pad;
-            Layoutgen.Builder.call ~at:(l 20, l 7) Layoutgen.Cells.id_conp ] }
+            Layoutgen.Builder.call ~at:(l 20, l 7) Layoutgen.Cells.id_conp ];
+      waivers = [] }
   in
   match Result.map Dic.Engine.primary @@ Dic.Engine.check (Dic.Engine.create rules) chip with
   | Error e -> failwith e

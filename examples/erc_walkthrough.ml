@@ -68,6 +68,7 @@ let () =
             else s)
           chain.Cif.Ast.symbols;
       top_elements = [];
-      top_calls = [ Layoutgen.Builder.call ~at:(0, 0) Layoutgen.Cells.id_inv ] }
+      top_calls = [ Layoutgen.Builder.call ~at:(0, 0) Layoutgen.Cells.id_inv ];
+      waivers = [] }
   in
   show "rule 4: depletion device connected to ground" bad

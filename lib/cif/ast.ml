@@ -34,6 +34,7 @@ type file = {
   symbols : symbol list;
   top_elements : element list;
   top_calls : call list;
+  waivers : string list;
 }
 
 let element_layer = function

@@ -7,7 +7,9 @@
 
     - [9 name;] — symbol name (standard usage),
     - [4N net;] — net identifier for the most recent element,
-    - [4D tag;] — device type of the enclosing symbol definition.
+    - [4D tag;] — device type of the enclosing symbol definition,
+    - [4L CODE;] — waive one lint code ({!Dic.Lint} R/D codes) for
+      this design; collected file-wide into {!file.waivers}.
 
     Layers and device tags are plain strings at this level; binding to
     {!Tech.Layer} and {!Tech.Device} happens during elaboration in the
@@ -53,6 +55,10 @@ type file = {
   symbols : symbol list;  (** in definition order *)
   top_elements : element list;
   top_calls : call list;
+  waivers : string list;
+      (** lint codes waived by [4L CODE;] user commands, sorted and
+          deduplicated; provenance only — waivers filter reporting,
+          never checking semantics *)
 }
 
 val element_layer : element -> string

@@ -134,6 +134,7 @@ type state = {
   mutable current : pending_symbol option;
   mutable top_elements : Ast.element list;  (** reversed *)
   mutable top_calls : Ast.call list;  (** reversed *)
+  mutable waivers : string list;  (** reversed *)
   mutable ended : bool;
 }
 
@@ -321,6 +322,13 @@ let parse_user st c digit =
       match st.current with
       | Some sym -> sym.device <- Some tag
       | None -> fail c "4D (device type) outside a symbol definition")
+    | Some ('L' | 'l') ->
+      (* [4L CODE;] — waive a lint code, file-wide.  Legal anywhere:
+         waivers annotate the design, not a particular symbol. *)
+      advance c;
+      let code = ident c in
+      semi c;
+      st.waivers <- code :: st.waivers
     | _ -> skip_user_command c)
   | _ -> skip_user_command c
 
@@ -356,14 +364,15 @@ let file src =
   let c = { src; pos = 0; line = 1; bol = 0 } in
   let st =
     { layer = ""; symbols = []; current = None; top_elements = []; top_calls = [];
-      ended = false }
+      waivers = []; ended = false }
   in
   match commands st c with
   | () ->
     Ok
       { Ast.symbols = List.rev st.symbols;
         top_elements = List.rev st.top_elements;
-        top_calls = List.rev st.top_calls }
+        top_calls = List.rev st.top_calls;
+        waivers = List.sort_uniq compare st.waivers }
   | exception Fail (offset, message) ->
     (* The cursor's incremental line count is valid at the failure
        point: [fail] always raises at the current position. *)

@@ -1,0 +1,500 @@
+(* Deck semantic analysis: the rule-implication closure (R012+) and
+   the static immunity certificates the engine consults to prune the
+   element and interaction stages.  See deckcheck.mli for the
+   soundness argument. *)
+
+let nlayers = List.length Tech.Layer.all
+let layer_of_index = Array.of_list Tech.Layer.all
+
+(* ------------------------------------------------------------------ *)
+(* Deck closure — R012 / R013 / R014                                   *)
+
+let diag ?loc code severity subject message =
+  { Lint.code; severity; message; loc; subject }
+
+let loc_of r key =
+  Option.map (fun line -> Cif.Loc.make ~line ~col:1) (Tech.Rules.position r key)
+
+let pair_name (a, b) =
+  Printf.sprintf "space_%s_%s" (Tech.Rules.layer_name a) (Tech.Rules.layer_name b)
+
+(* The unordered cross-layer cells the deck writes directed overrides
+   for, ascending-index normalised. *)
+let override_cells (r : Tech.Rules.t) =
+  List.sort_uniq compare
+    (List.map
+       (fun ((a, b), _) ->
+         if Tech.Layer.index a <= Tech.Layer.index b then (a, b) else (b, a))
+       r.Tech.Rules.pair_spaces)
+
+let check_deck (r : Tech.Rules.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* R012: composite lower bounds derived by the closure against the
+     declared minimums.  The bonding-pad chain: a pad is a glass
+     opening (minimum width [contact_size], like every cut layer)
+     surrounded by [pad_metal_surround] of metal, so the smallest
+     legal pad is [contact_size + 2*pad_metal_surround] of metal —
+     which must itself satisfy [width_metal]. *)
+  let glass = Tech.Rules.min_width r Tech.Layer.Glass in
+  let pad = glass + (2 * r.Tech.Rules.pad_metal_surround) in
+  if pad < r.Tech.Rules.width_metal then
+    add
+      (diag ?loc:(loc_of r "pad_metal_surround") "R012" Lint.Error "pad_metal_surround"
+         (Printf.sprintf
+            "unsatisfiable: glass opening >= contact_size %d, so the minimal bonding \
+             pad is %d + 2*pad_metal_surround %d = %d of metal, below width_metal %d \
+             — no legal pad exists"
+            glass glass r.Tech.Rules.pad_metal_surround pad r.Tech.Rules.width_metal));
+  (* R013 needs provenance to tell written entries from implied
+     defaults, so its clauses only run for decks from text. *)
+  let written key = Tech.Rules.position r key <> None in
+  let has_provenance = r.Tech.Rules.key_positions <> [] in
+  if has_provenance then begin
+    (* R013a: an explicit canonical entry equal to its lambda default
+       is implied by the [lambda] node alone. *)
+    let defaults = Tech.Rules.nmos ~lambda:r.Tech.Rules.lambda () in
+    let default_fields = Tech.Rules.fields defaults in
+    List.iter
+      (fun (key, v) ->
+        if key <> "lambda" && written key then
+          match List.assoc_opt key default_fields with
+          | Some dv when dv = v ->
+            add
+              (diag ?loc:(loc_of r key) "R013" Lint.Warning key
+                 (Printf.sprintf
+                    "redundant: %s %d is already implied by lambda %d (the default \
+                     is %d); deleting the entry changes nothing"
+                    key v r.Tech.Rules.lambda dv))
+          | _ -> ())
+      (Tech.Rules.fields r)
+  end;
+  (* R013b / R014 over each directed override family.  Same-layer and
+     unreachable cells are R007 / R006 territory, skip them here.
+     Overrides never change a cell's kind, so consulting the effective
+     matrix classifies the base cell too. *)
+  List.iter
+    (fun (lo, hi) ->
+      if not (Tech.Layer.equal lo hi) then
+        match Tech.Interaction.entry r lo hi with
+        | Tech.Interaction.No_rule | Tech.Interaction.Device_checked -> ()
+        | Tech.Interaction.Space _ ->
+          let asc = Tech.Rules.pair_space r lo hi
+          and desc = Tech.Rules.pair_space r hi lo
+          and base = Tech.Rules.cross_layer_space r lo hi in
+          let effective =
+            match Tech.Rules.cell_space_override r lo hi with
+            | Some v -> Some v
+            | None -> base
+          in
+          (* R013b: the descending spelling merely repeats the
+             ascending one. *)
+          if has_provenance then begin
+          (match (asc, desc) with
+          | Some a, Some d when a = d ->
+            add
+              (diag ?loc:(loc_of r (pair_name (hi, lo))) "R013" Lint.Warning
+                 (pair_name (hi, lo))
+                 (Printf.sprintf
+                    "redundant: %s %d duplicates %s %d; deleting it changes nothing"
+                    (pair_name (hi, lo)) d (pair_name (lo, hi)) a))
+          | _ -> ());
+          (* R013b: a lone override that restates the canonical cell. *)
+          (match (asc, desc, base) with
+          | Some v, None, Some bv when v = bv ->
+            add
+              (diag ?loc:(loc_of r (pair_name (lo, hi))) "R013" Lint.Warning
+                 (pair_name (lo, hi))
+                 (Printf.sprintf
+                    "redundant: %s %d equals the canonical %s-%s spacing %d it \
+                     overrides; deleting it changes nothing"
+                    (pair_name (lo, hi)) v (Tech.Layer.to_cif lo)
+                    (Tech.Layer.to_cif hi) bv))
+          | None, Some v, Some bv when v = bv ->
+            add
+              (diag ?loc:(loc_of r (pair_name (hi, lo))) "R013" Lint.Warning
+                 (pair_name (hi, lo))
+                 (Printf.sprintf
+                    "redundant: %s %d equals the canonical %s-%s spacing %d it \
+                     overrides; deleting it changes nothing"
+                    (pair_name (hi, lo)) v (Tech.Layer.to_cif lo)
+                    (Tech.Layer.to_cif hi) bv))
+          | _ -> ())
+          end;
+          (* R014: any written member of the family strictly above the
+             winning value is a silent weakening — the deck reads
+             stricter than it checks. *)
+          (match effective with
+          | None -> ()
+          | Some eff ->
+            let winner_key =
+              match (Tech.Rules.cell_space_override r lo hi, asc) with
+              | Some _, Some _ -> pair_name (lo, hi)
+              | Some _, None -> pair_name (hi, lo)
+              | None, _ -> "space_poly_diffusion"
+            in
+            let family =
+              List.filter_map Fun.id
+                [ Option.map (fun v -> (pair_name (lo, hi), v)) asc;
+                  Option.map (fun v -> (pair_name (hi, lo), v)) desc;
+                  (match base with
+                  | Some bv
+                    when Tech.Layer.equal lo Tech.Layer.Diffusion
+                         && Tech.Layer.equal hi Tech.Layer.Poly
+                         && ((not has_provenance) || written "space_poly_diffusion") ->
+                    Some ("space_poly_diffusion", bv)
+                  | _ -> None) ]
+            in
+            List.iter
+              (fun (k, v) ->
+                if v > eff && k <> winner_key then
+                  add
+                    (diag ?loc:(loc_of r k) "R014" Lint.Error k
+                       (Printf.sprintf
+                          "non-monotone override family: %s %d is shadowed by the \
+                           effective %s %d — the deck reads stricter than it checks, \
+                           so real %s-%s errors between %d and %d go unflagged"
+                          k v winner_key eff (Tech.Layer.to_cif lo)
+                          (Tech.Layer.to_cif hi) eff v)))
+              family))
+    (override_cells r);
+  Lint.sort !diags
+
+(* ------------------------------------------------------------------ *)
+(* Cross-deck subsumption — R015                                       *)
+
+type relation = Equivalent | Subsumes | Subsumed | Incomparable
+
+type comparison = {
+  cmp_relation : relation;
+  cmp_stronger : string list;
+  cmp_weaker : string list;
+}
+
+(* The semantic constraint vector: every effective bound the checker
+   can consult, independent of how the deck spelled it.  Bigger is
+   stricter everywhere; an unchecked same-net bound is encoded below
+   any checked one. *)
+let constraint_vector (r : Tech.Rules.t) =
+  let widths =
+    List.map
+      (fun l -> (Printf.sprintf "width_%s" (Tech.Rules.layer_name l), Tech.Rules.min_width r l))
+      Tech.Layer.routing
+  in
+  let spaces =
+    List.map
+      (fun l ->
+        (Printf.sprintf "space_%s" (Tech.Rules.layer_name l), Tech.Rules.same_layer_space r l))
+      Tech.Layer.routing
+  in
+  let cells =
+    List.concat_map
+      (fun (la, lb, entry) ->
+        if Tech.Layer.equal la lb then []
+        else
+          match entry with
+          | Tech.Interaction.No_rule | Tech.Interaction.Device_checked -> []
+          | Tech.Interaction.Space { same_net; diff_net } ->
+            [ (pair_name (la, lb), diff_net);
+              (pair_name (la, lb) ^ "(same-net)",
+               match same_net with None -> -1 | Some v -> v) ])
+      (Tech.Interaction.cells r)
+  in
+  let devices =
+    [ ("contact_size", r.Tech.Rules.contact_size);
+      ("gate_poly_overhang", r.Tech.Rules.gate_poly_overhang);
+      ("gate_diff_extension", r.Tech.Rules.gate_diff_extension);
+      ("contact_surround", r.Tech.Rules.contact_surround);
+      ("implant_gate_surround", r.Tech.Rules.implant_gate_surround);
+      ("buried_overlap", r.Tech.Rules.buried_overlap);
+      ("pad_metal_surround", r.Tech.Rules.pad_metal_surround) ]
+  in
+  widths @ spaces @ cells @ devices
+
+let compare_rules a b =
+  let va = constraint_vector a and vb = constraint_vector b in
+  let stronger = ref [] and weaker = ref [] in
+  List.iter2
+    (fun (ka, x) (_, y) ->
+      if x > y then stronger := Printf.sprintf "%s %d > %d" ka x y :: !stronger
+      else if x < y then weaker := Printf.sprintf "%s %d < %d" ka x y :: !weaker)
+    va vb;
+  let stronger = List.rev !stronger and weaker = List.rev !weaker in
+  let cmp_relation =
+    match (stronger, weaker) with
+    | [], [] -> Equivalent
+    | _, [] -> Subsumes
+    | [], _ -> Subsumed
+    | _ -> Incomparable
+  in
+  { cmp_relation; cmp_stronger = stronger; cmp_weaker = weaker }
+
+let relation_message (la, _) (lb, _) cmp =
+  let sample = function [] -> "" | w :: _ -> Printf.sprintf " (e.g. %s)" w in
+  match cmp.cmp_relation with
+  | Equivalent ->
+    Printf.sprintf "deck %s is equivalent to deck %s: identical effective constraints"
+      la lb
+  | Subsumes ->
+    Printf.sprintf
+      "deck %s subsumes deck %s: at least as strict everywhere, stricter at %d \
+       constraint(s)%s — a design clean under %s is provably clean under %s"
+      la lb (List.length cmp.cmp_stronger) (sample cmp.cmp_stronger) la lb
+  | Subsumed ->
+    Printf.sprintf
+      "deck %s subsumes deck %s: at least as strict everywhere, stricter at %d \
+       constraint(s)%s — a design clean under %s is provably clean under %s"
+      lb la (List.length cmp.cmp_weaker) (sample cmp.cmp_weaker) lb la
+  | Incomparable ->
+    Printf.sprintf
+      "decks %s and %s are incomparable: %s stricter at %d constraint(s)%s, %s \
+       stricter at %d%s"
+      la lb la (List.length cmp.cmp_stronger) (sample cmp.cmp_stronger) lb
+      (List.length cmp.cmp_weaker) (sample cmp.cmp_weaker)
+
+let deck_relations decks =
+  let rec pairs = function
+    | [] -> []
+    | d :: rest -> List.map (fun e -> (d, e)) rest @ pairs rest
+  in
+  List.map
+    (fun (((la, ra) as a), ((lb, rb) as b)) ->
+      let cmp = compare_rules ra rb in
+      diag "R015" Lint.Note
+        (Printf.sprintf "%s/%s" la lb)
+        (relation_message a b cmp))
+    (pairs decks)
+
+let relation_lines decks =
+  List.map (fun (d : Lint.diagnostic) -> d.Lint.message) (deck_relations decks)
+
+(* ------------------------------------------------------------------ *)
+(* Certificates                                                        *)
+
+type cert = {
+  ct_placement_clean : bool;
+  ct_min_feature : int array;
+  ct_pair_clear : int array option;
+  ct_subtree_bbox : Geom.Rect.t option array;
+  ct_complete : bool;
+}
+
+(* Above this many local elements the O(n^2) clearance matrix costs
+   more than the checks it could save; the certificate simply declines
+   to bound local pairs. *)
+let local_cap = 256
+
+let certify ~lookup (s : Model.symbol) =
+  let placement_clean = ref (not (Model.is_device s)) in
+  let min_feature = Array.make nlayers max_int in
+  List.iter
+    (fun (e : Model.element) ->
+      if not (Tech.Layer.is_interconnect e.Model.layer) then placement_clean := false;
+      let w =
+        match e.Model.shape with
+        | Model.S_box r -> min (Geom.Rect.width r) (Geom.Rect.height r)
+        | Model.S_wire w -> w.Geom.Wire.width
+        | Model.S_poly _ -> 0 (* exact minimum needs the width routine *)
+      in
+      let i = Tech.Layer.index e.Model.layer in
+      if w < min_feature.(i) then min_feature.(i) <- w)
+    s.Model.elements;
+  let elems = Array.of_list s.Model.elements in
+  let n = Array.length elems in
+  let pair_clear =
+    if n > local_cap then None
+    else begin
+      let pc = Array.make (nlayers * nlayers) max_int in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = elems.(i) and b = elems.(j) in
+          let ia = Tech.Layer.index a.Model.layer
+          and ib = Tech.Layer.index b.Model.layer in
+          let k = if ia <= ib then (ia * nlayers) + ib else (ib * nlayers) + ia in
+          let g = Geom.Rect.chebyshev_gap a.Model.bbox b.Model.bbox in
+          if g < pc.(k) then pc.(k) <- g
+        done
+      done;
+      Some pc
+    end
+  in
+  let subtree = Array.make nlayers None in
+  let grow i bb =
+    subtree.(i) <-
+      Some (match subtree.(i) with None -> bb | Some r -> Geom.Rect.hull r bb)
+  in
+  List.iter
+    (fun (e : Model.element) -> grow (Tech.Layer.index e.Model.layer) e.Model.bbox)
+    s.Model.elements;
+  let complete = ref true in
+  List.iter
+    (fun (c : Model.call) ->
+      match lookup c.Model.callee with
+      | None -> complete := false
+      | Some cc ->
+        if not cc.ct_complete then complete := false;
+        Array.iteri
+          (fun i bb ->
+            match bb with
+            | None -> ()
+            | Some bb -> grow i (Geom.Transform.apply_rect c.Model.transform bb))
+          cc.ct_subtree_bbox)
+    s.Model.calls;
+  { ct_placement_clean = !placement_clean;
+    ct_min_feature = min_feature;
+    ct_pair_clear = pair_clear;
+    ct_subtree_bbox = subtree;
+    ct_complete = !complete }
+
+(* ------------------------------------------------------------------ *)
+(* Deck consultation                                                   *)
+
+let requirements (rules : Tech.Rules.t) =
+  let req = Array.make (nlayers * nlayers) 0 in
+  for ia = 0 to nlayers - 1 do
+    for ib = 0 to nlayers - 1 do
+      let r =
+        match Tech.Interaction.entry rules layer_of_index.(ia) layer_of_index.(ib) with
+        | Tech.Interaction.Space { same_net; diff_net } ->
+          max diff_net (match same_net with None -> 0 | Some s -> s)
+        | Tech.Interaction.No_rule | Tech.Interaction.Device_checked -> 0
+      in
+      req.((ia * nlayers) + ib) <- r
+    done
+  done;
+  req
+
+type consult = {
+  cs_cert : int -> cert option;
+  cs_req : int array;
+  cs_inst_memo : (int * int * Geom.Transform.t, bool) Hashtbl.t;
+}
+
+let consult ~cert_of rules =
+  { cs_cert = cert_of;
+    cs_req = requirements rules;
+    cs_inst_memo = Hashtbl.create 64 }
+
+let element_immune (rules : Tech.Rules.t) cert =
+  cert.ct_placement_clean
+  &&
+  let ok = ref true in
+  for i = 0 to nlayers - 1 do
+    let mf = cert.ct_min_feature.(i) in
+    if mf < max_int && mf < Tech.Rules.min_width rules layer_of_index.(i) then
+      ok := false
+  done;
+  !ok
+
+(* The guards run once per interaction task in the serial prepass, so
+   their constant factor is the whole "analysis overhead" budget.  Two
+   things keep them cheap: [Hit] exits on the first pair a certificate
+   cannot clear (most tasks fail the guard — a close pair exists — and
+   the old full-scan cost was pure waste), and [inst_guard] transforms
+   each subtree's bboxes exactly once instead of once per opposing
+   layer. *)
+exception Hit
+
+let local_guard cs ~sid =
+  match cs.cs_cert sid with
+  | None -> false
+  | Some { ct_pair_clear = None; _ } -> false
+  | Some { ct_pair_clear = Some pc; _ } -> (
+    try
+      for ia = 0 to nlayers - 1 do
+        for ib = ia to nlayers - 1 do
+          let r = cs.cs_req.((ia * nlayers) + ib) in
+          if r > 0 && pc.((ia * nlayers) + ib) < r then raise_notrace Hit
+        done
+      done;
+      true
+    with Hit -> false)
+
+(* Clearance of one bbox on layer [la] against a placed subtree:
+   every populated subtree layer must sit at least the deck's
+   requirement away (in Chebyshev gap, which both metrics dominate). *)
+let clear_of cs ~la bbox tr cert =
+  cert.ct_complete
+  &&
+  let ia = Tech.Layer.index la in
+  try
+    Array.iteri
+      (fun ib bb ->
+        match bb with
+        | None -> ()
+        | Some bb ->
+          let r = cs.cs_req.((ia * nlayers) + ib) in
+          if r > 0
+             && Geom.Rect.chebyshev_gap bbox (Geom.Transform.apply_rect tr bb) < r
+          then raise_notrace Hit)
+      cert.ct_subtree_bbox;
+    true
+  with Hit -> false
+
+let elt_guard cs ~la ~bbox near =
+  List.for_all
+    (fun (tr, sid) ->
+      match cs.cs_cert sid with
+      | None -> false
+      | Some cert -> clear_of cs ~la bbox tr cert)
+    near
+
+(* Every placement transform is one of the eight orthogonal matrices
+   plus a translation — an isometry of the Chebyshev metric on
+   axis-aligned rects — so the verdict depends only on the relative
+   placement [tra^-1 . trb], not the absolute pair.  Replicated arrays
+   (the PLA tiers) reuse a handful of relative placements across tens
+   of thousands of instance pairs, so the memo turns the prepass into
+   a few real evaluations plus hash lookups. *)
+let inst_verdict cs ca cb rel =
+  let tb =
+    Array.map
+      (function
+        | None -> None
+        | Some bb -> Some (Geom.Transform.apply_rect rel bb))
+      cb.ct_subtree_bbox
+  in
+  try
+    Array.iteri
+      (fun ia ba ->
+        match ba with
+        | None -> ()
+        | Some ba ->
+          let row = ia * nlayers in
+          Array.iteri
+            (fun ib bb ->
+              match bb with
+              | None -> ()
+              | Some bb ->
+                let r = cs.cs_req.(row + ib) in
+                if r > 0 && Geom.Rect.chebyshev_gap ba bb < r then
+                  raise_notrace Hit)
+            tb)
+      ca.ct_subtree_bbox;
+    true
+  with Hit -> false
+
+let inst_guard cs ~a:(tra, sa) ~b:(trb, sb) =
+  match (cs.cs_cert sa, cs.cs_cert sb) with
+  | Some ca, Some cb when ca.ct_complete && cb.ct_complete -> (
+    let rel = Geom.Transform.compose (Geom.Transform.inverse tra) trb in
+    let key = (sa, sb, rel) in
+    match Hashtbl.find_opt cs.cs_inst_memo key with
+    | Some v -> v
+    | None ->
+      let v = inst_verdict cs ca cb rel in
+      Hashtbl.add cs.cs_inst_memo key v;
+      v)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Kill switch                                                         *)
+
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "DIC_NO_CERTS" with
+    | Some s when s <> "" && s <> "0" -> false
+    | _ -> true)
+
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b

@@ -51,6 +51,7 @@ type deck_result = {
   dr_deck : deck;
   dr_result : result;
   dr_reuse : reuse;
+  dr_suppressed : Lint.diagnostic list;
 }
 
 type multi = {
@@ -183,6 +184,10 @@ type t = {
   (* sid -> subtree fingerprint from the most recent check, kept so
      [flush] can re-run the memo save outside any check *)
   mutable e_last_subtree : (int, string) Hashtbl.t option;
+  (* subtree fingerprint -> static immunity certificate.  Certificates
+     are pure geometry — no deck, no config enters them — so one table
+     serves every environment and survives config changes. *)
+  e_certs : (string, Deckcheck.cert) Hashtbl.t;
 }
 
 let create ?(config = default_config) ?cache_dir ?decks rules =
@@ -199,7 +204,8 @@ let create ?(config = default_config) ?cache_dir ?decks rules =
     e_defs = Hashtbl.create 4;
     e_lints = Hashtbl.create 4;
     e_memos = Hashtbl.create 4;
-    e_last_subtree = None }
+    e_last_subtree = None;
+    e_certs = Hashtbl.create 64 }
 
 let rules t = (List.hd t.e_decks).dk_rules
 let decks t = t.e_decks
@@ -419,7 +425,7 @@ let check ?metrics ?trace ?progress t file =
        elaboration erases — no per-definition fingerprint can address
        them — and the walk is cheap. *)
     let lint_by_deck =
-      if not t.e_config.run_lint then List.map (fun _ -> []) decks
+      if not t.e_config.run_lint then List.map (fun _ -> ([], [])) decks
       else
         timed "lint" (fun () ->
             let lints = lints_for t t.e_env in
@@ -441,14 +447,74 @@ let check ?metrics ?trace ?progress t file =
             Metrics.incr ~by:!replayed m "lint.defs_replayed";
             Metrics.incr ~by:(List.length fps - !replayed) m "lint.defs_computed";
             let design = Lint.check_ast file @ model_diags in
+            (* Waivers filter at reporting time only: the cached
+               per-definition lists above stay unfiltered, and a
+               waiver change never splits the cache (waivers are
+               excluded from the deck's canonical text, like
+               [key_positions]). *)
             List.mapi
               (fun i d ->
-                let diags = Lint.sort (Lint.check_deck d.dk_rules @ design) in
-                if i = 0 then Lint.record_metrics m diags;
-                Lint.to_violations diags)
+                let diags =
+                  Lint.sort
+                    (Lint.check_deck d.dk_rules
+                    @ Deckcheck.check_deck d.dk_rules
+                    @ design)
+                in
+                let waivers = d.dk_rules.Tech.Rules.waivers @ file.Cif.Ast.waivers in
+                let kept, suppressed = Lint.partition_waived ~waivers diags in
+                if i = 0 then begin
+                  Lint.record_metrics m kept;
+                  Metrics.incr ~by:(List.length suppressed) m "lint.suppressed"
+                end;
+                (Lint.to_violations kept, suppressed))
               decks)
     in
     let subtree = subtree_fingerprints model in
+    (* Static immunity certificates: one bundle of geometric facts per
+       definition, cached across checks under the subtree fingerprint
+       exactly like lint diags.  Deck-free and config-free, so every
+       deck of the run consults the same table.  Disabled wholesale
+       under DIC_NO_CERTS (the identity smokes) and under the exposure
+       spacing model, whose verdicts drawn-gap bounds cannot certify.
+       Charged to [analysis.certify] rather than a stage of its own so
+       the stage sequence keeps its shape. *)
+    let geometric =
+      match t.e_config.interactions.Interactions.spacing_model with
+      | Interactions.Geometric -> true
+      | Interactions.Exposure _ -> false
+    in
+    let cert_lookup =
+      if not (Deckcheck.enabled () && geometric) then None
+      else begin
+        let t0 = Metrics.now_ns () in
+        let by_sid = Hashtbl.create 64 in
+        let computed = ref 0 and replayed = ref 0 in
+        List.iter
+          (fun (s : Model.symbol) ->
+            let fp = Hashtbl.find subtree s.Model.sid in
+            let cert =
+              match Hashtbl.find_opt t.e_certs fp with
+              | Some c ->
+                incr replayed;
+                c
+              | None ->
+                let c =
+                  Deckcheck.certify
+                    ~lookup:(fun sid -> Hashtbl.find_opt by_sid sid)
+                    s
+                in
+                incr computed;
+                Hashtbl.replace t.e_certs fp c;
+                c
+            in
+            Hashtbl.replace by_sid s.Model.sid cert)
+          model.Model.symbols;
+        Metrics.incr ~by:!computed m "analysis.certs_computed";
+        Metrics.incr ~by:!replayed m "analysis.certs_replayed";
+        Metrics.add_cost_ns m "analysis.certify" (Int64.sub (Metrics.now_ns ()) t0);
+        Some (fun sid -> Hashtbl.find_opt by_sid sid)
+      end
+    in
     let slots_by_deck_memo = List.map (fun d -> slot_for t d.dk_rules) decks in
     let memo_loaded_by_slot =
       List.map
@@ -580,11 +646,26 @@ let check ?metrics ?trace ?progress t file =
             slots)
         lookups
     in
+    (* A certificate can prove the element stage silent for a
+       definition under a deck; the slot then keeps its empty list
+       without computing.  Sound for the cache too: the stored []
+       equals what the check would have produced.  The predicate is
+       pure, so the parallel path consults it from workers and the
+       serial skip counting below re-evaluates it race-free. *)
+    let element_immune_for d sl =
+      match cert_lookup with
+      | None -> false
+      | Some lk -> (
+        match lk sl.sl_sym.Model.sid with
+        | Some c -> Deckcheck.element_immune d.dk_rules c
+        | None -> false)
+    in
     let elements_by_deck =
       timed "elements" (fun () ->
           if stage_parallel then begin
             per_symbol_parallel "elements" (fun d sl ->
-                sl.sl_el <- Element_checks.check_symbol d.dk_rules sl.sl_sym);
+                if not (element_immune_for d sl) then
+                  sl.sl_el <- Element_checks.check_symbol d.dk_rules sl.sl_sym);
             assemble (fun sl -> sl.sl_el) (fun e -> e.Cache.de_elements)
           end
           else
@@ -592,12 +673,27 @@ let check ?metrics ?trace ?progress t file =
               (fun d (slots, _, _) ->
                 per_symbol slots "elements"
                   (fun sl ->
-                    let vs = Element_checks.check_symbol d.dk_rules sl.sl_sym in
+                    let vs =
+                      if element_immune_for d sl then []
+                      else Element_checks.check_symbol d.dk_rules sl.sl_sym
+                    in
                     sl.sl_el <- vs;
                     vs)
                   (fun e -> e.Cache.de_elements))
               decks lookups)
     in
+    if Option.is_some cert_lookup then begin
+      let skips = ref 0 in
+      List.iter2
+        (fun d (slots, _, _) ->
+          List.iter
+            (fun sl ->
+              if Option.is_none sl.sl_hit && element_immune_for d sl then incr skips)
+            slots)
+        decks lookups;
+      Metrics.incr ~by:!skips m "analysis.certified_element_skips";
+      Metrics.incr ~by:!skips m "analysis.certified_skips"
+    end;
     let devices_by_deck =
       timed "devices" (fun () ->
           if stage_parallel then begin
@@ -696,8 +792,13 @@ let check ?metrics ?trace ?progress t file =
           in
           List.map2
             (fun d slot ->
+              let certs =
+                Option.map
+                  (fun lk -> Deckcheck.consult ~cert_of:lk d.dk_rules)
+                  cert_lookup
+              in
               Interactions.run ~config:t.e_config.interactions ~rules:d.dk_rules
-                ~memo:slot.ms_memo ~metrics:m ?trace (plan_for d.dk_rules))
+                ~memo:slot.ms_memo ~metrics:m ?trace ?certs (plan_for d.dk_rules))
             decks slots_by_deck_memo)
     in
     let electrical_issues =
@@ -722,7 +823,8 @@ let check ?metrics ?trace ?progress t file =
     in
     let deck_results =
       List.map2
-        (fun ((d, lint_issues, element_issues, device_issues, relational_issues),
+        (fun ((d, (lint_issues, lint_suppressed), element_issues, device_issues,
+               relational_issues),
               (interaction_issues, interaction_stats))
              ((_, deck_reused, deck_from_disk), deck_memo_loaded) ->
           let report =
@@ -737,14 +839,25 @@ let check ?metrics ?trace ?progress t file =
               { symbols_total = total_one;
                 symbols_reused = deck_reused;
                 defs_from_disk = deck_from_disk;
-                memo_loaded = deck_memo_loaded } })
+                memo_loaded = deck_memo_loaded };
+            dr_suppressed = lint_suppressed })
         (List.combine
            (zip5 decks lint_by_deck elements_by_deck devices_by_deck relational_by_deck)
            interactions_by_deck)
         (List.combine lookups memo_loaded_by_deck)
     in
+    (* Pairwise subsumption verdicts (R015) live only in the merged
+       view: injecting them into per-deck reports would break the
+       "each deck's report is byte-identical to that deck checked
+       alone" invariant. *)
+    let relations =
+      match decks with
+      | _ :: _ :: _ when t.e_config.run_lint ->
+        Deckcheck.relation_lines (List.map (fun d -> (d.dk_label, d.dk_rules)) decks)
+      | _ -> []
+    in
     let merged =
-      Multireport.make
+      Multireport.make ~relations
         (List.map (fun dr -> (dr.dr_deck.dk_label, dr.dr_result.report)) deck_results)
     in
     Metrics.count_report m (List.hd deck_results).dr_result.report;

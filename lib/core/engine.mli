@@ -52,7 +52,14 @@
       deterministic function of the per-deck reports — so it too is
       byte-stable across jobs, workers, and warmth;
     - a corrupted or stale cache file degrades to a recompute, never to
-      a wrong answer. *)
+      a wrong answer;
+    - static immunity certificates ({!Deckcheck}) only ever skip work
+      that is provably silent — element checks and interaction tasks
+      whose findings a certificate proves empty — so reports are
+      byte-identical with pruning on or off ([DIC_NO_CERTS=1]), cold
+      or warm, at every [jobs] value, single- or multi-deck.
+      Certificates are cached under subtree fingerprints like lint
+      diags; [analysis.*] counters report how much was skipped. *)
 
 (** What {!check} computes.  [interactions] nests the stage-6 knobs
     (metric, same-net handling, spacing model, jobs) — the
@@ -120,6 +127,11 @@ type deck_result = {
   dr_deck : deck;
   dr_result : result;
   dr_reuse : reuse;
+  dr_suppressed : Lint.diagnostic list;
+      (** lint/deckcheck diagnostics waived for this deck (deck
+          [# lint: allow] comments plus the design's [4L] commands) —
+          filtered out of [dr_result.report] at assembly time, never
+          from the caches; empty when [run_lint] is off *)
 }
 
 (** The multi-result: per-deck results in deck order, plus the merged

@@ -511,6 +511,26 @@ let related env dctx sid a b =
    decks: the plan depends only on [dmax]. *)
 type task = config -> Tech.Rules.t -> dctx -> Report.violation list
 
+(* The deck-independent guard attached to each task: just enough
+   geometry for a {!Deckcheck} certificate to prove, under the concrete
+   deck being run, that every pair the task would judge is clean — in
+   which case [run]'s prepass skips the task wholesale.  Guards only
+   ever turn provably-Skip evaluations into skips, so the report is
+   unchanged. *)
+type guard =
+  | G_local of int  (** all local element pairs of symbol [sid] *)
+  | G_elt of {
+      g_layer : Tech.Layer.t;
+      g_bbox : Geom.Rect.t;  (** the local element, in the symbol's frame *)
+      g_near : (Geom.Transform.t * int) list;  (** placed callees nearby *)
+    }
+  | G_inst of {
+      g_ta : Geom.Transform.t;
+      g_sa : int;
+      g_tb : Geom.Transform.t;
+      g_sb : int;
+    }
+
 (* The pair check proper.  Net resolution ([same_net]/[related]) is the
    most expensive part of judging a pair, and pairs with no spacing rule
    at all (a large share of the matrix) never reach it — the calls sit
@@ -613,7 +633,7 @@ let emit env sid ~context a b = function
    worth scheduling. *)
 let local_chunk = 32
 
-let tasks_of_symbol env ~dmax (s : Model.symbol) : task list =
+let tasks_of_symbol env ~dmax (s : Model.symbol) : (guard * task) list =
   if Model.is_device s then []
   else begin
     let context = s.Model.sname in
@@ -646,11 +666,13 @@ let tasks_of_symbol env ~dmax (s : Model.symbol) : task list =
           end);
       if !cur <> [] then chunks := List.rev !cur :: !chunks;
       List.rev_map
-        (fun chunk cfg _rules dctx ->
-          List.concat_map
-            (fun (a, b) ->
-              emit env sid ~context a b (judge_pair cfg env sid dctx a b))
-            chunk)
+        (fun chunk ->
+          ( G_local sid,
+            fun cfg _rules dctx ->
+              List.concat_map
+                (fun (a, b) ->
+                  emit env sid ~context a b (judge_pair cfg env sid dctx a b))
+                chunk ))
         !chunks
     in
     (* Calls with their placed bounding boxes. *)
@@ -679,19 +701,27 @@ let tasks_of_symbol env ~dmax (s : Model.symbol) : task list =
             | [] -> None
             | near ->
               Some
-                (fun cfg _rules dctx ->
-                  List.concat_map
-                    (fun ((c : Model.call), callee) ->
-                      let sites =
-                        frontier env.model window c.Model.transform [ c.Model.cidx ]
-                          callee []
-                      in
-                      List.concat_map
-                        (fun sub ->
-                          emit env sid ~context site sub
-                            (judge_pair cfg env sid dctx site sub))
-                        sites)
-                    near)))
+                ( G_elt
+                    { g_layer = site.s_layer;
+                      g_bbox = site.s_bbox;
+                      g_near =
+                        List.map
+                          (fun ((c : Model.call), _) ->
+                            (c.Model.transform, c.Model.callee))
+                          near },
+                  fun cfg _rules dctx ->
+                    List.concat_map
+                      (fun ((c : Model.call), callee) ->
+                        let sites =
+                          frontier env.model window c.Model.transform [ c.Model.cidx ]
+                            callee []
+                        in
+                        List.concat_map
+                          (fun sub ->
+                            emit env sid ~context site sub
+                              (judge_pair cfg env sid dctx site sub))
+                          sites)
+                      near )))
         local_sites
     in
     (* Instance vs instance: one task per interacting placement pair,
@@ -727,7 +757,14 @@ let tasks_of_symbol env ~dmax (s : Model.symbol) : task list =
                   (judge_pair cfg env sid dctx site_a site_b))
               cands
           in
-          acc := task :: !acc);
+          let g =
+            G_inst
+              { g_ta = ca.Model.transform;
+                g_sa = ca.Model.callee;
+                g_tb = cb.Model.transform;
+                g_sb = cb.Model.callee }
+          in
+          acc := (g, task) :: !acc);
       List.rev !acc
     in
     local_tasks @ elt_inst_tasks @ inst_tasks
@@ -762,22 +799,29 @@ let import_memo (memo : memo) entries =
 (* Tasks are tagged with the symbol definition they came from, so the
    per-task clock feeds both the pair-check histogram and that
    definition's [symbol.<name>] cost bucket (the [--top-cost] view). *)
-let run_span ?metrics cfg rules (tasks : (string * task) array) lo hi dctx =
+(* [enabled] is the certificate prepass verdict per task index: a
+   [false] slot is a task some certificate proved silent, contributing
+   [] exactly as evaluating it would have. *)
+let run_span ?metrics ?enabled cfg rules (tasks : (string * guard * task) array) lo hi
+    dctx =
   let out = ref [] in
   for i = lo to hi - 1 do
-    let sname, task = tasks.(i) in
-    let vs =
-      match metrics with
-      | None -> task cfg rules dctx
-      | Some m ->
-        let t0 = Metrics.now_ns () in
-        let vs = task cfg rules dctx in
-        let dt = Int64.sub (Metrics.now_ns ()) t0 in
-        Metrics.observe_ns m "interactions.pair_check_ns" dt;
-        Metrics.add_cost_ns m ("symbol." ^ sname) dt;
-        vs
-    in
-    out := vs :: !out
+    let keep = match enabled with None -> true | Some arr -> arr.(i) in
+    if keep then begin
+      let sname, _, task = tasks.(i) in
+      let vs =
+        match metrics with
+        | None -> task cfg rules dctx
+        | Some m ->
+          let t0 = Metrics.now_ns () in
+          let vs = task cfg rules dctx in
+          let dt = Int64.sub (Metrics.now_ns ()) t0 in
+          Metrics.observe_ns m "interactions.pair_check_ns" dt;
+          Metrics.add_cost_ns m ("symbol." ^ sname) dt;
+          vs
+      in
+      out := vs :: !out
+    end
   done;
   List.concat (List.rev !out)
 
@@ -795,7 +839,7 @@ type plan = {
   pl_nets : Netgen.t;
   pl_env : env;
   pl_dmax : int;
-  pl_tasks : (string * task) array;
+  pl_tasks : (string * guard * task) array;
 }
 
 let plan ?dmax (nets : Netgen.t) =
@@ -807,18 +851,55 @@ let plan ?dmax (nets : Netgen.t) =
     Array.of_list
       (List.concat_map
          (fun (s : Model.symbol) ->
-           List.map (fun t -> (s.Model.sname, t)) (tasks_of_symbol env ~dmax s))
+           List.map (fun (g, t) -> (s.Model.sname, g, t)) (tasks_of_symbol env ~dmax s))
          env.model.Model.symbols)
   in
   { pl_nets = nets; pl_env = env; pl_dmax = dmax; pl_tasks = tasks }
 
-let run ?(config = default_config) ?rules ?memo ?metrics ?trace (p : plan) =
+let run ?(config = default_config) ?rules ?memo ?metrics ?trace ?certs (p : plan) =
   let env = p.pl_env in
   let rules = match rules with Some r -> r | None -> env.model.Model.rules in
   let stats = new_stats () in
   let master_memo = match memo with Some m -> m | None -> create_memo () in
   let tasks = p.pl_tasks in
   let n = Array.length tasks in
+  (* Certificate prepass: decide, serially and before any domain
+     spawns, which tasks a certificate proves silent.  The verdict
+     array is fixed input to the scheduler, so the skip set — and the
+     report — is identical at every [jobs] value.  Bbox clearance
+     bounds only the geometric spacing model (the exposure model
+     judges printed images, not drawn gaps), so guards are inert under
+     [Exposure]. *)
+  let enabled =
+    match certs with
+    | None -> None
+    | Some cs -> (
+      match config.spacing_model with
+      | Exposure _ -> None
+      | Geometric ->
+        let t0 = Metrics.now_ns () in
+        let arr =
+          Array.map
+            (fun (_, g, _) ->
+              match g with
+              | G_local sid -> not (Deckcheck.local_guard cs ~sid)
+              | G_elt { g_layer; g_bbox; g_near } ->
+                not (Deckcheck.elt_guard cs ~la:g_layer ~bbox:g_bbox g_near)
+              | G_inst { g_ta; g_sa; g_tb; g_sb } ->
+                not (Deckcheck.inst_guard cs ~a:(g_ta, g_sa) ~b:(g_tb, g_sb)))
+            tasks
+        in
+        Option.iter
+          (fun m ->
+            let skips =
+              Array.fold_left (fun acc e -> if e then acc else acc + 1) 0 arr
+            in
+            Metrics.incr ~by:skips m "analysis.certified_task_skips";
+            Metrics.incr ~by:skips m "analysis.certified_skips";
+            Metrics.add_cost_ns m "analysis.guard" (Int64.sub (Metrics.now_ns ()) t0))
+          metrics;
+        Some arr)
+  in
   let jobs = max 1 (min (effective_jobs config.jobs) (max 1 n)) in
   let shard_span i lo hi =
     (Printf.sprintf "shard[%d]" i, [ ("tasks", string_of_int (hi - lo)) ])
@@ -829,7 +910,7 @@ let run ?(config = default_config) ?rules ?memo ?metrics ?trace (p : plan) =
       let dctx = make_dctx rules stats master_memo in
       let vs =
         Trace.with_span trace ~cat:"shard" ~args name (fun () ->
-            run_span ?metrics config rules tasks 0 n dctx)
+            run_span ?metrics ?enabled config rules tasks 0 n dctx)
       in
       fold_cells dctx;
       vs
@@ -861,11 +942,16 @@ let run ?(config = default_config) ?rules ?memo ?metrics ?trace (p : plan) =
       in
       let chunks =
         Parallel.run ?metrics ?trace ~jobs ~stage:"interactions"
-          ~weight:(fun i -> weight_of_name (fst tasks.(i)))
+          ~weight:(fun i ->
+            match enabled with
+            | Some arr when not arr.(i) -> 1
+            | _ ->
+              let sname, _, _ = tasks.(i) in
+              weight_of_name sname)
           ~n
           ~worker:(fun _tid -> make_dctx rules (new_stats ()) (Hashtbl.copy master_memo))
           ~chunk:(fun dctx dm _dt ~lo ~hi ->
-            run_span ?metrics:dm config rules tasks lo hi dctx)
+            run_span ?metrics:dm ?enabled config rules tasks lo hi dctx)
           ~merge:(fun dctx ->
             fold_cells dctx;
             merge_stats ~into:stats dctx.d_stats;

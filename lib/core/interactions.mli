@@ -49,7 +49,11 @@
       [jobs] (the memo hit/miss split and [bbox_rejects] depend on
       which domain warmed its memo copy first — and, under the queue,
       on run-to-run scheduling); the per-cell pair counts and every
-      verdict-bearing total are invariant. *)
+      verdict-bearing total are invariant.
+    - Certificate-guarded runs ([run ~certs]) may skip whole tasks the
+      certificates prove silent; skips are decided in a serial prepass
+      over the worklist, so they lower pair counts deterministically —
+      never with [jobs] — and never change the violation list. *)
 
 type spacing_model =
   | Geometric
@@ -172,10 +176,19 @@ val plan : ?dmax:int -> Netgen.t -> plan
     are exported as counters.  When [trace] is given, one ["shard[i]"]
     span (category ["shard"]) is recorded per worklist shard —
     per-domain buffers in the parallel case, merged into [trace] in
-    shard order after the join. *)
+    shard order after the join.
+
+    When [certs] is given (a {!Deckcheck.consult} over the deck being
+    judged), a serial prepass skips every task whose guard the
+    certificates prove silent, counting them into the
+    [analysis.certified_task_skips] / [analysis.certified_skips]
+    counters and charging the prepass to [analysis.guard].  Guards are
+    inert under the {!Exposure} spacing model, whose verdicts are not
+    bounded by drawn gaps. *)
 val run :
   ?config:config -> ?rules:Tech.Rules.t -> ?memo:memo -> ?metrics:Metrics.t ->
-  ?trace:Trace.t -> plan -> Report.violation list * stats
+  ?trace:Trace.t -> ?certs:Deckcheck.consult -> plan ->
+  Report.violation list * stats
 
 (** [check nets] = [run (plan nets)] — the single-deck entry point. *)
 val check :

@@ -1,4 +1,4 @@
-type severity = Error | Warning
+type severity = Error | Warning | Note
 
 type diagnostic = {
   code : string;
@@ -30,6 +30,19 @@ let all_codes =
     ("R010", "A rule-file line is not of the form \"key value\" after comment \
               stripping.");
     ("R011", "A rule value is not a positive integer literal.");
+    ("R012", "The rule deck is unsatisfiable: the arithmetic closure of the entries \
+              derives a bound no geometry can meet (e.g. a minimal bonding pad that \
+              violates the metal width rule, or a same-net spacing above the \
+              different-net one).");
+    ("R013", "A deck entry is redundant: its value is already implied by other \
+              entries (a lambda default, an equal directed spelling, or the \
+              effective matrix cell), so deleting it changes nothing.");
+    ("R014", "A directed override family is non-monotone: the winning spelling is \
+              strictly smaller than a written-but-shadowed one, silently weakening \
+              the check and risking missed errors.");
+    ("R015", "Cross-deck subsumption verdict: one deck's constraints dominate \
+              another's pointwise, so a design clean under the stronger deck is \
+              provably clean under the weaker one.");
     ("D001", "A call names a symbol number with no DS definition; elaboration fails and \
               the hierarchical net list (Fig 9) cannot be built.");
     ("D002", "Symbol calls form a cycle; a hierarchical design must be a DAG.");
@@ -52,7 +65,7 @@ let explain code = List.assoc_opt code all_codes
 
 let mk ?loc code severity subject message = { code; severity; message; loc; subject }
 
-let severity_name = function Error -> "error" | Warning -> "warning"
+let severity_name = function Error -> "error" | Warning -> "warning" | Note -> "note"
 
 let compare_diagnostic a b =
   let locp = function
@@ -79,7 +92,10 @@ let to_violations diags =
   List.map
     (fun d ->
       let make =
-        match d.severity with Error -> Report.error | Warning -> Report.warning
+        match d.severity with
+        | Error -> Report.error
+        | Warning -> Report.warning
+        | Note -> Report.info
       in
       make ~stage:Report.Integrity ~rule:("lint." ^ d.code) ~context:d.subject
         ?loc:d.loc d.message)
@@ -92,6 +108,20 @@ let record_metrics m diags =
   Metrics.incr ~by:(List.length (List.filter (fun d -> d.severity = Warning) diags)) m
     "lint.warnings";
   List.iter (fun d -> Metrics.incr m ("lint.code." ^ d.code)) diags
+
+(* Waiver filtering happens at reporting time, never before caching:
+   caches hold the unfiltered diagnostics, so the same deck with and
+   without waiver comments replays the same cache entries. *)
+let partition_waived ~waivers diags =
+  List.partition (fun d -> not (List.mem d.code waivers)) diags
+
+let suppressed_counts diags =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace tbl d.code (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d.code)))
+    diags;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 (* ------------------------------------------------------------------ *)
 (* Rule-deck pass                                                      *)
@@ -274,7 +304,14 @@ let check_deck_source src =
         else true)
       keep
   in
-  let deck = Result.to_option (Tech.Rules.of_entries good) in
+  let deck =
+    (* Carry the deck's own [# lint: allow] waivers, exactly as the
+       strict loader ([Tech.Rules.of_string]) does, so lint and check
+       honor the same suppressions. *)
+    Option.map
+      (fun t -> { t with Tech.Rules.waivers = Tech.Rules.scan_waivers src })
+      (Result.to_option (Tech.Rules.of_entries good))
+  in
   let deck_diags =
     match deck with
     | None -> []

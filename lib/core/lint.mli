@@ -30,7 +30,7 @@
     Output is deterministic: {!sort} orders by (loc, code, subject,
     message), and no pass consults anything but its arguments. *)
 
-type severity = Error | Warning
+type severity = Error | Warning | Note
 
 type diagnostic = {
   code : string;  (** stable code, e.g. ["R001"] or ["D005"] *)
@@ -114,10 +114,24 @@ val pp_diagnostic : Format.formatter -> diagnostic -> unit
 val render : src:string -> diagnostic -> string
 
 (** As report violations: stage {!Report.Integrity}, rule
-    ["lint." ^ code], context = subject.  {!Sarif} recognises the
-    ["lint."] prefix and emits each code's {!explain} text as the SARIF
-    rule description. *)
+    ["lint." ^ code], context = subject ([Note] maps to
+    {!Report.Info}).  {!Sarif} recognises the ["lint."] prefix and
+    emits each code's {!explain} text as the SARIF rule
+    description. *)
 val to_violations : diagnostic list -> Report.violation list
+
+(** [partition_waived ~waivers diags] splits into (kept, suppressed)
+    by membership of each diagnostic's code in [waivers] (see
+    {!Tech.Rules.scan_waivers} and the CIF [4L CODE;] extension).
+    Filtering happens at reporting time only — caches always hold the
+    unfiltered list. *)
+val partition_waived :
+  waivers:string list -> diagnostic list -> diagnostic list * diagnostic list
+
+(** Per-code counts of a (suppressed) diagnostic list, sorted by
+    code — the [lint_suppressed] reply member and SARIF suppression
+    summary. *)
+val suppressed_counts : diagnostic list -> (string * int) list
 
 (** Export [lint.diagnostics] / [lint.errors] / [lint.warnings]
     totals plus one [lint.code.<code>] counter per distinct code. *)

@@ -12,7 +12,7 @@ let to_file ?(margin = 50) (r : Report.t) =
         | _ -> None)
       r.Report.violations
   in
-  { Cif.Ast.symbols = []; top_elements = boxes; top_calls = [] }
+  { Cif.Ast.symbols = []; top_elements = boxes; top_calls = []; waivers = [] }
 
 let to_cif ?margin r = Cif.Print.to_string (to_file ?margin r)
 

@@ -12,6 +12,7 @@ type deck_summary = {
 type t = {
   entries : entry list;
   summaries : deck_summary list;
+  relations : string list;
 }
 
 (* Group by structural equality of the whole violation record.  The
@@ -19,7 +20,7 @@ type t = {
    previously-unseen violations in its own print order — so the merge
    of equal inputs is always the same bytes, and for a single deck the
    entry sequence is exactly that deck's report. *)
-let make reports =
+let make ?(relations = []) reports =
   let printed (r : Report.t) = List.rev r.Report.violations in
   let tbl : (Report.violation, int list ref) Hashtbl.t = Hashtbl.create 256 in
   let order = ref [] in
@@ -46,7 +47,7 @@ let make reports =
           ds_warnings = Report.count ~severity:Report.Warning r })
       reports
   in
-  { entries; summaries }
+  { entries; summaries; relations }
 
 let count sev t =
   List.length
@@ -78,6 +79,9 @@ let pp_summary ppf t =
         s.ds_errors s.ds_warnings
         (if s.ds_errors = 0 then "compliant" else "violating"))
     t.summaries;
+  (* Deck-relation verdicts (R015), only ever present for multi-deck
+     sessions, so single-deck summary bytes are untouched. *)
+  List.iter (fun line -> Format.fprintf ppf "deck relation: %s@," line) t.relations;
   let n = List.length t.summaries in
   (match compliant t with
   | [] -> Format.fprintf ppf "compliant with none of %d deck(s)" n

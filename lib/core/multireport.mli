@@ -32,12 +32,17 @@ type deck_summary = {
 type t = {
   entries : entry list;
   summaries : deck_summary list;
+  relations : string list;
+      (** pairwise deck-relation verdicts ({!Deckcheck} R015 lines);
+          empty for single-deck merges *)
 }
 
 (** [make [(label, report); ...]] — merge per-deck reports, first deck
     first.  Labels are echoed in membership annotations and summaries;
-    they should be distinct. *)
-val make : (string * Report.t) list -> t
+    they should be distinct.  [relations] (default []) carries the
+    cross-deck subsumption verdicts, printed by {!pp_summary} and
+    exported to SARIF, but never folded into any per-deck report. *)
+val make : ?relations:string list -> (string * Report.t) list -> t
 
 (** Distinct merged violations with severity [Error] / [Warning]. *)
 val errors : t -> int

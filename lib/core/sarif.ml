@@ -30,14 +30,15 @@ let json_escape s =
 
 let str s = "\"" ^ json_escape s ^ "\""
 
-(* The distinct rule ids of the report, sorted, with their index in the
-   emitted [rules] array (results reference rules by id + index). *)
-let rule_table (report : Report.t) =
+(* The distinct rule ids of the report (and of any suppressed results
+   riding along), sorted, with their index in the emitted [rules] array
+   (results reference rules by id + index). *)
+let rule_table ~suppressed (report : Report.t) =
   let ids =
     List.fold_left
       (fun acc (v : Report.violation) ->
         if List.mem v.Report.rule acc then acc else v.Report.rule :: acc)
-      [] report.Report.violations
+      [] (report.Report.violations @ suppressed)
     |> List.sort String.compare
   in
   List.mapi (fun i id -> (id, i)) ids
@@ -146,7 +147,7 @@ let location_json ~uri (v : Report.violation) =
   in
   Printf.sprintf "{%s,%s}" physical logical
 
-let result_json ~uri rules (v : Report.violation) =
+let result_json ?(suppressed = false) ~uri rules (v : Report.violation) =
   let rule_index = match List.assoc_opt v.Report.rule rules with Some i -> i | None -> -1 in
   let region_props =
     match v.Report.where with
@@ -158,18 +159,26 @@ let result_json ~uri rules (v : Report.violation) =
         ",\"properties\":{\"bboxX0\":%d,\"bboxY0\":%d,\"bboxX1\":%d,\"bboxY1\":%d}"
         (Geom.Rect.x0 r) (Geom.Rect.y0 r) (Geom.Rect.x1 r) (Geom.Rect.y1 r)
   in
+  let suppressions =
+    (* A waived diagnostic is still a [result] — reviewers see what was
+       silenced — but carries an [inSource] suppression (the waiver
+       lives in the deck comment or the design's [4L] command), which
+       SARIF viewers render as "suppressed" instead of open. *)
+    if suppressed then ",\"suppressions\":[{\"kind\":\"inSource\"}]" else ""
+  in
   Printf.sprintf
-    "{\"ruleId\":%s,\"ruleIndex\":%d,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[%s]%s}"
+    "{\"ruleId\":%s,\"ruleIndex\":%d,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[%s]%s%s}"
     (str v.Report.rule) rule_index
     (str (level_of_severity v.Report.severity))
     (str v.Report.message)
-    (location_json ~uri v) region_props
+    (location_json ~uri v) region_props suppressions
 
 (* One [runs[]] entry.  With neither [automation_id] nor [deck_rules]
    the bytes are exactly the historical single-run body — [of_report]
    output must not change shape. *)
-let add_run buf ?automation_id ?deck_rules ~uri ~tool_version (report : Report.t) =
-  let rules = rule_table report in
+let add_run buf ?automation_id ?deck_rules ?(suppressed = []) ~uri ~tool_version
+    (report : Report.t) =
+  let rules = rule_table ~suppressed report in
   let add = Buffer.add_string buf in
   add "{";
   (match automation_id with
@@ -185,24 +194,34 @@ let add_run buf ?automation_id ?deck_rules ~uri ~tool_version (report : Report.t
       add (rule_json ?deck_rules r))
     rules;
   add "]}},\"results\":[";
+  let live = List.rev report.Report.violations in
   List.iteri
     (fun i v ->
       if i > 0 then add ",";
       add (result_json ~uri rules v))
-    (List.rev report.Report.violations);
+    live;
+  (* Suppressed results follow the live ones, in report order; with no
+     waivers the bytes are exactly the historical run body. *)
+  List.iteri
+    (fun i v ->
+      if live <> [] || i > 0 then add ",";
+      add (result_json ~suppressed:true ~uri rules v))
+    suppressed;
   add "]}"
 
-let of_report ?(uri = "design.cif") ?(tool_version = Version.version) (report : Report.t) =
+let of_report ?(uri = "design.cif") ?(tool_version = Version.version)
+    ?(suppressed = []) (report : Report.t) =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\"$schema\":";
   add (str schema);
   add ",\"version\":\"2.1.0\",\"runs\":[";
-  add_run buf ~uri ~tool_version report;
+  add_run buf ~suppressed ~uri ~tool_version report;
   add "]}";
   Buffer.contents buf
 
 let of_reports ?(uri = "design.cif") ?(tool_version = Version.version)
+    ?(suppressed = []) ?(relations = [])
     (decks : (string * Tech.Rules.t * Report.t) list) =
   let buf = Buffer.create 8192 in
   let add = Buffer.add_string buf in
@@ -212,7 +231,23 @@ let of_reports ?(uri = "design.cif") ?(tool_version = Version.version)
   List.iteri
     (fun i (label, deck_rules, report) ->
       if i > 0 then add ",";
-      add_run buf ~automation_id:label ~deck_rules ~uri ~tool_version report)
+      let suppressed =
+        match List.assoc_opt label suppressed with Some vs -> vs | None -> []
+      in
+      add_run buf ~automation_id:label ~deck_rules ~suppressed ~uri ~tool_version
+        report)
     decks;
-  add "]}";
+  add "]";
+  (* Deck-subsumption verdicts (R015) are cross-run facts, so they live
+     in the log's properties bag, not in any single run's results. *)
+  if relations <> [] then begin
+    add ",\"properties\":{\"deckRelations\":[";
+    List.iteri
+      (fun i line ->
+        if i > 0 then add ",";
+        add (str line))
+      relations;
+    add "]}"
+  end;
+  add "}";
   Buffer.contents buf

@@ -22,8 +22,15 @@
 (** [of_report ~uri report] renders a complete SARIF 2.1.0 document
     (one [run]).  [uri] is the artifact URI recorded for physical
     locations — pass the CIF input path; defaults to ["design.cif"].
-    [tool_version] defaults to {!Version.version}. *)
-val of_report : ?uri:string -> ?tool_version:string -> Report.t -> string
+    [tool_version] defaults to {!Version.version}.  [suppressed] are
+    waived diagnostics (deck [# lint: allow] comments, design [4L]
+    commands): each is emitted as a result carrying
+    [suppressions:[{kind:"inSource"}]], after the live results, and its
+    rule id joins the run's rule table.  Without waivers the bytes are
+    exactly the historical document. *)
+val of_report :
+  ?uri:string -> ?tool_version:string -> ?suppressed:Report.violation list ->
+  Report.t -> string
 
 (** [of_reports [(label, deck_rules, report); ...]] renders a
     multi-deck check as one SARIF log with {e one [run] per deck}.
@@ -33,7 +40,16 @@ val of_report : ?uri:string -> ?tool_version:string -> Report.t -> string
     [properties.deckKey]/[properties.deckLine] pointing at the defining
     line in {e that} deck (via {!Tech.Rules.position}).  Run order is
     deck order; within a run, bytes follow the same deterministic
-    layout as {!of_report}. *)
+    layout as {!of_report}.
+
+    [suppressed] maps a deck label to that deck's waived diagnostics,
+    rendered per-run as in {!of_report} (labels are unique after
+    {!Engine.dedupe_labels}).  [relations] are the cross-deck
+    subsumption verdict lines ({!Deckcheck.relation_lines}); being
+    facts about deck {e pairs} they land in the log-level
+    [properties.deckRelations] array rather than in any single run. *)
 val of_reports :
   ?uri:string -> ?tool_version:string ->
+  ?suppressed:(string * Report.violation list) list ->
+  ?relations:string list ->
   (string * Tech.Rules.t * Report.t) list -> string

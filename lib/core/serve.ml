@@ -274,6 +274,19 @@ let process t engines ?req ?trace reqj =
              Json.Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) entries)) ]
         end
       in
+      let lint_suppressed_of suppressed =
+        (* Per-code counts of waived lint/deckcheck diagnostics.  Only
+           present when lint ran and something was actually waived, so
+           replies for waiver-free sessions keep their historical
+           shape. *)
+        if not run_lint || suppressed = [] then []
+        else
+          [ ("lint_suppressed",
+             Json.Obj
+               (List.map
+                  (fun (k, n) -> (k, Json.Num (float_of_int n)))
+                  (Lint.suppressed_counts suppressed))) ]
+      in
       let exit_of report =
         let errors = Report.count ~severity:Report.Error report in
         let warnings = Report.count ~severity:Report.Warning report in
@@ -308,6 +321,11 @@ let process t engines ?req ?trace reqj =
              [dicheck FILE] writes to stdout — the report then the
              one-line summary (the serve smoke diffs against that). *)
           let result, reuse = Engine.primary multi in
+          let suppressed =
+            match multi.Engine.results with
+            | dr :: _ -> dr.Engine.dr_suppressed
+            | [] -> []
+          in
           let report_text =
             Format.asprintf "%a@." Report.pp result.Engine.report
             ^ Format.asprintf "%a@." Engine.pp_summary result
@@ -327,6 +345,7 @@ let process t engines ?req ?trace reqj =
               ("defs_from_disk", Json.Num (float_of_int reuse.Engine.defs_from_disk));
               ("memo_loaded", Json.Num (float_of_int reuse.Engine.memo_loaded)) ]
             @ lint_counts_of result.Engine.report
+            @ lint_suppressed_of suppressed
             @ [ ("report", Json.Str report_text) ]
           in
           let with_metrics =
@@ -337,7 +356,11 @@ let process t engines ?req ?trace reqj =
           let with_sarif =
             if flag "sarif" then
               with_metrics
-              @ [ ("sarif", embed (Sarif.of_report ~uri result.Engine.report)) ]
+              @ [ ("sarif",
+                   embed
+                     (Sarif.of_report ~uri
+                        ~suppressed:(Lint.to_violations suppressed)
+                        result.Engine.report)) ]
             else with_metrics
           in
           ( Json.to_string (Json.Obj (with_trace with_sarif)),
@@ -367,7 +390,8 @@ let process t engines ?req ?trace reqj =
                  ("symbols_reused", jnum reuse.Engine.symbols_reused);
                  ("defs_from_disk", jnum reuse.Engine.defs_from_disk);
                  ("memo_loaded", jnum reuse.Engine.memo_loaded) ]
-              @ lint_counts_of report)
+              @ lint_counts_of report
+              @ lint_suppressed_of dr.Engine.dr_suppressed)
           in
           let exit_code =
             List.fold_left
@@ -411,6 +435,13 @@ let process t engines ?req ?trace reqj =
               @ [ ("sarif",
                    embed
                      (Sarif.of_reports ~uri
+                        ~suppressed:
+                          (List.map
+                             (fun (dr : Engine.deck_result) ->
+                               ( dr.Engine.dr_deck.Engine.dk_label,
+                                 Lint.to_violations dr.Engine.dr_suppressed ))
+                             multi.Engine.results)
+                        ~relations:merged.Multireport.relations
                         (List.map
                            (fun (dr : Engine.deck_result) ->
                              ( dr.Engine.dr_deck.Engine.dk_label,

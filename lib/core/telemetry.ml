@@ -245,6 +245,179 @@ let snapshot t ~queued ~inflight ~served ~cancelled ~overloaded ~workers ~max_qu
           ("workers_busy", Json.Arr busy) ])
 
 (* ------------------------------------------------------------------ *)
+(* Event-log replay                                                    *)
+
+(* Offline post-mortem: re-run an event-log file through the same
+   accounting the live hub does, enforce the lifecycle invariants
+   PROTOCOL.md promises (every accepted request reaches exactly one
+   terminal entry, accepted before terminal, overloaded/rejected never
+   in the accepted population, drained means nothing left in flight),
+   and synthesize the stats snapshot the daemon would have answered at
+   the last entry.  Used by [dicheck top --event-log FILE] — no socket,
+   no daemon, just the log. *)
+
+type replay_state = Queued | Running | Done
+
+let replay content =
+  let lines =
+    String.split_on_char '\n' content
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  let exception Bad of string in
+  let fail ln fmt = Printf.ksprintf (fun m -> raise (Bad (Printf.sprintf "line %d: %s" ln m))) fmt in
+  try
+    let events =
+      List.map
+        (fun (ln, l) ->
+          match Json.parse l with
+          | Ok j -> (ln, j)
+          | Error msg -> fail ln "%s" msg)
+        lines
+    in
+    if events = [] then raise (Bad "empty event log");
+    let kind_of ln j =
+      match Option.bind (Json.member "event" j) Json.str with
+      | Some k -> k
+      | None -> fail ln "entry has no \"event\" member"
+    in
+    let ts_of ln j =
+      match Option.bind (Json.member "ts_ms" j) Json.num with
+      | Some v -> v
+      | None -> fail ln "entry has no \"ts_ms\" member"
+    in
+    let req_of ln j =
+      match Option.bind (Json.member "req" j) Json.int with
+      | Some r -> r
+      | None -> fail ln "request-scoped entry has no \"req\" member"
+    in
+    let fnum_of j name = Option.bind (Json.member name j) Json.num in
+    let inum_of j name = Option.bind (Json.member name j) Json.int in
+    (* Pass 1: lifecycle reconciliation. *)
+    let state : (int, replay_state) Hashtbl.t = Hashtbl.create 64 in
+    let accepted = ref 0 and finished = ref 0 and cancelled = ref 0 in
+    let overloaded = ref 0 and rejected = ref 0 in
+    let workers = ref 0 and max_queue = ref 0 in
+    let drained = ref false in
+    let first_ts = ref nan and last_ts = ref nan in
+    List.iter
+      (fun (ln, j) ->
+        let ts = ts_of ln j in
+        if Float.is_nan !first_ts then first_ts := ts;
+        last_ts := ts;
+        if !drained then fail ln "entry after the shutdown entry";
+        match kind_of ln j with
+        | "start" ->
+          Option.iter (fun w -> workers := w) (inum_of j "workers");
+          Option.iter (fun q -> max_queue := q) (inum_of j "max_queue")
+        | "accepted" ->
+          let req = req_of ln j in
+          if Hashtbl.mem state req then fail ln "request %d accepted twice" req;
+          Hashtbl.replace state req Queued;
+          incr accepted
+        | "started" -> (
+          let req = req_of ln j in
+          match Hashtbl.find_opt state req with
+          | Some Queued -> Hashtbl.replace state req Running
+          | Some Running -> fail ln "request %d started twice" req
+          | Some Done -> fail ln "request %d started after its terminal entry" req
+          | None -> fail ln "request %d started but never accepted" req)
+        | ("finished" | "cancelled") as kind -> (
+          let req = req_of ln j in
+          match Hashtbl.find_opt state req with
+          | Some (Queued | Running) ->
+            Hashtbl.replace state req Done;
+            if kind = "finished" then incr finished else incr cancelled
+          | Some Done -> fail ln "request %d has two terminal entries" req
+          | None -> fail ln "request %d %s but never accepted" req kind)
+        | "overloaded" ->
+          let req = req_of ln j in
+          if Hashtbl.mem state req then
+            fail ln "request %d overloaded after being accepted" req;
+          incr overloaded
+        | "rejected" -> incr rejected
+        | "slow" | "shutdown_begin" -> ()
+        | "shutdown" ->
+          drained := true;
+          let check name counted =
+            match inum_of j name with
+            | Some logged when logged <> counted ->
+              fail ln "shutdown says %s=%d but the log replays %d" name logged
+                counted
+            | _ -> ()
+          in
+          check "served" !finished;
+          check "cancelled" !cancelled;
+          check "overloaded" !overloaded
+        | k -> fail ln "unknown event kind %S" k)
+      events;
+    let queued = ref 0 and inflight = ref 0 in
+    Hashtbl.iter
+      (fun req st ->
+        match st with
+        | Queued ->
+          if !drained then
+            raise (Bad (Printf.sprintf
+              "drained daemon left request %d in the queue: accepted = finished + cancelled is violated" req));
+          incr queued
+        | Running ->
+          if !drained then
+            raise (Bad (Printf.sprintf
+              "drained daemon left request %d in flight: accepted = finished + cancelled is violated" req));
+          incr inflight
+        | Done -> ())
+      state;
+    (* Pass 2: feed the same rolling metrics the live hub keeps, with
+       the hub's epoch backdated by the log's time span so uptime and
+       the rps figures come out of the recorded timeline, not the
+       replay's. *)
+    let span_ns = Int64.of_float (Float.max 0. (!last_ts -. !first_ts) *. 1e6) in
+    let base = create () in
+    let t = { base with started_ns = Int64.sub base.started_ns span_ns } in
+    List.iter
+      (fun (_, j) ->
+        match Option.bind (Json.member "event" j) Json.str with
+        | Some "accepted" ->
+          Metrics.incr t.metrics "serve.accepted";
+          Option.iter
+            (fun q ->
+              Metrics.set_gauge t.metrics "serve.queue_depth" (float_of_int q);
+              observe t "serve.queue_depth" (float_of_int q))
+            (inum_of j "queued")
+        | Some "started" ->
+          Metrics.incr t.metrics "serve.started";
+          Option.iter (observe t "serve.wait_ms") (fnum_of j "wait_ms")
+        | Some "finished" ->
+          Metrics.incr t.metrics "serve.finished";
+          (match Option.bind (Json.member "status" j) Json.str with
+          | Some s when s <> "ok" -> Metrics.incr t.metrics "serve.check_errors"
+          | _ -> ());
+          Option.iter (observe t "serve.service_ms") (fnum_of j "service_ms");
+          Option.iter (observe t "serve.latency_ms") (fnum_of j "latency_ms");
+          (match (fnum_of j "ts_ms", inum_of j "worker", fnum_of j "service_ms") with
+          | Some ts, Some w, Some ms ->
+            observe t "serve.finish_s" ((ts -. !first_ts) /. 1000.);
+            worker_busy t ~worker:w ~ns:(Int64.of_float (ms *. 1e6))
+          | _ -> ())
+        | Some "cancelled" -> Metrics.incr t.metrics "serve.cancelled"
+        | Some "rejected" -> Metrics.incr t.metrics "serve.rejected"
+        | _ -> ())
+      events;
+    let workers =
+      (* A truncated log may lack the start entry; the serving workers
+         seen in the log bound the pool from below. *)
+      List.fold_left
+        (fun acc (_, j) ->
+          match inum_of j "worker" with Some w -> max acc (w + 1) | None -> acc)
+        !workers events
+    in
+    Ok
+      (snapshot t ~queued:!queued ~inflight:!inflight ~served:!finished
+         ~cancelled:!cancelled ~overloaded:!overloaded ~workers
+         ~max_queue:!max_queue)
+  with Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
 (* Prometheus text exposition                                          *)
 
 (* A pure rendering of the snapshot above: same figures, flat

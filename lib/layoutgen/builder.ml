@@ -25,7 +25,7 @@ let symbol ~id ~name ?device elements calls =
   { Cif.Ast.id; name = Some name; device; elements; calls; sym_loc = None }
 
 let file ~symbols ?(top_elements = []) ~top_calls () =
-  { Cif.Ast.symbols; top_elements; top_calls }
+  { Cif.Ast.symbols; top_elements; top_calls; waivers = [] }
 
 let translate_element dx dy e =
   match e with

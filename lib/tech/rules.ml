@@ -18,6 +18,7 @@ type t = {
   pad_metal_surround : int;
   pair_spaces : ((Layer.t * Layer.t) * int) list;
   key_positions : (string * int) list;
+  waivers : string list;
 }
 
 let nmos ?(lambda = 100) () =
@@ -39,7 +40,8 @@ let nmos ?(lambda = 100) () =
     buried_overlap = 2 * lambda;
     pad_metal_surround = 2 * lambda;
     pair_spaces = [];
-    key_positions = [] }
+    key_positions = [];
+    waivers = [] }
 
 let position t key = List.assoc_opt key t.key_positions
 
@@ -150,6 +152,44 @@ let to_string t =
 
 type entry_src = { eline : int; key : string; value : string }
 
+(* [# lint: allow R003] (or a comma/space-separated list of codes) in a
+   deck comment suppresses those lint codes for this deck.  Like
+   [key_positions], waivers are provenance-adjacent: they never affect
+   checking semantics and are not emitted by [to_string], so a waived
+   and an unwaived deck share cache entries. *)
+let scan_waivers src =
+  let codes = ref [] in
+  List.iter
+    (fun line ->
+      match String.index_opt line '#' with
+      | None -> ()
+      | Some j ->
+        let comment =
+          String.trim (String.sub line (j + 1) (String.length line - j - 1))
+        in
+        let accept rest =
+          String.split_on_char ',' rest
+          |> List.concat_map (String.split_on_char ' ')
+          |> List.iter (fun c ->
+                 let c = String.trim c in
+                 if c <> "" && not (List.mem c !codes) then codes := c :: !codes)
+        in
+        (match String.index_opt comment ':' with
+        | Some k when String.trim (String.sub comment 0 k) = "lint" ->
+          let rest =
+            String.trim (String.sub comment (k + 1) (String.length comment - k - 1))
+          in
+          let prefix = "allow" in
+          let plen = String.length prefix in
+          if
+            String.length rest > plen
+            && String.sub rest 0 plen = prefix
+            && (rest.[plen] = ' ' || rest.[plen] = '\t')
+          then accept (String.sub rest plen (String.length rest - plen))
+        | _ -> ()))
+    (String.split_on_char '\n' src);
+  List.sort_uniq compare !codes
+
 let scan src =
   let entries = ref [] and malformed = ref [] in
   List.iteri
@@ -223,4 +263,5 @@ let of_entries entries =
 let of_string src =
   match scan src with
   | _, (line, text) :: _ -> Error (Printf.sprintf "line %d: malformed line: %S" line text)
-  | entries, [] -> of_entries entries
+  | entries, [] ->
+    Result.map (fun t -> { t with waivers = scan_waivers src }) (of_entries entries)

@@ -42,6 +42,12 @@ type t = {
           checking semantics, never emitted by {!to_string}, so two
           decks differing only in comments or line layout are the same
           environment. *)
+  waivers : string list;
+      (** Lint codes waived by [# lint: allow CODE[, CODE...]] deck
+          comments, sorted and deduplicated; [[]] for programmatic rule
+          sets.  Like [key_positions], provenance only: waivers filter
+          reporting downstream but never enter checking semantics or
+          {!to_string}. *)
 }
 
 (** [nmos ~lambda ()] — the default rule set; [lambda] defaults to
@@ -130,5 +136,12 @@ type entry_src = { eline : int; key : string; value : string }
 val scan : string -> entry_src list * (int * string) list
 
 (** Interpret scanned entries strictly (same errors as
-    {!of_string}). *)
+    {!of_string}).  Waiver comments are invisible to [scan]'s entries,
+    so rule sets built this way carry no waivers; use {!scan_waivers}
+    on the raw source to recover them. *)
 val of_entries : entry_src list -> (t, string) result
+
+(** Collect [# lint: allow ...] waiver codes from raw deck text,
+    sorted and deduplicated.  Lenient: comments that do not match the
+    waiver shape are ignored. *)
+val scan_waivers : string -> string list

@@ -225,7 +225,8 @@ let test_print_odd_box_as_polygon () =
     { Cif.Ast.symbols = [];
       top_elements =
         [ Cif.Ast.Box { layer = "NM"; rect = Geom.Rect.make 0 0 5 7; net = None; loc = None } ];
-      top_calls = [] }
+      top_calls = [];
+      waivers = [] }
   in
   let f' = parse_ok (Cif.Print.to_string f) in
   match f'.Cif.Ast.top_elements with
@@ -296,7 +297,7 @@ let prop_print_parse_roundtrip =
   QCheck2.Test.make ~name:"printer: parse (print f) = f on generated files" ~count:200
     QCheck2.Gen.(list_size (int_range 0 8) element_gen)
     (fun elements ->
-      let f = { Cif.Ast.symbols = []; top_elements = elements; top_calls = [] } in
+      let f = { Cif.Ast.symbols = []; top_elements = elements; top_calls = []; waivers = [] } in
       match Cif.Parse.file (Cif.Print.to_string f) with
       | Ok f' -> norm_file_prop f = norm_file_prop f'
       | Error _ -> false)

@@ -319,7 +319,7 @@ let test_explain_total () =
     (fun (code, _) ->
       Alcotest.(check bool) code true (Dic.Lint.explain code <> None))
     Dic.Lint.all_codes;
-  Alcotest.(check int) "twenty codes" 20 (List.length Dic.Lint.all_codes);
+  Alcotest.(check int) "twenty-four codes" 24 (List.length Dic.Lint.all_codes);
   Alcotest.(check bool) "unknown is None" true (Dic.Lint.explain "R999" = None)
 
 let lint_report () =
